@@ -1,0 +1,63 @@
+//! Criterion bench B-PERF/allocation: Chaitin versus the combined
+//! allocator versus block size and register pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsched::ir::Function;
+use parsched::machine::presets;
+use parsched::regalloc::{allocate_single_block, BlockStrategy, PinterConfig};
+use parsched_workload::{random_dag_function, DagParams};
+
+fn block_of_size(size: usize) -> Function {
+    random_dag_function(
+        21,
+        &DagParams {
+            size,
+            load_fraction: 0.25,
+            float_fraction: 0.4,
+            window: 8,
+        },
+    )
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for size in [25usize, 50, 100, 200] {
+        let f = block_of_size(size);
+        for (label, regs) in [("ample", 32u32), ("tight", 8)] {
+            let machine = presets::paper_machine(regs);
+            group.bench_with_input(
+                BenchmarkId::new(format!("chaitin/{label}"), size),
+                &f,
+                |b, f| {
+                    b.iter(|| allocate_single_block(f, &machine, BlockStrategy::Chaitin).unwrap())
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("pinter/{label}"), size),
+                &f,
+                |b, f| {
+                    b.iter(|| {
+                        allocate_single_block(
+                            f,
+                            &machine,
+                            BlockStrategy::Pinter(PinterConfig::default()),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // One-core CI-friendly settings: small samples, short windows.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_allocation
+}
+criterion_main!(benches);

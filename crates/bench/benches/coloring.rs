@@ -1,0 +1,59 @@
+//! Criterion bench B-PERF/coloring: graph-coloring algorithm costs on
+//! interference and parallelizable interference graphs of generated blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsched::graph::coloring::{chaitin_order, dsatur_coloring, greedy_coloring};
+use parsched::graph::UnGraph;
+use parsched::ir::liveness::Liveness;
+use parsched::ir::BlockId;
+use parsched::machine::presets;
+use parsched::regalloc::{BlockAllocProblem, Pig};
+use parsched::sched::DepGraph;
+use parsched_workload::{random_dag_function, DagParams};
+
+fn graphs_of_size(size: usize) -> (UnGraph, UnGraph) {
+    let params = DagParams {
+        size,
+        load_fraction: 0.25,
+        float_fraction: 0.4,
+        window: 6,
+    };
+    let f = random_dag_function(99, &params);
+    let lv = Liveness::compute(&f, &[]);
+    let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
+    let d = DepGraph::build(f.block(BlockId(0)));
+    let machine = presets::paper_machine(32);
+    let pig = Pig::build(&p, &d, &machine);
+    (p.interference().clone(), pig.graph().clone())
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    for size in [25usize, 50, 100, 200] {
+        let (gr, pig) = graphs_of_size(size);
+        group.bench_with_input(BenchmarkId::new("dsatur/Gr", size), &gr, |b, g| {
+            b.iter(|| dsatur_coloring(g))
+        });
+        group.bench_with_input(BenchmarkId::new("dsatur/PIG", size), &pig, |b, g| {
+            b.iter(|| dsatur_coloring(g))
+        });
+        group.bench_with_input(BenchmarkId::new("chaitin-order/PIG", size), &pig, |b, g| {
+            b.iter(|| {
+                let (order, _) = chaitin_order(g, 16);
+                greedy_coloring(g, &order)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // One-core CI-friendly settings: small samples, short windows.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_coloring
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench B-PERF/pipeline: end-to-end compile time of each
+//! strategy over the kernel corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsched::machine::presets;
+use parsched::{Pipeline, Strategy};
+use parsched_workload::straight_line_kernels;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pipeline = Pipeline::new(presets::paper_machine(8));
+    let kernels = straight_line_kernels();
+    let mut group = c.benchmark_group("pipeline");
+    for s in [
+        Strategy::AllocThenSched,
+        Strategy::SchedThenAlloc,
+        Strategy::combined(),
+    ] {
+        group.bench_with_input(BenchmarkId::new("corpus", s.label()), &s, |b, s| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (_, f) in &kernels {
+                    total += u64::from(pipeline.compile(f, s).unwrap().stats.cycles);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // One-core CI-friendly settings: small samples, short windows.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

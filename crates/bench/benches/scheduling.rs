@@ -1,0 +1,53 @@
+//! Criterion bench B-PERF/scheduling: dependence-graph construction, the
+//! Et/Ef closure, and list scheduling versus block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsched::ir::{BlockId, Function};
+use parsched::machine::presets;
+use parsched::sched::falsedep::false_dependence_graph;
+use parsched::sched::{list_schedule, DepGraph};
+use parsched_workload::{random_dag_function, DagParams};
+
+fn block_of_size(size: usize) -> Function {
+    random_dag_function(
+        7,
+        &DagParams {
+            size,
+            load_fraction: 0.25,
+            float_fraction: 0.4,
+            window: 8,
+        },
+    )
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let machine = presets::paper_machine(32);
+    let mut group = c.benchmark_group("scheduling");
+    for size in [25usize, 50, 100, 200, 400] {
+        let f = block_of_size(size);
+        let block = f.block(BlockId(0)).clone();
+        group.bench_with_input(BenchmarkId::new("depgraph", size), &block, |b, blk| {
+            b.iter(|| DepGraph::build(blk))
+        });
+        let deps = DepGraph::build(&block);
+        group.bench_with_input(BenchmarkId::new("ef-closure", size), &deps, |b, d| {
+            b.iter(|| false_dependence_graph(d, &machine))
+        });
+        group.bench_with_input(BenchmarkId::new("list-schedule", size), &block, |b, blk| {
+            let d = DepGraph::build(blk);
+            b.iter(|| list_schedule(blk, &d, &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // One-core CI-friendly settings: small samples, short windows.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! `psc` — the parsched command-line driver.
+//!
+//! Compile a textual-IR function with a chosen strategy and machine, print
+//! the result, the cycle-by-cycle schedule, or the statistics, and
+//! optionally execute it in the reference interpreter.
+//!
+//! ```text
+//! psc FILE [--strategy combined|alloc-first|sched-first]
+//!          [--machine single|paper|mips|rs6000|wide4]
+//!          [--machine-spec FILE]
+//!          [--regs N]
+//!          [--emit text|schedule|stats|json|dot]
+//!          [--run ARG...]
+//! ```
+
+use parsched::ir::interp::{Interpreter, Memory};
+use parsched::ir::{parse_function, print_function, print_inst, BlockId};
+use parsched::machine::{parse_machine_spec, presets, MachineDesc};
+use parsched::sched::{list_schedule, DepGraph};
+use parsched::{Pipeline, Strategy};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: psc FILE [options]
+options:
+  --strategy combined|alloc-first|sched-first   (default combined)
+  --machine single|paper|mips|rs6000|wide4      (default paper)
+  --machine-spec FILE    load a textual machine description instead
+  --regs N               override the register-file size
+  --emit text|schedule|stats|json|dot           (default text)
+                         dot renders block 0's parallelizable interference
+                         graph (false-dependence edges dashed)
+  --run ARG...           execute before and after compiling and compare
+";
+
+struct Options {
+    file: String,
+    strategy: Strategy,
+    machine: MachineDesc,
+    regs: Option<u32>,
+    emit: Emit,
+    run: Option<Vec<i64>>,
+}
+
+#[derive(PartialEq)]
+enum Emit {
+    Text,
+    Schedule,
+    Stats,
+    Json,
+    Dot,
+}
+
+fn main() -> ExitCode {
+    // --help prints usage to stdout and succeeds.
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("psc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut file: Option<String> = None;
+    let mut strategy = Strategy::combined();
+    let mut machine: Option<MachineDesc> = None;
+    let mut regs: Option<u32> = None;
+    let mut emit = Emit::Text;
+    let mut run: Option<Vec<i64>> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--strategy" => {
+                let v = args.next().ok_or("--strategy needs a value")?;
+                strategy = match v.as_str() {
+                    "combined" => Strategy::combined(),
+                    "alloc-first" => Strategy::AllocThenSched,
+                    "sched-first" => Strategy::SchedThenAlloc,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
+            }
+            "--machine" => {
+                let v = args.next().ok_or("--machine needs a value")?;
+                machine = Some(match v.as_str() {
+                    "single" => presets::single_issue(32),
+                    "paper" => presets::paper_machine(32),
+                    "mips" => presets::mips_r3000(32),
+                    "rs6000" => presets::rs6000(32),
+                    "wide4" => presets::wide(4, 32),
+                    other => return Err(format!("unknown machine `{other}`")),
+                });
+            }
+            "--machine-spec" => {
+                let path = args.next().ok_or("--machine-spec needs a path")?;
+                let src =
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+                machine = Some(parse_machine_spec(&src).map_err(|e| e.to_string())?);
+            }
+            "--regs" => {
+                let v = args.next().ok_or("--regs needs a value")?;
+                regs = Some(v.parse().map_err(|_| format!("bad register count `{v}`"))?);
+            }
+            "--emit" => {
+                let v = args.next().ok_or("--emit needs a value")?;
+                emit = match v.as_str() {
+                    "text" => Emit::Text,
+                    "schedule" => Emit::Schedule,
+                    "stats" => Emit::Stats,
+                    "json" => Emit::Json,
+                    "dot" => Emit::Dot,
+                    other => return Err(format!("unknown emit mode `{other}`")),
+                };
+            }
+            "--run" => {
+                let rest: Result<Vec<i64>, _> = args.by_ref().map(|a| a.parse()).collect();
+                run = Some(rest.map_err(|_| "--run arguments must be integers")?);
+            }
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let file = file.ok_or(USAGE)?;
+    Ok(Options {
+        file,
+        strategy,
+        machine: machine.unwrap_or_else(|| presets::paper_machine(32)),
+        regs,
+        emit,
+        run,
+    })
+}
+
+fn real_main() -> Result<(), String> {
+    let opts = parse_args()?;
+    let src =
+        std::fs::read_to_string(&opts.file).map_err(|e| format!("reading {}: {e}", opts.file))?;
+    let func = parse_function(&src).map_err(|e| e.to_string())?;
+    let machine = match opts.regs {
+        Some(r) => opts.machine.with_num_regs(r),
+        None => opts.machine,
+    };
+    let pipeline = Pipeline::new(machine.clone());
+    let result = pipeline
+        .compile(&func, &opts.strategy)
+        .map_err(|e| e.to_string())?;
+
+    match opts.emit {
+        Emit::Dot => {
+            use parsched::graph::dot::{ungraph_to_dot, DotOptions};
+            use parsched::ir::liveness::Liveness;
+            use parsched::regalloc::{BlockAllocProblem, Pig};
+            let lv = Liveness::compute(&func, &[]);
+            let problem =
+                BlockAllocProblem::build(&func, BlockId(0), &lv).map_err(|e| e.to_string())?;
+            let deps = DepGraph::build(func.block(BlockId(0)));
+            let pig = Pig::build(&problem, &deps, &machine);
+            let mut dot_opts = DotOptions::titled(format!(
+                "PIG of @{} block 0 on {} (dashed = false-dependence edges)",
+                func.name(),
+                machine.name()
+            ));
+            dot_opts.node_labels = problem.nodes().iter().map(|r| r.to_string()).collect();
+            dot_opts.edge_styles = pig
+                .false_only()
+                .edges()
+                .map(|(u, v)| (u, v, "dashed".to_string()))
+                .collect();
+            print!("{}", ungraph_to_dot(pig.graph(), &dot_opts));
+        }
+        Emit::Text => print!("{}", print_function(&result.function)),
+        Emit::Schedule => {
+            for b in 0..result.function.block_count() {
+                let block = result.function.block(BlockId(b));
+                println!("{}:", block.label());
+                let deps = DepGraph::build(block);
+                let s = list_schedule(block, &deps, &machine);
+                for (cycle, group) in s.groups() {
+                    let insts: Vec<String> = group
+                        .iter()
+                        .map(|&i| print_inst(&block.body()[i], &result.function))
+                        .collect();
+                    println!("  cycle {cycle:>3}: {}", insts.join("  ||  "));
+                }
+            }
+        }
+        Emit::Json => {
+            let s = &result.stats;
+            println!(
+                "{{\n  \"machine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"registers_used\": {},\n  \"cycles\": {},\n  \"spilled_values\": {},\n  \"inserted_mem_ops\": {},\n  \"introduced_false_deps\": {},\n  \"removed_false_edges\": {},\n  \"inst_count\": {}\n}}",
+                machine.name(),
+                opts.strategy.label(),
+                s.registers_used,
+                s.cycles,
+                s.spilled_values,
+                s.inserted_mem_ops,
+                s.introduced_false_deps,
+                s.removed_false_edges,
+                s.inst_count
+            );
+        }
+        Emit::Stats => {
+            let s = &result.stats;
+            println!("machine:              {machine}");
+            println!("strategy:             {}", opts.strategy.label());
+            println!("registers used:       {}", s.registers_used);
+            println!("cycles:               {}", s.cycles);
+            println!("spilled values:       {}", s.spilled_values);
+            println!("spill mem ops:        {}", s.inserted_mem_ops);
+            println!("false deps introduced: {}", s.introduced_false_deps);
+            println!("false edges given up: {}", s.removed_false_edges);
+            println!("instructions:         {}", s.inst_count);
+        }
+    }
+
+    if let Some(args) = opts.run {
+        let interp = Interpreter::new();
+        let before = interp
+            .run(&func, &args, Memory::new())
+            .map_err(|e| format!("original failed: {e}"))?;
+        let after = interp
+            .run(&result.function, &args, Memory::new())
+            .map_err(|e| format!("compiled failed: {e}"))?;
+        println!("original returns: {:?}", before.return_value);
+        println!("compiled returns: {:?}", after.return_value);
+        if before.return_value != after.return_value {
+            return Err("MISCOMPILE: return values differ".to_string());
+        }
+    }
+    Ok(())
+}

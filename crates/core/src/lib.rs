@@ -1,0 +1,50 @@
+//! `parsched` — combined register allocation and instruction scheduling,
+//! reproducing Pinter, *"Register Allocation with Instruction Scheduling: a
+//! New Approach"*, PLDI 1993.
+//!
+//! The central idea: build a **parallelizable interference graph** that
+//! unions the classic interference graph with the *false-dependence graph*
+//! (the pairs of instructions the machine could issue together); coloring
+//! that graph allocates registers **without destroying any instruction-level
+//! parallelism**. This crate exposes the whole system behind one
+//! [`Pipeline`] API and re-exports the underlying subsystem crates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use parsched::{Pipeline, Strategy};
+//!
+//! let func = parsched::paper::example1();
+//! let machine = parsched::paper::machine(4);
+//! let pipeline = Pipeline::new(machine);
+//!
+//! let combined = pipeline.compile(&func, &Strategy::combined())?;
+//! let naive = pipeline.compile(&func, &Strategy::AllocThenSched)?;
+//! assert!(combined.stats.cycles <= naive.stats.cycles);
+//! # Ok::<(), parsched::PipelineError>(())
+//! ```
+//!
+//! # Crate map
+//!
+//! | need | crate |
+//! |---|---|
+//! | IR, parser, interpreter | [`ir`] (re-export of `parsched-ir`) |
+//! | machine models | [`machine`] (`parsched-machine`) |
+//! | dependence graphs & scheduling | [`sched`] (`parsched-sched`) |
+//! | allocators (Chaitin & combined) | [`regalloc`] (`parsched-regalloc`) |
+//! | graph algorithms | [`graph`] (`parsched-graph`) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+mod pipeline;
+pub mod report;
+
+pub use pipeline::{CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
+
+pub use parsched_graph as graph;
+pub use parsched_ir as ir;
+pub use parsched_machine as machine;
+pub use parsched_regalloc as regalloc;
+pub use parsched_sched as sched;

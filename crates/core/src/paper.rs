@@ -1,0 +1,183 @@
+//! The paper's worked examples as constructors.
+//!
+//! These are the exact programs Pinter (PLDI 1993) reasons about, encoded
+//! in the workspace IR. The tests under `tests/paper_figures.rs` reproduce
+//! every figure from them.
+//!
+//! One modeling note, documented in DESIGN.md: in Example 1 the statement
+//! `s2 := i` can — in the paper's walk-through — issue alongside both a
+//! load and a fixed-point add, so it is encoded as a float-unit copy
+//! (`fadd s9, 0`) to contend with neither the fetch nor the fixed unit.
+
+use parsched_ir::{parse_function, Function};
+use parsched_machine::{presets, MachineDesc};
+
+/// The paper's walk-through machine: fixed-point, floating-point, fetch
+/// and branch units, one of each, with `num_regs` registers.
+pub fn machine(num_regs: u32) -> MachineDesc {
+    presets::paper_machine(num_regs)
+}
+
+/// Example 1(b): the running example of the introduction.
+///
+/// ```text
+/// x := a[i]        s1 := load z        (the paper keeps an extra load z)
+/// y := 2 + 2       s2 := i
+/// z := x*5 + 2     s3 := a[s2]
+///                  s4 := s1 + s1
+///                  s5 := s3 * 5 + s1
+/// ```
+///
+/// `s9` is the incoming value of `i`.
+pub fn example1() -> Function {
+    parse_function(
+        r#"
+        func @example1(s9) {
+        entry:
+            s1 = load [@z + 0]
+            s2 = fadd s9, 0
+            s3 = load [s2 + 0]
+            s4 = add s1, s1
+            s5 = mul s3, s1
+            ret s5
+        }
+        "#,
+    )
+    .expect("example1 parses")
+}
+
+/// Example 1(c): the paper's allocation with `r1`/`r2` reuse that
+/// introduces a false dependence between the second and fourth
+/// instructions.
+pub fn example1_paper_alloc() -> Function {
+    parse_function(
+        r#"
+        func @example1c(r9) {
+        entry:
+            r1 = load [@z + 0]
+            r2 = fadd r9, 0
+            r3 = load [r2 + 0]
+            r2 = add r1, r1
+            r1 = mul r3, r1
+            ret r1
+        }
+        "#,
+    )
+    .expect("example1c parses")
+}
+
+/// The paper's alternative three-register allocation for Example 1
+/// (`s1-r1, s2-r2, s3-r2, s4-r3, s5-r2`) that introduces no false
+/// dependence — the allocation Figure 3 exhibits.
+pub fn example1_good_alloc() -> Function {
+    parse_function(
+        r#"
+        func @example1good(r9) {
+        entry:
+            r1 = load [@z + 0]
+            r2 = fadd r9, 0
+            r2 = load [r2 + 0]
+            r3 = add r1, r1
+            r2 = mul r2, r1
+            ret r2
+        }
+        "#,
+    )
+    .expect("example1good parses")
+}
+
+/// Example 2 (Section 3): two fixed-point loads feeding a fixed-point
+/// chain, two float loads feeding a float chain, joined at the end.
+pub fn example2() -> Function {
+    parse_function(
+        r#"
+        func @example2() {
+        entry:
+            s1 = load [@z + 0]
+            s2 = load [@y + 0]
+            s3 = add s1, s2
+            s4 = mul s1, s2
+            s5 = add s3, s4
+            s6 = fload [@x + 0]
+            s7 = fload [@w + 0]
+            s8 = fmul s7, s6
+            s9 = fadd s5, s8
+            ret s9
+        }
+        "#,
+    )
+    .expect("example2 parses")
+}
+
+/// Figure 5's register assignment for Example 2: `r1 ← {s1,s6,s9}`,
+/// `r2 ← {s2,s4}`, `r3 ← {s3,s5}`, `r4 ← {s7,s8}`.
+pub fn example2_figure5_alloc() -> Function {
+    parse_function(
+        r#"
+        func @example2fig5() {
+        entry:
+            r1 = load [@z + 0]
+            r2 = load [@y + 0]
+            r3 = add r1, r2
+            r2 = mul r1, r2
+            r3 = add r3, r2
+            r1 = fload [@x + 0]
+            r4 = fload [@w + 0]
+            r4 = fmul r4, r1
+            r1 = fadd r3, r4
+            ret r1
+        }
+        "#,
+    )
+    .expect("example2fig5 parses")
+}
+
+/// The Figure 6 situation: a variable defined on both arms of a
+/// conditional and used after the join — its def-use chains combine into
+/// one non-linear live interval (one web).
+pub fn figure6() -> Function {
+    parse_function(
+        r#"
+        func @figure6(s0) {
+        entry:
+            beq s0, 0, other
+        then:
+            s1 = li 1
+            jmp join
+        other:
+            s1 = li 2
+        join:
+            s2 = add s1, s1
+            ret s2
+        }
+        "#,
+    )
+    .expect("figure6 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::verify::verify_function;
+
+    #[test]
+    fn all_examples_verify() {
+        for f in [example1(), example2(), figure6()] {
+            verify_function(&f, true).expect("symbolic examples are strict-clean");
+        }
+        for f in [
+            example1_paper_alloc(),
+            example1_good_alloc(),
+            example2_figure5_alloc(),
+        ] {
+            verify_function(&f, false).expect("allocated examples are well-formed");
+        }
+    }
+
+    #[test]
+    fn shapes_match_paper() {
+        assert_eq!(example1().inst_count(), 6);
+        assert_eq!(example2().inst_count(), 10);
+        assert_eq!(figure6().block_count(), 4);
+    }
+}

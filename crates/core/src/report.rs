@@ -1,0 +1,111 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table accumulated row by row.
+///
+/// # Examples
+///
+/// ```
+/// use parsched::report::Table;
+///
+/// let mut t = Table::new(&["strategy", "cycles"]);
+/// t.row(&["combined", "7"]);
+/// let text = t.render();
+/// assert!(text.contains("strategy"));
+/// assert!(text.contains("combined"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.len();
+                out.push_str(cell);
+                if i + 1 < ncols {
+                    out.push_str(&" ".repeat(pad + 2));
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "longer"]);
+        t.row(&["xxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Chaitin's simplify ordering.
+
+use crate::ungraph::UnGraph;
+use crate::NodeId;
+
+/// Computes Chaitin's *select* order for coloring with `k` colors.
+///
+/// Repeatedly removes a node of current degree `< k` (lowest degree first,
+/// ties by id); when none exists, removes the node of maximum degree as an
+/// optimistic spill candidate (Briggs-style optimism: it may still color).
+/// Returns the nodes in **reverse removal order** — i.e. the order in which
+/// [`greedy_coloring`](super::greedy_coloring) should color them — together
+/// with the list of optimistic candidates in removal order.
+///
+/// With `k = usize::MAX` this degenerates to a pure smallest-last ordering,
+/// which is what the paper's "optimal coloring when registers suffice"
+/// experiments use as the heuristic baseline.
+pub fn chaitin_order(g: &UnGraph, k: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = g.node_count();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut stack = Vec::with_capacity(n);
+    let mut spill_candidates = Vec::new();
+
+    for _ in 0..n {
+        // Prefer a simplifiable node (degree < k), lowest degree first.
+        let pick = (0..n)
+            .filter(|&v| !removed[v] && degree[v] < k)
+            .min_by_key(|&v| (degree[v], v));
+        let v = match pick {
+            Some(v) => v,
+            None => {
+                // Blocked: optimistically push the max-degree node.
+                let v = (0..n)
+                    .filter(|&v| !removed[v])
+                    .max_by_key(|&v| (degree[v], std::cmp::Reverse(v)))
+                    .expect("nodes remain");
+                spill_candidates.push(v);
+                v
+            }
+        };
+        removed[v] = true;
+        stack.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u] {
+                degree[u] -= 1;
+            }
+        }
+    }
+    stack.reverse();
+    (stack, spill_candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::greedy_coloring;
+
+    #[test]
+    fn simplifiable_graph_has_no_candidates() {
+        // A path is 2-simplifiable.
+        let mut g = UnGraph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1);
+        }
+        let (order, cands) = chaitin_order(&g, 2);
+        assert!(cands.is_empty());
+        let c = greedy_coloring(&g, &order);
+        assert!(c.num_colors() <= 2);
+    }
+
+    #[test]
+    fn clique_blocks_below_k() {
+        let mut g = UnGraph::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j);
+            }
+        }
+        let (order, cands) = chaitin_order(&g, 3);
+        assert_eq!(order.len(), 4);
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn briggs_optimism_colors_diamond() {
+        // C4 (4-cycle) is not 2-simplifiable via Chaitin's test (all degrees
+        // are 2, fine for k=2? degree < 2 fails: all degrees == 2), but it IS
+        // 2-colorable; optimistic candidates still receive valid colors.
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let (order, cands) = chaitin_order(&g, 2);
+        assert!(!cands.is_empty());
+        let c = greedy_coloring(&g, &order);
+        assert_eq!(c.num_colors(), 2, "optimism should still 2-color C4");
+    }
+
+    #[test]
+    fn smallest_last_with_unbounded_k() {
+        let mut g = UnGraph::new(3);
+        g.add_edge(0, 1);
+        let (order, cands) = chaitin_order(&g, usize::MAX);
+        assert!(cands.is_empty());
+        assert_eq!(order.len(), 3);
+    }
+}

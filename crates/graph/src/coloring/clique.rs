@@ -1,0 +1,77 @@
+//! Greedy maximum-clique lower bound.
+
+use crate::ungraph::UnGraph;
+use crate::NodeId;
+
+/// Finds a large clique greedily and returns it as a chromatic-number lower
+/// bound witness.
+///
+/// Nodes are tried in decreasing degree order; each is added if adjacent to
+/// every member so far. The result is a (not necessarily maximum) clique;
+/// its size is a valid lower bound on the chromatic number, used to prune
+/// the exact branch-and-bound search.
+pub fn max_clique_lower_bound(g: &UnGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut nodes: Vec<NodeId> = (0..n).collect();
+    nodes.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+
+    let mut best: Vec<NodeId> = Vec::new();
+    // Grow a clique starting from each of the top-degree seeds.
+    for &seed in nodes.iter().take(n.min(16)) {
+        let mut clique = vec![seed];
+        for &v in &nodes {
+            if v != seed && clique.iter().all(|&c| g.has_edge(c, v)) {
+                clique.push(v);
+            }
+        }
+        if clique.len() > best.len() {
+            best = clique;
+        }
+    }
+    best.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_triangle_in_bowtie() {
+        // Two triangles sharing node 2.
+        let mut g = UnGraph::new(5);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            g.add_edge(a, b);
+        }
+        let clique = max_clique_lower_bound(&g);
+        assert_eq!(clique.len(), 3);
+        for i in 0..clique.len() {
+            for j in (i + 1)..clique.len() {
+                assert!(g.has_edge(clique[i], clique[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_one_clique() {
+        let mut g = UnGraph::new(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(max_clique_lower_bound(&g).len(), 6);
+    }
+
+    #[test]
+    fn edgeless_graph_single_node() {
+        let g = UnGraph::new(4);
+        assert_eq!(max_clique_lower_bound(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UnGraph::new(0);
+        assert!(max_clique_lower_bound(&g).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Greedy sequential coloring.
+
+use super::Coloring;
+use crate::ungraph::UnGraph;
+use crate::NodeId;
+
+/// Colors `g` greedily in the given node `order`, assigning each node the
+/// smallest color unused among its already-colored neighbors.
+///
+/// Every node must appear exactly once in `order`. Combined with
+/// [`chaitin_order`](super::chaitin_order) this yields Chaitin's
+/// simplify/select coloring.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..g.node_count()`.
+pub fn greedy_coloring(g: &UnGraph, order: &[NodeId]) -> Coloring {
+    let n = g.node_count();
+    assert_eq!(order.len(), n, "order must cover every node");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(!seen[v], "node {v} appears twice in order");
+        seen[v] = true;
+    }
+
+    const UNCOLORED: u32 = u32::MAX;
+    let mut colors = vec![UNCOLORED; n];
+    let mut forbidden = vec![false; n + 1];
+    for &v in order {
+        for &u in g.neighbors(v) {
+            if colors[u] != UNCOLORED {
+                forbidden[colors[u] as usize] = true;
+            }
+        }
+        let c = (0..).find(|&c| !forbidden[c as usize]).expect("free color");
+        colors[v] = c;
+        for &u in g.neighbors(v) {
+            if colors[u] != UNCOLORED {
+                forbidden[colors[u] as usize] = false;
+            }
+        }
+    }
+    Coloring::new(g, colors).expect("greedy coloring is proper by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_uses_two_colors() {
+        let mut g = UnGraph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1);
+        }
+        let c = greedy_coloring(&g, &[0, 1, 2, 3]);
+        assert_eq!(c.num_colors(), 2);
+        assert!(g.is_proper_coloring(c.as_slice()));
+    }
+
+    #[test]
+    fn order_matters_on_crown() {
+        // Crown graph: bad order forces 3 colors on a bipartite graph.
+        let mut g = UnGraph::new(6);
+        // bipartition {0,1,2} and {3,4,5}; i connected to all of other side
+        // except its partner i+3.
+        for i in 0..3 {
+            for j in 3..6 {
+                if j != i + 3 {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        let good = greedy_coloring(&g, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(good.num_colors(), 2);
+        let bad = greedy_coloring(&g, &[0, 3, 1, 4, 2, 5]);
+        assert!(bad.num_colors() >= 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UnGraph::new(0);
+        let c = greedy_coloring(&g, &[]);
+        assert_eq!(c.num_colors(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_order_panics() {
+        let g = UnGraph::new(2);
+        greedy_coloring(&g, &[0, 0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Graphviz DOT export.
+//!
+//! The PIG and dependence graphs are best understood visually; these
+//! helpers render any graph in this crate to DOT for `dot -Tsvg`.
+
+use crate::digraph::DiGraph;
+use crate::ungraph::UnGraph;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Graph title (rendered as a label).
+    pub title: String,
+    /// Node labels; nodes without an entry use their index.
+    pub node_labels: Vec<String>,
+    /// Per-edge style annotations `(u, v, style)` — e.g. `"dashed"` for
+    /// false-dependence edges. Directions are ignored for undirected
+    /// graphs.
+    pub edge_styles: Vec<(usize, usize, String)>,
+}
+
+impl DotOptions {
+    /// Options with a title only.
+    pub fn titled(title: impl Into<String>) -> DotOptions {
+        DotOptions {
+            title: title.into(),
+            ..DotOptions::default()
+        }
+    }
+
+    fn label(&self, v: usize) -> String {
+        self.node_labels
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| v.to_string())
+    }
+
+    fn style(&self, u: usize, v: usize) -> Option<&str> {
+        self.edge_styles
+            .iter()
+            .find(|&&(a, b, _)| (a, b) == (u, v) || (a, b) == (v, u))
+            .map(|(_, _, s)| s.as_str())
+    }
+}
+
+/// Renders an undirected graph as DOT.
+pub fn ungraph_to_dot(g: &UnGraph, opts: &DotOptions) -> String {
+    let mut out = String::from("graph {\n");
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "  label=\"{}\";", escape(&opts.title));
+    }
+    for v in 0..g.node_count() {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(&opts.label(v)));
+    }
+    for (u, v) in g.edges() {
+        match opts.style(u, v) {
+            Some(style) => {
+                let _ = writeln!(out, "  n{u} -- n{v} [style={style}];");
+            }
+            None => {
+                let _ = writeln!(out, "  n{u} -- n{v};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a directed graph as DOT.
+pub fn digraph_to_dot(g: &DiGraph, opts: &DotOptions) -> String {
+    let mut out = String::from("digraph {\n");
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "  label=\"{}\";", escape(&opts.title));
+    }
+    for v in 0..g.node_count() {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(&opts.label(v)));
+    }
+    for (u, v) in g.edges() {
+        match opts.style(u, v) {
+            Some(style) => {
+                let _ = writeln!(out, "  n{u} -> n{v} [style={style}];");
+            }
+            None => {
+                let _ = writeln!(out, "  n{u} -> n{v};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_undirected() {
+        let mut g = UnGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let mut opts = DotOptions::titled("Gr");
+        opts.node_labels = vec!["s1".into(), "s2".into(), "s3".into()];
+        opts.edge_styles = vec![(1, 0, "dashed".into())];
+        let dot = ungraph_to_dot(&g, &opts);
+        assert!(dot.starts_with("graph {"));
+        assert!(dot.contains("label=\"Gr\""));
+        assert!(dot.contains("n0 [label=\"s1\"]"));
+        assert!(dot.contains("n0 -- n1 [style=dashed];"));
+        assert!(dot.contains("n1 -- n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn renders_directed_with_default_labels() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        let dot = digraph_to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph {"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("[label=\"0\"]"));
+        assert!(!dot.contains("label=\"\";"), "no empty title line");
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let g = UnGraph::new(1);
+        let mut opts = DotOptions::default();
+        opts.node_labels = vec!["a\"b".into()];
+        let dot = ungraph_to_dot(&g, &opts);
+        assert!(dot.contains("a\\\"b"));
+    }
+}

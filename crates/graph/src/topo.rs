@@ -1,0 +1,91 @@
+//! Topological sorting (Kahn's algorithm).
+
+use crate::digraph::DiGraph;
+use crate::NodeId;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a directed graph contains a cycle and therefore has
+/// no topological order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node known to lie on (or be reachable from) a cycle.
+    pub node: NodeId,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle through node {}", self.node)
+    }
+}
+
+impl Error for CycleError {}
+
+/// Computes a topological order of `g` using Kahn's algorithm.
+///
+/// Ties are broken by node id (smaller first), making the order
+/// deterministic; the schedule-graph pre-pass relies on that to keep the
+/// program order stable.
+///
+/// # Errors
+/// Returns [`CycleError`] naming one node on a cycle if `g` is not a DAG.
+pub fn topological_sort(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    // A sorted frontier would be a heap; node ids arrive in increasing order
+    // from the initial scan, and successors are pushed in id order per node,
+    // which is deterministic even if not globally minimal.
+    let mut queue: VecDeque<NodeId> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.succs(u) {
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let node = (0..n).find(|&v| in_deg[v] > 0).expect("cycle node exists");
+        Err(CycleError { node })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_dag() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(3, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 0);
+        let order = topological_sort(&g).unwrap();
+        let pos: Vec<usize> = (0..4)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
+        assert!(pos[3] < pos[1] && pos[1] < pos[0] && pos[2] < pos[0]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let err = topological_sort(&g).unwrap_err();
+        assert!(err.node == 1 || err.node == 2);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn deterministic_on_independent_nodes() {
+        let g = DiGraph::new(5);
+        assert_eq!(topological_sort(&g).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the graph substrate.
+
+use parsched_graph::coloring::{
+    chaitin_order, dsatur_coloring, exact_coloring, greedy_coloring, max_clique_lower_bound,
+    ExactLimits,
+};
+use parsched_graph::{strongly_connected_components, DiGraph, UnGraph};
+use proptest::prelude::*;
+
+/// Random undirected graph as (n, edge list).
+fn ungraph_strategy(max_n: usize) -> impl Strategy<Value = UnGraph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
+            let mut g = UnGraph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Random DAG: edges only from lower to higher index.
+fn dag_strategy(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
+            let mut g = DiGraph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a.min(b), a.max(b));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dsatur_is_always_proper(g in ungraph_strategy(24)) {
+        let c = dsatur_coloring(&g);
+        prop_assert!(g.is_proper_coloring(c.as_slice()));
+    }
+
+    #[test]
+    fn greedy_with_chaitin_order_is_proper(g in ungraph_strategy(24)) {
+        let (order, _) = chaitin_order(&g, usize::MAX);
+        let c = greedy_coloring(&g, &order);
+        prop_assert!(g.is_proper_coloring(c.as_slice()));
+    }
+
+    #[test]
+    fn exact_is_at_most_dsatur_and_at_least_clique(g in ungraph_strategy(16)) {
+        let limits = ExactLimits { max_nodes: 16, max_steps: 1_000_000 };
+        if let Ok(exact) = exact_coloring(&g, &limits) {
+            let dsatur = dsatur_coloring(&g);
+            let clique = max_clique_lower_bound(&g);
+            prop_assert!(g.is_proper_coloring(exact.as_slice()));
+            prop_assert!(exact.num_colors() <= dsatur.num_colors());
+            prop_assert!(exact.num_colors() as usize >= clique.len());
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive(g in ungraph_strategy(20)) {
+        let cc = g.complement().complement();
+        prop_assert_eq!(cc.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(cc.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn complement_partitions_pairs(g in ungraph_strategy(20)) {
+        let comp = g.complement();
+        let n = g.node_count();
+        prop_assert_eq!(
+            g.edge_count() + comp.edge_count(),
+            n * (n - 1) / 2,
+            "every pair is in exactly one of g, complement"
+        );
+    }
+
+    #[test]
+    fn closure_is_idempotent(g in dag_strategy(16)) {
+        let c1 = g.transitive_closure();
+        let c2 = c1.transitive_closure();
+        prop_assert_eq!(c1.edge_count(), c2.edge_count());
+        for (u, v) in c1.edges() {
+            prop_assert!(c2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn closure_is_transitive(g in dag_strategy(14)) {
+        let c = g.transitive_closure();
+        let n = c.node_count();
+        for a in 0..n {
+            for b in 0..n {
+                for d in 0..n {
+                    if c.has_edge(a, b) && c.has_edge(b, d) {
+                        prop_assert!(c.has_edge(a, d), "({a},{b},{d})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topological_sort_respects_edges(g in dag_strategy(20)) {
+        let order = g.topological_sort().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            prop_assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn scc_of_dag_is_all_singletons(g in dag_strategy(20)) {
+        let sccs = strongly_connected_components(&g);
+        prop_assert_eq!(sccs.len(), g.node_count());
+        prop_assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn clique_is_actually_a_clique(g in ungraph_strategy(24)) {
+        let clique = max_clique_lower_bound(&g);
+        for (i, &a) in clique.iter().enumerate() {
+            for &b in &clique[i + 1..] {
+                prop_assert!(g.has_edge(a, b));
+            }
+        }
+    }
+}

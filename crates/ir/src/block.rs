@@ -1,0 +1,122 @@
+//! Basic blocks.
+
+use crate::inst::{Inst, InstKind};
+use std::fmt;
+
+/// Identifies a basic block within its function by dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A basic block: a label and a straight-line sequence of instructions.
+///
+/// Only the final instruction may be a terminator; a block whose last
+/// instruction is not a terminator falls through to the next block in
+/// function order (the verifier checks both properties).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    label: String,
+    insts: Vec<Inst>,
+}
+
+impl Block {
+    /// Creates an empty block with the given label.
+    pub fn new(label: impl Into<String>) -> Block {
+        Block {
+            label: label.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// The block's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The instructions, in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Mutable access to the instruction sequence (scheduling reorders it,
+    /// spilling inserts into it).
+    pub fn insts_mut(&mut self) -> &mut Vec<Inst> {
+        &mut self.insts
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: impl Into<Inst>) {
+        self.insts.push(inst.into());
+    }
+
+    /// The terminator, if the block ends in one.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+
+    /// Whether execution can fall through past the end of this block.
+    ///
+    /// True when the block is empty, ends in a non-terminator, or ends in a
+    /// conditional branch.
+    pub fn falls_through(&self) -> bool {
+        match self.insts.last() {
+            None => true,
+            Some(i) => match i.kind() {
+                InstKind::Branch { .. } => true,
+                InstKind::Jump { .. } | InstKind::Ret { .. } => false,
+                _ => true,
+            },
+        }
+    }
+
+    /// The instructions of the block *body*: everything except a trailing
+    /// terminator. Schedulers reorder only the body.
+    pub fn body(&self) -> &[Inst] {
+        match self.insts.last() {
+            Some(i) if i.is_terminator() => &self.insts[..self.insts.len() - 1],
+            _ => &self.insts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstKind;
+    use crate::reg::Reg;
+
+    #[test]
+    fn fallthrough_rules() {
+        let mut b = Block::new("entry");
+        assert!(b.falls_through());
+        b.push(InstKind::LoadImm {
+            dst: Reg::sym(0),
+            imm: 1,
+        });
+        assert!(b.falls_through());
+        assert!(b.terminator().is_none());
+        b.push(InstKind::Ret { value: None });
+        assert!(!b.falls_through());
+        assert!(b.terminator().is_some());
+        assert_eq!(b.body().len(), 1);
+    }
+
+    #[test]
+    fn conditional_branch_falls_through() {
+        let mut b = Block::new("l");
+        b.push(InstKind::Branch {
+            cond: crate::inst::Cond::Eq,
+            lhs: Reg::sym(0),
+            rhs: crate::inst::Operand::Imm(0),
+            target: BlockId(2),
+        });
+        assert!(b.falls_through());
+        assert!(b.terminator().is_some());
+        assert!(b.body().is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Programmatic construction of functions.
+
+use crate::block::{Block, BlockId};
+use crate::func::Function;
+use crate::inst::{BinOp, Cond, Inst, InstKind, MemAddr, Operand, UnOp};
+use crate::reg::Reg;
+
+/// Incrementally builds a [`Function`], handing out fresh symbolic registers
+/// and block ids.
+///
+/// # Examples
+///
+/// ```
+/// use parsched_ir::{FunctionBuilder, BinOp};
+///
+/// let mut b = FunctionBuilder::new("double");
+/// let x = b.param();
+/// let entry = b.add_block("entry");
+/// b.switch_to(entry);
+/// let two = b.load_imm(2);
+/// let y = b.binary(BinOp::Mul, x.into(), two.into());
+/// b.ret(Some(y));
+/// let f = b.finish();
+/// assert_eq!(f.inst_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<Reg>,
+    blocks: Vec<Block>,
+    current: Option<BlockId>,
+    next_sym: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            blocks: Vec::new(),
+            current: None,
+            next_sym: 0,
+        }
+    }
+
+    /// Allocates a fresh symbolic register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg::sym(self.next_sym);
+        self.next_sym += 1;
+        r
+    }
+
+    /// Adds a parameter (a fresh symbolic register) and returns it.
+    pub fn param(&mut self) -> Reg {
+        let r = self.fresh();
+        self.params.push(r);
+        r
+    }
+
+    /// Creates a new empty block and returns its id. The first block added
+    /// is the entry.
+    pub fn add_block(&mut self, label: impl Into<String>) -> BlockId {
+        self.blocks.push(Block::new(label));
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Makes `block` the insertion point for subsequent instructions.
+    ///
+    /// # Panics
+    /// Panics if `block` was not created by this builder.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(block.0 < self.blocks.len(), "unknown block {block}");
+        self.current = Some(block);
+    }
+
+    /// Appends an arbitrary instruction to the current block.
+    ///
+    /// # Panics
+    /// Panics if no block has been selected with [`switch_to`](Self::switch_to).
+    pub fn push(&mut self, inst: impl Into<Inst>) {
+        let cur = self
+            .current
+            .expect("no current block: call switch_to first");
+        self.blocks[cur.0].push(inst);
+    }
+
+    /// Emits `dst = li imm` into a fresh register.
+    pub fn load_imm(&mut self, imm: i64) -> Reg {
+        let dst = self.fresh();
+        self.push(InstKind::LoadImm { dst, imm });
+        dst
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn binary(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(InstKind::Binary { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// Emits a unary operation into a fresh register.
+    pub fn unary(&mut self, op: UnOp, src: Reg) -> Reg {
+        let dst = self.fresh();
+        self.push(InstKind::Unary { op, dst, src });
+        dst
+    }
+
+    /// Emits a load into a fresh register.
+    pub fn load(&mut self, addr: MemAddr) -> Reg {
+        let dst = self.fresh();
+        self.push(InstKind::Load {
+            dst,
+            addr,
+            float: false,
+        });
+        dst
+    }
+
+    /// Emits a float-unit load into a fresh register.
+    pub fn fload(&mut self, addr: MemAddr) -> Reg {
+        let dst = self.fresh();
+        self.push(InstKind::Load {
+            dst,
+            addr,
+            float: true,
+        });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, src: Reg, addr: MemAddr) {
+        self.push(InstKind::Store {
+            src,
+            addr,
+            float: false,
+        });
+    }
+
+    /// Emits a copy into a fresh register.
+    pub fn copy(&mut self, src: Reg) -> Reg {
+        let dst = self.fresh();
+        self.push(InstKind::Copy { dst, src });
+        dst
+    }
+
+    /// Emits a conditional branch.
+    pub fn branch(&mut self, cond: Cond, lhs: Reg, rhs: Operand, target: BlockId) {
+        self.push(InstKind::Branch {
+            cond,
+            lhs,
+            rhs,
+            target,
+        });
+    }
+
+    /// Emits an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.push(InstKind::Jump { target });
+    }
+
+    /// Emits a call; returns the `n_results` fresh result registers.
+    pub fn call(&mut self, name: impl Into<String>, args: Vec<Reg>, n_results: usize) -> Vec<Reg> {
+        let dsts: Vec<Reg> = (0..n_results).map(|_| self.fresh()).collect();
+        self.push(InstKind::Call {
+            name: name.into(),
+            dsts: dsts.clone(),
+            args,
+        });
+        dsts
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.push(InstKind::Ret { value });
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    /// Panics if no block was ever added.
+    pub fn finish(self) -> Function {
+        Function::new(self.name, self.params, self.blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_branching_function() {
+        let mut b = FunctionBuilder::new("abs");
+        let x = b.param();
+        let entry = b.add_block("entry");
+        let neg = b.add_block("neg");
+        let done = b.add_block("done");
+        b.switch_to(entry);
+        let zero = b.load_imm(0);
+        b.branch(Cond::Lt, x, zero.into(), neg);
+        b.switch_to(neg);
+        let flipped = b.unary(UnOp::Neg, x);
+        b.jump(done);
+        b.switch_to(done);
+        let r = b.copy(flipped);
+        b.ret(Some(r));
+        let f = b.finish();
+        assert_eq!(f.block_count(), 3);
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(1)]);
+        assert_eq!(f.successors(BlockId(1)), vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn fresh_registers_are_distinct() {
+        let mut b = FunctionBuilder::new("f");
+        let regs: Vec<Reg> = (0..10).map(|_| b.fresh()).collect();
+        let mut dedup = regs.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no current block")]
+    fn push_without_block_panics() {
+        let mut b = FunctionBuilder::new("f");
+        b.load_imm(1);
+    }
+
+    #[test]
+    fn call_results() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.add_block("entry");
+        b.switch_to(e);
+        let rs = b.call("divmod", vec![], 2);
+        assert_eq!(rs.len(), 2);
+        b.ret(Some(rs[0]));
+        let f = b.finish();
+        assert_eq!(f.inst_count(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Control-flow graph construction and dominance queries over functions.
+
+use crate::block::BlockId;
+use crate::func::Function;
+use parsched_graph::{DiGraph, Dominators};
+
+/// The control-flow graph of a function, with cached dominator and
+/// post-dominator analyses.
+///
+/// Pinter's inter-block criterion — two blocks are *plausible* for combined
+/// scheduling when one dominates the other and the second post-dominates the
+/// first — is exposed as [`Cfg::is_plausible_pair`].
+#[derive(Debug)]
+pub struct Cfg {
+    graph: DiGraph,
+    dominators: Dominators,
+    postdominators: Dominators,
+    /// Virtual exit node id used for post-dominance (== block count).
+    exit: usize,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    ///
+    /// A virtual exit node is appended and every `ret` block (and any block
+    /// with no successors) is wired to it, so post-dominators are defined
+    /// even with multiple returns.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.block_count();
+        let exit = n;
+        let mut graph = DiGraph::new(n + 1);
+        for b in 0..n {
+            let succs = func.successors(BlockId(b));
+            if succs.is_empty() {
+                graph.add_edge(b, exit);
+            }
+            for s in succs {
+                graph.add_edge(b, s.0);
+            }
+        }
+        let dominators = Dominators::compute(&graph, func.entry().0);
+        let mut reversed = DiGraph::new(n + 1);
+        for (u, v) in graph.edges() {
+            reversed.add_edge(v, u);
+        }
+        let postdominators = Dominators::compute(&reversed, exit);
+        Cfg {
+            graph,
+            dominators,
+            postdominators,
+            exit,
+        }
+    }
+
+    /// The underlying block graph (node ids are block ids; node `exit()` is
+    /// the virtual exit).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The virtual exit node id.
+    pub fn exit(&self) -> usize {
+        self.exit
+    }
+
+    /// Dominator analysis rooted at the entry block.
+    pub fn dominators(&self) -> &Dominators {
+        &self.dominators
+    }
+
+    /// Post-dominator analysis rooted at the virtual exit.
+    pub fn postdominators(&self) -> &Dominators {
+        &self.postdominators
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.dominators.dominates(a.0, b.0)
+    }
+
+    /// Whether `a` post-dominates `b`.
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.postdominators.dominates(a.0, b.0)
+    }
+
+    /// The paper's plausibility criterion for scheduling two blocks as one
+    /// region: "one block dominates the other and the second one
+    /// postdominates the first" — i.e. `b` executes iff `a` executes.
+    pub fn is_plausible_pair(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b) && self.postdominates(b, a)
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.dominators.is_reachable(b.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    fn diamond() -> Function {
+        parse_function(
+            r#"
+            func @d(s0) {
+            entry:
+                beq s0, 0, right
+            left:
+                s1 = li 1
+                jmp join
+            right:
+                s2 = li 2
+            join:
+                s3 = li 3
+                ret s3
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let entry = f.block_by_label("entry").unwrap();
+        let left = f.block_by_label("left").unwrap();
+        let join = f.block_by_label("join").unwrap();
+        assert!(cfg.dominates(entry, join));
+        assert!(!cfg.dominates(left, join));
+        assert!(cfg.postdominates(join, entry));
+        assert!(!cfg.postdominates(left, entry));
+    }
+
+    #[test]
+    fn plausible_pairs() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let entry = f.block_by_label("entry").unwrap();
+        let left = f.block_by_label("left").unwrap();
+        let join = f.block_by_label("join").unwrap();
+        // entry/join execute together; entry/left do not.
+        assert!(cfg.is_plausible_pair(entry, join));
+        assert!(!cfg.is_plausible_pair(entry, left));
+        assert!(!cfg.is_plausible_pair(entry, entry));
+    }
+
+    #[test]
+    fn multiple_returns_share_virtual_exit() {
+        let f = parse_function(
+            r#"
+            func @two(s0) {
+            entry:
+                beq s0, 0, b
+            a:
+                ret s0
+            b:
+                ret s0
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let a = f.block_by_label("a").unwrap();
+        let b = f.block_by_label("b").unwrap();
+        assert!(cfg.graph().has_edge(a.0, cfg.exit()));
+        assert!(cfg.graph().has_edge(b.0, cfg.exit()));
+        assert!(!cfg.is_plausible_pair(a, b));
+    }
+}

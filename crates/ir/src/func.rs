@@ -1,0 +1,275 @@
+//! Functions: named collections of basic blocks with an entry.
+
+use crate::block::{Block, BlockId};
+use crate::inst::{Inst, InstId, InstKind};
+use crate::reg::{Reg, SymReg};
+use std::collections::HashMap;
+
+/// A function: parameters (delivered in registers), basic blocks, and an
+/// entry block (always block 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    name: String,
+    params: Vec<Reg>,
+    blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Creates a function with the given name, parameter registers, and
+    /// blocks. Block 0 is the entry.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty.
+    pub fn new(name: impl Into<String>, params: Vec<Reg>, blocks: Vec<Block>) -> Function {
+        assert!(!blocks.is_empty(), "function needs at least one block");
+        Function {
+            name: name.into(),
+            params,
+            blocks,
+        }
+    }
+
+    /// The function's name (without the `@` sigil).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter registers, in order.
+    pub fn params(&self) -> &[Reg] {
+        &self.params
+    }
+
+    /// The entry block id (always `BlockId(0)`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// All blocks in function order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks.
+    pub fn blocks_mut(&mut self) -> &mut Vec<Block> {
+        &mut self.blocks
+    }
+
+    /// Borrows one block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0]
+    }
+
+    /// Mutably borrows one block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0]
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Looks up a block id by label.
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.label() == label)
+            .map(BlockId)
+    }
+
+    /// Borrows the instruction at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.blocks[id.block.0].insts()[id.index]
+    }
+
+    /// Iterates over every instruction with its [`InstId`], in block order.
+    pub fn insts(&self) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(b, block)| {
+            block
+                .insts()
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (InstId::new(BlockId(b), i), inst))
+        })
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts().len()).sum()
+    }
+
+    /// The highest symbolic register number used plus one (i.e. a safe
+    /// fresh-name counter), considering params, defs, and uses.
+    pub fn num_sym_regs(&self) -> u32 {
+        let mut max: Option<u32> = None;
+        let mut see = |r: Reg| {
+            if let Reg::Sym(SymReg(n)) = r {
+                max = Some(max.map_or(n, |m| m.max(n)));
+            }
+        };
+        for &p in &self.params {
+            see(p);
+        }
+        for (_, inst) in self.insts() {
+            for r in inst.defs().into_iter().chain(inst.uses()) {
+                see(r);
+            }
+        }
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// The highest physical register number used plus one.
+    pub fn num_phys_regs(&self) -> u32 {
+        let mut max: Option<u32> = None;
+        let mut see = |r: Reg| {
+            if let Reg::Phys(p) = r {
+                max = Some(max.map_or(p.0, |m| m.max(p.0)));
+            }
+        };
+        for &p in &self.params {
+            see(p);
+        }
+        for (_, inst) in self.insts() {
+            for r in inst.defs().into_iter().chain(inst.uses()) {
+                see(r);
+            }
+        }
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// Rewrites every register in the function through `f` (params too).
+    pub fn map_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        for p in &mut self.params {
+            *p = f(*p);
+        }
+        for block in &mut self.blocks {
+            for inst in block.insts_mut() {
+                inst.map_regs(&mut f);
+            }
+        }
+    }
+
+    /// Successor blocks of `id`, from its terminator and fall-through.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        let block = &self.blocks[id.0];
+        let mut succs = Vec::new();
+        match block.insts().last().map(Inst::kind) {
+            Some(InstKind::Jump { target }) => succs.push(*target),
+            Some(InstKind::Branch { target, .. }) => {
+                succs.push(*target);
+                if id.0 + 1 < self.blocks.len() {
+                    succs.push(BlockId(id.0 + 1));
+                }
+            }
+            Some(InstKind::Ret { .. }) => {}
+            _ => {
+                if id.0 + 1 < self.blocks.len() {
+                    succs.push(BlockId(id.0 + 1));
+                }
+            }
+        }
+        succs.dedup();
+        succs
+    }
+
+    /// Predecessor map for all blocks.
+    pub fn predecessors(&self) -> HashMap<BlockId, Vec<BlockId>> {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for b in 0..self.blocks.len() {
+            for s in self.successors(BlockId(b)) {
+                preds.entry(s).or_default().push(BlockId(b));
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Cond, Operand};
+
+    fn two_block_fn() -> Function {
+        let mut entry = Block::new("entry");
+        entry.push(InstKind::LoadImm {
+            dst: Reg::sym(1),
+            imm: 10,
+        });
+        entry.push(InstKind::Branch {
+            cond: Cond::Lt,
+            lhs: Reg::sym(0),
+            rhs: Operand::Reg(Reg::sym(1)),
+            target: BlockId(1),
+        });
+        let mut exit = Block::new("exit");
+        exit.push(InstKind::Binary {
+            op: BinOp::Add,
+            dst: Reg::sym(2),
+            lhs: Reg::sym(0).into(),
+            rhs: Reg::sym(1).into(),
+        });
+        exit.push(InstKind::Ret {
+            value: Some(Reg::sym(2)),
+        });
+        Function::new("f", vec![Reg::sym(0)], vec![entry, exit])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let f = two_block_fn();
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.block_count(), 2);
+        assert_eq!(f.inst_count(), 4);
+        assert_eq!(f.num_sym_regs(), 3);
+        assert_eq!(f.num_phys_regs(), 0);
+        assert_eq!(f.block_by_label("exit"), Some(BlockId(1)));
+        assert_eq!(f.block_by_label("missing"), None);
+    }
+
+    #[test]
+    fn successors_of_branch_include_fallthrough() {
+        let f = two_block_fn();
+        // Branch target is block 1 and fall-through is also block 1 → dedup.
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(1)]);
+        assert!(f.successors(BlockId(1)).is_empty());
+        let preds = f.predecessors();
+        assert_eq!(preds[&BlockId(1)], vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn insts_iterator_ids() {
+        let f = two_block_fn();
+        let ids: Vec<InstId> = f.insts().map(|(id, _)| id).collect();
+        assert_eq!(ids[0], InstId::new(BlockId(0), 0));
+        assert_eq!(ids[3], InstId::new(BlockId(1), 1));
+        assert!(f.inst(ids[3]).is_terminator());
+    }
+
+    #[test]
+    fn map_regs_rewrites_params() {
+        let mut f = two_block_fn();
+        f.map_regs(|r| match r {
+            Reg::Sym(s) => Reg::phys(s.0),
+            p => p,
+        });
+        assert_eq!(f.params(), &[Reg::phys(0)]);
+        assert_eq!(f.num_phys_regs(), 3);
+        assert_eq!(f.num_sym_regs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_function_panics() {
+        Function::new("empty", vec![], vec![]);
+    }
+}

@@ -1,0 +1,506 @@
+//! Reference interpreter.
+//!
+//! Executes a [`Function`] sequentially and returns its result plus a trace
+//! of memory effects. The test suite uses it to prove end-to-end that
+//! register allocation and instruction scheduling preserved semantics: the
+//! same inputs must produce the same return value and the same final memory
+//! on the original and the transformed code.
+
+use crate::block::BlockId;
+use crate::func::Function;
+use crate::inst::{AddrBase, InstKind, MemAddr, Operand};
+use crate::reg::Reg;
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A register was read before any write.
+    UninitializedRegister {
+        /// The offending register.
+        reg: Reg,
+        /// The block in which the read occurred.
+        block: BlockId,
+    },
+    /// Execution exceeded the step limit (runaway loop).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Fell through past the final block without returning.
+    FellOffEnd,
+    /// A `call` named a function with no registered handler.
+    UnknownCallee {
+        /// The callee name.
+        name: String,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UninitializedRegister { reg, block } => {
+                write!(f, "read of uninitialized register {reg} in {block}")
+            }
+            InterpError::StepLimitExceeded { limit } => {
+                write!(f, "exceeded step limit of {limit}")
+            }
+            InterpError::FellOffEnd => write!(f, "control fell off the end of the function"),
+            InterpError::UnknownCallee { name } => write!(f, "unknown callee @{name}"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Byte-addressed memory: globals live at symbolic bases, register-relative
+/// addresses resolve through register values.
+///
+/// Addresses are `(region, offset)` pairs: each global symbol is its own
+/// region, and raw register values index region `""` at `value + offset`, so
+/// pointer arithmetic within an array works while distinct globals can never
+/// collide.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    cells: BTreeMap<(String, i64), i64>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Pre-populates a global cell.
+    pub fn set_global(&mut self, name: impl Into<String>, offset: i64, value: i64) {
+        self.cells.insert((name.into(), offset), value);
+    }
+
+    /// Reads a global cell (0 if never written).
+    pub fn global(&self, name: &str, offset: i64) -> i64 {
+        self.cells
+            .get(&(name.to_string(), offset))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Pre-populates a cell at an absolute (register-value) address.
+    pub fn set_abs(&mut self, addr: i64, value: i64) {
+        self.cells.insert((String::new(), addr), value);
+    }
+
+    /// Reads an absolute cell (0 if never written).
+    pub fn abs(&self, addr: i64) -> i64 {
+        self.cells.get(&(String::new(), addr)).copied().unwrap_or(0)
+    }
+
+    fn read(&self, addr: &MemAddr, base_val: Option<i64>) -> i64 {
+        match &addr.base {
+            AddrBase::Global(g) => self.global(g, addr.offset),
+            AddrBase::Reg(_) => self.abs(
+                base_val
+                    .expect("register base evaluated")
+                    .wrapping_add(addr.offset),
+            ),
+        }
+    }
+
+    fn write(&mut self, addr: &MemAddr, base_val: Option<i64>, value: i64) {
+        match &addr.base {
+            AddrBase::Global(g) => self.set_global(g.clone(), addr.offset, value),
+            AddrBase::Reg(_) => {
+                self.set_abs(
+                    base_val
+                        .expect("register base evaluated")
+                        .wrapping_add(addr.offset),
+                    value,
+                );
+            }
+        }
+    }
+
+    /// A deterministic snapshot of all written cells, for whole-memory
+    /// equality assertions in tests.
+    pub fn snapshot(&self) -> Vec<((String, i64), i64)> {
+        self.cells.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
+/// The outcome of a completed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Value returned by `ret` (None for `ret` without operand).
+    pub return_value: Option<i64>,
+    /// Final memory state.
+    pub memory: Memory,
+    /// Number of instructions executed.
+    pub steps: u64,
+}
+
+/// A registered external-call handler: argument values in, result values
+/// out. Handlers must be deterministic for semantics comparisons to hold.
+pub type CallHandler = Box<dyn Fn(&[i64]) -> Vec<i64>>;
+
+/// Interpreter configuration and external-call handlers.
+pub struct Interpreter {
+    step_limit: u64,
+    /// Handlers for `call @name(args) -> results`.
+    handlers: HashMap<String, CallHandler>,
+}
+
+impl fmt::Debug for Interpreter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interpreter")
+            .field("step_limit", &self.step_limit)
+            .field("handlers", &self.handlers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with a 1,000,000-step limit and no handlers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parsched_ir::interp::{Interpreter, Memory};
+    /// use parsched_ir::parse_function;
+    ///
+    /// let f = parse_function(
+    ///     "func @sq(s0) {\nentry:\n    s1 = mul s0, s0\n    ret s1\n}",
+    /// )?;
+    /// let out = Interpreter::new().run(&f, &[7], Memory::new())?;
+    /// assert_eq!(out.return_value, Some(49));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn new() -> Interpreter {
+        Interpreter {
+            step_limit: 1_000_000,
+            handlers: HashMap::new(),
+        }
+    }
+
+    /// Sets the step limit.
+    pub fn step_limit(&mut self, limit: u64) -> &mut Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Registers a handler for calls to `@name`.
+    pub fn handler(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[i64]) -> Vec<i64> + 'static,
+    ) -> &mut Self {
+        self.handlers.insert(name.into(), Box::new(f));
+        self
+    }
+
+    /// Runs `func` with the given argument values and initial memory.
+    ///
+    /// # Errors
+    /// Returns [`InterpError`] on uninitialized reads, unknown callees, a
+    /// missing return, or step-limit exhaustion.
+    pub fn run(
+        &self,
+        func: &Function,
+        args: &[i64],
+        memory: Memory,
+    ) -> Result<Outcome, InterpError> {
+        let mut regs: HashMap<Reg, i64> = HashMap::new();
+        for (&p, &v) in func.params().iter().zip(args) {
+            regs.insert(p, v);
+        }
+        let mut mem = memory;
+        let mut block = func.entry();
+        let mut steps: u64 = 0;
+
+        'blocks: loop {
+            let b = func.block(block);
+            for inst in b.insts() {
+                steps += 1;
+                if steps > self.step_limit {
+                    return Err(InterpError::StepLimitExceeded {
+                        limit: self.step_limit,
+                    });
+                }
+                let read = |regs: &HashMap<Reg, i64>, r: Reg| -> Result<i64, InterpError> {
+                    regs.get(&r)
+                        .copied()
+                        .ok_or(InterpError::UninitializedRegister { reg: r, block })
+                };
+                let operand =
+                    |regs: &HashMap<Reg, i64>, op: &Operand| -> Result<i64, InterpError> {
+                        match op {
+                            Operand::Reg(r) => read(regs, *r),
+                            Operand::Imm(i) => Ok(*i),
+                        }
+                    };
+                match inst.kind() {
+                    InstKind::LoadImm { dst, imm } => {
+                        regs.insert(*dst, *imm);
+                    }
+                    InstKind::Binary { op, dst, lhs, rhs } => {
+                        let v = op.eval(operand(&regs, lhs)?, operand(&regs, rhs)?);
+                        regs.insert(*dst, v);
+                    }
+                    InstKind::Unary { op, dst, src } => {
+                        let v = op.eval(read(&regs, *src)?);
+                        regs.insert(*dst, v);
+                    }
+                    InstKind::Load { dst, addr, .. } => {
+                        let base = match addr.base_reg() {
+                            Some(r) => Some(read(&regs, r)?),
+                            None => None,
+                        };
+                        let v = mem.read(addr, base);
+                        regs.insert(*dst, v);
+                    }
+                    InstKind::Store { src, addr, .. } => {
+                        let base = match addr.base_reg() {
+                            Some(r) => Some(read(&regs, r)?),
+                            None => None,
+                        };
+                        let v = read(&regs, *src)?;
+                        mem.write(addr, base, v);
+                    }
+                    InstKind::Copy { dst, src } => {
+                        let v = read(&regs, *src)?;
+                        regs.insert(*dst, v);
+                    }
+                    InstKind::Branch {
+                        cond,
+                        lhs,
+                        rhs,
+                        target,
+                    } => {
+                        if cond.eval(read(&regs, *lhs)?, operand(&regs, rhs)?) {
+                            block = *target;
+                            continue 'blocks;
+                        }
+                        // fall through: handled below since branch is last
+                    }
+                    InstKind::Jump { target } => {
+                        block = *target;
+                        continue 'blocks;
+                    }
+                    InstKind::Call { name, dsts, args } => {
+                        let handler = self
+                            .handlers
+                            .get(name)
+                            .ok_or_else(|| InterpError::UnknownCallee { name: name.clone() })?;
+                        let argv: Vec<i64> = args
+                            .iter()
+                            .map(|&a| read(&regs, a))
+                            .collect::<Result<_, _>>()?;
+                        let results = handler(&argv);
+                        for (&d, v) in dsts.iter().zip(results) {
+                            regs.insert(d, v);
+                        }
+                    }
+                    InstKind::Ret { value } => {
+                        let rv = match value {
+                            Some(r) => Some(read(&regs, *r)?),
+                            None => None,
+                        };
+                        return Ok(Outcome {
+                            return_value: rv,
+                            memory: mem,
+                            steps,
+                        });
+                    }
+                    InstKind::Nop => {}
+                }
+            }
+            // Fall through to the next block in layout order.
+            if block.0 + 1 < func.block_count() {
+                block = BlockId(block.0 + 1);
+            } else {
+                return Err(InterpError::FellOffEnd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn arithmetic_and_return() {
+        let f = parse_function(
+            r#"
+            func @f(s0) {
+            entry:
+                s1 = mul s0, s0
+                s2 = add s1, 1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let out = Interpreter::new().run(&f, &[5], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(26));
+        assert_eq!(out.steps, 3);
+    }
+
+    #[test]
+    fn loop_sums() {
+        let f = parse_function(
+            r#"
+            func @sum(s0) {
+            entry:
+                s1 = li 0
+                s2 = li 0
+            head:
+                s3 = slt s2, s0
+                beq s3, 0, done
+            body:
+                s4 = add s1, s2
+                s1 = mov s4
+                s5 = add s2, 1
+                s2 = mov s5
+                jmp head
+            done:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let out = Interpreter::new().run(&f, &[10], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(45));
+    }
+
+    #[test]
+    fn memory_globals_and_arrays() {
+        let f = parse_function(
+            r#"
+            func @m(s0) {
+            entry:
+                s1 = load [@z + 0]
+                s2 = load [s0 + 8]
+                s3 = add s1, s2
+                store s3, [@out + 0]
+                ret s3
+            }
+            "#,
+        )
+        .unwrap();
+        let mut mem = Memory::new();
+        mem.set_global("z", 0, 100);
+        mem.set_abs(1008, 11); // base 1000 + offset 8
+        let out = Interpreter::new().run(&f, &[1000], mem).unwrap();
+        assert_eq!(out.return_value, Some(111));
+        assert_eq!(out.memory.global("out", 0), 111);
+    }
+
+    #[test]
+    fn uninitialized_read_errors() {
+        let f = parse_function(
+            r#"
+            func @bad() {
+            entry:
+                s1 = add s0, 1
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let err = Interpreter::new().run(&f, &[], Memory::new()).unwrap_err();
+        assert!(matches!(err, InterpError::UninitializedRegister { .. }));
+        assert!(err.to_string().contains("s0"));
+    }
+
+    #[test]
+    fn step_limit_halts_infinite_loop() {
+        let f = parse_function(
+            r#"
+            func @spin() {
+            entry:
+                jmp entry
+            }
+            "#,
+        )
+        .unwrap();
+        let mut i = Interpreter::new();
+        i.step_limit(100);
+        let err = i.run(&f, &[], Memory::new()).unwrap_err();
+        assert_eq!(err, InterpError::StepLimitExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn calls_through_handlers() {
+        let f = parse_function(
+            r#"
+            func @c(s0) {
+            entry:
+                s1, s2 = call @divmod(s0)
+                s3 = add s1, s2
+                ret s3
+            }
+            "#,
+        )
+        .unwrap();
+        let mut i = Interpreter::new();
+        i.handler("divmod", |args| vec![args[0] / 10, args[0] % 10]);
+        let out = i.run(&f, &[42], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(4 + 2));
+        let err = Interpreter::new()
+            .run(&f, &[42], Memory::new())
+            .unwrap_err();
+        assert!(matches!(err, InterpError::UnknownCallee { .. }));
+    }
+
+    #[test]
+    fn fall_off_end() {
+        let f = parse_function(
+            r#"
+            func @fall() {
+            entry:
+                s0 = li 1
+            }
+            "#,
+        )
+        .unwrap();
+        let err = Interpreter::new().run(&f, &[], Memory::new()).unwrap_err();
+        assert_eq!(err, InterpError::FellOffEnd);
+    }
+
+    #[test]
+    fn fallthrough_into_next_block() {
+        let f = parse_function(
+            r#"
+            func @ft(s0) {
+            entry:
+                beq s0, 0, done
+            mid:
+                s1 = li 5
+                jmp out
+            done:
+                s1 = li 9
+            out:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let i = Interpreter::new();
+        assert_eq!(
+            i.run(&f, &[0], Memory::new()).unwrap().return_value,
+            Some(9)
+        );
+        assert_eq!(
+            i.run(&f, &[1], Memory::new()).unwrap().return_value,
+            Some(5)
+        );
+    }
+}

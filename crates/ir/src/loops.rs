@@ -1,0 +1,197 @@
+//! Natural-loop detection and nesting depth.
+//!
+//! Spill costs in the paper follow Chaitin: "the cost function, in general,
+//! is a function of the instruction's nesting level". This module finds
+//! natural loops from back edges (an edge `u → h` where `h` dominates `u`)
+//! and reports, for every block, how many loops contain it.
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::func::Function;
+use std::collections::HashSet;
+
+/// One natural loop: its header and member blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every member).
+    pub header: BlockId,
+    /// All member blocks, header included, sorted by id.
+    pub body: Vec<BlockId>,
+}
+
+/// Loop analysis results for a function.
+#[derive(Debug, Clone)]
+pub struct Loops {
+    loops: Vec<NaturalLoop>,
+    depth: Vec<u32>,
+}
+
+impl Loops {
+    /// Finds all natural loops of `func` using dominator information from
+    /// `cfg`. Loops sharing a header are merged (standard practice).
+    pub fn compute(func: &Function, cfg: &Cfg) -> Loops {
+        let nb = func.block_count();
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for u in 0..nb {
+            for h in func.successors(BlockId(u)) {
+                if cfg.dominates(h, BlockId(u)) && cfg.is_reachable(BlockId(u)) {
+                    let body = natural_loop_body(func, h, BlockId(u));
+                    if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
+                        let mut merged: HashSet<BlockId> = existing.body.iter().copied().collect();
+                        merged.extend(body);
+                        let mut v: Vec<BlockId> = merged.into_iter().collect();
+                        v.sort();
+                        existing.body = v;
+                    } else {
+                        loops.push(NaturalLoop { header: h, body });
+                    }
+                }
+            }
+        }
+        let mut depth = vec![0u32; nb];
+        for l in &loops {
+            for b in &l.body {
+                depth[b.0] += 1;
+            }
+        }
+        Loops { loops, depth }
+    }
+
+    /// All natural loops found.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Number of loops containing `block` (0 = not in any loop).
+    pub fn depth(&self, block: BlockId) -> u32 {
+        self.depth[block.0]
+    }
+
+    /// The paper's nesting-sensitive spill-cost multiplier for a block:
+    /// `10^depth`, the classic Chaitin weighting.
+    pub fn cost_multiplier(&self, block: BlockId) -> f64 {
+        10f64.powi(self.depth(block) as i32)
+    }
+}
+
+/// Members of the natural loop of back edge `tail → header`: the header
+/// plus every block that reaches `tail` without passing through `header`.
+fn natural_loop_body(func: &Function, header: BlockId, tail: BlockId) -> Vec<BlockId> {
+    let preds = func.predecessors();
+    let mut body: HashSet<BlockId> = HashSet::new();
+    body.insert(header);
+    let mut stack = vec![tail];
+    while let Some(b) = stack.pop() {
+        if body.insert(b) {
+            if let Some(ps) = preds.get(&b) {
+                stack.extend(ps.iter().copied());
+            }
+        }
+    }
+    let mut v: Vec<BlockId> = body.into_iter().collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn simple_loop_detected() {
+        let f = parse_function(
+            r#"
+            func @l(s0) {
+            entry:
+                s1 = li 0
+            head:
+                s1 = add s1, 1
+                blt s1, s0, head
+            done:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::compute(&f, &cfg);
+        assert_eq!(loops.loops().len(), 1);
+        let head = f.block_by_label("head").unwrap();
+        assert_eq!(loops.loops()[0].header, head);
+        assert_eq!(loops.depth(head), 1);
+        assert_eq!(loops.depth(f.block_by_label("entry").unwrap()), 0);
+        assert_eq!(loops.depth(f.block_by_label("done").unwrap()), 0);
+        assert_eq!(loops.cost_multiplier(head), 10.0);
+    }
+
+    #[test]
+    fn nested_loops_stack_depth() {
+        let f = parse_function(
+            r#"
+            func @n(s0) {
+            entry:
+                s1 = li 0
+            outer:
+                s2 = li 0
+            inner:
+                s2 = add s2, 1
+                blt s2, s0, inner
+            after_inner:
+                s1 = add s1, 1
+                blt s1, s0, outer
+            done:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::compute(&f, &cfg);
+        assert_eq!(loops.loops().len(), 2);
+        let inner = f.block_by_label("inner").unwrap();
+        let outer = f.block_by_label("outer").unwrap();
+        assert_eq!(loops.depth(inner), 2, "inner block in both loops");
+        assert_eq!(loops.depth(outer), 1);
+        assert_eq!(loops.cost_multiplier(inner), 100.0);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = parse_function(
+            r#"
+            func @s() {
+            entry:
+                s0 = li 1
+                ret s0
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::compute(&f, &cfg);
+        assert!(loops.loops().is_empty());
+        assert_eq!(loops.depth(BlockId(0)), 0);
+        assert_eq!(loops.cost_multiplier(BlockId(0)), 1.0);
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let f = parse_function(
+            r#"
+            func @spin(s0) {
+            head:
+                s1 = add s0, 1
+                beq s1, 0, head
+            out:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::compute(&f, &cfg);
+        assert_eq!(loops.loops().len(), 1);
+        assert_eq!(loops.loops()[0].body, vec![BlockId(0)]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Simple IR clean-up passes: dead-code elimination and constant folding.
+//!
+//! The paper assumes its input comes from an optimizing compiler ("some
+//! registers are colored during optimization phase…"). These passes keep
+//! generated and hand-written workloads honest: dead definitions would
+//! otherwise inflate interference graphs and flatter the allocators.
+
+use crate::block::BlockId;
+use crate::func::Function;
+use crate::inst::{Inst, InstKind, Operand};
+use crate::liveness::Liveness;
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Removes instructions whose results are dead and which have no side
+/// effects (pure ALU ops, loads, copies, immediates). Iterates to a fixed
+/// point — removing one dead op can kill its operands. Returns the number
+/// of instructions removed.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let liveness = Liveness::compute(func, &[]);
+        let mut removed_this_round = 0;
+        for b in 0..func.block_count() {
+            let per_inst = liveness.per_inst_live_out(func, BlockId(b));
+            let block = func.block_mut(BlockId(b));
+            let mut keep: Vec<Inst> = Vec::with_capacity(block.insts().len());
+            for (i, inst) in block.insts().iter().enumerate() {
+                let defs = inst.defs();
+                let removable = !defs.is_empty()
+                    && !inst.has_side_effects()
+                    && !inst.is_terminator()
+                    && defs.iter().all(|d| !per_inst[i].contains(d));
+                if removable {
+                    removed_this_round += 1;
+                } else {
+                    keep.push(inst.clone());
+                }
+            }
+            *block.insts_mut() = keep;
+        }
+        removed_total += removed_this_round;
+        if removed_this_round == 0 {
+            return removed_total;
+        }
+    }
+}
+
+/// Folds constant operands: `li`-defined registers propagate into operand
+/// positions within their block, and binary operations with two constant
+/// inputs become `li`. Operates block-locally (no cross-block propagation)
+/// and never touches memory operations' addresses beyond their register
+/// base. Returns the number of instructions rewritten.
+pub fn fold_constants(func: &mut Function) -> usize {
+    let mut changed = 0;
+    for block in func.blocks_mut() {
+        // reg -> known constant, killed on redefinition.
+        let mut known: HashMap<Reg, i64> = HashMap::new();
+        for inst in block.insts_mut() {
+            // Substitute known constants into operand positions.
+            match inst.kind_mut() {
+                InstKind::Binary { lhs, rhs, .. } => {
+                    for op in [lhs, rhs] {
+                        if let Operand::Reg(r) = op {
+                            if let Some(&v) = known.get(r) {
+                                *op = Operand::Imm(v);
+                                changed += 1;
+                            }
+                        }
+                    }
+                }
+                InstKind::Branch { rhs, .. } => {
+                    if let Operand::Reg(r) = rhs {
+                        if let Some(&v) = known.get(r) {
+                            *rhs = Operand::Imm(v);
+                            changed += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Fold fully-constant binaries into `li`.
+            if let InstKind::Binary {
+                op,
+                dst,
+                lhs: Operand::Imm(a),
+                rhs: Operand::Imm(b),
+            } = *inst.kind()
+            {
+                *inst.kind_mut() = InstKind::LoadImm {
+                    dst,
+                    imm: op.eval(a, b),
+                };
+                changed += 1;
+            }
+            // Update the constant map.
+            let defs = inst.defs();
+            match inst.kind() {
+                InstKind::LoadImm { dst, imm } => {
+                    known.insert(*dst, *imm);
+                }
+                _ => {
+                    for d in defs {
+                        known.remove(&d);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Propagates copies within blocks: after `d = mov s`, later uses of `d`
+/// read `s` directly while neither is redefined. The copy itself usually
+/// dies afterwards and falls to [`eliminate_dead_code`]. Returns the number
+/// of operand substitutions performed.
+///
+/// Block-local and role-aware: memory bases, branch operands and call
+/// arguments are rewritten; definitions never are.
+pub fn propagate_copies(func: &mut Function) -> usize {
+    use crate::inst::AddrBase;
+    let mut changed = 0;
+    for block in func.blocks_mut() {
+        // alias[d] = s while `d = mov s` holds.
+        let mut alias: HashMap<Reg, Reg> = HashMap::new();
+        for inst in block.insts_mut() {
+            // Rewrite uses through live aliases.
+            let subst = |r: &mut Reg, alias: &HashMap<Reg, Reg>, changed: &mut usize| {
+                if let Some(&s) = alias.get(r) {
+                    *r = s;
+                    *changed += 1;
+                }
+            };
+            match inst.kind_mut() {
+                InstKind::Binary { lhs, rhs, .. } => {
+                    for op in [lhs, rhs] {
+                        if let Operand::Reg(r) = op {
+                            subst(r, &alias, &mut changed);
+                        }
+                    }
+                }
+                InstKind::Unary { src, .. } | InstKind::Copy { src, .. } => {
+                    subst(src, &alias, &mut changed);
+                }
+                InstKind::Load { addr, .. } => {
+                    if let AddrBase::Reg(r) = &mut addr.base {
+                        subst(r, &alias, &mut changed);
+                    }
+                }
+                InstKind::Store { src, addr, .. } => {
+                    subst(src, &alias, &mut changed);
+                    if let AddrBase::Reg(r) = &mut addr.base {
+                        subst(r, &alias, &mut changed);
+                    }
+                }
+                InstKind::Branch { lhs, rhs, .. } => {
+                    subst(lhs, &alias, &mut changed);
+                    if let Operand::Reg(r) = rhs {
+                        subst(r, &alias, &mut changed);
+                    }
+                }
+                InstKind::Call { args, .. } => {
+                    for a in args.iter_mut() {
+                        subst(a, &alias, &mut changed);
+                    }
+                }
+                InstKind::Ret { value } => {
+                    if let Some(v) = value {
+                        subst(v, &alias, &mut changed);
+                    }
+                }
+                InstKind::LoadImm { .. } | InstKind::Jump { .. } | InstKind::Nop => {}
+            }
+            // Kill aliases invalidated by this instruction's definitions,
+            // then record a new alias for a copy.
+            let defs = inst.defs();
+            alias.retain(|d, s| !defs.contains(d) && !defs.contains(s));
+            if let InstKind::Copy { dst, src } = inst.kind() {
+                if dst != src {
+                    alias.insert(*dst, *src);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, Memory};
+    use crate::parse_function;
+
+    #[test]
+    fn dce_removes_dead_chains() {
+        let mut f = parse_function(
+            r#"
+            func @d(s0) {
+            entry:
+                s1 = add s0, 1
+                s2 = add s1, 1   # dead: only feeds s3
+                s3 = add s2, 1   # dead
+                s4 = mul s1, 2
+                ret s4
+            }
+            "#,
+        )
+        .unwrap();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2, "s2 and s3 chains removed");
+        assert_eq!(f.inst_count(), 3);
+        let out = Interpreter::new().run(&f, &[5], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(12));
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let mut f = parse_function(
+            r#"
+            func @s(s0) {
+            entry:
+                s1 = add s0, 1
+                store s1, [@g + 0]
+                s2, s3 = call @eff(s0)
+                ret s0
+            }
+            "#,
+        )
+        .unwrap();
+        let removed = eliminate_dead_code(&mut f);
+        // The call defines dead s2/s3 but has side effects; the store's
+        // operand chain stays live.
+        assert_eq!(removed, 0);
+        assert_eq!(f.inst_count(), 4);
+    }
+
+    #[test]
+    fn dce_removes_dead_loads() {
+        let mut f = parse_function(
+            r#"
+            func @l(s0) {
+            entry:
+                s1 = load [s0 + 0]
+                ret s0
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+    }
+
+    #[test]
+    fn folding_propagates_and_evaluates() {
+        let mut f = parse_function(
+            r#"
+            func @c(s0) {
+            entry:
+                s1 = li 6
+                s2 = li 7
+                s3 = mul s1, s2
+                s4 = add s3, s0
+                ret s4
+            }
+            "#,
+        )
+        .unwrap();
+        let changed = fold_constants(&mut f);
+        assert!(changed >= 3);
+        let text = crate::print_function(&f);
+        // The product folds to a constant and propagates into s4.
+        assert!(text.contains("s3 = li 42"), "{text}");
+        assert!(text.contains("s4 = add 42, s0"), "{text}");
+        let out = Interpreter::new().run(&f, &[1], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(43));
+        // DCE now removes li 6, li 7, and the dead li 42.
+        assert_eq!(eliminate_dead_code(&mut f), 3);
+    }
+
+    #[test]
+    fn folding_respects_redefinition() {
+        let mut f = parse_function(
+            r#"
+            func @r() {
+            entry:
+                s0 = li 1
+                s0 = li 2
+                s1 = add s0, 0
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        fold_constants(&mut f);
+        let out = Interpreter::new().run(&f, &[], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(2), "second definition wins");
+    }
+
+    #[test]
+    fn copy_propagation_forwards_sources() {
+        let mut f = parse_function(
+            r#"
+            func @cp(s0) {
+            entry:
+                s1 = add s0, 1
+                s2 = mov s1
+                s3 = add s2, s2
+                ret s3
+            }
+            "#,
+        )
+        .unwrap();
+        let n = propagate_copies(&mut f);
+        assert_eq!(n, 2, "both operands of the add forwarded");
+        let text = crate::print_function(&f);
+        assert!(text.contains("s3 = add s1, s1"), "{text}");
+        // The copy is now dead.
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+        let out = Interpreter::new().run(&f, &[4], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(10), "(4+1) + (4+1)");
+    }
+
+    #[test]
+    fn copy_propagation_respects_redefinition() {
+        // The alias dies when either side is redefined.
+        let mut f = parse_function(
+            r#"
+            func @kill(s0) {
+            entry:
+                s1 = mov s0
+                s0 = li 9
+                s2 = add s1, 1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        propagate_copies(&mut f);
+        let out = Interpreter::new().run(&f, &[4], Memory::new()).unwrap();
+        assert_eq!(out.return_value, Some(5), "s1 must keep the old s0");
+        let text = crate::print_function(&f);
+        assert!(text.contains("add s1, 1"), "{text}");
+    }
+
+    #[test]
+    fn copy_chains_propagate_transitively() {
+        let mut f = parse_function(
+            r#"
+            func @chain(s0) {
+            entry:
+                s1 = mov s0
+                s2 = mov s1
+                s3 = add s2, 1
+                ret s3
+            }
+            "#,
+        )
+        .unwrap();
+        propagate_copies(&mut f);
+        let text = crate::print_function(&f);
+        assert!(text.contains("s2 = mov s0"), "inner copy forwarded: {text}");
+        assert!(text.contains("s3 = add s0, 1"), "{text}");
+        assert_eq!(eliminate_dead_code(&mut f), 2, "both copies die");
+    }
+
+    #[test]
+    fn folding_block_local_only() {
+        let mut f = parse_function(
+            r#"
+            func @bl(s0) {
+            entry:
+                s1 = li 5
+                beq s0, 0, out
+            mid:
+                s2 = add s1, 1
+                ret s2
+            out:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        fold_constants(&mut f);
+        // s1's constant must not propagate into `mid` (different block).
+        let text = crate::print_function(&f);
+        assert!(text.contains("add s1, 1"), "{text}");
+    }
+}

@@ -1,0 +1,491 @@
+//! Hand-rolled parser for the textual IR.
+//!
+//! The grammar (one instruction per line; `#` starts a comment):
+//!
+//! ```text
+//! func @name(s0, s1, ...) {
+//! label:
+//!     s2 = li 42
+//!     s3 = add s2, 1          # binary op, operands are regs or immediates
+//!     s4 = load [s0 + 8]      # register-relative load
+//!     s5 = fload [@x + 0]     # global load on the float unit class
+//!     store s3, [@y + 0]
+//!     s6 = mov s3
+//!     s7 = neg s6
+//!     blt s2, s3, label       # conditional branch
+//!     jmp label
+//!     s8, s9 = call @f(s2)
+//!     ret s8
+//! }
+//! ```
+
+use crate::block::{Block, BlockId};
+use crate::func::Function;
+use crate::inst::{AddrBase, BinOp, Cond, Inst, InstKind, MemAddr, Operand, UnOp};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_function`], carrying the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a single function from the textual IR.
+///
+/// # Errors
+/// Returns [`ParseError`] with a line number on any syntax error, unknown
+/// mnemonic, or reference to an undefined label.
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    let lines: Vec<(usize, &str)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = l.split('#').next().unwrap_or("").trim();
+            (i + 1, l)
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut it = lines.iter().peekable();
+    let &(header_line, header) = it
+        .next()
+        .ok_or_else(|| err(0, "empty input: expected `func @name(...) {`"))?;
+    let (name, params) = parse_header(header_line, header)?;
+
+    // Pass 1: collect block labels in order.
+    let mut labels: Vec<(usize, String)> = Vec::new();
+    for &&(ln, l) in it.clone().collect::<Vec<_>>().iter() {
+        if l == "}" {
+            break;
+        }
+        if let Some(label) = l.strip_suffix(':') {
+            let label = label.trim();
+            if !is_ident(label) {
+                return Err(err(ln, format!("invalid label `{label}`")));
+            }
+            if labels.iter().any(|(_, existing)| existing == label) {
+                return Err(err(ln, format!("duplicate label `{label}`")));
+            }
+            labels.push((ln, label.to_string()));
+        }
+    }
+    let label_ids: HashMap<&str, BlockId> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, (_, l))| (l.as_str(), BlockId(i)))
+        .collect();
+
+    // Pass 2: parse instructions into blocks.
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut closed = false;
+    for &(ln, l) in it {
+        if l == "}" {
+            closed = true;
+            break;
+        }
+        if let Some(label) = l.strip_suffix(':') {
+            blocks.push(Block::new(label.trim()));
+            continue;
+        }
+        let block = blocks
+            .last_mut()
+            .ok_or_else(|| err(ln, "instruction before any block label"))?;
+        block.push(parse_inst(ln, l, &label_ids)?);
+    }
+    if !closed {
+        return Err(err(
+            lines.last().map_or(0, |&(ln, _)| ln),
+            "missing closing `}`",
+        ));
+    }
+    if blocks.is_empty() {
+        return Err(err(header_line, "function has no blocks"));
+    }
+    Ok(Function::new(name, params, blocks))
+}
+
+fn parse_header(ln: usize, l: &str) -> Result<(String, Vec<Reg>), ParseError> {
+    let rest = l
+        .strip_prefix("func")
+        .ok_or_else(|| err(ln, "expected `func @name(...) {`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('@')
+        .ok_or_else(|| err(ln, "expected `@` before function name"))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| err(ln, "expected `(` after function name"))?;
+    let name = rest[..open].trim();
+    if !is_ident(name) {
+        return Err(err(ln, format!("invalid function name `{name}`")));
+    }
+    let close = rest
+        .find(')')
+        .ok_or_else(|| err(ln, "expected `)` closing parameter list"))?;
+    let params_src = &rest[open + 1..close];
+    let tail = rest[close + 1..].trim();
+    if tail != "{" {
+        return Err(err(ln, "expected `{` after parameter list"));
+    }
+    let mut params = Vec::new();
+    for p in params_src
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+    {
+        params.push(parse_reg(ln, p)?);
+    }
+    Ok((name.to_string(), params))
+}
+
+fn parse_inst(ln: usize, l: &str, labels: &HashMap<&str, BlockId>) -> Result<Inst, ParseError> {
+    // Split `dsts = rhs` if present (but `=` inside brackets can't occur).
+    if let Some(eq) = l.find('=') {
+        let (lhs, rhs) = (l[..eq].trim(), l[eq + 1..].trim());
+        let dsts: Vec<Reg> = lhs
+            .split(',')
+            .map(str::trim)
+            .map(|d| parse_reg(ln, d))
+            .collect::<Result<_, _>>()?;
+        return parse_assignment(ln, dsts, rhs, labels);
+    }
+    let (mn, rest) = split_mnemonic(l);
+    match mn {
+        "store" | "fstore" => {
+            let (src, addr) = rest
+                .split_once(',')
+                .ok_or_else(|| err(ln, "store needs `src, [addr]`"))?;
+            Ok(Inst::new(InstKind::Store {
+                src: parse_reg(ln, src.trim())?,
+                addr: parse_addr(ln, addr.trim())?,
+                float: mn == "fstore",
+            }))
+        }
+        "jmp" => {
+            let target = *labels
+                .get(rest.trim())
+                .ok_or_else(|| err(ln, format!("unknown label `{}`", rest.trim())))?;
+            Ok(Inst::new(InstKind::Jump { target }))
+        }
+        "ret" => {
+            let rest = rest.trim();
+            let value = if rest.is_empty() {
+                None
+            } else {
+                Some(parse_reg(ln, rest)?)
+            };
+            Ok(Inst::new(InstKind::Ret { value }))
+        }
+        "nop" => Ok(Inst::new(InstKind::Nop)),
+        "call" => {
+            let (name, args) = parse_call(ln, l.trim())?;
+            Ok(Inst::new(InstKind::Call {
+                name,
+                dsts: vec![],
+                args,
+            }))
+        }
+        _ => {
+            if let Some(cond) = Cond::from_mnemonic(mn) {
+                let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return Err(err(ln, format!("{mn} needs `lhs, rhs, label`")));
+                }
+                let target = *labels
+                    .get(parts[2])
+                    .ok_or_else(|| err(ln, format!("unknown label `{}`", parts[2])))?;
+                return Ok(Inst::new(InstKind::Branch {
+                    cond,
+                    lhs: parse_reg(ln, parts[0])?,
+                    rhs: parse_operand(ln, parts[1])?,
+                    target,
+                }));
+            }
+            Err(err(ln, format!("unknown instruction `{l}`")))
+        }
+    }
+}
+
+fn parse_assignment(
+    ln: usize,
+    dsts: Vec<Reg>,
+    rhs: &str,
+    _labels: &HashMap<&str, BlockId>,
+) -> Result<Inst, ParseError> {
+    let (mn, rest) = split_mnemonic(rhs);
+    if mn == "call" {
+        let (name, args) = parse_call(ln, rhs)?;
+        return Ok(Inst::new(InstKind::Call { name, dsts, args }));
+    }
+    if dsts.len() != 1 {
+        return Err(err(ln, "only `call` may define multiple registers"));
+    }
+    let dst = dsts[0];
+    match mn {
+        "li" => Ok(Inst::new(InstKind::LoadImm {
+            dst,
+            imm: parse_imm(ln, rest.trim())?,
+        })),
+        "load" | "fload" => Ok(Inst::new(InstKind::Load {
+            dst,
+            addr: parse_addr(ln, rest.trim())?,
+            float: mn == "fload",
+        })),
+        "mov" => Ok(Inst::new(InstKind::Copy {
+            dst,
+            src: parse_reg(ln, rest.trim())?,
+        })),
+        _ => {
+            if let Some(op) = BinOp::from_mnemonic(mn) {
+                let (a, b) = rest
+                    .split_once(',')
+                    .ok_or_else(|| err(ln, format!("{mn} needs two operands")))?;
+                return Ok(Inst::new(InstKind::Binary {
+                    op,
+                    dst,
+                    lhs: parse_operand(ln, a.trim())?,
+                    rhs: parse_operand(ln, b.trim())?,
+                }));
+            }
+            if let Some(op) = UnOp::from_mnemonic(mn) {
+                return Ok(Inst::new(InstKind::Unary {
+                    op,
+                    dst,
+                    src: parse_reg(ln, rest.trim())?,
+                }));
+            }
+            Err(err(ln, format!("unknown operation `{mn}`")))
+        }
+    }
+}
+
+fn parse_call(ln: usize, src: &str) -> Result<(String, Vec<Reg>), ParseError> {
+    let rest = src
+        .trim_start_matches("call")
+        .trim_start()
+        .strip_prefix('@')
+        .ok_or_else(|| err(ln, "call needs `@name(...)`"))?;
+    let open = rest.find('(').ok_or_else(|| err(ln, "call needs `(`"))?;
+    let close = rest.rfind(')').ok_or_else(|| err(ln, "call needs `)`"))?;
+    let name = rest[..open].trim();
+    if !is_ident(name) {
+        return Err(err(ln, format!("invalid callee `{name}`")));
+    }
+    let args = rest[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(|a| parse_reg(ln, a))
+        .collect::<Result<_, _>>()?;
+    Ok((name.to_string(), args))
+}
+
+fn split_mnemonic(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i + 1..]),
+        None => (s, ""),
+    }
+}
+
+fn parse_reg(ln: usize, s: &str) -> Result<Reg, ParseError> {
+    let (kind, num) = s.split_at(s.len().min(1));
+    let parse_num = |num: &str| {
+        num.parse::<u32>()
+            .map_err(|_| err(ln, format!("invalid register `{s}`")))
+    };
+    match kind {
+        "s" => Ok(Reg::sym(parse_num(num)?)),
+        "r" => Ok(Reg::phys(parse_num(num)?)),
+        _ => Err(err(ln, format!("expected register, found `{s}`"))),
+    }
+}
+
+fn parse_operand(ln: usize, s: &str) -> Result<Operand, ParseError> {
+    if s.starts_with('s') || s.starts_with('r') {
+        if let Ok(r) = parse_reg(ln, s) {
+            return Ok(Operand::Reg(r));
+        }
+    }
+    parse_imm(ln, s).map(Operand::Imm)
+}
+
+fn parse_imm(ln: usize, s: &str) -> Result<i64, ParseError> {
+    s.parse::<i64>()
+        .map_err(|_| err(ln, format!("invalid immediate `{s}`")))
+}
+
+fn parse_addr(ln: usize, s: &str) -> Result<MemAddr, ParseError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(ln, format!("expected `[base + offset]`, found `{s}`")))?
+        .trim();
+    // Forms: `base`, `base + off`, `base - off`.
+    let (base_src, offset) = if let Some(plus) = inner.rfind('+') {
+        let off = parse_imm(ln, inner[plus + 1..].trim())?;
+        (inner[..plus].trim(), off)
+    } else if let Some(minus) = inner.rfind('-') {
+        let off = parse_imm(ln, inner[minus + 1..].trim())?;
+        (inner[..minus].trim(), -off)
+    } else {
+        (inner, 0)
+    };
+    let base = if let Some(g) = base_src.strip_prefix('@') {
+        if !is_ident(g) {
+            return Err(err(ln, format!("invalid global `{base_src}`")));
+        }
+        AddrBase::Global(g.to_string())
+    } else {
+        AddrBase::Reg(parse_reg(ln, base_src)?)
+    };
+    Ok(MemAddr { base, offset })
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_function;
+
+    const DOT: &str = r#"
+        # dot-product style straight-line block
+        func @dot(s0, s1) {
+        entry:
+            s2 = load [s0 + 0]
+            s3 = load [s1 + 0]
+            s4 = fmul s2, s3
+            s5 = load [s0 + 8]
+            s6 = load [s1 + 8]
+            s7 = fmul s5, s6
+            s8 = fadd s4, s7
+            ret s8
+        }
+    "#;
+
+    #[test]
+    fn parses_straight_line() {
+        let f = parse_function(DOT).unwrap();
+        assert_eq!(f.name(), "dot");
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.inst_count(), 8);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let f = parse_function(DOT).unwrap();
+        let printed = print_function(&f);
+        let f2 = parse_function(&printed).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            func @loop(s0) {
+            entry:
+                s1 = li 0
+                s2 = li 0
+            head:
+                s3 = slt s2, s0
+                beq s3, 0, done
+                s4 = add s1, s2
+                s1 = mov s4
+                s5 = add s2, 1
+                s2 = mov s5
+                jmp head
+            done:
+                ret s1
+            }
+        "#;
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.block_count(), 3);
+        assert_eq!(f.block_by_label("head"), Some(BlockId(1)));
+        let printed = print_function(&f);
+        assert_eq!(parse_function(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn parses_globals_calls_and_stores() {
+        let src = r#"
+            func @g() {
+            entry:
+                s0 = load [@z + 0]
+                s1, s2 = call @pair(s0)
+                store s1, [@z - 8]
+                call @log(s2)
+                s3 = neg s2
+                ret s3
+            }
+        "#;
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.inst_count(), 6);
+        let printed = print_function(&f);
+        assert_eq!(parse_function(&printed).unwrap(), f);
+        // negative offset survived
+        assert!(printed.contains("[@z + -8]"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for (src, needle) in [
+            ("", "empty input"),
+            ("func dot() {\nentry:\nret\n}", "expected `@`"),
+            ("func @f() {\nret\n}", "before any block label"),
+            (
+                "func @f() {\nentry:\nfrobnicate s1\n}",
+                "unknown instruction",
+            ),
+            (
+                "func @f() {\nentry:\ns1 = warp s0, s2\n}",
+                "unknown operation",
+            ),
+            ("func @f() {\nentry:\njmp nowhere\n}", "unknown label"),
+            ("func @f() {\nentry:\ns1 = li 5", "missing closing"),
+            ("func @f() {\nentry:\nentry:\nret\n}", "duplicate label"),
+            ("func @f() {\nentry:\ns1, s2 = add s0, 1\n}", "only `call`"),
+            ("func @f() {\nentry:\ns1 = load s0\n}", "expected `[base"),
+        ] {
+            let e = parse_function(src).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "for {src:?}: got {:?}, wanted {needle:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = parse_function("func @f() {\nentry:\nbogus\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+}

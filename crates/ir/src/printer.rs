@@ -1,0 +1,200 @@
+//! Textual printer for the IR. Output round-trips through the parser.
+
+use crate::block::BlockId;
+use crate::func::Function;
+use crate::inst::{Inst, InstKind};
+use std::fmt;
+
+/// Formats an instruction; if `f_ctx` is given, branch targets print as
+/// labels instead of raw block ids.
+pub(crate) fn fmt_inst(
+    inst: &Inst,
+    f_ctx: Option<&Function>,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let label_of = |b: BlockId| -> String {
+        match f_ctx {
+            Some(func) if b.0 < func.block_count() => func.block(b).label().to_string(),
+            _ => format!("b{}", b.0),
+        }
+    };
+    match inst.kind() {
+        InstKind::LoadImm { dst, imm } => write!(f, "{dst} = li {imm}"),
+        InstKind::Binary { op, dst, lhs, rhs } => {
+            write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic())
+        }
+        InstKind::Unary { op, dst, src } => write!(f, "{dst} = {} {src}", op.mnemonic()),
+        InstKind::Load { dst, addr, float } => {
+            write!(
+                f,
+                "{dst} = {} {addr}",
+                if *float { "fload" } else { "load" }
+            )
+        }
+        InstKind::Store { src, addr, float } => {
+            write!(
+                f,
+                "{} {src}, {addr}",
+                if *float { "fstore" } else { "store" }
+            )
+        }
+        InstKind::Copy { dst, src } => write!(f, "{dst} = mov {src}"),
+        InstKind::Branch {
+            cond,
+            lhs,
+            rhs,
+            target,
+        } => write!(f, "{} {lhs}, {rhs}, {}", cond.mnemonic(), label_of(*target)),
+        InstKind::Jump { target } => write!(f, "jmp {}", label_of(*target)),
+        InstKind::Call { name, dsts, args } => {
+            if !dsts.is_empty() {
+                for (i, d) in dsts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, " = ")?;
+            }
+            write!(f, "call @{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")
+        }
+        InstKind::Ret { value } => match value {
+            Some(v) => write!(f, "ret {v}"),
+            None => write!(f, "ret"),
+        },
+        InstKind::Nop => write!(f, "nop"),
+    }
+}
+
+struct InstDisplay<'a> {
+    inst: &'a Inst,
+    func: Option<&'a Function>,
+}
+
+impl fmt::Display for InstDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_inst(self.inst, self.func, f)
+    }
+}
+
+/// Renders one instruction as text, resolving branch targets to labels of
+/// `func`.
+pub fn print_inst(inst: &Inst, func: &Function) -> String {
+    InstDisplay {
+        inst,
+        func: Some(func),
+    }
+    .to_string()
+}
+
+/// Renders a whole function in the textual IR syntax accepted by
+/// [`parse_function`](crate::parse_function).
+pub fn print_function(func: &Function) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    write!(out, "func @{}(", func.name()).expect("write to string");
+    for (i, p) in func.params().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{p}").expect("write to string");
+    }
+    out.push_str(") {\n");
+    for block in func.blocks() {
+        writeln!(out, "{}:", block.label()).expect("write to string");
+        for inst in block.insts() {
+            writeln!(out, "    {}", print_inst(inst, func)).expect("write to string");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::inst::{BinOp, Cond, MemAddr, Operand};
+    use crate::reg::Reg;
+
+    fn sample() -> Function {
+        let mut b0 = Block::new("entry");
+        b0.push(InstKind::Load {
+            dst: Reg::sym(1),
+            addr: MemAddr::global("z", 0),
+            float: false,
+        });
+        b0.push(InstKind::Branch {
+            cond: Cond::Ne,
+            lhs: Reg::sym(1),
+            rhs: Operand::Imm(0),
+            target: BlockId(1),
+        });
+        let mut b1 = Block::new("done");
+        b1.push(InstKind::Binary {
+            op: BinOp::Fmul,
+            dst: Reg::sym(2),
+            lhs: Reg::sym(1).into(),
+            rhs: Operand::Imm(5),
+        });
+        b1.push(InstKind::Ret {
+            value: Some(Reg::sym(2)),
+        });
+        Function::new("t", vec![Reg::sym(0)], vec![b0, b1])
+    }
+
+    #[test]
+    fn prints_instructions() {
+        let f = sample();
+        assert_eq!(
+            print_inst(&f.block(BlockId(0)).insts()[0], &f),
+            "s1 = load [@z + 0]"
+        );
+        assert_eq!(
+            print_inst(&f.block(BlockId(0)).insts()[1], &f),
+            "bne s1, 0, done"
+        );
+        assert_eq!(
+            print_inst(&f.block(BlockId(1)).insts()[0], &f),
+            "s2 = fmul s1, 5"
+        );
+    }
+
+    #[test]
+    fn prints_function_shape() {
+        let text = print_function(&sample());
+        assert!(text.starts_with("func @t(s0) {"));
+        assert!(text.contains("entry:"));
+        assert!(text.contains("done:"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn display_without_function_uses_raw_ids() {
+        let i = Inst::new(InstKind::Jump { target: BlockId(3) });
+        assert_eq!(i.to_string(), "jmp b3");
+    }
+
+    #[test]
+    fn call_printing() {
+        let i = Inst::new(InstKind::Call {
+            name: "sin".into(),
+            dsts: vec![Reg::sym(1)],
+            args: vec![Reg::sym(0)],
+        });
+        assert_eq!(i.to_string(), "s1 = call @sin(s0)");
+        let v = Inst::new(InstKind::Call {
+            name: "p".into(),
+            dsts: vec![],
+            args: vec![],
+        });
+        assert_eq!(v.to_string(), "call @p()");
+    }
+}

@@ -1,0 +1,122 @@
+//! Register names: symbolic (unbounded) and physical (machine) registers.
+
+use std::fmt;
+
+/// A symbolic (virtual) register, printed `s0`, `s1`, ….
+///
+/// The paper assumes "an infinite number of symbolic registers … one
+/// symbolic register per value"; within a basic block each `SymReg` has a
+/// single definition (the verifier enforces this for block-local names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymReg(pub u32);
+
+/// A physical machine register, printed `r0`, `r1`, ….
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u32);
+
+/// Either kind of register.
+///
+/// Register allocation maps every [`Reg::Sym`] to a [`Reg::Phys`]; analyses
+/// in this workspace are written over `Reg` so they run on code before and
+/// after allocation alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// Symbolic register (pre-allocation).
+    Sym(SymReg),
+    /// Physical register (post-allocation).
+    Phys(PhysReg),
+}
+
+impl Reg {
+    /// Convenience constructor for a symbolic register.
+    pub fn sym(n: u32) -> Reg {
+        Reg::Sym(SymReg(n))
+    }
+
+    /// Convenience constructor for a physical register.
+    pub fn phys(n: u32) -> Reg {
+        Reg::Phys(PhysReg(n))
+    }
+
+    /// Returns the symbolic register, if this is one.
+    pub fn as_sym(&self) -> Option<SymReg> {
+        match self {
+            Reg::Sym(s) => Some(*s),
+            Reg::Phys(_) => None,
+        }
+    }
+
+    /// Returns the physical register, if this is one.
+    pub fn as_phys(&self) -> Option<PhysReg> {
+        match self {
+            Reg::Phys(p) => Some(*p),
+            Reg::Sym(_) => None,
+        }
+    }
+
+    /// Whether this is a symbolic register.
+    pub fn is_sym(&self) -> bool {
+        matches!(self, Reg::Sym(_))
+    }
+}
+
+impl From<SymReg> for Reg {
+    fn from(s: SymReg) -> Reg {
+        Reg::Sym(s)
+    }
+}
+
+impl From<PhysReg> for Reg {
+    fn from(p: PhysReg) -> Reg {
+        Reg::Phys(p)
+    }
+}
+
+impl fmt::Display for SymReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sym(s) => s.fmt(f),
+            Reg::Phys(p) => p.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::sym(3).to_string(), "s3");
+        assert_eq!(Reg::phys(0).to_string(), "r0");
+    }
+
+    #[test]
+    fn conversions() {
+        let r: Reg = SymReg(7).into();
+        assert_eq!(r.as_sym(), Some(SymReg(7)));
+        assert_eq!(r.as_phys(), None);
+        assert!(r.is_sym());
+        let p: Reg = PhysReg(2).into();
+        assert_eq!(p.as_phys(), Some(PhysReg(2)));
+        assert!(!p.is_sym());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        assert!(Reg::sym(1) < Reg::sym(2));
+        assert!(Reg::sym(9) < Reg::phys(0)); // Sym variant sorts first
+    }
+}

@@ -1,0 +1,250 @@
+//! CFG simplification: merging straight-line block chains.
+//!
+//! Region-based scheduling treats mutually plausible blocks "as a single
+//! block for scheduling". The simplest and always-profitable instance is a
+//! *fall-through chain*: block `a` ends in a jump (or falls through) to
+//! `b`, and `b` has no other predecessor. Merging such chains enlarges the
+//! scheduler's scope at zero cost, which is how this workspace realizes
+//! cross-block scheduling for chain regions.
+
+use crate::block::{Block, BlockId};
+use crate::func::Function;
+use crate::inst::InstKind;
+use std::collections::HashMap;
+
+/// Merges fall-through chains: whenever block `a`'s only successor is `b`,
+/// `b`'s only predecessor is `a`, and `b` is not the entry, `b`'s
+/// instructions are appended to `a` (dropping `a`'s jump). Unreachable
+/// blocks are removed. Branch targets are renumbered.
+///
+/// Returns the simplified function; semantics are preserved exactly.
+///
+/// # Examples
+///
+/// ```
+/// use parsched_ir::simplify::merge_chains;
+/// use parsched_ir::parse_function;
+///
+/// let f = parse_function(
+///     "func @c() {\na:\n    s0 = li 1\nb:\n    s1 = add s0, 1\n    ret s1\n}",
+/// )?;
+/// let merged = merge_chains(&f);
+/// assert_eq!(merged.block_count(), 1);
+/// # Ok::<(), parsched_ir::ParseError>(())
+/// ```
+pub fn merge_chains(func: &Function) -> Function {
+    // Reachability from the entry.
+    let mut reachable = vec![false; func.block_count()];
+    let mut stack = vec![func.entry()];
+    while let Some(b) = stack.pop() {
+        if !reachable[b.0] {
+            reachable[b.0] = true;
+            stack.extend(func.successors(b));
+        }
+    }
+
+    let preds = func.predecessors();
+    // chain_next[a] = Some(b) if a and b merge.
+    let mut chain_next: Vec<Option<BlockId>> = vec![None; func.block_count()];
+    let mut absorbed = vec![false; func.block_count()];
+    for a in 0..func.block_count() {
+        if !reachable[a] {
+            continue;
+        }
+        let succs = func.successors(BlockId(a));
+        if let [b] = succs[..] {
+            let b_preds = preds.get(&b).map_or(0, Vec::len);
+            if b != func.entry() && b_preds == 1 && b != BlockId(a) {
+                chain_next[a] = Some(b);
+                absorbed[b.0] = true;
+            }
+        }
+    }
+
+    // Heads of chains: reachable, not absorbed.
+    let heads: Vec<BlockId> = (0..func.block_count())
+        .map(BlockId)
+        .filter(|b| reachable[b.0] && !absorbed[b.0])
+        .collect();
+    let new_id: HashMap<BlockId, usize> = heads.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+    // Map every old block to the head of its chain.
+    let mut head_of: HashMap<BlockId, BlockId> = HashMap::new();
+    for &h in &heads {
+        let mut cur = h;
+        head_of.insert(cur, h);
+        while let Some(next) = chain_next[cur.0] {
+            head_of.insert(next, h);
+            cur = next;
+        }
+    }
+
+    let mut new_blocks: Vec<Block> = Vec::with_capacity(heads.len());
+    for &h in &heads {
+        let mut nb = Block::new(func.block(h).label());
+        let mut cur = h;
+        loop {
+            let blk = func.block(cur);
+            let next = chain_next[cur.0];
+            for inst in blk.insts() {
+                // Drop the jump/fall-through into a merged successor.
+                if next.is_some() && inst.is_terminator() {
+                    if let InstKind::Jump { .. } = inst.kind() {
+                        continue;
+                    }
+                }
+                nb.push(inst.clone());
+            }
+            match next {
+                Some(n) => cur = n,
+                None => break,
+            }
+        }
+        // Renumber targets through head_of → new_id.
+        for inst in nb.insts_mut() {
+            match inst.kind_mut() {
+                InstKind::Branch { target, .. } | InstKind::Jump { target } => {
+                    let head = head_of[target];
+                    *target = BlockId(new_id[&head]);
+                }
+                _ => {}
+            }
+        }
+        new_blocks.push(nb);
+    }
+
+    Function::new(func.name(), func.params().to_vec(), new_blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, Memory};
+    use crate::parse_function;
+
+    #[test]
+    fn merges_jump_chain() {
+        let f = parse_function(
+            r#"
+            func @c(s0) {
+            a:
+                s1 = add s0, 1
+                jmp b
+            b:
+                s2 = add s1, 1
+            c:
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let g = merge_chains(&f);
+        assert_eq!(g.block_count(), 1);
+        assert_eq!(g.inst_count(), 3, "jump dropped");
+        let i = Interpreter::new();
+        assert_eq!(
+            i.run(&g, &[5], Memory::new()).unwrap().return_value,
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn keeps_diamond_structure() {
+        let f = parse_function(
+            r#"
+            func @d(s0) {
+            entry:
+                beq s0, 0, right
+            left:
+                s1 = li 1
+                jmp join
+            right:
+                s1 = li 2
+            join:
+                s2 = add s1, s1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let g = merge_chains(&f);
+        // join has two predecessors: no merge anywhere.
+        assert_eq!(g.block_count(), 4);
+        let i = Interpreter::new();
+        for arg in [0, 1] {
+            assert_eq!(
+                i.run(&f, &[arg], Memory::new()).unwrap().return_value,
+                i.run(&g, &[arg], Memory::new()).unwrap().return_value
+            );
+        }
+    }
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let f = parse_function(
+            r#"
+            func @u(s0) {
+            entry:
+                ret s0
+            dead:
+                s1 = li 9
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let g = merge_chains(&f);
+        assert_eq!(g.block_count(), 1);
+    }
+
+    #[test]
+    fn loop_header_with_backedge_not_absorbed() {
+        let f = parse_function(
+            r#"
+            func @l(s0) {
+            entry:
+                s1 = li 0
+            head:
+                s1 = add s1, 1
+                blt s1, s0, head
+            done:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let g = merge_chains(&f);
+        // entry -> head cannot merge (head has 2 preds); head -> done can't
+        // (head has 2 succs). Structure preserved.
+        assert_eq!(g.block_count(), 3);
+        let i = Interpreter::new();
+        assert_eq!(
+            i.run(&g, &[4], Memory::new()).unwrap().return_value,
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn merged_chain_schedules_wider() {
+        use crate::liveness::Liveness;
+        // Cross-block ILP: int op in one block, float in the next.
+        let f = parse_function(
+            r#"
+            func @w(s0) {
+            a:
+                s1 = add s0, 1
+                s2 = add s1, 1
+            b:
+                s3 = fadd s0, 1
+                s4 = fadd s3, 1
+                s5 = add s2, s4
+                ret s5
+            }
+            "#,
+        )
+        .unwrap();
+        let g = merge_chains(&f);
+        assert_eq!(g.block_count(), 1);
+        let lv = Liveness::compute(&g, &[]);
+        assert!(lv.live_in(BlockId(0)).contains(&crate::Reg::sym(0)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Structural verification of functions.
+
+use crate::block::BlockId;
+use crate::func::Function;
+use crate::inst::InstKind;
+use crate::reg::Reg;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`verify_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A terminator appears before the end of a block.
+    TerminatorNotLast {
+        /// The offending block.
+        block: BlockId,
+        /// Index of the early terminator.
+        index: usize,
+    },
+    /// A branch or jump targets a block id that does not exist.
+    BadTarget {
+        /// The offending block.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// The final block can fall through off the end of the function.
+    FallsOffEnd,
+    /// A register is used but never defined on some path (conservative:
+    /// flags uses of registers with no definition anywhere and no param).
+    UndefinedRegister {
+        /// The undefined register.
+        reg: Reg,
+    },
+    /// A symbolic register is defined more than once inside one block —
+    /// the paper's "one symbolic register per value" discipline, checked
+    /// only when `strict_single_def` is requested.
+    MultipleBlockDefs {
+        /// The offending register.
+        reg: Reg,
+        /// The block with two defs.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TerminatorNotLast { block, index } => {
+                write!(f, "terminator at {block}.{index} is not last in its block")
+            }
+            VerifyError::BadTarget { block, target } => {
+                write!(f, "{block} targets nonexistent block {target}")
+            }
+            VerifyError::FallsOffEnd => write!(f, "final block may fall off the function end"),
+            VerifyError::UndefinedRegister { reg } => {
+                write!(f, "register {reg} is used but never defined")
+            }
+            VerifyError::MultipleBlockDefs { reg, block } => {
+                write!(f, "symbolic register {reg} defined twice in {block}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks structural well-formedness of `func`.
+///
+/// With `strict_single_def`, additionally enforces the paper's symbolic
+/// discipline: no symbolic register is defined twice within a basic block
+/// (pre-allocation code). Post-allocation code reuses physical registers
+/// freely and should be verified with `strict_single_def = false`.
+///
+/// # Errors
+/// Returns every defect found (empty vec means well-formed) — callers can
+/// report all of them at once.
+pub fn verify_function(func: &Function, strict_single_def: bool) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    let nb = func.block_count();
+
+    // Terminator placement and branch targets.
+    for (b, block) in func.blocks().iter().enumerate() {
+        let last = block.insts().len().wrapping_sub(1);
+        for (i, inst) in block.insts().iter().enumerate() {
+            if inst.is_terminator() && i != last {
+                errors.push(VerifyError::TerminatorNotLast {
+                    block: BlockId(b),
+                    index: i,
+                });
+            }
+            match inst.kind() {
+                InstKind::Branch { target, .. } | InstKind::Jump { target } if target.0 >= nb => {
+                    errors.push(VerifyError::BadTarget {
+                        block: BlockId(b),
+                        target: *target,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Fall-through off the end.
+    if func.blocks().last().is_some_and(|b| b.falls_through()) {
+        errors.push(VerifyError::FallsOffEnd);
+    }
+
+    // Every used register has some definition (params count).
+    let mut defined: HashSet<Reg> = func.params().iter().copied().collect();
+    for (_, inst) in func.insts() {
+        defined.extend(inst.defs());
+    }
+    let mut reported: HashSet<Reg> = HashSet::new();
+    for (_, inst) in func.insts() {
+        for u in inst.uses() {
+            if !defined.contains(&u) && reported.insert(u) {
+                errors.push(VerifyError::UndefinedRegister { reg: u });
+            }
+        }
+    }
+
+    // Strict single-def per block for symbolic registers.
+    if strict_single_def {
+        for (b, block) in func.blocks().iter().enumerate() {
+            let mut seen: HashSet<Reg> = HashSet::new();
+            for inst in block.insts() {
+                for d in inst.defs() {
+                    if d.is_sym() && !seen.insert(d) {
+                        errors.push(VerifyError::MultipleBlockDefs {
+                            reg: d,
+                            block: BlockId(b),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn accepts_well_formed() {
+        let f = parse_function(
+            r#"
+            func @ok(s0) {
+            entry:
+                s1 = add s0, 1
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(verify_function(&f, true).is_ok());
+    }
+
+    #[test]
+    fn flags_undefined_register() {
+        let f = parse_function(
+            r#"
+            func @bad() {
+            entry:
+                s1 = add s9, 1
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let errs = verify_function(&f, false).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UndefinedRegister { reg } if *reg == Reg::sym(9))));
+    }
+
+    #[test]
+    fn flags_fall_off_end() {
+        let f = parse_function(
+            r#"
+            func @fall() {
+            entry:
+                s0 = li 1
+            }
+            "#,
+        )
+        .unwrap();
+        let errs = verify_function(&f, false).unwrap_err();
+        assert!(errs.contains(&VerifyError::FallsOffEnd));
+    }
+
+    #[test]
+    fn strict_mode_rejects_block_redefinition() {
+        let f = parse_function(
+            r#"
+            func @redef() {
+            entry:
+                s0 = li 1
+                s0 = li 2
+                ret s0
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(verify_function(&f, false).is_ok());
+        let errs = verify_function(&f, true).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::MultipleBlockDefs { .. })));
+    }
+
+    #[test]
+    fn physical_redefinition_allowed_in_strict_mode() {
+        let f = parse_function(
+            r#"
+            func @phys() {
+            entry:
+                r0 = li 1
+                r0 = li 2
+                ret r0
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(verify_function(&f, true).is_ok());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(VerifyError::FallsOffEnd.to_string().contains("fall off"));
+        let e = VerifyError::BadTarget {
+            block: BlockId(0),
+            target: BlockId(7),
+        };
+        assert!(e.to_string().contains("b7"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Superscalar machine models for `parsched`.
+//!
+//! The paper's machine model is "a RISC type processor comprising a
+//! collection of functional units that potentially can each execute one
+//! instruction in the same machine cycle" — e.g. the MIPS R3000 and the IBM
+//! RISC System/6000 with fixed-point, floating-point and branch units. This
+//! crate describes such machines declaratively:
+//!
+//! * [`OpClass`] — the coarse operation classes the IR maps onto;
+//! * [`MachineDesc`] — functional units (kind, count), per-class routing and
+//!   latency, issue width, and register-file size;
+//! * [`ReservationTable`] — per-cycle unit booking used by the list
+//!   scheduler;
+//! * [`presets`] — ready-made machines, including the paper's own two-unit
+//!   example machine (`presets::paper_machine`).
+//!
+//! # Example
+//!
+//! ```
+//! use parsched_machine::{presets, OpClass};
+//!
+//! let m = presets::paper_machine(16);
+//! // One fetch unit: two loads can never issue together …
+//! assert!(m.pairwise_conflict(OpClass::MemLoad, OpClass::MemLoad));
+//! // … but a fixed-point op and a float op can.
+//! assert!(!m.pairwise_conflict(OpClass::IntAlu, OpClass::FloatAlu));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+mod reservation;
+pub mod spec;
+
+pub use reservation::ReservationTable;
+pub use spec::{parse_machine_spec, SpecError};
+
+use std::fmt;
+
+/// Coarse operation classes: what the machine cares about when routing an
+/// instruction to a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Fixed-point ALU operation (add, logical, compares, immediates, copies).
+    IntAlu,
+    /// Floating-point ALU operation.
+    FloatAlu,
+    /// Memory load (through the fetch unit).
+    MemLoad,
+    /// Memory store.
+    MemStore,
+    /// Branches, jumps and returns.
+    Branch,
+    /// Calls (occupy the branch unit and act as scheduling barriers).
+    Call,
+    /// No-op (issues, consumes no unit).
+    Nop,
+}
+
+impl OpClass {
+    /// Every class, for exhaustive table construction.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::IntAlu,
+        OpClass::FloatAlu,
+        OpClass::MemLoad,
+        OpClass::MemStore,
+        OpClass::Branch,
+        OpClass::Call,
+        OpClass::Nop,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int",
+            OpClass::FloatAlu => "float",
+            OpClass::MemLoad => "load",
+            OpClass::MemStore => "store",
+            OpClass::Branch => "branch",
+            OpClass::Call => "call",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A functional-unit kind: a name and how many instances exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitKind {
+    /// Display name (e.g. `"fixed"`, `"float"`, `"fetch"`).
+    pub name: String,
+    /// Number of identical instances.
+    pub count: usize,
+}
+
+/// Routing entry: which unit kind an [`OpClass`] occupies and its latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Index into [`MachineDesc::units`].
+    pub unit: usize,
+    /// Cycles from issue until the result may be consumed (≥ 1).
+    pub latency: u32,
+}
+
+/// A declarative machine description.
+///
+/// Construct via [`MachineDesc::builder`]; presets live in [`presets`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineDesc {
+    name: String,
+    issue_width: usize,
+    num_regs: u32,
+    units: Vec<UnitKind>,
+    routes: [Option<Route>; 7],
+}
+
+impl MachineDesc {
+    /// Starts building a machine description.
+    pub fn builder(name: impl Into<String>) -> MachineBuilder {
+        MachineBuilder {
+            name: name.into(),
+            issue_width: 1,
+            num_regs: 32,
+            units: Vec::new(),
+            routes: [None; 7],
+        }
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum instructions issued per cycle.
+    pub fn issue_width(&self) -> usize {
+        self.issue_width
+    }
+
+    /// Number of allocatable registers.
+    pub fn num_regs(&self) -> u32 {
+        self.num_regs
+    }
+
+    /// Returns a copy with a different register-file size — the evaluation
+    /// sweeps this parameter.
+    pub fn with_num_regs(&self, num_regs: u32) -> MachineDesc {
+        MachineDesc {
+            num_regs,
+            ..self.clone()
+        }
+    }
+
+    /// The functional-unit kinds.
+    pub fn units(&self) -> &[UnitKind] {
+        &self.units
+    }
+
+    /// Routing for `class`.
+    ///
+    /// # Panics
+    /// Panics if the machine has no route for `class` (builders must cover
+    /// all classes; `finish` enforces this).
+    pub fn route(&self, class: OpClass) -> Route {
+        self.routes[class_index(class)].expect("finish() verified all routes")
+    }
+
+    /// Result latency of `class` on this machine.
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.route(class).latency
+    }
+
+    /// Whether two instructions of these classes can *never* issue in the
+    /// same cycle on this machine — the paper's non-precedence machine
+    /// constraint ("operations S3 and S4 cannot be executed together"
+    /// because there is only one fixed-point unit).
+    ///
+    /// True when both route to the same unit kind with a single instance,
+    /// or when the machine is single-issue (then *everything* conflicts).
+    /// Multi-instance contention (e.g. 3 ops on 2 units) cannot be expressed
+    /// pairwise and is handled by the scheduler's reservation table instead.
+    pub fn pairwise_conflict(&self, a: OpClass, b: OpClass) -> bool {
+        if a == OpClass::Nop || b == OpClass::Nop {
+            return false;
+        }
+        if self.issue_width <= 1 {
+            return true;
+        }
+        let (ra, rb) = (self.route(a), self.route(b));
+        ra.unit == rb.unit && self.units[ra.unit].count == 1
+    }
+
+    /// A fresh reservation table for scheduling on this machine.
+    pub fn reservation_table(&self) -> ReservationTable {
+        ReservationTable::new(self)
+    }
+}
+
+impl fmt::Display for MachineDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (issue {}, {} regs; units:",
+            self.name, self.issue_width, self.num_regs
+        )?;
+        for u in &self.units {
+            write!(f, " {}x{}", u.count, u.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for [`MachineDesc`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    name: String,
+    issue_width: usize,
+    num_regs: u32,
+    units: Vec<UnitKind>,
+    routes: [Option<Route>; 7],
+}
+
+impl MachineBuilder {
+    /// Sets the issue width (default 1).
+    pub fn issue_width(&mut self, w: usize) -> &mut Self {
+        self.issue_width = w;
+        self
+    }
+
+    /// Sets the register-file size (default 32).
+    pub fn num_regs(&mut self, n: u32) -> &mut Self {
+        self.num_regs = n;
+        self
+    }
+
+    /// Adds a unit kind; returns its index for use in [`route`](Self::route).
+    pub fn unit(&mut self, name: impl Into<String>, count: usize) -> usize {
+        self.units.push(UnitKind {
+            name: name.into(),
+            count,
+        });
+        self.units.len() - 1
+    }
+
+    /// Routes `class` to `unit` with the given latency.
+    ///
+    /// # Panics
+    /// Panics if `unit` was not created by [`unit`](Self::unit) or latency is 0.
+    pub fn route(&mut self, class: OpClass, unit: usize, latency: u32) -> &mut Self {
+        assert!(unit < self.units.len(), "unknown unit index {unit}");
+        assert!(latency >= 1, "latency must be at least one cycle");
+        self.routes[class_index(class)] = Some(Route { unit, latency });
+        self
+    }
+
+    /// Finishes the description.
+    ///
+    /// # Panics
+    /// Panics if any [`OpClass`] lacks a route or no units were defined.
+    pub fn finish(&self) -> MachineDesc {
+        assert!(!self.units.is_empty(), "machine needs at least one unit");
+        for class in OpClass::ALL {
+            assert!(
+                self.routes[class_index(class)].is_some(),
+                "no route for op class {class}"
+            );
+        }
+        MachineDesc {
+            name: self.name.clone(),
+            issue_width: self.issue_width,
+            num_regs: self.num_regs,
+            units: self.units.clone(),
+            routes: self.routes,
+        }
+    }
+}
+
+fn class_index(c: OpClass) -> usize {
+    match c {
+        OpClass::IntAlu => 0,
+        OpClass::FloatAlu => 1,
+        OpClass::MemLoad => 2,
+        OpClass::MemStore => 3,
+        OpClass::Branch => 4,
+        OpClass::Call => 5,
+        OpClass::Nop => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = MachineDesc::builder("toy");
+        b.issue_width(2).num_regs(8);
+        let alu = b.unit("alu", 2);
+        for c in OpClass::ALL {
+            b.route(c, alu, 1);
+        }
+        let m = b.finish();
+        assert_eq!(m.name(), "toy");
+        assert_eq!(m.issue_width(), 2);
+        assert_eq!(m.num_regs(), 8);
+        assert_eq!(m.latency(OpClass::IntAlu), 1);
+        // Two ALU instances: no pairwise conflict.
+        assert!(!m.pairwise_conflict(OpClass::IntAlu, OpClass::IntAlu));
+    }
+
+    #[test]
+    fn single_issue_conflicts_everything() {
+        let m = presets::single_issue(4);
+        assert!(m.pairwise_conflict(OpClass::IntAlu, OpClass::FloatAlu));
+        assert!(!m.pairwise_conflict(OpClass::Nop, OpClass::IntAlu));
+    }
+
+    #[test]
+    fn with_num_regs_copies() {
+        let m = presets::paper_machine(16);
+        let m4 = m.with_num_regs(4);
+        assert_eq!(m4.num_regs(), 4);
+        assert_eq!(m4.issue_width(), m.issue_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "no route for op class")]
+    fn finish_requires_all_routes() {
+        let mut b = MachineDesc::builder("partial");
+        let u = b.unit("u", 1);
+        b.route(OpClass::IntAlu, u, 1);
+        b.finish();
+    }
+
+    #[test]
+    fn display_shapes() {
+        let m = presets::paper_machine(16);
+        let s = m.to_string();
+        assert!(s.contains("issue"), "{s}");
+        assert!(s.contains("fixed"), "{s}");
+    }
+}

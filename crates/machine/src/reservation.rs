@@ -1,0 +1,127 @@
+//! Cycle-by-cycle functional-unit booking for list scheduling.
+
+use crate::{MachineDesc, OpClass};
+use std::collections::HashMap;
+
+/// Tracks, per machine cycle, how many instances of each unit kind are in
+/// use and how many instructions have issued, so the scheduler can ask
+/// "can an instruction of class `c` issue at cycle `t`?".
+///
+/// Units are booked for the issue cycle only (fully pipelined units);
+/// latency is modelled on dependence edges, not unit occupancy, matching
+/// the machines the paper considers.
+#[derive(Debug, Clone)]
+pub struct ReservationTable {
+    unit_counts: Vec<usize>,
+    issue_width: usize,
+    /// `(cycle, unit) -> used instances`
+    unit_use: HashMap<(u32, usize), usize>,
+    /// `cycle -> issued instructions`
+    issue_use: HashMap<u32, usize>,
+}
+
+impl ReservationTable {
+    /// Creates an empty table for `machine`.
+    pub fn new(machine: &MachineDesc) -> ReservationTable {
+        ReservationTable {
+            unit_counts: machine.units().iter().map(|u| u.count).collect(),
+            issue_width: machine.issue_width(),
+            unit_use: HashMap::new(),
+            issue_use: HashMap::new(),
+        }
+    }
+
+    /// Whether an instruction of `class` (routed by `machine`) can issue at
+    /// `cycle` given current bookings.
+    pub fn can_issue(&self, machine: &MachineDesc, class: OpClass, cycle: u32) -> bool {
+        if self.issue_use.get(&cycle).copied().unwrap_or(0) >= self.issue_width {
+            return false;
+        }
+        if class == OpClass::Nop {
+            return true;
+        }
+        let unit = machine.route(class).unit;
+        self.unit_use.get(&(cycle, unit)).copied().unwrap_or(0) < self.unit_counts[unit]
+    }
+
+    /// Books an instruction of `class` at `cycle`.
+    ///
+    /// # Panics
+    /// Panics if [`can_issue`](Self::can_issue) would return false — the
+    /// scheduler must check first.
+    pub fn issue(&mut self, machine: &MachineDesc, class: OpClass, cycle: u32) {
+        assert!(
+            self.can_issue(machine, class, cycle),
+            "cannot issue {class} at cycle {cycle}"
+        );
+        *self.issue_use.entry(cycle).or_insert(0) += 1;
+        if class != OpClass::Nop {
+            let unit = machine.route(class).unit;
+            *self.unit_use.entry((cycle, unit)).or_insert(0) += 1;
+        }
+    }
+
+    /// The first cycle `>= from` at which `class` can issue.
+    pub fn next_free_cycle(&self, machine: &MachineDesc, class: OpClass, from: u32) -> u32 {
+        let mut c = from;
+        // Every cycle at or beyond the booked horizon is free, so this
+        // terminates quickly.
+        while !self.can_issue(machine, class, c) {
+            c += 1;
+        }
+        c
+    }
+
+    /// Number of instructions issued at `cycle`.
+    pub fn issued_at(&self, cycle: u32) -> usize {
+        self.issue_use.get(&cycle).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn books_single_units() {
+        let m = presets::paper_machine(16);
+        let mut rt = m.reservation_table();
+        assert!(rt.can_issue(&m, OpClass::MemLoad, 0));
+        rt.issue(&m, OpClass::MemLoad, 0);
+        // Fetch unit taken; another load must wait.
+        assert!(!rt.can_issue(&m, OpClass::MemLoad, 0));
+        assert_eq!(rt.next_free_cycle(&m, OpClass::MemLoad, 0), 1);
+        // Fixed-point op still fine this cycle.
+        assert!(rt.can_issue(&m, OpClass::IntAlu, 0));
+        rt.issue(&m, OpClass::IntAlu, 0);
+        assert_eq!(rt.issued_at(0), 2);
+    }
+
+    #[test]
+    fn issue_width_caps_total() {
+        let m = presets::wide(2, 8);
+        let mut rt = m.reservation_table();
+        rt.issue(&m, OpClass::IntAlu, 3);
+        rt.issue(&m, OpClass::MemLoad, 3);
+        assert!(!rt.can_issue(&m, OpClass::IntAlu, 3), "issue width 2");
+        assert!(rt.can_issue(&m, OpClass::IntAlu, 4));
+    }
+
+    #[test]
+    fn nop_needs_no_unit_but_counts_against_width() {
+        let m = presets::single_issue(8);
+        let mut rt = m.reservation_table();
+        rt.issue(&m, OpClass::Nop, 0);
+        assert!(!rt.can_issue(&m, OpClass::IntAlu, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot issue")]
+    fn double_booking_panics() {
+        let m = presets::single_issue(8);
+        let mut rt = m.reservation_table();
+        rt.issue(&m, OpClass::IntAlu, 0);
+        rt.issue(&m, OpClass::IntAlu, 0);
+    }
+}

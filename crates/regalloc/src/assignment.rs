@@ -1,0 +1,266 @@
+//! Applying a coloring to code, and validating the result.
+
+use crate::problem::BlockAllocProblem;
+use parsched_ir::{Block, BlockId, Function, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Rewrites `func` mapping every allocation node of `problem` to the
+/// physical register named by its color. Registers outside the problem
+/// (none, for single-block functions) are left untouched.
+///
+/// # Panics
+/// Panics if any node's color is `u32::MAX` (spilled nodes must be
+/// rewritten away before assignment).
+pub fn apply_coloring(func: &Function, problem: &BlockAllocProblem, colors: &[u32]) -> Function {
+    let mut map: HashMap<Reg, Reg> = HashMap::new();
+    for (n, &r) in problem.nodes().iter().enumerate() {
+        assert!(colors[n] != u32::MAX, "node {n} ({r}) has no color");
+        map.insert(r, Reg::phys(colors[n]));
+    }
+    let mut out = func.clone();
+    out.map_regs(|r| *map.get(&r).unwrap_or(&r));
+    out
+}
+
+/// A violation found by [`check_block_allocation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocCheckError {
+    /// A use in the allocated block reads a physical register that holds a
+    /// different original value than the corresponding use expected.
+    WrongValue {
+        /// Body/instruction index within the block.
+        index: usize,
+        /// The original (symbolic) register the use expected.
+        expected: Reg,
+        /// The original register whose value actually occupies the physical
+        /// register at that point (`None` = uninitialized).
+        found: Option<Reg>,
+    },
+    /// The two blocks differ in shape (instruction count or opcode), so
+    /// they cannot be compared.
+    ShapeMismatch {
+        /// First differing index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AllocCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocCheckError::WrongValue {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "use at instruction {index} expected value of {expected}, found {found:?}"
+            ),
+            AllocCheckError::ShapeMismatch { index } => {
+                write!(f, "blocks differ in shape at instruction {index}")
+            }
+        }
+    }
+}
+
+impl Error for AllocCheckError {}
+
+/// Independently validates that `alloc` is a faithful renaming of `orig`:
+/// walking both blocks in lockstep and tracking which original value each
+/// physical register currently holds, every use in `alloc` must read the
+/// physical register holding exactly the value the corresponding use in
+/// `orig` reads.
+///
+/// `entry_map` gives the initial contents (original register → physical
+/// register) for values live into the block, e.g. rewritten parameters.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn check_block_allocation(
+    orig: &Block,
+    alloc: &Block,
+    entry_map: &HashMap<Reg, Reg>,
+) -> Result<(), AllocCheckError> {
+    if orig.insts().len() != alloc.insts().len() {
+        return Err(AllocCheckError::ShapeMismatch {
+            index: orig.insts().len().min(alloc.insts().len()),
+        });
+    }
+    // holder[phys] = original register whose value it currently holds
+    let mut holder: HashMap<Reg, Reg> = HashMap::new();
+    for (&orig_reg, &phys) in entry_map {
+        holder.insert(phys, orig_reg);
+    }
+    for (i, (o, a)) in orig.insts().iter().zip(alloc.insts()).enumerate() {
+        let (ou, au) = (o.uses(), a.uses());
+        let (od, ad) = (o.defs(), a.defs());
+        if ou.len() != au.len() || od.len() != ad.len() {
+            return Err(AllocCheckError::ShapeMismatch { index: i });
+        }
+        for (&oe, &ae) in ou.iter().zip(&au) {
+            let found = holder.get(&ae).copied();
+            if found != Some(oe) {
+                return Err(AllocCheckError::WrongValue {
+                    index: i,
+                    expected: oe,
+                    found,
+                });
+            }
+        }
+        for (&oe, &ae) in od.iter().zip(&ad) {
+            holder.insert(ae, oe);
+        }
+    }
+    Ok(())
+}
+
+/// Removes identity copies (`rX = mov rX`) left behind when allocation
+/// assigns a copy's source and destination the same register — e.g. the
+/// `acc = mov stepped` idiom of loop-carried values when `acc` and
+/// `stepped` land in one web or one color. Always sound. Returns the number
+/// of instructions removed.
+pub fn remove_identity_copies(func: &mut Function) -> usize {
+    let mut removed = 0;
+    for block in func.blocks_mut() {
+        let before = block.insts().len();
+        block.insts_mut().retain(
+            |inst| !matches!(inst.kind(), parsched_ir::InstKind::Copy { dst, src } if dst == src),
+        );
+        removed += before - block.insts().len();
+    }
+    removed
+}
+
+/// Builds the entry map for [`check_block_allocation`] from a problem and
+/// its coloring: every live-in node starts in its assigned register.
+pub fn entry_map_of(problem: &BlockAllocProblem, colors: &[u32]) -> HashMap<Reg, Reg> {
+    let mut map = HashMap::new();
+    for (n, &r) in problem.nodes().iter().enumerate() {
+        if problem.def_site(n).is_none() && colors[n] != u32::MAX {
+            map.insert(r, Reg::phys(colors[n]));
+        }
+    }
+    map
+}
+
+/// Convenience: checks a whole single-block function pair.
+///
+/// # Errors
+/// Propagates the first violation.
+pub fn check_function_allocation(
+    orig: &Function,
+    alloc: &Function,
+    problem: &BlockAllocProblem,
+    colors: &[u32],
+) -> Result<(), AllocCheckError> {
+    let entry = entry_map_of(problem, colors);
+    check_block_allocation(orig.block(BlockId(0)), alloc.block(BlockId(0)), &entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::liveness::Liveness;
+    use parsched_ir::parse_function;
+
+    #[test]
+    fn apply_and_check_round_trip() {
+        let f = parse_function(
+            r#"
+            func @f(s0) {
+            entry:
+                s1 = add s0, 1
+                s2 = add s1, s0
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
+        // Hand coloring: s0→r0, s1→r1, s2→r0 (s0 dead at s2's def).
+        let mut colors = vec![0u32; p.len()];
+        colors[p.node_of(Reg::sym(1)).unwrap()] = 1;
+        colors[p.node_of(Reg::sym(2)).unwrap()] = 0;
+        let g = apply_coloring(&f, &p, &colors);
+        assert_eq!(g.params(), &[Reg::phys(0)]);
+        assert!(check_function_allocation(&f, &g, &p, &colors).is_ok());
+    }
+
+    #[test]
+    fn detects_clobbered_value() {
+        let orig = parse_function(
+            r#"
+            func @o(s0) {
+            entry:
+                s1 = add s0, 1
+                s2 = add s0, s1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        // Bad allocation: s1 reuses s0's register while s0 is still needed.
+        let bad = parse_function(
+            r#"
+            func @b(r0) {
+            entry:
+                r0 = add r0, 1
+                r1 = add r0, r0
+                ret r1
+            }
+            "#,
+        )
+        .unwrap();
+        let mut entry = HashMap::new();
+        entry.insert(Reg::sym(0), Reg::phys(0));
+        let err = check_block_allocation(orig.block(BlockId(0)), bad.block(BlockId(0)), &entry)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AllocCheckError::WrongValue {
+                index: 1,
+                expected,
+                ..
+            } if expected == Reg::sym(0)
+        ));
+        assert!(err.to_string().contains("instruction 1"));
+    }
+
+    #[test]
+    fn detects_shape_mismatch() {
+        let a = parse_function("func @a() {\nentry:\n    s0 = li 1\n    ret s0\n}").unwrap();
+        let b = parse_function("func @b() {\nentry:\n    ret\n}").unwrap();
+        let err = check_block_allocation(a.block(BlockId(0)), b.block(BlockId(0)), &HashMap::new())
+            .unwrap_err();
+        assert!(matches!(err, AllocCheckError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn identity_copies_removed() {
+        let mut f = parse_function(
+            r#"
+            func @ic(r0) {
+            entry:
+                r1 = add r0, 1
+                r1 = mov r1
+                r2 = mov r1
+                ret r2
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(remove_identity_copies(&mut f), 1);
+        assert_eq!(f.inst_count(), 3, "real copy r2 = mov r1 stays");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no color")]
+    fn apply_rejects_uncolored() {
+        let f = parse_function("func @f() {\nentry:\n    s0 = li 1\n    ret s0\n}").unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
+        apply_coloring(&f, &p, &vec![u32::MAX; p.len()]);
+    }
+}

@@ -1,0 +1,1008 @@
+//! Global (inter-block) allocation: webs as vertices, region-wide false
+//! dependences.
+//!
+//! The paper's Section 3 extension: vertices of the global interference
+//! graph are *webs* — def-use chains combined by the "right number of
+//! names" analysis (several definitions reaching one use must share a
+//! register, Figure 6). The global false-dependence graph contributes an
+//! edge between webs `u, v` whenever some member definitions `ui ∈ u`,
+//! `vj ∈ v` lie in the same *region* (mutually plausible blocks) and could
+//! issue in the same cycle. Claim 2 guarantees two definitions of one web
+//! never execute in parallel, so Theorems 1 and 2 carry over.
+
+use crate::assignment::AllocCheckError;
+use crate::chaitin::chaitin_color;
+use crate::combined::{combined_color, PinterConfig};
+use crate::pig::Pig;
+use crate::spill::SPILL_REGION;
+use parsched_graph::UnGraph;
+use parsched_ir::cfg::Cfg;
+use parsched_ir::defuse::{DefId, DefSite, DefUse, UseSite};
+use parsched_ir::liveness::Liveness;
+use parsched_ir::loops::Loops;
+use parsched_ir::webs::{WebId, Webs};
+use parsched_ir::{Block, BlockId, Function, Inst, InstId, InstKind, MemAddr, Reg};
+use parsched_machine::MachineDesc;
+use parsched_sched::region::form_regions;
+use parsched_sched::{falsedep, DepGraph};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// The assembled global allocation problem.
+#[derive(Debug)]
+pub struct GlobalAllocProblem {
+    webs: Webs,
+    defuse: DefUse,
+    er: UnGraph,
+    false_edges: UnGraph,
+    costs: Vec<f64>,
+    priority: Vec<u32>,
+}
+
+impl GlobalAllocProblem {
+    /// Builds the global problem: web interference from liveness plus
+    /// region-restricted false-dependence edges on `machine`.
+    pub fn build(func: &Function, machine: &MachineDesc) -> GlobalAllocProblem {
+        let defuse = DefUse::compute(func);
+        let webs = Webs::compute(func, &defuse);
+        let liveness = Liveness::compute(func, &[]);
+        let nw = webs.len();
+
+        // --- Interference over webs ---
+        let mut er = UnGraph::new(nw);
+        // Walk each block with a current-reaching-def map.
+        for (b, block) in func.blocks().iter().enumerate() {
+            let bid = BlockId(b);
+            let mut current: HashMap<Reg, DefId> = HashMap::new();
+            for &d in defuse.reaching_at_entry(bid) {
+                current.insert(defuse.reg_of(d), d);
+            }
+            if b == func.entry().0 {
+                // Parameters are defined at entry: each interferes with the
+                // other live-in values.
+                let live_in = liveness.live_in(bid);
+                for (pi, &p) in func.params().iter().enumerate() {
+                    let pweb = param_web(&defuse, &webs, pi);
+                    for &other in live_in {
+                        if other != p {
+                            if let Some(&od) = current.get(&other) {
+                                let ow = webs.web_of(od);
+                                if ow != pweb {
+                                    er.add_edge(pweb.0, ow.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let per_inst = liveness.per_inst_live_out(func, bid);
+            for (i, inst) in block.insts().iter().enumerate() {
+                let id = InstId::new(bid, i);
+                // Update current with this instruction's defs first, so the
+                // def's own web is resolvable below.
+                for (nth, d) in inst.defs().into_iter().enumerate() {
+                    let did = def_id_at(&defuse, id, nth);
+                    current.insert(d, did);
+                }
+                for (nth, d) in inst.defs().into_iter().enumerate() {
+                    let did = def_id_at(&defuse, id, nth);
+                    let dweb = webs.web_of(did);
+                    for &live in &per_inst[i] {
+                        if live == d {
+                            continue;
+                        }
+                        if let Some(&ld) = current.get(&live) {
+                            let lweb = webs.web_of(ld);
+                            if lweb != dweb {
+                                er.add_edge(dweb.0, lweb.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Region-wide false edges ---
+        let cfg = Cfg::new(func);
+        let regions = form_regions(func, &cfg);
+        let mut false_edges = UnGraph::new(nw);
+        let mut priority = vec![0u32; nw];
+        // The transitive closure + complement per region is quadratic in
+        // region size; beyond this cap the region contributes no false
+        // edges (still sound — the PIG only loses parallelism information,
+        // never interference).
+        const REGION_EF_CAP: usize = 400;
+        for region in &regions {
+            // Concatenate member bodies (dominance order); remember the
+            // original instruction of each concatenated position.
+            let mut concat = Block::new("region");
+            let mut origin: Vec<InstId> = Vec::new();
+            for &bid in region.blocks() {
+                let block = func.block(bid);
+                for (i, inst) in block.body().iter().enumerate() {
+                    concat.push(inst.clone());
+                    origin.push(InstId::new(bid, i));
+                }
+            }
+            if origin.is_empty() || origin.len() > REGION_EF_CAP {
+                continue;
+            }
+            let deps = DepGraph::build(&concat);
+            let heights = deps.heights(machine);
+            let ef = falsedep::false_dependence_graph(&deps, machine);
+            // Web of the (first) def of a concatenated position, if any.
+            let web_at = |pos: usize| -> Option<WebId> {
+                let id = origin[pos];
+                let inst = func.inst(id);
+                if inst.defs().is_empty() {
+                    None
+                } else {
+                    Some(webs.web_of(def_id_at(&defuse, id, 0)))
+                }
+            };
+            for (pos, &h) in heights.iter().enumerate() {
+                if let Some(w) = web_at(pos) {
+                    priority[w.0] = priority[w.0].max(h);
+                }
+            }
+            for (i, j) in ef.edges() {
+                if let (Some(u), Some(v)) = (web_at(i), web_at(j)) {
+                    if u != v {
+                        false_edges.add_edge(u.0, v.0);
+                    }
+                }
+            }
+        }
+        // Interference edges dominate: a pair that interferes must stay
+        // separate regardless; keep the false flag only for non-Er pairs so
+        // Lemma 3 classification happens inside Pig::from_parts (shared).
+
+        // --- Costs: defs + uses per web, weighted by loop nesting ---
+        // The paper (after Chaitin): "the cost function, in general, is a
+        // function of the instruction's nesting level" — a def or use
+        // inside a loop counts 10^depth.
+        let loop_info = Loops::compute(func, &cfg);
+        let mut costs = vec![0f64; nw];
+        for (w, members) in webs.iter() {
+            for &d in members {
+                let mult = match defuse.site_of(d) {
+                    DefSite::Param(_) => 1.0,
+                    DefSite::Inst(id, _) => loop_info.cost_multiplier(id.block),
+                };
+                costs[w.0] += mult;
+            }
+        }
+        for (site, reaching) in defuse.uses() {
+            if let Some(&d) = reaching.first() {
+                costs[webs.web_of(d).0] += loop_info.cost_multiplier(site.inst.block);
+            }
+        }
+
+        GlobalAllocProblem {
+            webs,
+            defuse,
+            er,
+            false_edges,
+            costs,
+            priority,
+        }
+    }
+
+    /// The web partition.
+    pub fn webs(&self) -> &Webs {
+        &self.webs
+    }
+
+    /// Global interference graph over webs.
+    pub fn interference(&self) -> &UnGraph {
+        &self.er
+    }
+
+    /// Region-restricted false-dependence edges over webs.
+    pub fn false_edges(&self) -> &UnGraph {
+        &self.false_edges
+    }
+
+    /// The global PIG.
+    pub fn pig(&self) -> Pig {
+        Pig::from_parts(self.er.clone(), self.false_edges.clone())
+    }
+}
+
+/// A quotient of the web set under copy coalescing: classes of webs that
+/// will share one register.
+#[derive(Debug)]
+pub struct WebQuotient {
+    class_of: Vec<usize>,
+    n_classes: usize,
+    er: UnGraph,
+    false_edges: UnGraph,
+    costs: Vec<f64>,
+    priority: Vec<u32>,
+    merged_moves: usize,
+}
+
+impl WebQuotient {
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Whether there are no classes.
+    pub fn is_empty(&self) -> bool {
+        self.n_classes == 0
+    }
+
+    /// The class of web `w`.
+    pub fn class_of(&self, w: WebId) -> usize {
+        self.class_of[w.0]
+    }
+
+    /// Copies whose source and destination were merged.
+    pub fn merged_moves(&self) -> usize {
+        self.merged_moves
+    }
+
+    /// Interference graph over classes.
+    pub fn interference(&self) -> &UnGraph {
+        &self.er
+    }
+
+    /// The PIG over classes.
+    pub fn pig(&self) -> Pig {
+        Pig::from_parts(self.er.clone(), self.false_edges.clone())
+    }
+
+    /// Expands per-class colors to per-web colors.
+    pub fn expand_colors(&self, class_colors: &[u32], n_webs: usize) -> Vec<u32> {
+        (0..n_webs)
+            .map(|w| class_colors[self.class_of[w]])
+            .collect()
+    }
+
+    /// Expands spilled class ids to their member webs.
+    pub fn expand_spills(&self, spilled_classes: &[usize], n_webs: usize) -> Vec<WebId> {
+        (0..n_webs)
+            .filter(|&w| spilled_classes.contains(&self.class_of[w]))
+            .map(WebId)
+            .collect()
+    }
+}
+
+impl GlobalAllocProblem {
+    /// Conservatively coalesces copy-related webs (Briggs criterion): the
+    /// source and destination of a `mov` are merged when they do not
+    /// interfere, share no false-dependence edge (merging would serialize a
+    /// parallel pair), and the merged node has fewer than `k` neighbors of
+    /// significant degree — so coalescing never turns a colorable graph
+    /// uncolorable. Copies whose ends land in one class become identity
+    /// moves after rewriting and are deleted by the peephole.
+    pub fn coalesced(&self, func: &Function, k: u32) -> WebQuotient {
+        let nw = self.webs.len();
+        let mut parent: Vec<usize> = (0..nw).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        // Root-keyed adjacency sets.
+        let mut er_adj: Vec<std::collections::HashSet<usize>> =
+            (0..nw).map(|_| std::collections::HashSet::new()).collect();
+        let mut false_adj: Vec<std::collections::HashSet<usize>> =
+            (0..nw).map(|_| std::collections::HashSet::new()).collect();
+        for (u, v) in self.er.edges() {
+            er_adj[u].insert(v);
+            er_adj[v].insert(u);
+        }
+        for (u, v) in self.false_edges.edges() {
+            false_adj[u].insert(v);
+            false_adj[v].insert(u);
+        }
+
+        // Candidate moves: dst web / src web of every Copy.
+        let mut moves: Vec<(WebId, WebId)> = Vec::new();
+        for (id, inst) in func.insts() {
+            if let InstKind::Copy { .. } = inst.kind() {
+                let wd = self.webs.web_of(def_id_at(&self.defuse, id, 0));
+                let site = UseSite { inst: id, nth: 0 };
+                if let Some(&d) = self.defuse.reaching_defs(site).first() {
+                    moves.push((wd, self.webs.web_of(d)));
+                }
+            }
+        }
+
+        let mut merged_moves = 0usize;
+        for (wd, ws) in moves {
+            let a = find(&mut parent, wd.0);
+            let b = find(&mut parent, ws.0);
+            if a == b {
+                merged_moves += 1;
+                continue;
+            }
+            if er_adj[a].contains(&b) || false_adj[a].contains(&b) {
+                continue;
+            }
+            // Briggs: neighbors of the merged node with degree >= k.
+            let combined: std::collections::HashSet<usize> =
+                er_adj[a].union(&er_adj[b]).copied().collect();
+            let significant = combined
+                .iter()
+                .filter(|&&n| er_adj[n].len() >= k as usize)
+                .count();
+            if significant >= k as usize {
+                continue;
+            }
+            // Merge b into a.
+            parent[b] = a;
+            merged_moves += 1;
+            let b_er: Vec<usize> = er_adj[b].drain().collect();
+            for n in b_er {
+                if n != a {
+                    er_adj[n].remove(&b);
+                    er_adj[n].insert(a);
+                    er_adj[a].insert(n);
+                }
+            }
+            er_adj[a].remove(&b);
+            let b_false: Vec<usize> = false_adj[b].drain().collect();
+            for n in b_false {
+                if n != a {
+                    false_adj[n].remove(&b);
+                    false_adj[n].insert(a);
+                    false_adj[a].insert(n);
+                }
+            }
+            false_adj[a].remove(&b);
+        }
+
+        // Densify classes.
+        let mut class_of = vec![usize::MAX; nw];
+        let mut roots: Vec<usize> = Vec::new();
+        for w in 0..nw {
+            let r = find(&mut parent, w);
+            if class_of[r] == usize::MAX {
+                class_of[r] = roots.len();
+                roots.push(r);
+            }
+        }
+        for w in 0..nw {
+            let r = find(&mut parent, w);
+            class_of[w] = class_of[r];
+        }
+        let n_classes = roots.len();
+
+        let mut er = UnGraph::new(n_classes);
+        for (u, v) in self.er.edges() {
+            let (cu, cv) = (class_of[u], class_of[v]);
+            debug_assert_ne!(cu, cv, "coalescing merged interfering webs");
+            er.add_edge(cu, cv);
+        }
+        let mut false_edges = UnGraph::new(n_classes);
+        for (u, v) in self.false_edges.edges() {
+            let (cu, cv) = (class_of[u], class_of[v]);
+            if cu != cv {
+                false_edges.add_edge(cu, cv);
+            }
+        }
+        let mut costs = vec![0f64; n_classes];
+        let mut priority = vec![0u32; n_classes];
+        for w in 0..nw {
+            costs[class_of[w]] += self.costs[w];
+            priority[class_of[w]] = priority[class_of[w]].max(self.priority[w]);
+        }
+
+        WebQuotient {
+            class_of,
+            n_classes,
+            er,
+            false_edges,
+            costs,
+            priority,
+            merged_moves,
+        }
+    }
+
+    /// The identity quotient (no coalescing).
+    pub fn trivial_quotient(&self) -> WebQuotient {
+        let nw = self.webs.len();
+        WebQuotient {
+            class_of: (0..nw).collect(),
+            n_classes: nw,
+            er: self.er.clone(),
+            false_edges: self.false_edges.clone(),
+            costs: self.costs.clone(),
+            priority: self.priority.clone(),
+            merged_moves: 0,
+        }
+    }
+}
+
+/// Outcome of global allocation.
+#[derive(Debug, Clone)]
+pub struct GlobalAllocation {
+    /// Rewritten function, all registers physical.
+    pub function: Function,
+    /// Registers used.
+    pub colors_used: u32,
+    /// Webs spilled across rounds.
+    pub spilled_webs: usize,
+    /// False edges given up (Pinter only).
+    pub removed_false_edges: usize,
+    /// Memory operations inserted by spilling.
+    pub inserted_mem_ops: usize,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+/// Global allocation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalAllocError {
+    /// Spilling failed to converge.
+    TooManyRounds {
+        /// Round limit.
+        limit: u32,
+    },
+    /// Internal validation failure.
+    Invalid(AllocCheckError),
+}
+
+impl fmt::Display for GlobalAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalAllocError::TooManyRounds { limit } => {
+                write!(f, "global spilling did not converge within {limit} rounds")
+            }
+            GlobalAllocError::Invalid(e) => write!(f, "global allocation failed validation: {e}"),
+        }
+    }
+}
+
+impl Error for GlobalAllocError {}
+
+/// Strategy for the global allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalStrategy {
+    /// Chaitin coloring of the web interference graph.
+    Chaitin,
+    /// The paper's combined coloring of the global PIG.
+    Pinter(PinterConfig),
+}
+
+const MAX_ROUNDS: u32 = 32;
+
+/// Allocates registers for a whole function (any CFG shape) on `machine`.
+///
+/// # Examples
+///
+/// ```
+/// use parsched_ir::parse_function;
+/// use parsched_machine::presets;
+/// use parsched_regalloc::global::{allocate_global, GlobalStrategy};
+///
+/// let f = parse_function(
+///     "func @abs(s0) {\nentry:\n    blt s0, 0, neg\npos:\n    ret s0\nneg:\n    s1 = neg s0\n    ret s1\n}",
+/// )?;
+/// let out = allocate_global(&f, &presets::paper_machine(4), GlobalStrategy::Chaitin, true)?;
+/// assert_eq!(out.function.num_sym_regs(), 0, "fully physical");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+/// Returns [`GlobalAllocError`] if spilling fails to converge.
+pub fn allocate_global(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: GlobalStrategy,
+    coalesce: bool,
+) -> Result<GlobalAllocation, GlobalAllocError> {
+    let k = machine.num_regs();
+    let mut current = func.clone();
+    // Reload temporaries created by spill rewriting must never re-spill.
+    let protected_from = current.num_sym_regs();
+    let mut spilled_webs = 0usize;
+    let mut removed_false_edges = 0usize;
+    let mut inserted_mem_ops = 0usize;
+    let mut next_slot: i64 = 0;
+
+    for round in 1..=MAX_ROUNDS {
+        let problem = GlobalAllocProblem::build(&current, machine);
+        let nw = problem.webs.len();
+        let quotient = if coalesce {
+            problem.coalesced(&current, k)
+        } else {
+            problem.trivial_quotient()
+        };
+        // Per-class costs, with reload temporaries protected from
+        // re-spilling via a prohibitive cost on their class.
+        let costs: Vec<f64> = (0..quotient.len())
+            .map(|c| {
+                let protected = (0..nw).any(|w| {
+                    quotient.class_of(WebId(w)) == c
+                        && matches!(problem.webs.reg_of(WebId(w)),
+                            Reg::Sym(sr) if sr.0 >= protected_from)
+                });
+                if protected {
+                    1e12
+                } else {
+                    quotient.costs[c]
+                }
+            })
+            .collect();
+        let (class_colors, class_spills, removed) = match &strategy {
+            GlobalStrategy::Chaitin => {
+                let out = chaitin_color(&quotient.er, k, &costs);
+                (out.colors, out.spilled, 0)
+            }
+            GlobalStrategy::Pinter(cfg) => {
+                let pig = quotient.pig();
+                let out = combined_color(&pig, k, &costs, &quotient.priority, cfg);
+                (out.colors, out.spilled, out.removed_false_edges.len())
+            }
+        };
+        removed_false_edges += removed;
+
+        if class_spills.is_empty() {
+            let colors = quotient.expand_colors(&class_colors, nw);
+            let rewritten = rewrite_with_webs(&current, &problem, &colors);
+            let colors_used = colors
+                .iter()
+                .filter(|&&c| c != u32::MAX)
+                .map(|&c| c + 1)
+                .max()
+                .unwrap_or(0);
+            return Ok(GlobalAllocation {
+                function: rewritten,
+                colors_used,
+                spilled_webs,
+                removed_false_edges,
+                inserted_mem_ops,
+                rounds: round,
+            });
+        }
+
+        let spill_set = quotient.expand_spills(&class_spills, nw);
+        spilled_webs += spill_set.len();
+        let (rewritten, inserted) =
+            insert_global_spill_code(&current, &problem, &spill_set, &mut next_slot);
+        inserted_mem_ops += inserted;
+        current = rewritten;
+    }
+    Err(GlobalAllocError::TooManyRounds { limit: MAX_ROUNDS })
+}
+
+/// Rewrites every register reference through its web's color: definitions
+/// by their own web, uses by the web of their reaching definition.
+fn rewrite_with_webs(func: &Function, problem: &GlobalAllocProblem, colors: &[u32]) -> Function {
+    let phys_of_web = |w: WebId| -> Reg { Reg::phys(colors[w.0]) };
+    let mut out = func.clone();
+    // Params first.
+    let new_params: Vec<Reg> = func
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(pi, _)| phys_of_web(param_web(&problem.defuse, &problem.webs, pi)))
+        .collect();
+
+    for (b, block) in out.blocks_mut().iter_mut().enumerate() {
+        for (i, inst) in block.insts_mut().iter_mut().enumerate() {
+            let id = InstId::new(BlockId(b), i);
+            let orig = func.inst(id);
+            // Resolve replacement per operand role.
+            let defs = orig.defs();
+            let uses = orig.uses();
+            let mut def_map: HashMap<Reg, Reg> = HashMap::new();
+            for (nth, d) in defs.iter().enumerate() {
+                let w = problem.webs.web_of(def_id_at(&problem.defuse, id, nth));
+                def_map.insert(*d, phys_of_web(w));
+            }
+            let mut use_map: HashMap<Reg, Reg> = HashMap::new();
+            for (nth, u) in uses.iter().enumerate() {
+                let site = UseSite { inst: id, nth };
+                if let Some(&d) = problem.defuse.reaching_defs(site).first() {
+                    use_map.insert(*u, phys_of_web(problem.webs.web_of(d)));
+                }
+            }
+            // A register may appear as both use and def (e.g. `s1 = add s1, 1`).
+            // map_regs visits each occurrence; uses are reads, defs writes —
+            // but map_regs cannot distinguish role. Within one web they agree
+            // (the use's reaching def and the new def share the web only if
+            // merged); when they disagree we rewrite by role explicitly.
+            rewrite_inst_by_role(inst, &def_map, &use_map);
+        }
+    }
+    Function::new(func.name(), new_params, out.blocks().to_vec())
+}
+
+/// Rewrites an instruction's defs via `def_map` and uses via `use_map`.
+fn rewrite_inst_by_role(inst: &mut Inst, def_map: &HashMap<Reg, Reg>, use_map: &HashMap<Reg, Reg>) {
+    let remap_use = |r: Reg| *use_map.get(&r).unwrap_or(&r);
+    match inst.kind_mut() {
+        InstKind::LoadImm { dst, .. } => {
+            *dst = *def_map.get(dst).unwrap_or(dst);
+        }
+        InstKind::Binary { dst, lhs, rhs, .. } => {
+            if let parsched_ir::Operand::Reg(r) = lhs {
+                *r = remap_use(*r);
+            }
+            if let parsched_ir::Operand::Reg(r) = rhs {
+                *r = remap_use(*r);
+            }
+            *dst = *def_map.get(dst).unwrap_or(dst);
+        }
+        InstKind::Unary { dst, src, .. } | InstKind::Copy { dst, src } => {
+            *src = remap_use(*src);
+            *dst = *def_map.get(dst).unwrap_or(dst);
+        }
+        InstKind::Load { dst, addr, .. } => {
+            if let parsched_ir::AddrBase::Reg(r) = &mut addr.base {
+                *r = remap_use(*r);
+            }
+            *dst = *def_map.get(dst).unwrap_or(dst);
+        }
+        InstKind::Store { src, addr, .. } => {
+            *src = remap_use(*src);
+            if let parsched_ir::AddrBase::Reg(r) = &mut addr.base {
+                *r = remap_use(*r);
+            }
+        }
+        InstKind::Branch { lhs, rhs, .. } => {
+            *lhs = remap_use(*lhs);
+            if let parsched_ir::Operand::Reg(r) = rhs {
+                *r = remap_use(*r);
+            }
+        }
+        InstKind::Call { dsts, args, .. } => {
+            for a in args.iter_mut() {
+                *a = remap_use(*a);
+            }
+            for d in dsts.iter_mut() {
+                *d = *def_map.get(d).unwrap_or(d);
+            }
+        }
+        InstKind::Ret { value } => {
+            if let Some(v) = value {
+                *v = remap_use(*v);
+            }
+        }
+        InstKind::Jump { .. } | InstKind::Nop => {}
+    }
+}
+
+/// Spills whole webs: every member definition is followed by a store,
+/// every use reached by a member definition reloads first. Spilled
+/// parameters are stored at function entry.
+fn insert_global_spill_code(
+    func: &Function,
+    problem: &GlobalAllocProblem,
+    spilled: &[WebId],
+    next_slot: &mut i64,
+) -> (Function, usize) {
+    let mut slot_of: HashMap<WebId, i64> = HashMap::new();
+    for &w in spilled {
+        slot_of.insert(w, *next_slot);
+        *next_slot += 1;
+    }
+    let addr_of = |w: WebId| MemAddr::global(SPILL_REGION, slot_of[&w] * 8);
+    let mut fresh = func.num_sym_regs();
+    let mut inserted = 0usize;
+
+    let mut new_blocks: Vec<Block> = Vec::new();
+    for (b, block) in func.blocks().iter().enumerate() {
+        let mut nb = Block::new(block.label());
+        if b == func.entry().0 {
+            for (pi, &p) in func.params().iter().enumerate() {
+                let w = param_web(&problem.defuse, &problem.webs, pi);
+                if slot_of.contains_key(&w) {
+                    nb.push(InstKind::Store {
+                        src: p,
+                        addr: addr_of(w),
+                        float: false,
+                    });
+                    inserted += 1;
+                }
+            }
+        }
+        for (i, inst) in block.insts().iter().enumerate() {
+            let id = InstId::new(BlockId(b), i);
+            let mut replacement: HashMap<Reg, Reg> = HashMap::new();
+            for (nth, u) in inst.uses().into_iter().enumerate() {
+                let site = UseSite { inst: id, nth };
+                if let Some(&d) = problem.defuse.reaching_defs(site).first() {
+                    let w = problem.webs.web_of(d);
+                    if slot_of.contains_key(&w) && !replacement.contains_key(&u) {
+                        let tmp = Reg::sym(fresh);
+                        fresh += 1;
+                        nb.push(InstKind::Load {
+                            dst: tmp,
+                            addr: addr_of(w),
+                            float: false,
+                        });
+                        inserted += 1;
+                        replacement.insert(u, tmp);
+                    }
+                }
+            }
+            let mut rewritten = inst.clone();
+            if !replacement.is_empty() {
+                // Only uses are replaced by role-aware rewriting.
+                let empty: HashMap<Reg, Reg> = HashMap::new();
+                rewrite_inst_by_role(&mut rewritten, &empty, &replacement);
+            }
+            let defs = rewritten.defs();
+            nb.push(rewritten);
+            for (nth, d) in defs.into_iter().enumerate() {
+                let w = problem.webs.web_of(def_id_at(&problem.defuse, id, nth));
+                if slot_of.contains_key(&w) {
+                    nb.push(InstKind::Store {
+                        src: d,
+                        addr: addr_of(w),
+                        float: false,
+                    });
+                    inserted += 1;
+                }
+            }
+        }
+        new_blocks.push(nb);
+    }
+    // Inserting loads/stores shifts instruction indices *within* blocks but
+    // never reorders or renumbers blocks, so branch targets stay valid.
+    (
+        Function::new(func.name(), func.params().to_vec(), new_blocks),
+        inserted,
+    )
+}
+
+fn def_id_at(du: &DefUse, id: InstId, nth: usize) -> DefId {
+    du.defs()
+        .iter()
+        .position(|&(site, _)| site == DefSite::Inst(id, nth))
+        .map(DefId)
+        .expect("definition enumerated by DefUse")
+}
+
+fn param_web(du: &DefUse, webs: &Webs, param_index: usize) -> WebId {
+    let d = du
+        .defs()
+        .iter()
+        .position(|&(site, _)| site == DefSite::Param(param_index))
+        .map(DefId)
+        .expect("parameter enumerated by DefUse");
+    webs.web_of(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::interp::{Interpreter, Memory};
+    use parsched_ir::parse_function;
+    use parsched_machine::presets;
+
+    fn check_semantics(f: &Function, g: &Function, args: &[i64]) {
+        let mut mem = Memory::new();
+        mem.set_global("z", 0, 17);
+        for a in 0..128 {
+            mem.set_abs(a, a * 7 + 3);
+        }
+        let i = Interpreter::new();
+        let before = i.run(f, args, mem.clone()).unwrap();
+        let after = i.run(g, args, mem).unwrap();
+        assert_eq!(before.return_value, after.return_value, "return values");
+        assert_eq!(
+            before
+                .memory
+                .snapshot()
+                .into_iter()
+                .filter(|((region, _), _)| region != SPILL_REGION)
+                .collect::<Vec<_>>(),
+            after
+                .memory
+                .snapshot()
+                .into_iter()
+                .filter(|((region, _), _)| region != SPILL_REGION)
+                .collect::<Vec<_>>(),
+            "memory effects"
+        );
+    }
+
+    const LOOP: &str = r#"
+        func @sum(s0) {
+        entry:
+            s1 = li 0
+            s2 = li 0
+        head:
+            s3 = slt s2, s0
+            beq s3, 0, done
+        body:
+            s4 = add s1, s2
+            s1 = mov s4
+            s5 = add s2, 1
+            s2 = mov s5
+            jmp head
+        done:
+            ret s1
+        }
+    "#;
+
+    #[test]
+    fn global_chaitin_allocates_loop() {
+        let f = parse_function(LOOP).unwrap();
+        let m = presets::paper_machine(8);
+        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
+        assert_eq!(out.spilled_webs, 0);
+        assert!(out.colors_used <= 8);
+        assert_eq!(out.function.num_sym_regs(), 0, "fully physical");
+        check_semantics(&f, &out.function, &[10]);
+    }
+
+    #[test]
+    fn global_pinter_allocates_loop() {
+        let f = parse_function(LOOP).unwrap();
+        let m = presets::paper_machine(8);
+        let out = allocate_global(
+            &f,
+            &m,
+            GlobalStrategy::Pinter(PinterConfig::default()),
+            false,
+        )
+        .unwrap();
+        assert_eq!(out.spilled_webs, 0);
+        check_semantics(&f, &out.function, &[10]);
+    }
+
+    #[test]
+    fn figure6_webs_share_one_register() {
+        // Both arms define s1; the join uses it: one web, one register.
+        let f = parse_function(
+            r#"
+            func @fig6(s0) {
+            entry:
+                beq s0, 0, other
+            then:
+                s1 = li 1
+                jmp join
+            other:
+                s1 = li 2
+            join:
+                s2 = add s1, s1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let m = presets::paper_machine(8);
+        let problem = GlobalAllocProblem::build(&f, &m);
+        let du = &problem.defuse;
+        let s1_defs = du.defs_of_reg(Reg::sym(1));
+        assert_eq!(
+            problem.webs.web_of(s1_defs[0]),
+            problem.webs.web_of(s1_defs[1])
+        );
+        let out = allocate_global(
+            &f,
+            &m,
+            GlobalStrategy::Pinter(PinterConfig::default()),
+            false,
+        )
+        .unwrap();
+        check_semantics(&f, &out.function, &[0]);
+        check_semantics(&f, &out.function, &[1]);
+    }
+
+    #[test]
+    fn global_spilling_converges() {
+        let f = parse_function(LOOP).unwrap();
+        let m = presets::paper_machine(2);
+        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
+        assert!(out.colors_used <= 2);
+        check_semantics(&f, &out.function, &[7]);
+        if out.spilled_webs > 0 {
+            assert!(out.inserted_mem_ops > 0);
+        }
+    }
+
+    #[test]
+    fn region_false_edges_connect_control_equivalent_defs() {
+        // Straight-line chain of blocks: all one region; int/float defs in
+        // different blocks can pair.
+        let f = parse_function(
+            r#"
+            func @chain(s0) {
+            a:
+                s1 = add s0, 1
+            b:
+                s2 = fadd s0, 1
+            c:
+                s3 = add s1, 1
+                s4 = fadd s2, 1
+                s5 = add s3, s3
+                s6 = fadd s4, s4
+                s7 = add s5, s6
+                ret s7
+            }
+            "#,
+        )
+        .unwrap();
+        let m = presets::paper_machine(8);
+        let problem = GlobalAllocProblem::build(&f, &m);
+        assert!(
+            problem.false_edges().edge_count() > 0,
+            "cross-unit defs across control-equivalent blocks are parallelizable"
+        );
+        let out = allocate_global(
+            &f,
+            &m,
+            GlobalStrategy::Pinter(PinterConfig::default()),
+            false,
+        )
+        .unwrap();
+        check_semantics(&f, &out.function, &[4]);
+    }
+
+    #[test]
+    fn disjoint_reuse_gets_two_registers_allowed() {
+        // Two independent webs of one name may get different registers.
+        let f = parse_function(
+            r#"
+            func @reuse(s9) {
+            entry:
+                s0 = li 1
+                s1 = add s0, 1
+                s0 = li 2
+                s2 = add s0, s1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let m = presets::paper_machine(8);
+        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
+        check_semantics(&f, &out.function, &[0]);
+    }
+
+    #[test]
+    fn coalescing_merges_loop_copies() {
+        let f = parse_function(LOOP).unwrap();
+        let m = presets::paper_machine(8);
+        let problem = GlobalAllocProblem::build(&f, &m);
+        let q = problem.coalesced(&f, 8);
+        assert!(q.merged_moves() > 0, "loop induction copies coalesce");
+        assert!(q.len() < problem.webs().len());
+        // Quotient interference stays loop-free of self-edges by
+        // construction (debug_assert) and properly colorable:
+        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, true).unwrap();
+        check_semantics(&f, &out.function, &[10]);
+    }
+
+    #[test]
+    fn coalescing_preserves_semantics_with_both_strategies() {
+        for src in [LOOP] {
+            let f = parse_function(src).unwrap();
+            for strategy in [
+                GlobalStrategy::Chaitin,
+                GlobalStrategy::Pinter(PinterConfig::default()),
+            ] {
+                let m = presets::paper_machine(6);
+                let out = allocate_global(&f, &m, strategy, true).unwrap();
+                check_semantics(&f, &out.function, &[9]);
+                assert!(out.colors_used <= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_quotient_is_identity() {
+        let f = parse_function(LOOP).unwrap();
+        let m = presets::paper_machine(8);
+        let problem = GlobalAllocProblem::build(&f, &m);
+        let q = problem.trivial_quotient();
+        assert_eq!(q.len(), problem.webs().len());
+        assert_eq!(q.merged_moves(), 0);
+        assert_eq!(
+            q.interference().edge_count(),
+            problem.interference().edge_count()
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Linear-scan register allocation (Poletto–Sarkar style), block level.
+//!
+//! Included as the classic low-compile-time baseline: it allocates in one
+//! pass over live intervals with no graph at all, trading allocation
+//! quality for speed. Like Chaitin it is parallelism-blind, so it sits at
+//! the opposite end of the spectrum from the paper's combined allocator —
+//! useful for calibrating how much the *graph* itself (let alone the PIG)
+//! buys.
+
+use crate::chaitin::ColorOutcome;
+use crate::problem::BlockAllocProblem;
+use parsched_ir::liveness::Liveness;
+use parsched_ir::{BlockId, Function};
+
+/// A node's live interval in *doubled* program points: instruction `i`
+/// reads at point `2i` and writes at point `2i + 1`, so a definition can
+/// reuse the register of a value whose last read is in the same
+/// instruction (the paper's last-use refinement) while two values that
+/// coexist at a point never share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// The allocation node.
+    pub node: usize,
+    /// First point at which the value exists: `2i + 1` for a definition at
+    /// instruction `i`, `0` for live-in values.
+    pub start: usize,
+    /// Last point that reads the value (`start` for dead definitions; past
+    /// the terminator for live-out values).
+    pub end: usize,
+}
+
+/// Computes the live interval of every allocation node of `problem`.
+pub fn intervals(
+    func: &Function,
+    block_id: BlockId,
+    problem: &BlockAllocProblem,
+    liveness: &Liveness,
+) -> Vec<Interval> {
+    let block = func.block(block_id);
+    let n_positions = block.insts().len(); // body + terminator positions
+    let live_out = liveness.live_out(block_id);
+
+    (0..problem.len())
+        .map(|node| {
+            let reg = problem.nodes()[node];
+            let start = problem.def_site(node).map_or(0, |i| 2 * i + 1);
+            let mut end = start;
+            for (i, inst) in block.insts().iter().enumerate() {
+                if inst.uses().contains(&reg) {
+                    end = end.max(2 * i);
+                }
+            }
+            if live_out.contains(&reg) {
+                end = 2 * (n_positions + 1);
+            }
+            Interval { node, start, end }
+        })
+        .collect()
+}
+
+/// Allocates with the linear-scan algorithm: walk intervals by increasing
+/// start, expire finished intervals, take a free register, and when none is
+/// free spill the active interval that ends *last* (keeping the shorter
+/// one in a register).
+///
+/// The paper's last-use refinement applies: an interval ending exactly
+/// where another starts does not conflict, so expiry happens before
+/// assignment at equal positions.
+pub fn linear_scan_color(
+    func: &Function,
+    block_id: BlockId,
+    problem: &BlockAllocProblem,
+    liveness: &Liveness,
+    k: u32,
+) -> ColorOutcome {
+    let mut ivs = intervals(func, block_id, problem, liveness);
+    ivs.sort_by_key(|iv| (iv.start, iv.end, iv.node));
+
+    let n = problem.len();
+    let mut colors = vec![u32::MAX; n];
+    let mut spilled: Vec<usize> = Vec::new();
+    let mut free: Vec<u32> = (0..k).rev().collect();
+    // Active intervals sorted by end (linear structures suffice at block
+    // scale).
+    let mut active: Vec<Interval> = Vec::new();
+
+    for iv in ivs {
+        // Expire: anything ending strictly before this start frees its
+        // register. With doubled points, a value last *read* at instruction
+        // i (end = 2i) expires for a value *written* at i (start = 2i + 1)
+        // — the last-use refinement — while co-resident values (equal
+        // points) never share.
+        active.retain(|a| {
+            if a.end < iv.start {
+                free.push(colors[a.node]);
+                false
+            } else {
+                true
+            }
+        });
+
+        if let Some(c) = free.pop() {
+            colors[iv.node] = c;
+            active.push(iv);
+        } else {
+            // Spill the interval with the furthest end.
+            let (furthest_pos, &furthest) = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, a)| (a.end, a.node))
+                .expect("active nonempty when no register is free");
+            if furthest.end > iv.end {
+                colors[iv.node] = colors[furthest.node];
+                colors[furthest.node] = u32::MAX;
+                spilled.push(furthest.node);
+                active.remove(furthest_pos);
+                active.push(iv);
+            } else {
+                spilled.push(iv.node);
+            }
+        }
+    }
+    spilled.sort_unstable();
+    ColorOutcome { colors, spilled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::parse_function;
+
+    fn setup(src: &str) -> (Function, BlockAllocProblem, Liveness) {
+        let f = parse_function(src).unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
+        (f, p, lv)
+    }
+
+    const CHAIN: &str = r#"
+        func @c(s0) {
+        entry:
+            s1 = add s0, 1
+            s2 = add s1, 1
+            s3 = add s2, 1
+            ret s3
+        }
+    "#;
+
+    #[test]
+    fn chain_reuses_one_register_pair() {
+        let (f, p, lv) = setup(CHAIN);
+        let out = linear_scan_color(&f, BlockId(0), &p, &lv, 2);
+        assert!(out.spilled.is_empty());
+        assert!(out.colors_used() <= 2);
+        assert!(p.interference().is_proper_coloring(&out.colors));
+    }
+
+    #[test]
+    fn intervals_reflect_last_use_and_liveout() {
+        let (f, p, lv) = setup(CHAIN);
+        let ivs = intervals(&f, BlockId(0), &p, &lv);
+        let of = |r: u32| {
+            let node = p.node_of(parsched_ir::Reg::sym(r)).unwrap();
+            *ivs.iter().find(|iv| iv.node == node).unwrap()
+        };
+        assert_eq!(of(0).start, 0, "live-in starts at 0");
+        assert_eq!(of(0).end, 0, "s0 last read by inst 0 (point 2*0)");
+        assert_eq!(of(1).start, 1, "defined by inst 0 (point 2*0+1)");
+        assert_eq!(of(1).end, 2, "last read by inst 1");
+        assert_eq!(of(3).end, 6, "read by the terminator at position 3");
+    }
+
+    #[test]
+    fn spills_under_pressure_and_stays_proper() {
+        let (f, p, lv) = setup(
+            r#"
+            func @p() {
+            entry:
+                s0 = li 1
+                s1 = li 2
+                s2 = li 3
+                s3 = li 4
+                s4 = add s0, s1
+                s5 = add s2, s3
+                s6 = add s4, s5
+                ret s6
+            }
+            "#,
+        );
+        let out = linear_scan_color(&f, BlockId(0), &p, &lv, 2);
+        assert!(!out.spilled.is_empty(), "2 regs force spilling");
+        // Non-spilled nodes are properly colored w.r.t. interference among
+        // themselves.
+        for (u, v) in p.interference().edges() {
+            if out.colors[u] != u32::MAX && out.colors[v] != u32::MAX {
+                assert_ne!(out.colors[u], out.colors[v], "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_worse_than_node_count() {
+        let (f, p, lv) = setup(CHAIN);
+        let out = linear_scan_color(&f, BlockId(0), &p, &lv, 32);
+        assert!(out.spilled.is_empty());
+        assert!(out.colors_used() as usize <= p.len());
+    }
+}

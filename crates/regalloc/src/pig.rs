@@ -1,0 +1,348 @@
+//! The parallelizable interference graph (PIG).
+//!
+//! `G = (V, E)` with `V = Vr` (the allocation vertices) and
+//! `E = Er ∪ { {u,v} : {u,v} ∈ Ef and u,v ∈ V }` — the union of the
+//! interference graph and the false-dependence graph restricted to
+//! defining vertices. Theorem 1: an optimal coloring of `G` is a spill-free
+//! register allocation whose scheduling graph has no false dependence.
+//! Theorem 2: `G` is minimal with that property.
+
+use crate::problem::BlockAllocProblem;
+use parsched_graph::UnGraph;
+use parsched_machine::MachineDesc;
+use parsched_sched::falsedep::false_dependence_graph;
+use parsched_sched::DepGraph;
+
+/// A PIG: the combined graph plus bookkeeping about which edges came from
+/// where (needed by the combined allocator's heuristics, Lemmas 2/3).
+#[derive(Debug, Clone)]
+pub struct Pig {
+    graph: UnGraph,
+    interference_only: UnGraph,
+    false_only: UnGraph,
+    shared: UnGraph,
+}
+
+impl Pig {
+    /// Builds the PIG for `problem` on `machine`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parsched_ir::liveness::Liveness;
+    /// use parsched_ir::{parse_function, BlockId};
+    /// use parsched_machine::presets;
+    /// use parsched_regalloc::{BlockAllocProblem, Pig};
+    /// use parsched_sched::DepGraph;
+    ///
+    /// let f = parse_function(
+    ///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = fadd s0, 2\n    s3 = add s1, s2\n    ret s3\n}",
+    /// )?;
+    /// let lv = Liveness::compute(&f, &[]);
+    /// let problem = BlockAllocProblem::build(&f, BlockId(0), &lv)?;
+    /// let deps = DepGraph::build(f.block(BlockId(0)));
+    /// let pig = Pig::build(&problem, &deps, &presets::paper_machine(8));
+    /// // The PIG contains at least the interference edges.
+    /// assert!(pig.graph().edge_count() >= problem.interference().edge_count());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// `deps` must be the dependence graph of the same block built from
+    /// *symbolic* code. An `Ef` edge between two defining instructions
+    /// becomes an edge between their definition vertices; `Ef` edges
+    /// touching non-defining instructions (stores, branch inputs) have no
+    /// allocation counterpart and are dropped, per the paper's `u, v ∈ V`
+    /// restriction.
+    pub fn build(problem: &BlockAllocProblem, deps: &DepGraph, machine: &MachineDesc) -> Pig {
+        let ef = false_dependence_graph(deps, machine);
+        let n = problem.len();
+        let er = problem.interference();
+
+        let mut false_edges = UnGraph::new(n);
+        for (i, j) in ef.edges() {
+            if let (Some(u), Some(v)) = (problem.node_defined_at(i), problem.node_defined_at(j)) {
+                false_edges.add_edge(u, v);
+            }
+        }
+        Pig::from_parts(er.clone(), false_edges)
+    }
+
+    /// Assembles a PIG from an interference graph `Er` and a
+    /// false-dependence edge set `Ef` over the *same* vertex set — the
+    /// entry point for the global (web-based) construction.
+    ///
+    /// # Panics
+    /// Panics if node counts differ.
+    pub fn from_parts(er: UnGraph, false_edges: UnGraph) -> Pig {
+        assert_eq!(
+            er.node_count(),
+            false_edges.node_count(),
+            "Er and Ef must share a vertex set"
+        );
+        let n = er.node_count();
+        let mut graph = er.clone();
+        for (u, v) in false_edges.edges() {
+            graph.add_edge(u, v);
+        }
+
+        let mut interference_only = UnGraph::new(n);
+        let mut false_only = UnGraph::new(n);
+        let mut shared = UnGraph::new(n);
+        for (u, v) in graph.edges() {
+            match (er.has_edge(u, v), false_edges.has_edge(u, v)) {
+                (true, true) => {
+                    shared.add_edge(u, v);
+                }
+                (true, false) => {
+                    interference_only.add_edge(u, v);
+                }
+                (false, true) => {
+                    false_only.add_edge(u, v);
+                }
+                (false, false) => unreachable!("edge came from one of the sources"),
+            }
+        }
+
+        Pig {
+            graph,
+            interference_only,
+            false_only,
+            shared,
+        }
+    }
+
+    /// The combined graph `G`.
+    pub fn graph(&self) -> &UnGraph {
+        &self.graph
+    }
+
+    /// Edges in `Er` only (pure interference; removing one may cause a
+    /// spill but cannot lose parallelism — the dual of Lemma 2).
+    pub fn interference_only(&self) -> &UnGraph {
+        &self.interference_only
+    }
+
+    /// Edges in `Ef` only (pure parallelism; Lemma 2 — merging the two
+    /// definitions cannot spill but restricts the scheduler).
+    pub fn false_only(&self) -> &UnGraph {
+        &self.false_only
+    }
+
+    /// Edges in both `Er` and `Ef` (Lemma 3 — keeping them separate both
+    /// prevents a spill *and* preserves parallelism; never remove these).
+    pub fn shared(&self) -> &UnGraph {
+        &self.shared
+    }
+
+    /// Degree of `v` counting only interference edges (`Er`), the quantity
+    /// the combined algorithm's second simplify loop tests.
+    pub fn interference_degree(&self, v: usize) -> usize {
+        self.interference_only.degree(v) + self.shared.degree(v)
+    }
+}
+
+/// The paper's *augmented* parallelizable interference graph: vertices are
+/// **all** body instructions (`V = Vs`), not just definitions, with both
+/// interference edges (lifted to the defining instructions) and
+/// false-dependence edges. The augmentation does not take part in coloring;
+/// its purpose is the scheduler-facing query the paper describes — "at each
+/// node v the edges {v, u} ∈ Ef provide the list of available instructions
+/// (with v) as used in list scheduling algorithms".
+#[derive(Debug, Clone)]
+pub struct AugmentedPig {
+    ef: UnGraph,
+    interference_insts: UnGraph,
+}
+
+impl AugmentedPig {
+    /// Builds the augmented graph for a block.
+    pub fn build(
+        problem: &BlockAllocProblem,
+        deps: &DepGraph,
+        machine: &MachineDesc,
+    ) -> AugmentedPig {
+        let n = deps.len();
+        let ef = false_dependence_graph(deps, machine);
+        // Lift Er onto instructions: an interference edge between two
+        // in-block definitions becomes an edge between their instructions.
+        let mut interference_insts = UnGraph::new(n);
+        for (u, v) in problem.interference().edges() {
+            if let (Some(i), Some(j)) = (problem.def_site(u), problem.def_site(v)) {
+                interference_insts.add_edge(i, j);
+            }
+        }
+        AugmentedPig {
+            ef,
+            interference_insts,
+        }
+    }
+
+    /// Number of instruction vertices.
+    pub fn len(&self) -> usize {
+        self.ef.node_count()
+    }
+
+    /// Whether the block body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The combined edge set over instructions (`Er` lifted ∪ `Ef`).
+    pub fn graph(&self) -> UnGraph {
+        self.interference_insts.union(&self.ef)
+    }
+
+    /// The instructions that may issue in the same cycle as `v` — the
+    /// paper's available list for list scheduling.
+    pub fn available_with(&self, v: usize) -> &[usize] {
+        self.ef.neighbors(v)
+    }
+
+    /// Whether instructions `u` and `v` may share an issue cycle.
+    pub fn can_pair(&self, u: usize, v: usize) -> bool {
+        self.ef.has_edge(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_graph::coloring::{exact_chromatic_number, ExactLimits};
+    use parsched_ir::liveness::Liveness;
+    use parsched_ir::{parse_function, BlockId, Reg};
+    use parsched_machine::presets;
+
+    fn setup(src: &str) -> (parsched_ir::Function, BlockAllocProblem, DepGraph) {
+        let f = parse_function(src).unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
+        let d = DepGraph::build(&f.blocks()[0]);
+        (f, p, d)
+    }
+
+    const EXAMPLE1: &str = r#"
+        func @ex1(s9) {
+        entry:
+            s1 = load [@z + 0]
+            s2 = fadd s9, 0
+            s3 = load [s2 + 0]
+            s4 = add s1, s1
+            s5 = mul s3, s1
+            ret s5
+        }
+    "#;
+
+    #[test]
+    fn example1_pig_needs_three_colors() {
+        // Figure 3: the parallelizable interference graph of Example 1
+        // admits a 3-register allocation.
+        let (_f, p, d) = setup(EXAMPLE1);
+        let m = presets::paper_machine(8);
+        let pig = Pig::build(&p, &d, &m);
+        let chrom = exact_chromatic_number(pig.graph(), &ExactLimits::default()).unwrap();
+        assert_eq!(chrom, 3);
+    }
+
+    #[test]
+    fn example1_pig_adds_false_edges() {
+        let (_f, p, d) = setup(EXAMPLE1);
+        let m = presets::paper_machine(8);
+        let pig = Pig::build(&p, &d, &m);
+        let n = |r: u32| p.node_of(Reg::sym(r)).unwrap();
+        // The false-dependence pairs {s1,s2}, {s2,s4}, {s3,s4} appear.
+        assert!(pig.graph().has_edge(n(1), n(2)));
+        assert!(pig.graph().has_edge(n(2), n(4)));
+        assert!(pig.graph().has_edge(n(3), n(4)));
+        // {s1,s2} is also an interference edge → shared (Lemma 3).
+        assert!(pig.shared().has_edge(n(1), n(2)));
+        // {s2,s4}: s2 dead by s4's def → false-only (Lemma 2).
+        assert!(pig.false_only().has_edge(n(2), n(4)));
+        // Interference degree excludes false-only edges.
+        assert_eq!(
+            pig.interference_degree(n(2)),
+            pig.graph().degree(n(2)) - pig.false_only().degree(n(2))
+        );
+    }
+
+    #[test]
+    fn single_issue_pig_equals_interference_graph() {
+        // No parallelism → Ef empty → PIG is exactly Gr.
+        let (_f, p, d) = setup(EXAMPLE1);
+        let m = presets::single_issue(8);
+        let pig = Pig::build(&p, &d, &m);
+        assert_eq!(pig.graph().edge_count(), p.interference().edge_count());
+        assert_eq!(pig.false_only().edge_count(), 0);
+    }
+
+    #[test]
+    fn live_in_vertices_carry_no_false_edges() {
+        let (_f, p, d) = setup(
+            r#"
+            func @li(s0, s1) {
+            entry:
+                s2 = add s0, 1
+                s3 = fadd s1, 1
+                s4 = add s2, s2
+                ret s4
+            }
+            "#,
+        );
+        let m = presets::paper_machine(8);
+        let pig = Pig::build(&p, &d, &m);
+        let s0 = p.node_of(Reg::sym(0)).unwrap();
+        let s1 = p.node_of(Reg::sym(1)).unwrap();
+        assert_eq!(pig.false_only().degree(s0), 0);
+        assert_eq!(pig.false_only().degree(s1), 0);
+        // But they do interfere with each other (both live-in).
+        assert!(pig.interference_only().has_edge(s0, s1));
+    }
+
+    #[test]
+    fn augmented_pig_available_lists_match_figure2() {
+        // Example 1's available pairs are the three Ef edges.
+        let (_f, p, d) = setup(EXAMPLE1);
+        let m = presets::paper_machine(8);
+        let aug = AugmentedPig::build(&p, &d, &m);
+        assert_eq!(aug.len(), 5);
+        assert!(aug.can_pair(0, 1), "load z ∥ s2");
+        assert!(aug.can_pair(1, 3), "s2 ∥ add");
+        assert!(aug.can_pair(2, 3), "load a[i] ∥ add");
+        assert!(!aug.can_pair(0, 2), "loads share the fetch unit");
+        assert_eq!(aug.available_with(3).len(), 2);
+        // Interference lifts onto instructions: s1 (inst 0) vs s3 (inst 2).
+        assert!(aug.graph().has_edge(0, 2));
+    }
+
+    #[test]
+    fn augmented_pig_same_cycle_pairs_are_available() {
+        // Any two instructions the list scheduler issues in one cycle must
+        // be in each other's available lists.
+        use parsched_sched::list_schedule;
+        let (f, p, d) = setup(EXAMPLE1);
+        let m = presets::paper_machine(8);
+        let aug = AugmentedPig::build(&p, &d, &m);
+        let s = list_schedule(&f.blocks()[0], &d, &m);
+        for (_, group) in s.groups() {
+            for (a, &u) in group.iter().enumerate() {
+                for &v in &group[a + 1..] {
+                    assert!(
+                        aug.can_pair(u, v),
+                        "scheduler paired {u} and {v} outside Ef"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pig_chromatic_at_least_interference_chromatic() {
+        // PIG ⊇ Gr, so χ(PIG) ≥ χ(Gr) always.
+        let (_f, p, d) = setup(EXAMPLE1);
+        let m = presets::paper_machine(8);
+        let pig = Pig::build(&p, &d, &m);
+        let lim = ExactLimits::default();
+        let chrom_gr = exact_chromatic_number(p.interference(), &lim).unwrap();
+        let chrom_pig = exact_chromatic_number(pig.graph(), &lim).unwrap();
+        assert!(chrom_pig >= chrom_gr);
+    }
+}

@@ -1,0 +1,334 @@
+//! The block-level allocation problem: vertices and interference graph.
+
+use parsched_graph::UnGraph;
+use parsched_ir::liveness::Liveness;
+use parsched_ir::{BlockId, Function, Reg};
+use std::collections::{BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// The register-allocation problem for one basic block.
+///
+/// Vertices follow the paper's Claim 1: every allocation vertex is either a
+/// *definition* in the block body (so it corresponds to an instruction of
+/// the schedule graph, `Vr ⊆ Vs`) or a value *live into* the block (defined
+/// upstream — such vertices take part in coloring but carry no
+/// false-dependence edges, since their defining instruction is elsewhere).
+///
+/// Interference follows the paper's definition with the classic last-use
+/// refinement: a definition interferes with every value live *immediately
+/// after* the defining instruction — "the end point of the live interval …
+/// is not considered part of the interval; this enables the reuse of the
+/// register in the same statement that last uses it".
+#[derive(Debug, Clone)]
+pub struct BlockAllocProblem {
+    block: BlockId,
+    nodes: Vec<Reg>,
+    node_of_reg: HashMap<Reg, usize>,
+    def_site: Vec<Option<usize>>,
+    uses_count: Vec<u32>,
+    interference: UnGraph,
+}
+
+/// Errors constructing a [`BlockAllocProblem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemError {
+    /// A symbolic register is defined more than once in the block; the
+    /// paper's framework assumes one symbolic register per value. Run the
+    /// webs/"right number of names" renaming first.
+    MultipleDefs {
+        /// The offending register.
+        reg: Reg,
+    },
+    /// A register is defined in the block but the block also sees it
+    /// live-in (a block-local analysis cannot name both values).
+    DefShadowsLiveIn {
+        /// The offending register.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::MultipleDefs { reg } => {
+                write!(f, "register {reg} defined more than once in the block")
+            }
+            ProblemError::DefShadowsLiveIn { reg } => {
+                write!(f, "register {reg} is both live-in and defined in the block")
+            }
+        }
+    }
+}
+
+impl Error for ProblemError {}
+
+impl BlockAllocProblem {
+    /// Builds the problem for `block_id` of `func` using `liveness`.
+    ///
+    /// # Errors
+    /// Returns [`ProblemError`] if the block violates the single-definition
+    /// discipline for symbolic registers.
+    pub fn build(
+        func: &Function,
+        block_id: BlockId,
+        liveness: &Liveness,
+    ) -> Result<BlockAllocProblem, ProblemError> {
+        let block = func.block(block_id);
+        let body = block.body();
+        let live_in = liveness.live_in(block_id);
+
+        // Enumerate nodes: live-in values first (deterministic BTreeSet
+        // order), then body definitions in program order.
+        let mut nodes: Vec<Reg> = Vec::new();
+        let mut node_of_reg: HashMap<Reg, usize> = HashMap::new();
+        let mut def_site: Vec<Option<usize>> = Vec::new();
+        for &r in live_in {
+            node_of_reg.insert(r, nodes.len());
+            nodes.push(r);
+            def_site.push(None);
+        }
+        for (i, inst) in body.iter().enumerate() {
+            for d in inst.defs() {
+                if let Some(&existing) = node_of_reg.get(&d) {
+                    return Err(if def_site[existing].is_none() {
+                        ProblemError::DefShadowsLiveIn { reg: d }
+                    } else {
+                        ProblemError::MultipleDefs { reg: d }
+                    });
+                }
+                node_of_reg.insert(d, nodes.len());
+                nodes.push(d);
+                def_site.push(Some(i));
+            }
+        }
+
+        // Count uses for spill costs (terminator uses count too).
+        let mut uses_count = vec![0u32; nodes.len()];
+        for inst in block.insts() {
+            for u in inst.uses() {
+                if let Some(&n) = node_of_reg.get(&u) {
+                    uses_count[n] += 1;
+                }
+            }
+        }
+
+        // Interference: def point of each node vs values live right after.
+        let mut interference = UnGraph::new(nodes.len());
+        let per_inst = liveness.per_inst_live_out(func, block_id);
+        let add_live_edges = |g: &mut UnGraph, node: usize, live: &BTreeSet<Reg>| {
+            for &other in live {
+                if let Some(&o) = node_of_reg.get(&other) {
+                    if o != node {
+                        g.add_edge(node, o);
+                    }
+                }
+            }
+        };
+        // Live-in values are all simultaneously live at entry.
+        let live_in_nodes: Vec<usize> = live_in.iter().map(|r| node_of_reg[r]).collect();
+        for (a, &u) in live_in_nodes.iter().enumerate() {
+            for &v in &live_in_nodes[a + 1..] {
+                interference.add_edge(u, v);
+            }
+        }
+        // Definitions interfere with the live-out set of their instruction.
+        for (i, inst) in body.iter().enumerate() {
+            // The live set after the *last body inst* vs terminator handled
+            // implicitly: per_inst covers every body instruction.
+            for d in inst.defs() {
+                let n = node_of_reg[&d];
+                add_live_edges(&mut interference, n, &per_inst[i]);
+            }
+        }
+
+        Ok(BlockAllocProblem {
+            block: block_id,
+            nodes,
+            node_of_reg,
+            def_site,
+            uses_count,
+            interference,
+        })
+    }
+
+    /// The block this problem describes.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Allocation vertices: the register each node names.
+    pub fn nodes(&self) -> &[Reg] {
+        &self.nodes
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the problem has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node for register `r`, if `r` is live-in or defined here.
+    pub fn node_of(&self, r: Reg) -> Option<usize> {
+        self.node_of_reg.get(&r).copied()
+    }
+
+    /// The body-instruction index defining node `n`, or `None` for live-in
+    /// values.
+    pub fn def_site(&self, n: usize) -> Option<usize> {
+        self.def_site[n]
+    }
+
+    /// The node defined by body instruction `i`, if any.
+    pub fn node_defined_at(&self, i: usize) -> Option<usize> {
+        // def_site is monotone over the trailing section; linear scan is
+        // fine at block scale.
+        (0..self.nodes.len()).find(|&n| self.def_site[n] == Some(i))
+    }
+
+    /// Number of uses of node `n` within the block (terminator included).
+    pub fn uses_count(&self, n: usize) -> u32 {
+        self.uses_count[n]
+    }
+
+    /// The paper's spill-cost numerator: a value that is defined and used
+    /// often is expensive to keep in memory. Block-level: `1 + uses`.
+    pub fn spill_cost(&self, n: usize) -> f64 {
+        1.0 + f64::from(self.uses_count[n])
+    }
+
+    /// The interference graph `Gr` over the vertices.
+    pub fn interference(&self) -> &UnGraph {
+        &self.interference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::parse_function;
+
+    fn problem(src: &str) -> BlockAllocProblem {
+        let f = parse_function(src).unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap()
+    }
+
+    #[test]
+    fn example1_interference_matches_figure2c() {
+        // Example 1(b); Figure 2(c) shows Gr with edges s1-s2, s1-s3, s1-s4.
+        let p = problem(
+            r#"
+            func @ex1(s9) {
+            entry:
+                s1 = load [@z + 0]
+                s2 = fadd s9, 0
+                s3 = load [s2 + 0]
+                s4 = add s1, s1
+                s5 = mul s3, s1
+                ret s5
+            }
+            "#,
+        );
+        let g = p.interference();
+        let n = |r: u32| p.node_of(Reg::sym(r)).unwrap();
+        // s1 is live across s2, s3, s4 definitions.
+        assert!(g.has_edge(n(1), n(2)));
+        assert!(g.has_edge(n(1), n(3)));
+        assert!(g.has_edge(n(1), n(4)));
+        // s2 dies at s3's def (last use not in interval): no s2-s3 edge.
+        assert!(!g.has_edge(n(2), n(3)));
+        // s3 dies at s5's def; s4 and s3 overlap (s3 live after s4's def).
+        assert!(g.has_edge(n(3), n(4)));
+        assert!(!g.has_edge(n(3), n(5)));
+        // s5 defined after everything died except nothing: isolated.
+        assert_eq!(g.degree(n(5)), 0);
+    }
+
+    #[test]
+    fn live_in_values_form_clique() {
+        let p = problem(
+            r#"
+            func @li(s0, s1, s2) {
+            entry:
+                s3 = add s0, s1
+                s4 = add s3, s2
+                ret s4
+            }
+            "#,
+        );
+        let g = p.interference();
+        let n = |r: u32| p.node_of(Reg::sym(r)).unwrap();
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(g.has_edge(n(0), n(2)));
+        assert!(g.has_edge(n(1), n(2)));
+        // s3 defined while s2 still live.
+        assert!(g.has_edge(n(3), n(2)));
+        assert!(!g.has_edge(n(3), n(0)), "s0 dead after s3's def");
+    }
+
+    #[test]
+    fn def_sites_and_costs() {
+        let p = problem(
+            r#"
+            func @c(s0) {
+            entry:
+                s1 = add s0, s0
+                s2 = add s1, s1
+                ret s2
+            }
+            "#,
+        );
+        let s0 = p.node_of(Reg::sym(0)).unwrap();
+        let s1 = p.node_of(Reg::sym(1)).unwrap();
+        assert_eq!(p.def_site(s0), None);
+        assert_eq!(p.def_site(s1), Some(0));
+        assert_eq!(p.node_defined_at(0), Some(s1));
+        assert_eq!(p.uses_count(s0), 2);
+        assert_eq!(p.uses_count(s1), 2);
+        assert!(p.spill_cost(s0) > 2.9);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let f = parse_function(
+            r#"
+            func @dd() {
+            entry:
+                s0 = li 1
+                s0 = li 2
+                ret s0
+            }
+            "#,
+        )
+        .unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        let err = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap_err();
+        assert_eq!(err, ProblemError::MultipleDefs { reg: Reg::sym(0) });
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn rejects_def_shadowing_live_in() {
+        let f = parse_function(
+            r#"
+            func @sh(s0) {
+            entry:
+                s1 = add s0, 1
+                s0 = li 2
+                s2 = add s0, s1
+                ret s2
+            }
+            "#,
+        )
+        .unwrap();
+        let lv = Liveness::compute(&f, &[]);
+        let err = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap_err();
+        assert_eq!(err, ProblemError::DefShadowsLiveIn { reg: Reg::sym(0) });
+    }
+}

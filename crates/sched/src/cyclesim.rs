@@ -1,0 +1,349 @@
+//! Cycle-accurate execution of a scheduled block.
+//!
+//! The paper's footnote semantics — a live interval excludes its last use,
+//! so a register may be re-written in the very cycle of its last read —
+//! assume a machine where, within one cycle, **all reads observe the
+//! pre-cycle state and all writes commit afterwards**. This simulator
+//! executes a [`BlockSchedule`] under exactly that model, so the test
+//! suite can prove that every schedule this workspace produces computes
+//! the same values in parallel as the linearized code does sequentially.
+
+use crate::deps::op_class;
+use crate::schedule::BlockSchedule;
+use parsched_ir::interp::Memory;
+use parsched_ir::{Block, InstKind, Operand, Reg};
+use parsched_machine::OpClass;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the cycle simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CycleSimError {
+    /// A register was read before any write in any earlier cycle.
+    UninitializedRegister {
+        /// The offending register.
+        reg: Reg,
+        /// The cycle of the reading instruction.
+        cycle: u32,
+    },
+    /// Two instructions in one cycle wrote the same register — a structural
+    /// hazard that a correct schedule can never contain (output dependences
+    /// have latency ≥ 1).
+    WriteConflict {
+        /// The doubly-written register.
+        reg: Reg,
+        /// The conflicting cycle.
+        cycle: u32,
+    },
+    /// Two instructions in one cycle touched the same memory cell with at
+    /// least one write.
+    MemoryConflict {
+        /// The conflicting cycle.
+        cycle: u32,
+    },
+    /// The body contains an instruction the block-level simulator cannot
+    /// execute (calls and control flow are excluded from block bodies by
+    /// construction; this guards against misuse).
+    Unsupported {
+        /// Body index of the offending instruction.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CycleSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleSimError::UninitializedRegister { reg, cycle } => {
+                write!(f, "read of uninitialized register {reg} at cycle {cycle}")
+            }
+            CycleSimError::WriteConflict { reg, cycle } => {
+                write!(f, "two writes to {reg} in cycle {cycle}")
+            }
+            CycleSimError::MemoryConflict { cycle } => {
+                write!(f, "conflicting memory accesses in cycle {cycle}")
+            }
+            CycleSimError::Unsupported { index } => {
+                write!(f, "instruction {index} is not simulatable at block level")
+            }
+        }
+    }
+}
+
+impl Error for CycleSimError {}
+
+/// Final machine state after cycle-accurate execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleSimOutcome {
+    /// Register contents after the last cycle.
+    pub regs: HashMap<Reg, i64>,
+    /// Memory after the last cycle.
+    pub memory: Memory,
+}
+
+/// Executes the body of `block` cycle by cycle per `schedule`.
+///
+/// Within a cycle every instruction reads the pre-cycle register and memory
+/// state; all writes commit at the end of the cycle. Result *latencies* are
+/// deliberately not modeled here — the schedule validator already enforces
+/// them; this simulator checks the orthogonal property that same-cycle
+/// read/write interleavings are race-free and value-correct.
+///
+/// # Errors
+/// Returns [`CycleSimError`] on uninitialized reads, same-cycle write
+/// conflicts, or unsupported instructions.
+pub fn simulate(
+    block: &Block,
+    schedule: &BlockSchedule,
+    initial_regs: &HashMap<Reg, i64>,
+    memory: Memory,
+) -> Result<CycleSimOutcome, CycleSimError> {
+    let body = block.body();
+    let mut regs = initial_regs.clone();
+    let mut mem = memory;
+
+    for (cycle, group) in schedule.groups() {
+        let mut reg_writes: HashMap<Reg, i64> = HashMap::new();
+        let mut mem_writes: Vec<((String, i64), i64)> = Vec::new();
+        let mut mem_reads: Vec<(String, i64)> = Vec::new();
+
+        for &i in &group {
+            let inst = &body[i];
+            let read = |r: Reg| -> Result<i64, CycleSimError> {
+                regs.get(&r)
+                    .copied()
+                    .ok_or(CycleSimError::UninitializedRegister { reg: r, cycle })
+            };
+            let operand = |op: &Operand| -> Result<i64, CycleSimError> {
+                match op {
+                    Operand::Reg(r) => read(*r),
+                    Operand::Imm(v) => Ok(*v),
+                }
+            };
+            let resolve = |addr: &parsched_ir::MemAddr| -> Result<(String, i64), CycleSimError> {
+                Ok(match &addr.base {
+                    parsched_ir::AddrBase::Global(g) => (g.clone(), addr.offset),
+                    parsched_ir::AddrBase::Reg(r) => {
+                        (String::new(), read(*r)?.wrapping_add(addr.offset))
+                    }
+                })
+            };
+            let mut write_reg = |r: Reg, v: i64| -> Result<(), CycleSimError> {
+                if reg_writes.insert(r, v).is_some() {
+                    return Err(CycleSimError::WriteConflict { reg: r, cycle });
+                }
+                Ok(())
+            };
+
+            match inst.kind() {
+                InstKind::LoadImm { dst, imm } => write_reg(*dst, *imm)?,
+                InstKind::Binary { op, dst, lhs, rhs } => {
+                    write_reg(*dst, op.eval(operand(lhs)?, operand(rhs)?))?
+                }
+                InstKind::Unary { op, dst, src } => write_reg(*dst, op.eval(read(*src)?))?,
+                InstKind::Copy { dst, src } => write_reg(*dst, read(*src)?)?,
+                InstKind::Load { dst, addr, .. } => {
+                    let cell = resolve(addr)?;
+                    mem_reads.push(cell.clone());
+                    let v = match cell.0.as_str() {
+                        "" => mem.abs(cell.1),
+                        g => mem.global(g, cell.1),
+                    };
+                    write_reg(*dst, v)?;
+                }
+                InstKind::Store { src, addr, .. } => {
+                    let cell = resolve(addr)?;
+                    let v = read(*src)?;
+                    mem_writes.push((cell, v));
+                }
+                InstKind::Nop => {}
+                _ => {
+                    debug_assert!(!matches!(op_class(inst), OpClass::Branch));
+                    return Err(CycleSimError::Unsupported { index: i });
+                }
+            }
+        }
+
+        // Same-cycle memory conflicts: any written cell that is also read
+        // or written again this cycle.
+        for (a, (cell, _)) in mem_writes.iter().enumerate() {
+            let rewritten = mem_writes
+                .iter()
+                .enumerate()
+                .any(|(b, (c2, _))| a != b && c2 == cell);
+            if mem_reads.contains(cell) || rewritten {
+                return Err(CycleSimError::MemoryConflict { cycle });
+            }
+        }
+
+        // Commit.
+        for (r, v) in reg_writes {
+            regs.insert(r, v);
+        }
+        for ((region, off), v) in mem_writes {
+            if region.is_empty() {
+                mem.set_abs(off, v);
+            } else {
+                mem.set_global(region, off, v);
+            }
+        }
+    }
+
+    Ok(CycleSimOutcome { regs, memory: mem })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DepGraph;
+    use crate::list::list_schedule;
+    use parsched_ir::parse_function;
+    use parsched_machine::presets;
+
+    fn setup(src: &str) -> (parsched_ir::Function, Block) {
+        let f = parse_function(src).unwrap();
+        let b = f.blocks()[0].clone();
+        (f, b)
+    }
+
+    #[test]
+    fn same_cycle_anti_dependence_reads_old_value() {
+        // r1 is read and rewritten in the same cycle on a wide machine;
+        // the reader must see the OLD value (the paper's footnote).
+        let (_f, b) = setup(
+            r#"
+            func @anti(r0) {
+            entry:
+                r1 = add r0, 10
+                r2 = add r1, 1
+                r1 = add r0, 100
+                ret r1
+            }
+            "#,
+        );
+        let deps = DepGraph::build(&b);
+        let m = presets::wide(4, 8);
+        let s = list_schedule(&b, &deps, &m);
+        // inst 1 (reads r1) and inst 2 (writes r1) share a cycle.
+        assert_eq!(s.cycle(1), s.cycle(2), "precondition: same-cycle pair");
+        let mut init = HashMap::new();
+        init.insert(Reg::phys(0), 5);
+        let out = simulate(&b, &s, &init, Memory::new()).unwrap();
+        assert_eq!(out.regs[&Reg::phys(2)], 16, "read the pre-cycle r1");
+        assert_eq!(out.regs[&Reg::phys(1)], 105, "write committed after");
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        use parsched_ir::interp::Interpreter;
+        let (_f, b) = setup(
+            r#"
+            func @mix(s9) {
+            entry:
+                s0 = load [s9 + 0]
+                s1 = fadd s9, 1
+                s2 = add s9, 2
+                s3 = fmul s1, s1
+                s4 = mul s2, s2
+                s5 = add s4, s0
+                s6 = fadd s3, s5
+                ret s6
+            }
+            "#,
+        );
+        let deps = DepGraph::build(&b);
+        let m = presets::paper_machine(16);
+        let s = list_schedule(&b, &deps, &m);
+
+        let mut mem = Memory::new();
+        mem.set_abs(40, 7);
+        let mut init = HashMap::new();
+        init.insert(Reg::sym(9), 40);
+        let par = simulate(&b, &s, &init, mem.clone()).unwrap();
+
+        // Sequential reference: run the linearized block via the interpreter.
+        let lin = s.linearize(&b);
+        let f2 = parsched_ir::Function::new("seq", vec![Reg::sym(9)], vec![lin]);
+        let seq = Interpreter::new().run(&f2, &[40], mem).unwrap();
+        assert_eq!(par.regs[&Reg::sym(6)], seq.return_value.unwrap());
+    }
+
+    #[test]
+    fn write_conflict_detected() {
+        // Hand-build an (invalid) schedule placing two writers of r1 in one
+        // cycle: the validator would reject it, so drive simulate directly
+        // with a crafted schedule on independent instructions.
+        let (_f, b) = setup(
+            r#"
+            func @wc(r0) {
+            entry:
+                r1 = add r0, 1
+                r2 = add r0, 2
+                ret r2
+            }
+            "#,
+        );
+        let deps = DepGraph::build(&b);
+        let m = presets::wide(4, 8);
+        let s = crate::schedule::BlockSchedule::new(&b, &deps, &m, vec![0, 0], Some(1)).unwrap();
+        // Mutate the block so both write r1 (keeping the schedule): easier —
+        // simulate a block where both writes hit r1 with the same schedule
+        // shape.
+        let (_f2, b2) = setup(
+            r#"
+            func @wc2(r0) {
+            entry:
+                r1 = add r0, 1
+                r1 = add r0, 2
+                ret r1
+            }
+            "#,
+        );
+        let mut init = HashMap::new();
+        init.insert(Reg::phys(0), 0);
+        let err = simulate(&b2, &s, &init, Memory::new()).unwrap_err();
+        assert!(matches!(err, CycleSimError::WriteConflict { .. }));
+    }
+
+    #[test]
+    fn uninitialized_read_detected() {
+        let (_f, b) = setup(
+            r#"
+            func @u() {
+            entry:
+                s1 = add s0, 1
+                ret s1
+            }
+            "#,
+        );
+        let deps = DepGraph::build(&b);
+        let m = presets::single_issue(4);
+        let s = list_schedule(&b, &deps, &m);
+        let err = simulate(&b, &s, &HashMap::new(), Memory::new()).unwrap_err();
+        assert!(matches!(err, CycleSimError::UninitializedRegister { .. }));
+        assert!(err.to_string().contains("s0"));
+    }
+
+    #[test]
+    fn stores_and_loads_commit_in_order() {
+        let (_f, b) = setup(
+            r#"
+            func @st(s0) {
+            entry:
+                store s0, [@g + 0]
+                s1 = load [@g + 0]
+                s2 = add s1, 1
+                ret s2
+            }
+            "#,
+        );
+        let deps = DepGraph::build(&b);
+        let m = presets::paper_machine(8);
+        let s = list_schedule(&b, &deps, &m);
+        let mut init = HashMap::new();
+        init.insert(Reg::sym(0), 9);
+        let out = simulate(&b, &s, &init, Memory::new()).unwrap();
+        assert_eq!(out.regs[&Reg::sym(2)], 10);
+        assert_eq!(out.memory.global("g", 0), 9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Region formation for inter-block scheduling.
+//!
+//! The paper extends its framework past basic blocks by scheduling two
+//! blocks together when they are *plausible*: "one block dominates the
+//! other and the second one postdominates the first" — i.e. they are
+//! control-equivalent, one executes iff the other does. A *region* here is
+//! a maximal chain of control-equivalent blocks ordered by dominance; the
+//! global parallelizable interference graph treats each region as a single
+//! scheduling scope.
+
+use parsched_ir::cfg::Cfg;
+use parsched_ir::{BlockId, Function};
+
+/// A region: control-equivalent blocks in dominance order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    blocks: Vec<BlockId>,
+}
+
+impl Region {
+    /// The member blocks, outermost dominator first.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of member blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the region is empty (never produced by [`form_regions`]).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Partitions the reachable blocks of `func` into regions of mutually
+/// plausible (control-equivalent) blocks.
+///
+/// Every reachable block appears in exactly one region; unreachable blocks
+/// are omitted. Within a region, blocks are sorted by dominance (each
+/// dominates all later members and is post-dominated by them), so
+/// instructions may move between any two member blocks without changing
+/// what executes.
+pub fn form_regions(func: &Function, cfg: &Cfg) -> Vec<Region> {
+    let n = func.block_count();
+    let mut assigned = vec![false; n];
+    let mut regions = Vec::new();
+    for b in 0..n {
+        if assigned[b] || !cfg.is_reachable(BlockId(b)) {
+            continue;
+        }
+        // Gather every block control-equivalent with b.
+        let mut members: Vec<BlockId> = vec![BlockId(b)];
+        for (c, c_assigned) in assigned.iter().enumerate() {
+            if c != b
+                && !c_assigned
+                && cfg.is_reachable(BlockId(c))
+                && (cfg.is_plausible_pair(BlockId(b), BlockId(c))
+                    || cfg.is_plausible_pair(BlockId(c), BlockId(b)))
+            {
+                members.push(BlockId(c));
+            }
+        }
+        // Dominance is a total order on a control-equivalence class.
+        members.sort_by(|&x, &y| {
+            if x == y {
+                std::cmp::Ordering::Equal
+            } else if cfg.dominates(x, y) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        for m in &members {
+            assigned[m.0] = true;
+        }
+        regions.push(Region { blocks: members });
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::parse_function;
+
+    #[test]
+    fn diamond_groups_entry_with_join() {
+        let f = parse_function(
+            r#"
+            func @d(s0) {
+            entry:
+                beq s0, 0, right
+            left:
+                s1 = li 1
+                jmp join
+            right:
+                s2 = li 2
+            join:
+                s3 = li 3
+                ret s3
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let regions = form_regions(&f, &cfg);
+        let entry = f.block_by_label("entry").unwrap();
+        let join = f.block_by_label("join").unwrap();
+        let r0 = regions
+            .iter()
+            .find(|r| r.blocks().contains(&entry))
+            .unwrap();
+        assert_eq!(r0.blocks(), &[entry, join], "entry dominates join");
+        // The two arms are singleton regions.
+        assert_eq!(regions.len(), 3);
+        assert!(regions.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn straight_line_chain_is_one_region() {
+        let f = parse_function(
+            r#"
+            func @chain() {
+            a:
+                s0 = li 1
+            b:
+                s1 = add s0, 1
+            c:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let regions = form_regions(&f, &cfg);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].len(), 3);
+        assert_eq!(regions[0].blocks()[0], BlockId(0));
+    }
+
+    #[test]
+    fn every_reachable_block_in_exactly_one_region() {
+        let f = parse_function(
+            r#"
+            func @l(s0) {
+            entry:
+                s1 = li 0
+            head:
+                s2 = slt s1, s0
+                beq s2, 0, done
+            body:
+                s1 = add s1, 1
+                jmp head
+            done:
+                ret s1
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let regions = form_regions(&f, &cfg);
+        let mut seen = vec![0usize; f.block_count()];
+        for r in &regions {
+            for b in r.blocks() {
+                seen[b.0] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Balanced expression-tree blocks: maximal ILP at a given size.
+
+use parsched_ir::{BinOp, FunctionBuilder, MemAddr, Operand, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a single-block function that loads `2^depth` leaves and
+/// reduces them with a balanced binary tree of mixed int/float operations
+/// (`float_fraction` of the internal nodes run on the float unit).
+///
+/// Balanced trees are the high-ILP extreme: `2^depth − 1` operations of
+/// critical-path length `depth`, so a machine with enough units — and an
+/// allocator that does not serialize them — finishes in `O(depth)` cycles.
+///
+/// # Panics
+/// Panics if `depth == 0` or `depth > 10`.
+pub fn expr_tree_function(seed: u64, depth: u32, float_fraction: f64) -> parsched_ir::Function {
+    assert!(depth >= 1, "depth must be at least 1");
+    assert!(depth <= 10, "depth above 10 is unreasonably large");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = FunctionBuilder::new(format!("expr_{seed}_{depth}"));
+    let base = b.param();
+    let entry = b.add_block("entry");
+    b.switch_to(entry);
+
+    let mut level: Vec<Reg> = (0..(1usize << depth))
+        .map(|i| b.load(MemAddr::reg(base, (i as i64) * 8)))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let op = if rng.gen_bool(float_fraction) {
+                if rng.gen_bool(0.5) {
+                    BinOp::Fadd
+                } else {
+                    BinOp::Fmul
+                }
+            } else if rng.gen_bool(0.5) {
+                BinOp::Add
+            } else {
+                BinOp::Xor
+            };
+            next.push(b.binary(op, Operand::Reg(pair[0]), Operand::Reg(pair[1])));
+        }
+        level = next;
+    }
+    b.ret(Some(level[0]));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::verify::verify_function;
+
+    #[test]
+    fn sizes_are_exact() {
+        let f = expr_tree_function(1, 3, 0.5);
+        // 8 loads + 7 ops + ret
+        assert_eq!(f.inst_count(), 16);
+        verify_function(&f, true).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(expr_tree_function(5, 4, 0.3), expr_tree_function(5, 4, 0.3));
+    }
+
+    #[test]
+    fn critical_path_is_logarithmic() {
+        use parsched_sched::DepGraph;
+        let f = expr_tree_function(2, 5, 0.0);
+        let deps = DepGraph::build(&f.blocks()[0]);
+        let depth = deps
+            .graph()
+            .longest_path_from_roots()
+            .unwrap()
+            .into_iter()
+            .max()
+            .unwrap();
+        assert_eq!(depth, 5, "tree depth = dependence depth");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn rejects_zero_depth() {
+        expr_tree_function(0, 0, 0.5);
+    }
+}

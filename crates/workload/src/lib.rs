@@ -1,0 +1,22 @@
+//! Workloads for the `parsched` evaluation: a hand-written kernel corpus
+//! and seeded random generators.
+//!
+//! The paper's (unpublished) evaluation would have run on compiler-emitted
+//! basic blocks; this crate supplies equivalent inputs whose *structural*
+//! parameters — block size, dependence density (ILP), unit mix, memory
+//! traffic — are controlled directly, which is exactly what the paper's
+//! claims quantify over. All generators take explicit seeds; every table in
+//! EXPERIMENTS.md is reproducible bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfgs;
+pub mod dag;
+pub mod expr;
+pub mod kernels;
+
+pub use cfgs::{random_cfg_function, CfgParams};
+pub use dag::{random_dag_function, DagParams};
+pub use expr::expr_tree_function;
+pub use kernels::{kernel, kernel_names, kernels, straight_line_kernels};

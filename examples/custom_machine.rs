@@ -1,0 +1,63 @@
+//! Defining a custom machine — programmatically and from a textual spec —
+//! and watching how the unit mix changes what the combined allocator
+//! protects.
+//!
+//! Run with `cargo run -p parsched --example custom_machine`.
+
+use parsched::machine::{parse_machine_spec, MachineDesc, OpClass};
+use parsched::{Pipeline, Strategy};
+use parsched_workload::kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Programmatic: a dual-fetch machine (two loads per cycle).
+    let mut b = MachineDesc::builder("dual-fetch");
+    b.issue_width(4).num_regs(8);
+    let fixed = b.unit("fixed", 1);
+    let float = b.unit("float", 1);
+    let fetch = b.unit("fetch", 2); // <- two fetch ports
+    let branch = b.unit("branch", 1);
+    b.route(OpClass::IntAlu, fixed, 1)
+        .route(OpClass::FloatAlu, float, 1)
+        .route(OpClass::MemLoad, fetch, 1)
+        .route(OpClass::MemStore, fetch, 1)
+        .route(OpClass::Branch, branch, 1)
+        .route(OpClass::Call, branch, 1)
+        .route(OpClass::Nop, fixed, 1);
+    let dual_fetch = b.finish();
+
+    // 2. The same machine from a textual spec (what `psc --machine-spec`
+    //    reads from a file).
+    let from_spec = parse_machine_spec(
+        "machine dual-fetch-spec\n\
+         issue 4\n\
+         regs 8\n\
+         unit fixed 1\n\
+         unit float 1\n\
+         unit fetch 2\n\
+         unit branch 1\n\
+         route int fixed 1\n\
+         route float float 1\n\
+         route load fetch 1\n\
+         route store fetch 1\n\
+         route branch branch 1\n\
+         route call branch 1\n\
+         route nop fixed 1",
+    )?;
+    assert_eq!(from_spec.issue_width(), dual_fetch.issue_width());
+
+    // 3. Compare against the paper's single-fetch machine on a load-heavy
+    //    kernel: doubling fetch ports should shorten the schedule.
+    let func = kernel("dot8").expect("corpus kernel");
+    let single_fetch = parsched::machine::presets::paper_machine(8);
+    for machine in [single_fetch, dual_fetch] {
+        let r = Pipeline::new(machine.clone()).compile(&func, &Strategy::combined())?;
+        println!(
+            "{:<24} {} cycles, {} registers, {} false deps",
+            machine.name(),
+            r.stats.cycles,
+            r.stats.registers_used,
+            r.stats.introduced_false_deps
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Register-pressure sweep: how the three strategies trade cycles, spills
+//! and false dependences as the register file shrinks — a miniature of the
+//! EXPERIMENTS.md tables.
+//!
+//! Run with `cargo run -p parsched --example pressure_sweep`.
+
+use parsched::machine::presets;
+use parsched::report::Table;
+use parsched::{Pipeline, Strategy};
+use parsched_workload::{random_dag_function, DagParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size block with real ILP.
+    let func = random_dag_function(
+        5,
+        &DagParams {
+            size: 32,
+            load_fraction: 0.3,
+            float_fraction: 0.4,
+            window: 8,
+        },
+    );
+    println!(
+        "workload: {} instructions, seeded random DAG\n",
+        func.inst_count()
+    );
+
+    let mut table = Table::new(&[
+        "regs",
+        "strategy",
+        "cycles",
+        "regs used",
+        "spills",
+        "false deps",
+    ]);
+    for regs in [4u32, 6, 8, 12, 16] {
+        let pipeline = Pipeline::new(presets::paper_machine(regs));
+        for s in [
+            Strategy::AllocThenSched,
+            Strategy::SchedThenAlloc,
+            Strategy::combined(),
+        ] {
+            let r = pipeline.compile(&func, &s)?;
+            table.row(&[
+                regs.to_string(),
+                s.label().to_string(),
+                r.stats.cycles.to_string(),
+                r.stats.registers_used.to_string(),
+                r.stats.spilled_values.to_string(),
+                r.stats.introduced_false_deps.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    Ok(())
+}

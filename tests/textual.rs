@@ -1,0 +1,65 @@
+//! Textual round-trip properties: printing any function and re-parsing it
+//! yields the identical function, for every generator in the workspace.
+
+use parsched::ir::{parse_function, print_function};
+use parsched_workload::{kernels, random_cfg_function, random_dag_function, CfgParams, DagParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dag_functions_round_trip(seed in 0u64..1000, size in 1usize..60, window in 1usize..12) {
+        let f = random_dag_function(
+            seed,
+            &DagParams {
+                size,
+                load_fraction: 0.3,
+                float_fraction: 0.4,
+                window,
+            },
+        );
+        let printed = print_function(&f);
+        let reparsed = parse_function(&printed).expect("printer output parses");
+        prop_assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn cfg_functions_round_trip(seed in 0u64..1000, segments in 1usize..7) {
+        let f = random_cfg_function(
+            seed,
+            &CfgParams {
+                segments,
+                ops_per_block: 4,
+            },
+        );
+        let printed = print_function(&f);
+        let reparsed = parse_function(&printed).expect("printer output parses");
+        prop_assert_eq!(f, reparsed);
+    }
+}
+
+#[test]
+fn corpus_round_trips() {
+    for (name, f) in kernels() {
+        let printed = print_function(&f);
+        let reparsed = parse_function(&printed)
+            .unwrap_or_else(|e| panic!("{name}: printer output failed to parse: {e}"));
+        assert_eq!(f, reparsed, "{name}");
+    }
+}
+
+#[test]
+fn paper_examples_round_trip() {
+    for f in [
+        parsched::paper::example1(),
+        parsched::paper::example1_paper_alloc(),
+        parsched::paper::example1_good_alloc(),
+        parsched::paper::example2(),
+        parsched::paper::example2_figure5_alloc(),
+        parsched::paper::figure6(),
+    ] {
+        let printed = print_function(&f);
+        assert_eq!(parse_function(&printed).unwrap(), f);
+    }
+}

@@ -1,0 +1,240 @@
+//! Empirical validation of the paper's theorems and lemmas with
+//! property-based tests over random basic blocks.
+
+use parsched::graph::coloring::{exact_coloring, ExactLimits};
+use parsched::graph::UnGraph;
+use parsched::ir::liveness::Liveness;
+use parsched::ir::BlockId;
+use parsched::regalloc::assignment::{apply_coloring, check_function_allocation};
+use parsched::regalloc::{BlockAllocProblem, Pig};
+use parsched::sched::falsedep::count_false_deps;
+use parsched::sched::DepGraph;
+use parsched_workload::{random_dag_function, DagParams};
+use proptest::prelude::*;
+
+fn small_block_params() -> impl Strategy<Value = (u64, DagParams)> {
+    (0u64..500, 3usize..10, 0.0f64..0.5, 0.0f64..0.8, 1usize..6).prop_map(
+        |(seed, size, load_fraction, float_fraction, window)| {
+            (
+                seed,
+                DagParams {
+                    size,
+                    load_fraction,
+                    float_fraction,
+                    window,
+                },
+            )
+        },
+    )
+}
+
+fn setup(
+    seed: u64,
+    params: &DagParams,
+) -> (parsched::ir::Function, BlockAllocProblem, DepGraph, Pig) {
+    let f = random_dag_function(seed, params);
+    let lv = Liveness::compute(&f, &[]);
+    let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
+    let d = DepGraph::build(f.block(BlockId(0)));
+    let machine = parsched::paper::machine(32);
+    let pig = Pig::build(&p, &d, &machine);
+    (f, p, d, pig)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Theorem 1**: an optimal coloring of the parallelizable
+    /// interference graph yields a valid allocation (no spills for live
+    /// values) that introduces **no false dependence**.
+    #[test]
+    fn theorem1_optimal_pig_coloring_is_false_dep_free(
+        (seed, params) in small_block_params()
+    ) {
+        let (f, p, _d, pig) = setup(seed, &params);
+        let machine = parsched::paper::machine(32);
+        let limits = ExactLimits { max_nodes: 40, max_steps: 2_000_000 };
+        let Ok(coloring) = exact_coloring(pig.graph(), &limits) else {
+            // Budget exhausted on a rare large instance: vacuous.
+            return Ok(());
+        };
+        let colors = coloring.into_vec();
+        let allocated = apply_coloring(&f, &p, &colors);
+        // Valid allocation…
+        check_function_allocation(&f, &allocated, &p, &colors).unwrap();
+        // …with zero false dependences (Theorem 1).
+        prop_assert_eq!(
+            count_false_deps(allocated.block(BlockId(0)), &machine),
+            0
+        );
+    }
+
+    /// **Theorem 2** (minimality): merging the endpoints of any PIG edge —
+    /// i.e. coloring the graph with that edge removed and forcing the two
+    /// vertices into one register — produces a spill (an invalid
+    /// allocation, for interference edges) or a false dependence (for
+    /// false-dependence edges).
+    #[test]
+    fn theorem2_every_pig_edge_is_load_bearing(
+        (seed, params) in small_block_params()
+    ) {
+        let (f, p, _d, pig) = setup(seed, &params);
+        let machine = parsched::paper::machine(32);
+        let edges: Vec<(usize, usize)> = pig.graph().edges().collect();
+        for (u, v) in edges {
+            // Contract v into u: color the graph-minus-edge with u,v fused.
+            let contracted = contract(pig.graph(), u, v);
+            let limits = ExactLimits { max_nodes: 40, max_steps: 500_000 };
+            let Ok(coloring) = exact_coloring(&contracted, &limits) else {
+                continue;
+            };
+            let mut colors = coloring.into_vec();
+            colors[v] = colors[u];
+            let allocated = apply_coloring(&f, &p, &colors);
+            let check = check_function_allocation(&f, &allocated, &p, &colors);
+            let false_deps = count_false_deps(allocated.block(BlockId(0)), &machine);
+            prop_assert!(
+                check.is_err() || false_deps > 0,
+                "merging PIG edge ({u},{v}) cost nothing — contradicts Theorem 2"
+            );
+        }
+    }
+
+    /// **Lemma 1, operational direction**: every pair of instructions the
+    /// list scheduler issues in the same cycle is an edge of `Ef` — the
+    /// false-dependence graph really does enumerate the co-issue options.
+    #[test]
+    fn same_cycle_pairs_are_ef_edges((seed, params) in small_block_params()) {
+        use parsched::sched::falsedep::false_dependence_graph;
+        use parsched::sched::list_schedule;
+        let f = random_dag_function(seed, &params);
+        let machine = parsched::paper::machine(32);
+        let block = f.block(BlockId(0));
+        let deps = DepGraph::build(block);
+        let ef = false_dependence_graph(&deps, &machine);
+        let s = list_schedule(block, &deps, &machine);
+        for (_, group) in s.groups() {
+            for (a, &u) in group.iter().enumerate() {
+                for &v in &group[a + 1..] {
+                    prop_assert!(
+                        ef.has_edge(u, v),
+                        "scheduler co-issued {u},{v} which Ef forbids"
+                    );
+                }
+            }
+        }
+    }
+
+    /// **Theorem 1, operational form**: code allocated by optimal PIG
+    /// coloring never pairs two instructions the symbolic code could not —
+    /// and conversely never *loses* a co-issue to a false output
+    /// dependence. (The theorem preserves *co-issue* freedom; it does not
+    /// promise identical schedule *length*, because a zero-latency anti
+    /// edge still forbids issuing a redefiner strictly before the last
+    /// reader of its register — an ordering restriction the paper's false-
+    /// dependence criterion deliberately excludes.)
+    #[test]
+    fn theorem1_allocated_pairs_stay_within_ef(
+        (seed, params) in small_block_params()
+    ) {
+        use parsched::sched::falsedep::false_dependence_graph;
+        use parsched::sched::list_schedule;
+        let (f, p, d, pig) = setup(seed, &params);
+        let machine = parsched::paper::machine(32);
+        let limits = ExactLimits { max_nodes: 40, max_steps: 2_000_000 };
+        let Ok(coloring) = exact_coloring(pig.graph(), &limits) else {
+            return Ok(());
+        };
+        let colors = coloring.into_vec();
+        let allocated = apply_coloring(&f, &p, &colors);
+        let ef = false_dependence_graph(&d, &machine);
+        let alloc_deps = DepGraph::build(allocated.block(BlockId(0)));
+        let schedule = list_schedule(allocated.block(BlockId(0)), &alloc_deps, &machine);
+        for (_, group) in schedule.groups() {
+            for (a, &u) in group.iter().enumerate() {
+                for &v in &group[a + 1..] {
+                    prop_assert!(
+                        ef.has_edge(u, v),
+                        "allocated schedule paired {u},{v} outside the symbolic Ef"
+                    );
+                }
+            }
+        }
+        // And no co-issue option died to a false *output* dependence:
+        prop_assert_eq!(
+            count_false_deps(allocated.block(BlockId(0)), &machine),
+            0
+        );
+    }
+
+    /// **Lemma 1 companion**: symbolic single-definition code never has
+    /// register anti/output dependences, so no false dependences exist
+    /// before allocation.
+    #[test]
+    fn symbolic_code_has_no_false_deps((seed, params) in small_block_params()) {
+        let f = random_dag_function(seed, &params);
+        let machine = parsched::paper::machine(32);
+        prop_assert_eq!(count_false_deps(f.block(BlockId(0)), &machine), 0);
+    }
+
+    /// PIG ⊇ Gr structurally: interference edges never vanish, so the PIG
+    /// chromatic number is a register-count upper bound certificate.
+    #[test]
+    fn pig_contains_interference((seed, params) in small_block_params()) {
+        let (_f, p, _d, pig) = setup(seed, &params);
+        for (u, v) in p.interference().edges() {
+            prop_assert!(pig.graph().has_edge(u, v));
+        }
+        // And the edge-class partition tiles the PIG exactly.
+        let total = pig.interference_only().edge_count()
+            + pig.false_only().edge_count()
+            + pig.shared().edge_count();
+        prop_assert_eq!(total, pig.graph().edge_count());
+    }
+
+    /// **Lemma 2/3 classification**: every false-only edge joins two
+    /// definitions whose live ranges are disjoint (no interference), and
+    /// every shared edge joins overlapping parallelizable definitions.
+    #[test]
+    fn edge_classes_are_consistent((seed, params) in small_block_params()) {
+        let (_f, p, _d, pig) = setup(seed, &params);
+        for (u, v) in pig.false_only().edges() {
+            prop_assert!(!p.interference().has_edge(u, v));
+            prop_assert!(p.def_site(u).is_some() && p.def_site(v).is_some(),
+                "false edges only connect in-block definitions");
+        }
+        for (u, v) in pig.shared().edges() {
+            prop_assert!(p.interference().has_edge(u, v));
+        }
+    }
+}
+
+/// Returns `g` with `v`'s constraints folded into `u` (edge {u,v} dropped):
+/// coloring the result and copying `u`'s color to `v` is exactly "assign u
+/// and v one register while keeping every *other* constraint satisfied".
+fn contract(g: &UnGraph, u: usize, v: usize) -> UnGraph {
+    let mut out = UnGraph::new(g.node_count());
+    for (a, b) in g.edges() {
+        if (a, b) == (u.min(v), u.max(v)) {
+            continue;
+        }
+        let a2 = if a == v { u } else { a };
+        let b2 = if b == v { u } else { b };
+        if a2 != b2 {
+            out.add_edge(a2, b2);
+        }
+    }
+    out
+}
+
+#[test]
+fn contract_helper_folds_edges() {
+    let mut g = UnGraph::new(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    let c = contract(&g, 1, 2);
+    assert!(!c.has_edge(1, 2));
+    assert!(c.has_edge(0, 1));
+    assert!(c.has_edge(1, 3), "v's edge moved to u");
+}
