@@ -1,0 +1,18 @@
+#!/bin/sh
+# Local CI: formatting, lints, and the tier-1 gate (release build + tests).
+# Runs fully offline — the workspace has no external dependencies.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "CI OK"

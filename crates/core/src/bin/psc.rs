@@ -10,14 +10,16 @@
 //!          [--machine-spec FILE]
 //!          [--regs N]
 //!          [--emit text|schedule|stats|json|dot]
+//!          [--trace FILE] [--stats-json FILE] [--dump-dir DIR]
 //!          [--run ARG...]
 //! ```
 
 use parsched::ir::interp::{Interpreter, Memory};
-use parsched::ir::{parse_function, print_function, print_inst, BlockId};
+use parsched::ir::{parse_function, print_function, print_inst, BlockId, Function};
 use parsched::machine::{parse_machine_spec, presets, MachineDesc};
 use parsched::sched::{list_schedule, DepGraph};
-use parsched::{Pipeline, Strategy};
+use parsched::telemetry::{ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry};
+use parsched::{CompileResult, Pipeline, Strategy};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -30,7 +32,17 @@ options:
   --emit text|schedule|stats|json|dot           (default text)
                          dot renders block 0's parallelizable interference
                          graph (false-dependence edges dashed)
+  --trace FILE           write a Chrome trace_event JSON of the compile
+                         (open in chrome://tracing or ui.perfetto.dev)
+  --stats-json FILE      write statistics, per-phase wall times, and all
+                         telemetry counters as JSON
+  --dump-dir DIR         write per-block DOT dumps of the input function's
+                         graphs: Gs (scheduling DAG), Et (transitive
+                         schedule closure), Gf (false-dependence graph),
+                         Gr (interference), and the PIG
   --run ARG...           execute before and after compiling and compare
+  --help, -h             print this help
+  --version              print the version
 ";
 
 struct Options {
@@ -39,6 +51,9 @@ struct Options {
     machine: MachineDesc,
     regs: Option<u32>,
     emit: Emit,
+    trace: Option<String>,
+    stats_json: Option<String>,
+    dump_dir: Option<String>,
     run: Option<Vec<i64>>,
 }
 
@@ -51,14 +66,30 @@ enum Emit {
     Dot,
 }
 
+/// What the command line asked for: a compile, or an informational exit.
+enum Cmd {
+    Help,
+    Version,
+    Compile(Box<Options>),
+}
+
 fn main() -> ExitCode {
-    // --help prints usage to stdout and succeeds.
-    if std::env::args().any(|a| a == "--help" || a == "-h") {
-        print!("{USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    match real_main() {
-        Ok(()) => ExitCode::SUCCESS,
+    match parse_args() {
+        Ok(Cmd::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Cmd::Version) => {
+            println!("psc {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
+        Ok(Cmd::Compile(opts)) => match real_main(*opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("psc: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Err(msg) => {
             eprintln!("psc: {msg}");
             ExitCode::FAILURE
@@ -66,18 +97,22 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> Result<Cmd, String> {
     let mut args = std::env::args().skip(1);
     let mut file: Option<String> = None;
     let mut strategy = Strategy::combined();
     let mut machine: Option<MachineDesc> = None;
     let mut regs: Option<u32> = None;
     let mut emit = Emit::Text;
+    let mut trace: Option<String> = None;
+    let mut stats_json: Option<String> = None;
+    let mut dump_dir: Option<String> = None;
     let mut run: Option<Vec<i64>> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--help" | "-h" => return Ok(Cmd::Help),
+            "--version" => return Ok(Cmd::Version),
             "--strategy" => {
                 let v = args.next().ok_or("--strategy needs a value")?;
                 strategy = match v.as_str() {
@@ -119,6 +154,15 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown emit mode `{other}`")),
                 };
             }
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace needs a path")?);
+            }
+            "--stats-json" => {
+                stats_json = Some(args.next().ok_or("--stats-json needs a path")?);
+            }
+            "--dump-dir" => {
+                dump_dir = Some(args.next().ok_or("--dump-dir needs a directory")?);
+            }
             "--run" => {
                 let rest: Result<Vec<i64>, _> = args.by_ref().map(|a| a.parse()).collect();
                 run = Some(rest.map_err(|_| "--run arguments must be integers")?);
@@ -130,18 +174,20 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     let file = file.ok_or(USAGE)?;
-    Ok(Options {
+    Ok(Cmd::Compile(Box::new(Options {
         file,
         strategy,
         machine: machine.unwrap_or_else(|| presets::paper_machine(32)),
         regs,
         emit,
+        trace,
+        stats_json,
+        dump_dir,
         run,
-    })
+    })))
 }
 
-fn real_main() -> Result<(), String> {
-    let opts = parse_args()?;
+fn real_main(opts: Options) -> Result<(), String> {
     let src =
         std::fs::read_to_string(&opts.file).map_err(|e| format!("reading {}: {e}", opts.file))?;
     let func = parse_function(&src).map_err(|e| e.to_string())?;
@@ -150,9 +196,45 @@ fn real_main() -> Result<(), String> {
         None => opts.machine,
     };
     let pipeline = Pipeline::new(machine.clone());
+
+    // Observability sinks: a Recorder backs --stats-json, a ChromeTraceSink
+    // backs --trace; both can be live at once via Fanout. With neither flag
+    // the pipeline runs against NullTelemetry at zero cost.
+    let recorder = Recorder::new();
+    let chrome = ChromeTraceSink::new();
+    let mut sinks: Vec<&dyn Telemetry> = Vec::new();
+    if opts.stats_json.is_some() {
+        sinks.push(&recorder);
+    }
+    if opts.trace.is_some() {
+        sinks.push(&chrome);
+    }
+    let fanout = Fanout::new(sinks);
+    let telemetry: &dyn Telemetry = if opts.stats_json.is_some() || opts.trace.is_some() {
+        &fanout
+    } else {
+        &NullTelemetry
+    };
+
     let result = pipeline
-        .compile(&func, &opts.strategy)
+        .compile_with(&func, &opts.strategy, telemetry)
         .map_err(|e| e.to_string())?;
+
+    if let Some(path) = &opts.trace {
+        chrome
+            .write_to_file(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.stats_json {
+        std::fs::write(
+            path,
+            stats_json(&opts.strategy, &machine, &result, &recorder),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(dir) = &opts.dump_dir {
+        dump_graphs(&func, &machine, dir)?;
+    }
 
     match opts.emit {
         Emit::Dot => {
@@ -235,6 +317,159 @@ fn real_main() -> Result<(), String> {
         if before.return_value != after.return_value {
             return Err("MISCOMPILE: return values differ".to_string());
         }
+    }
+    Ok(())
+}
+
+/// Renders the --stats-json payload: machine, strategy, the full
+/// [`parsched::CompileStats`], per-block cycles, per-phase wall times from
+/// the recorder, and every telemetry counter.
+fn stats_json(
+    strategy: &Strategy,
+    machine: &MachineDesc,
+    result: &CompileResult,
+    recorder: &Recorder,
+) -> String {
+    use parsched::telemetry::escape_json;
+    let s = &result.stats;
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"machine\": \"{}\",\n",
+        escape_json(machine.name())
+    ));
+    out.push_str(&format!("  \"strategy\": \"{}\",\n", strategy.label()));
+    out.push_str("  \"stats\": {\n");
+    out.push_str(&format!(
+        "    \"registers_used\": {},\n    \"cycles\": {},\n    \"spilled_values\": {},\n    \"inserted_mem_ops\": {},\n    \"introduced_false_deps\": {},\n    \"removed_false_edges\": {},\n    \"inst_count\": {}\n",
+        s.registers_used,
+        s.cycles,
+        s.spilled_values,
+        s.inserted_mem_ops,
+        s.introduced_false_deps,
+        s.removed_false_edges,
+        s.inst_count
+    ));
+    out.push_str("  },\n");
+    let cycles: Vec<String> = result.block_cycles.iter().map(u32::to_string).collect();
+    out.push_str(&format!("  \"block_cycles\": [{}],\n", cycles.join(", ")));
+    out.push_str("  \"phases\": [\n");
+    let phases = recorder.phase_totals();
+    for (i, (name, ns)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"total_ns\": {}}}{comma}\n",
+            escape_json(name),
+            ns
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"counters\": {\n");
+    let counters = recorder.counters();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {}{comma}\n",
+            escape_json(name),
+            value
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Writes per-block DOT dumps of the input function's graphs into `dir`:
+/// `block<b>_gs.dot` (scheduling DAG), `block<b>_et.dot` (undirected
+/// transitive closure plus machine conflicts), `block<b>_gf.dot` (its
+/// complement, the false-dependence graph), and — when the block forms a
+/// valid allocation problem — `block<b>_gr.dot` (interference) and
+/// `block<b>_pig.dot` (the parallelizable interference graph, false edges
+/// dashed). Blocks whose allocation problem cannot be built (e.g. multiple
+/// definitions of one register) get only the schedule-side graphs, with a
+/// note on stderr.
+fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), String> {
+    use parsched::graph::dot::{digraph_to_dot, ungraph_to_dot, DotOptions};
+    use parsched::ir::liveness::Liveness;
+    use parsched::regalloc::{BlockAllocProblem, Pig};
+    use parsched::sched::falsedep::{et_graph, false_dependence_graph};
+
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let write = |name: String, contents: String| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    let lv = Liveness::compute(func, &[]);
+
+    for b in 0..func.block_count() {
+        let block = func.block(BlockId(b));
+        let deps = DepGraph::build(block);
+        let inst_labels: Vec<String> = block
+            .insts()
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| format!("{i}: {}", print_inst(inst, func)))
+            .collect();
+
+        let mut gs_opts = DotOptions::titled(format!(
+            "Gs of @{} block {b} ({})",
+            func.name(),
+            block.label()
+        ));
+        gs_opts.node_labels.clone_from(&inst_labels);
+        write(
+            format!("block{b}_gs.dot"),
+            digraph_to_dot(deps.graph(), &gs_opts),
+        )?;
+
+        let et = et_graph(&deps, machine);
+        let mut et_opts = DotOptions::titled(format!(
+            "Et of @{} block {b}: undirected transitive closure of Gs + machine conflicts",
+            func.name()
+        ));
+        et_opts.node_labels.clone_from(&inst_labels);
+        write(format!("block{b}_et.dot"), ungraph_to_dot(&et, &et_opts))?;
+
+        let gf = false_dependence_graph(&deps, machine);
+        let mut gf_opts = DotOptions::titled(format!(
+            "Gf of @{} block {b}: complement of Et (pairs free to reorder)",
+            func.name()
+        ));
+        gf_opts.node_labels = inst_labels;
+        write(format!("block{b}_gf.dot"), ungraph_to_dot(&gf, &gf_opts))?;
+
+        let problem = match BlockAllocProblem::build(func, BlockId(b), &lv) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("psc: block {b}: no allocation problem ({e}); skipping Gr and PIG");
+                continue;
+            }
+        };
+        let reg_labels: Vec<String> = problem.nodes().iter().map(|r| r.to_string()).collect();
+
+        let mut gr_opts =
+            DotOptions::titled(format!("Gr of @{} block {b}: interference", func.name()));
+        gr_opts.node_labels.clone_from(&reg_labels);
+        write(
+            format!("block{b}_gr.dot"),
+            ungraph_to_dot(problem.interference(), &gr_opts),
+        )?;
+
+        let pig = Pig::build(&problem, &deps, machine);
+        let mut pig_opts = DotOptions::titled(format!(
+            "PIG of @{} block {b} on {} (dashed = false-dependence edges)",
+            func.name(),
+            machine.name()
+        ));
+        pig_opts.node_labels = reg_labels;
+        pig_opts.edge_styles = pig
+            .false_only()
+            .edges()
+            .map(|(u, v)| (u, v, "dashed".to_string()))
+            .collect();
+        write(
+            format!("block{b}_pig.dot"),
+            ungraph_to_dot(pig.graph(), &pig_opts),
+        )?;
     }
     Ok(())
 }

@@ -48,3 +48,4 @@ pub use parsched_ir as ir;
 pub use parsched_machine as machine;
 pub use parsched_regalloc as regalloc;
 pub use parsched_sched as sched;
+pub use parsched_telemetry as telemetry;

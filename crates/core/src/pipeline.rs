@@ -3,11 +3,12 @@
 
 use parsched_ir::{BlockId, Function};
 use parsched_machine::MachineDesc;
-use parsched_regalloc::allocator::{allocate_single_block, AllocError, BlockStrategy};
-use parsched_regalloc::global::{allocate_global, GlobalAllocError, GlobalStrategy};
+use parsched_regalloc::allocator::{allocate_single_block_with, AllocError, BlockStrategy};
+use parsched_regalloc::global::{allocate_global_with, GlobalAllocError, GlobalStrategy};
 use parsched_regalloc::PinterConfig;
 use parsched_sched::falsedep::count_false_deps;
-use parsched_sched::{list_schedule, DepGraph};
+use parsched_sched::list_schedule_traced;
+use parsched_telemetry::{NullTelemetry, Telemetry};
 use std::error::Error;
 use std::fmt;
 
@@ -167,12 +168,40 @@ impl Pipeline {
         func: &Function,
         strategy: &Strategy,
     ) -> Result<CompileResult, PipelineError> {
+        self.compile_with(func, strategy, &NullTelemetry)
+    }
+
+    /// [`Pipeline::compile`] reporting phase spans and counters to
+    /// `telemetry`.
+    ///
+    /// Phases appear as spans (`pipeline.merge_chains`, `pipeline.optimize`,
+    /// `pipeline.pre_schedule`, `pipeline.allocate`,
+    /// `pipeline.false_dep_count`, `pipeline.final_schedule`) nested under
+    /// one `pipeline.compile` span. The final [`CompileStats`] fields are
+    /// emitted once, authoritatively, as `stats.*` counters
+    /// (`stats.registers_used`, `stats.spilled_values`,
+    /// `stats.inserted_mem_ops`, `stats.removed_false_edges`,
+    /// `stats.introduced_false_deps`, `stats.cycles`, `stats.inst_count`),
+    /// so a recording sink can cross-check them against the returned value.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError`] when allocation fails, as
+    /// [`Pipeline::compile`] does.
+    pub fn compile_with(
+        &self,
+        func: &Function,
+        strategy: &Strategy,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, PipelineError> {
+        let _compile_span = parsched_telemetry::span(telemetry, "pipeline.compile");
         let mut func = if self.merge_chains {
+            let _span = parsched_telemetry::span(telemetry, "pipeline.merge_chains");
             parsched_ir::simplify::merge_chains(func)
         } else {
             func.clone()
         };
         if self.optimize {
+            let _span = parsched_telemetry::span(telemetry, "pipeline.optimize");
             use parsched_ir::opt;
             opt::propagate_copies(&mut func);
             opt::fold_constants(&mut func);
@@ -181,11 +210,17 @@ impl Pipeline {
         let func = &func;
         // Phase order.
         let pre_scheduled = match strategy {
-            Strategy::SchedThenAlloc => self.schedule_blocks(func),
+            Strategy::SchedThenAlloc => {
+                let _span = parsched_telemetry::span(telemetry, "pipeline.pre_schedule");
+                self.schedule_blocks_measured_with(func, telemetry).0
+            }
             _ => func.clone(),
         };
 
-        let (mut allocated, mut stats) = self.allocate(&pre_scheduled, strategy)?;
+        let (mut allocated, mut stats) = {
+            let _span = parsched_telemetry::span(telemetry, "pipeline.allocate");
+            self.allocate(&pre_scheduled, strategy, telemetry)?
+        };
         // Allocation can map a copy's source and destination to one
         // register; drop the resulting identity copies before scheduling.
         parsched_regalloc::assignment::remove_identity_copies(&mut allocated);
@@ -193,14 +228,35 @@ impl Pipeline {
         // Count false dependences intrinsically: each allocated block is
         // renamed apart to recover its symbolic form, and the block's own
         // register output dependences are tested against the resulting Ef.
-        stats.introduced_false_deps = (0..allocated.block_count())
-            .map(|b| count_false_deps(allocated.block(BlockId(b)), &self.machine))
-            .sum();
+        stats.introduced_false_deps = {
+            let _span = parsched_telemetry::span(telemetry, "pipeline.false_dep_count");
+            (0..allocated.block_count())
+                .map(|b| count_false_deps(allocated.block(BlockId(b)), &self.machine))
+                .sum()
+        };
 
         // Final scheduling of the allocated code.
-        let (final_fn, block_cycles) = self.schedule_blocks_measured(&allocated);
+        let (final_fn, block_cycles) = {
+            let _span = parsched_telemetry::span(telemetry, "pipeline.final_schedule");
+            self.schedule_blocks_measured_with(&allocated, telemetry)
+        };
         stats.cycles = block_cycles.iter().sum();
         stats.inst_count = final_fn.inst_count();
+        if telemetry.enabled() {
+            telemetry.counter("stats.registers_used", u64::from(stats.registers_used));
+            telemetry.counter("stats.spilled_values", stats.spilled_values as u64);
+            telemetry.counter("stats.inserted_mem_ops", stats.inserted_mem_ops as u64);
+            telemetry.counter(
+                "stats.removed_false_edges",
+                stats.removed_false_edges as u64,
+            );
+            telemetry.counter(
+                "stats.introduced_false_deps",
+                stats.introduced_false_deps as u64,
+            );
+            telemetry.counter("stats.cycles", u64::from(stats.cycles));
+            telemetry.counter("stats.inst_count", stats.inst_count as u64);
+        }
         Ok(CompileResult {
             function: final_fn,
             block_cycles,
@@ -211,26 +267,50 @@ impl Pipeline {
     /// Schedules every block of the final code and reports per-block
     /// completion cycles without allocating (used on physical code).
     pub fn schedule_blocks_measured(&self, func: &Function) -> (Function, Vec<u32>) {
+        self.schedule_blocks_measured_with(func, &NullTelemetry)
+    }
+
+    /// [`Pipeline::schedule_blocks_measured`] with one `sched.block` span
+    /// per block (the block's label in a `sched.block` event) and a
+    /// `sched.block_cycles` counter per block.
+    pub fn schedule_blocks_measured_with(
+        &self,
+        func: &Function,
+        telemetry: &dyn Telemetry,
+    ) -> (Function, Vec<u32>) {
         let mut out = func.clone();
         let mut cycles = Vec::with_capacity(func.block_count());
         for b in 0..func.block_count() {
             let block = func.block(BlockId(b));
-            let deps = DepGraph::build(block);
-            let schedule = list_schedule(block, &deps, &self.machine);
+            let _span = parsched_telemetry::span(telemetry, "sched.block");
+            if telemetry.enabled() {
+                telemetry.event("sched.block", block.label());
+            }
+            let deps = parsched_sched::DepGraph::build_with(block, telemetry);
+            let schedule = list_schedule_traced(
+                block,
+                &deps,
+                &self.machine,
+                parsched_sched::SchedPriority::CriticalPath,
+                telemetry,
+            );
+            if telemetry.enabled() {
+                telemetry.counter(
+                    "sched.block_cycles",
+                    u64::from(schedule.completion_cycles()),
+                );
+            }
             cycles.push(schedule.completion_cycles());
             *out.block_mut(BlockId(b)) = schedule.linearize(block);
         }
         (out, cycles)
     }
 
-    fn schedule_blocks(&self, func: &Function) -> Function {
-        self.schedule_blocks_measured(func).0
-    }
-
     fn allocate(
         &self,
         func: &Function,
         strategy: &Strategy,
+        telemetry: &dyn Telemetry,
     ) -> Result<(Function, CompileStats), PipelineError> {
         let mut stats = CompileStats::default();
         let allocated = if func.block_count() == 1 {
@@ -239,7 +319,7 @@ impl Pipeline {
                 Strategy::LinearScanThenSched => BlockStrategy::LinearScan,
                 Strategy::Combined(cfg) => BlockStrategy::Pinter(*cfg),
             };
-            let out = allocate_single_block(func, &self.machine, s)?;
+            let out = allocate_single_block_with(func, &self.machine, s, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_values;
             stats.inserted_mem_ops = out.inserted_mem_ops;
@@ -252,7 +332,7 @@ impl Pipeline {
                 | Strategy::LinearScanThenSched => GlobalStrategy::Chaitin,
                 Strategy::Combined(cfg) => GlobalStrategy::Pinter(*cfg),
             };
-            let out = allocate_global(func, &self.machine, s, true)?;
+            let out = allocate_global_with(func, &self.machine, s, true, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_webs;
             stats.inserted_mem_ops = out.inserted_mem_ops;

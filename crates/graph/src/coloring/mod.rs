@@ -28,6 +28,40 @@ use crate::ungraph::UnGraph;
 use std::error::Error;
 use std::fmt;
 
+/// [`dsatur_coloring`] timed via `telemetry` (span `coloring.dsatur`,
+/// counter `coloring.dsatur.colors`).
+pub fn dsatur_coloring_with(
+    g: &UnGraph,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Coloring {
+    let _span = parsched_telemetry::span(telemetry, "coloring.dsatur");
+    let c = dsatur_coloring(g);
+    if telemetry.enabled() {
+        telemetry.counter("coloring.dsatur.colors", u64::from(c.num_colors()));
+    }
+    c
+}
+
+/// [`exact_coloring`] timed via `telemetry` (span `coloring.exact`,
+/// counter `coloring.exact.colors` on success).
+///
+/// # Errors
+/// Propagates [`ExactError`] from [`exact_coloring`] (limits exceeded).
+pub fn exact_coloring_with(
+    g: &UnGraph,
+    limits: &ExactLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<Coloring, ExactError> {
+    let _span = parsched_telemetry::span(telemetry, "coloring.exact");
+    let out = exact_coloring(g, limits);
+    if telemetry.enabled() {
+        if let Ok(c) = &out {
+            telemetry.counter("coloring.exact.colors", u64::from(c.num_colors()));
+        }
+    }
+    out
+}
+
 /// A proper coloring of an undirected graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coloring {

@@ -129,8 +129,10 @@ mod tests {
     #[test]
     fn escapes_quotes() {
         let g = UnGraph::new(1);
-        let mut opts = DotOptions::default();
-        opts.node_labels = vec!["a\"b".into()];
+        let opts = DotOptions {
+            node_labels: vec!["a\"b".into()],
+            ..Default::default()
+        };
         let dot = ungraph_to_dot(&g, &opts);
         assert!(dot.contains("a\\\"b"));
     }

@@ -1,117 +1,169 @@
-//! Property-based tests for the graph substrate.
+//! Property-style tests for the graph substrate, driven by a seeded local
+//! PRNG so the suite needs no external crates and stays deterministic.
 
 use parsched_graph::coloring::{
     chaitin_order, dsatur_coloring, exact_coloring, greedy_coloring, max_clique_lower_bound,
     ExactLimits,
 };
 use parsched_graph::{strongly_connected_components, DiGraph, UnGraph};
-use proptest::prelude::*;
 
-/// Random undirected graph as (n, edge list).
-fn ungraph_strategy(max_n: usize) -> impl Strategy<Value = UnGraph> {
-    (2usize..max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
-            let mut g = UnGraph::new(n);
-            for (a, b) in pairs {
-                if a != b {
-                    g.add_edge(a, b);
-                }
-            }
-            g
-        })
-    })
+/// SplitMix64 — enough randomness for structural graph tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Random undirected graph with 2..max_n nodes and up to 2n edge draws.
+fn random_ungraph(rng: &mut Rng, max_n: usize) -> UnGraph {
+    let n = 2 + rng.below(max_n - 2);
+    let mut g = UnGraph::new(n);
+    for _ in 0..rng.below(n * 2 + 1) {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            g.add_edge(a, b);
+        }
+    }
+    g
 }
 
 /// Random DAG: edges only from lower to higher index.
-fn dag_strategy(max_n: usize) -> impl Strategy<Value = DiGraph> {
-    (2usize..max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
-            let mut g = DiGraph::new(n);
-            for (a, b) in pairs {
-                if a != b {
-                    g.add_edge(a.min(b), a.max(b));
-                }
-            }
-            g
-        })
-    })
+fn random_dag(rng: &mut Rng, max_n: usize) -> DiGraph {
+    let n = 2 + rng.below(max_n - 2);
+    let mut g = DiGraph::new(n);
+    for _ in 0..rng.below(n * 2 + 1) {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            g.add_edge(a.min(b), a.max(b));
+        }
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn dsatur_is_always_proper(g in ungraph_strategy(24)) {
+#[test]
+fn dsatur_is_always_proper() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let g = random_ungraph(&mut rng, 24);
         let c = dsatur_coloring(&g);
-        prop_assert!(g.is_proper_coloring(c.as_slice()));
+        assert!(g.is_proper_coloring(c.as_slice()));
     }
+}
 
-    #[test]
-    fn greedy_with_chaitin_order_is_proper(g in ungraph_strategy(24)) {
+#[test]
+fn greedy_with_chaitin_order_is_proper() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let g = random_ungraph(&mut rng, 24);
         let (order, _) = chaitin_order(&g, usize::MAX);
         let c = greedy_coloring(&g, &order);
-        prop_assert!(g.is_proper_coloring(c.as_slice()));
+        assert!(g.is_proper_coloring(c.as_slice()));
     }
+}
 
-    #[test]
-    fn exact_is_at_most_dsatur_and_at_least_clique(g in ungraph_strategy(16)) {
-        let limits = ExactLimits { max_nodes: 16, max_steps: 1_000_000 };
+#[test]
+fn exact_is_at_most_dsatur_and_at_least_clique() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let g = random_ungraph(&mut rng, 16);
+        let limits = ExactLimits {
+            max_nodes: 16,
+            max_steps: 1_000_000,
+        };
         if let Ok(exact) = exact_coloring(&g, &limits) {
             let dsatur = dsatur_coloring(&g);
             let clique = max_clique_lower_bound(&g);
-            prop_assert!(g.is_proper_coloring(exact.as_slice()));
-            prop_assert!(exact.num_colors() <= dsatur.num_colors());
-            prop_assert!(exact.num_colors() as usize >= clique.len());
+            assert!(g.is_proper_coloring(exact.as_slice()));
+            assert!(exact.num_colors() <= dsatur.num_colors());
+            assert!(exact.num_colors() as usize >= clique.len());
         }
     }
+}
 
-    #[test]
-    fn complement_is_involutive(g in ungraph_strategy(20)) {
+#[test]
+fn complement_is_involutive() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let g = random_ungraph(&mut rng, 20);
         let cc = g.complement().complement();
-        prop_assert_eq!(cc.edge_count(), g.edge_count());
+        assert_eq!(cc.edge_count(), g.edge_count());
         for (u, v) in g.edges() {
-            prop_assert!(cc.has_edge(u, v));
+            assert!(cc.has_edge(u, v));
         }
     }
+}
 
-    #[test]
-    fn complement_partitions_pairs(g in ungraph_strategy(20)) {
+#[test]
+fn complement_partitions_pairs() {
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let g = random_ungraph(&mut rng, 20);
         let comp = g.complement();
         let n = g.node_count();
-        prop_assert_eq!(
+        assert_eq!(
             g.edge_count() + comp.edge_count(),
             n * (n - 1) / 2,
             "every pair is in exactly one of g, complement"
         );
     }
+}
 
-    #[test]
-    fn closure_is_idempotent(g in dag_strategy(16)) {
+#[test]
+fn closure_is_idempotent() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 16);
         let c1 = g.transitive_closure();
         let c2 = c1.transitive_closure();
-        prop_assert_eq!(c1.edge_count(), c2.edge_count());
+        assert_eq!(c1.edge_count(), c2.edge_count());
         for (u, v) in c1.edges() {
-            prop_assert!(c2.has_edge(u, v));
+            assert!(c2.has_edge(u, v));
         }
     }
+}
 
-    #[test]
-    fn closure_is_transitive(g in dag_strategy(14)) {
+#[test]
+fn closure_is_transitive() {
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 14);
         let c = g.transitive_closure();
         let n = c.node_count();
         for a in 0..n {
             for b in 0..n {
                 for d in 0..n {
                     if c.has_edge(a, b) && c.has_edge(b, d) {
-                        prop_assert!(c.has_edge(a, d), "({a},{b},{d})");
+                        assert!(c.has_edge(a, d), "({a},{b},{d})");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn topological_sort_respects_edges(g in dag_strategy(20)) {
+#[test]
+fn topological_sort_respects_edges() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 20);
         let order = g.topological_sort().unwrap();
         let pos: Vec<usize> = {
             let mut p = vec![0; g.node_count()];
@@ -121,23 +173,31 @@ proptest! {
             p
         };
         for (u, v) in g.edges() {
-            prop_assert!(pos[u] < pos[v]);
+            assert!(pos[u] < pos[v]);
         }
     }
+}
 
-    #[test]
-    fn scc_of_dag_is_all_singletons(g in dag_strategy(20)) {
+#[test]
+fn scc_of_dag_is_all_singletons() {
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 20);
         let sccs = strongly_connected_components(&g);
-        prop_assert_eq!(sccs.len(), g.node_count());
-        prop_assert!(sccs.iter().all(|c| c.len() == 1));
+        assert_eq!(sccs.len(), g.node_count());
+        assert!(sccs.iter().all(|c| c.len() == 1));
     }
+}
 
-    #[test]
-    fn clique_is_actually_a_clique(g in ungraph_strategy(24)) {
+#[test]
+fn clique_is_actually_a_clique() {
+    let mut rng = Rng::new(10);
+    for _ in 0..CASES {
+        let g = random_ungraph(&mut rng, 24);
         let clique = max_clique_lower_bound(&g);
         for (i, &a) in clique.iter().enumerate() {
             for &b in &clique[i + 1..] {
-                prop_assert!(g.has_edge(a, b));
+                assert!(g.has_edge(a, b));
             }
         }
     }

@@ -1,11 +1,9 @@
 //! Block-level allocation driver: color, spill, rewrite, repeat.
 
 use crate::assignment::{apply_coloring, check_function_allocation, AllocCheckError};
-use crate::chaitin::chaitin_color;
-use crate::combined::{combined_color, PinterConfig};
+use crate::combined::PinterConfig;
 use crate::pig::Pig;
 use crate::problem::{BlockAllocProblem, ProblemError};
-use crate::spill::insert_spill_code;
 use parsched_ir::liveness::Liveness;
 use parsched_ir::{BlockId, Function, Reg};
 use parsched_machine::MachineDesc;
@@ -126,6 +124,24 @@ pub fn allocate_single_block(
     machine: &MachineDesc,
     strategy: BlockStrategy,
 ) -> Result<BlockAllocation, AllocError> {
+    allocate_single_block_with(func, machine, strategy, &parsched_telemetry::NullTelemetry)
+}
+
+/// [`allocate_single_block`] reporting per-round progress to `telemetry`:
+/// an `alloc.round` span wraps each color/spill round (containing
+/// `alloc.liveness`, `pig.build`, the backend's coloring span, and
+/// `spill.rewrite`), and `alloc.rounds` / `alloc.spilled_values` /
+/// `alloc.removed_false_edges` / `alloc.inserted_mem_ops` counters
+/// accumulate the round outcomes.
+///
+/// # Errors
+/// Same contract as [`allocate_single_block`].
+pub fn allocate_single_block_with(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: BlockStrategy,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<BlockAllocation, AllocError> {
     if func.block_count() != 1 {
         return Err(AllocError::NotSingleBlock {
             blocks: func.block_count(),
@@ -137,7 +153,8 @@ pub fn allocate_single_block(
     let mut current = func.clone();
     if let BlockStrategy::Pinter(cfg) = &strategy {
         if cfg.ep_prepass {
-            let deps = DepGraph::build(current.block(block_id));
+            let _span = parsched_telemetry::span(telemetry, "alloc.ep_prepass");
+            let deps = DepGraph::build_with(current.block(block_id), telemetry);
             let reordered = ep_reorder(current.block(block_id), &deps, machine);
             *current.block_mut(block_id) = reordered;
         }
@@ -154,8 +171,13 @@ pub fn allocate_single_block(
     let mut next_slot: i64 = 0;
 
     for round in 1..=MAX_ROUNDS {
-        let liveness = Liveness::compute(&current, &[]);
-        let problem = BlockAllocProblem::build(&current, block_id, &liveness)?;
+        let round_span = parsched_telemetry::span(telemetry, "alloc.round");
+        let (liveness, problem) = {
+            let _span = parsched_telemetry::span(telemetry, "alloc.liveness");
+            let liveness = Liveness::compute(&current, &[]);
+            let problem = BlockAllocProblem::build(&current, block_id, &liveness)?;
+            (liveness, problem)
+        };
         let costs: Vec<f64> = (0..problem.len())
             .map(|n| match problem.nodes()[n] {
                 Reg::Sym(s) if s.0 >= protected_from => 1e12,
@@ -165,12 +187,18 @@ pub fn allocate_single_block(
 
         let (colors, spills, removed) = match &strategy {
             BlockStrategy::Chaitin => {
-                let out = chaitin_color(problem.interference(), k, &costs);
+                let out = crate::chaitin::chaitin_color_with(
+                    problem.interference(),
+                    k,
+                    &costs,
+                    telemetry,
+                );
                 (out.colors, out.spilled, Vec::new())
             }
             BlockStrategy::LinearScan => {
-                let out =
-                    crate::linear::linear_scan_color(&current, block_id, &problem, &liveness, k);
+                let out = crate::linear::linear_scan_color_with(
+                    &current, block_id, &problem, &liveness, k, telemetry,
+                );
                 // Linear scan has no cost model; protect reload temps by
                 // never re-spilling them (they are intervals of length ≤ 1
                 // and always win a register, so this is vacuous in
@@ -178,13 +206,15 @@ pub fn allocate_single_block(
                 (out.colors, out.spilled, Vec::new())
             }
             BlockStrategy::Pinter(cfg) => {
-                let deps = DepGraph::build(current.block(block_id));
-                let pig = Pig::build(&problem, &deps, machine);
+                let deps = DepGraph::build_with(current.block(block_id), telemetry);
+                let pig = Pig::build_with(&problem, &deps, machine, telemetry);
                 let heights = deps.heights(machine);
                 let priority: Vec<u32> = (0..problem.len())
                     .map(|n| problem.def_site(n).map_or(0, |i| heights[i]))
                     .collect();
-                let out = combined_color(&pig, k, &costs, &priority, cfg);
+                let out = crate::combined::combined_color_with(
+                    &pig, k, &costs, &priority, cfg, telemetry,
+                );
                 (out.colors, out.spilled, out.removed_false_edges)
             }
         };
@@ -195,6 +225,13 @@ pub fn allocate_single_block(
             check_function_allocation(&current, &allocated, &problem, &colors)
                 .map_err(AllocError::Invalid)?;
             let colors_used = colors.iter().map(|&c| c + 1).max().unwrap_or(0);
+            drop(round_span);
+            if telemetry.enabled() {
+                telemetry.counter("alloc.rounds", round as u64);
+                telemetry.counter("alloc.spilled_values", spilled_values as u64);
+                telemetry.counter("alloc.removed_false_edges", removed_false_edges as u64);
+                telemetry.counter("alloc.inserted_mem_ops", inserted_mem_ops as u64);
+            }
             // The reference (pre-spill, post-prepass) function is what the
             // caller compares schedules against; return the allocated form.
             let _ = &reference;
@@ -210,8 +247,13 @@ pub fn allocate_single_block(
 
         let spill_regs: Vec<Reg> = spills.iter().map(|&n| problem.nodes()[n]).collect();
         spilled_values += spill_regs.len();
-        let (rewritten, inserted) =
-            insert_spill_code(&current, block_id, &spill_regs, &mut next_slot);
+        let (rewritten, inserted) = crate::spill::insert_spill_code_with(
+            &current,
+            block_id,
+            &spill_regs,
+            &mut next_slot,
+            telemetry,
+        );
         inserted_mem_ops += inserted;
         current = rewritten;
     }

@@ -42,6 +42,20 @@ pub fn chaitin_color(g: &UnGraph, k: u32, costs: &[f64]) -> ColorOutcome {
     color_with_spill_metric(g, k, costs, h)
 }
 
+/// [`chaitin_color`] reporting simplify/spill statistics to `telemetry`:
+/// `chaitin.simplified` (nodes removed below degree `k`),
+/// `chaitin.spill_candidates` (optimistic candidates), `chaitin.spilled`
+/// (candidates that received no color).
+pub fn chaitin_color_with(
+    g: &UnGraph,
+    k: u32,
+    costs: &[f64],
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> ColorOutcome {
+    let h = |_g: &UnGraph, node: usize, degree: usize| costs[node] / degree.max(1) as f64;
+    color_with_spill_metric_with(g, k, costs, h, telemetry)
+}
+
 /// Generalized Chaitin coloring with a custom spill metric: when no node is
 /// simplifiable, the node minimizing `metric(graph, node, current_degree)`
 /// is removed as a spill candidate.
@@ -54,6 +68,22 @@ pub fn color_with_spill_metric(
     costs: &[f64],
     metric: impl Fn(&UnGraph, usize, usize) -> f64,
 ) -> ColorOutcome {
+    color_with_spill_metric_with(g, k, costs, metric, &parsched_telemetry::NullTelemetry)
+}
+
+/// [`color_with_spill_metric`] reporting simplify/spill statistics to
+/// `telemetry` (see [`chaitin_color_with`] for the counter names).
+///
+/// # Panics
+/// Panics if `costs.len() != g.node_count()`.
+pub fn color_with_spill_metric_with(
+    g: &UnGraph,
+    k: u32,
+    costs: &[f64],
+    metric: impl Fn(&UnGraph, usize, usize) -> f64,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> ColorOutcome {
+    let _span = parsched_telemetry::span(telemetry, "chaitin.color");
     let n = g.node_count();
     assert_eq!(costs.len(), n, "one cost per node");
     let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
@@ -106,6 +136,11 @@ pub fn color_with_spill_metric(
         }
     }
     spilled.sort_unstable();
+    if telemetry.enabled() {
+        telemetry.counter("chaitin.simplified", (n - candidates.len()) as u64);
+        telemetry.counter("chaitin.spill_candidates", candidates.len() as u64);
+        telemetry.counter("chaitin.spilled", spilled.len() as u64);
+    }
     ColorOutcome { colors, spilled }
 }
 

@@ -117,6 +117,32 @@ pub fn combined_color(
     priority: &[u32],
     config: &PinterConfig,
 ) -> CombinedOutcome {
+    combined_color_with(
+        pig,
+        k,
+        costs,
+        priority,
+        config,
+        &parsched_telemetry::NullTelemetry,
+    )
+}
+
+/// [`combined_color`] reporting the procedure's decisions to `telemetry`:
+/// `combined.simplified` (nodes simplified), `combined.removed_false_edges`
+/// (parallelism given away), `combined.spilled` (spill-list length), and a
+/// `combined.spill` event per victim.
+///
+/// # Panics
+/// Panics if `costs` or `priority` lengths differ from the node count.
+pub fn combined_color_with(
+    pig: &Pig,
+    k: u32,
+    costs: &[f64],
+    priority: &[u32],
+    config: &PinterConfig,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> CombinedOutcome {
+    let _span = parsched_telemetry::span(telemetry, "combined.color");
     let n = pig.graph().node_count();
     assert_eq!(costs.len(), n, "one cost per node");
     assert_eq!(priority.len(), n, "one priority per node");
@@ -237,6 +263,9 @@ pub fn combined_color(
             })
             .expect("nodes remain");
         removed_node[victim] = true;
+        if telemetry.enabled() {
+            telemetry.event("combined.spill", &format!("node {victim}"));
+        }
         spilled.push(victim);
         remaining -= 1;
         // The paper places spill victims on the spill list, not the select
@@ -260,6 +289,11 @@ pub fn combined_color(
         colors[v] = c;
     }
     spilled.sort_unstable();
+    if telemetry.enabled() {
+        telemetry.counter("combined.simplified", stack.len() as u64);
+        telemetry.counter("combined.removed_false_edges", removed_edges.len() as u64);
+        telemetry.counter("combined.spilled", spilled.len() as u64);
+    }
     CombinedOutcome {
         colors,
         spilled,

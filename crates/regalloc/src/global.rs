@@ -11,8 +11,7 @@
 //! never execute in parallel, so Theorems 1 and 2 carry over.
 
 use crate::assignment::AllocCheckError;
-use crate::chaitin::chaitin_color;
-use crate::combined::{combined_color, PinterConfig};
+use crate::combined::PinterConfig;
 use crate::pig::Pig;
 use crate::spill::SPILL_REGION;
 use parsched_graph::UnGraph;
@@ -281,7 +280,7 @@ impl GlobalAllocProblem {
     pub fn coalesced(&self, func: &Function, k: u32) -> WebQuotient {
         let nw = self.webs.len();
         let mut parent: Vec<usize> = (0..nw).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -498,6 +497,32 @@ pub fn allocate_global(
     strategy: GlobalStrategy,
     coalesce: bool,
 ) -> Result<GlobalAllocation, GlobalAllocError> {
+    allocate_global_with(
+        func,
+        machine,
+        strategy,
+        coalesce,
+        &parsched_telemetry::NullTelemetry,
+    )
+}
+
+/// [`allocate_global`] reporting per-round progress to `telemetry`: a
+/// `global.round` span wraps each round (containing `global.problem`,
+/// `global.coalesce`, the backend's coloring span, and
+/// `global.spill_rewrite`), with `global.webs` / `global.interference_edges`
+/// / `global.false_edges` / `global.merged_moves` counters per round and
+/// `global.rounds` / `global.spilled_webs` / `global.inserted_mem_ops`
+/// totals on success.
+///
+/// # Errors
+/// Same contract as [`allocate_global`].
+pub fn allocate_global_with(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: GlobalStrategy,
+    coalesce: bool,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<GlobalAllocation, GlobalAllocError> {
     let k = machine.num_regs();
     let mut current = func.clone();
     // Reload temporaries created by spill rewriting must never re-spill.
@@ -508,10 +533,27 @@ pub fn allocate_global(
     let mut next_slot: i64 = 0;
 
     for round in 1..=MAX_ROUNDS {
-        let problem = GlobalAllocProblem::build(&current, machine);
+        let round_span = parsched_telemetry::span(telemetry, "global.round");
+        let problem = {
+            let _span = parsched_telemetry::span(telemetry, "global.problem");
+            GlobalAllocProblem::build(&current, machine)
+        };
         let nw = problem.webs.len();
+        if telemetry.enabled() {
+            telemetry.counter("global.webs", nw as u64);
+            telemetry.counter("global.interference_edges", problem.er.edge_count() as u64);
+            telemetry.counter(
+                "global.false_edges",
+                problem.false_edges.edge_count() as u64,
+            );
+        }
         let quotient = if coalesce {
-            problem.coalesced(&current, k)
+            let _span = parsched_telemetry::span(telemetry, "global.coalesce");
+            let q = problem.coalesced(&current, k);
+            if telemetry.enabled() {
+                telemetry.counter("global.merged_moves", q.merged_moves() as u64);
+            }
+            q
         } else {
             problem.trivial_quotient()
         };
@@ -533,12 +575,19 @@ pub fn allocate_global(
             .collect();
         let (class_colors, class_spills, removed) = match &strategy {
             GlobalStrategy::Chaitin => {
-                let out = chaitin_color(&quotient.er, k, &costs);
+                let out = crate::chaitin::chaitin_color_with(&quotient.er, k, &costs, telemetry);
                 (out.colors, out.spilled, 0)
             }
             GlobalStrategy::Pinter(cfg) => {
                 let pig = quotient.pig();
-                let out = combined_color(&pig, k, &costs, &quotient.priority, cfg);
+                let out = crate::combined::combined_color_with(
+                    &pig,
+                    k,
+                    &costs,
+                    &quotient.priority,
+                    cfg,
+                    telemetry,
+                );
                 (out.colors, out.spilled, out.removed_false_edges.len())
             }
         };
@@ -553,6 +602,13 @@ pub fn allocate_global(
                 .map(|&c| c + 1)
                 .max()
                 .unwrap_or(0);
+            drop(round_span);
+            if telemetry.enabled() {
+                telemetry.counter("global.rounds", round as u64);
+                telemetry.counter("global.spilled_webs", spilled_webs as u64);
+                telemetry.counter("global.removed_false_edges", removed_false_edges as u64);
+                telemetry.counter("global.inserted_mem_ops", inserted_mem_ops as u64);
+            }
             return Ok(GlobalAllocation {
                 function: rewritten,
                 colors_used,
@@ -565,8 +621,15 @@ pub fn allocate_global(
 
         let spill_set = quotient.expand_spills(&class_spills, nw);
         spilled_webs += spill_set.len();
-        let (rewritten, inserted) =
-            insert_global_spill_code(&current, &problem, &spill_set, &mut next_slot);
+        if telemetry.enabled() {
+            for &w in &spill_set {
+                telemetry.event("global.spill_web", &format!("web {}", w.0));
+            }
+        }
+        let (rewritten, inserted) = {
+            let _span = parsched_telemetry::span(telemetry, "global.spill_rewrite");
+            insert_global_spill_code(&current, &problem, &spill_set, &mut next_slot)
+        };
         inserted_mem_ops += inserted;
         current = rewritten;
     }

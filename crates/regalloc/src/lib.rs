@@ -32,7 +32,9 @@ pub mod pig;
 mod problem;
 pub mod spill;
 
-pub use allocator::{allocate_single_block, AllocError, BlockAllocation, BlockStrategy};
+pub use allocator::{
+    allocate_single_block, allocate_single_block_with, AllocError, BlockAllocation, BlockStrategy,
+};
 pub use combined::{EdgeRemovalPolicy, PinterConfig, SpillMetric};
 pub use pig::{AugmentedPig, Pig};
 pub use problem::{BlockAllocProblem, ProblemError};

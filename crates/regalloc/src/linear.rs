@@ -73,6 +73,35 @@ pub fn linear_scan_color(
     liveness: &Liveness,
     k: u32,
 ) -> ColorOutcome {
+    linear_scan_color_impl(func, block_id, problem, liveness, k)
+}
+
+/// [`linear_scan_color`] reporting interval/spill counts to `telemetry`
+/// (`linear.intervals`, `linear.spilled`).
+pub fn linear_scan_color_with(
+    func: &Function,
+    block_id: BlockId,
+    problem: &BlockAllocProblem,
+    liveness: &Liveness,
+    k: u32,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> ColorOutcome {
+    let _span = parsched_telemetry::span(telemetry, "linear.scan");
+    let out = linear_scan_color_impl(func, block_id, problem, liveness, k);
+    if telemetry.enabled() {
+        telemetry.counter("linear.intervals", problem.len() as u64);
+        telemetry.counter("linear.spilled", out.spilled.len() as u64);
+    }
+    out
+}
+
+fn linear_scan_color_impl(
+    func: &Function,
+    block_id: BlockId,
+    problem: &BlockAllocProblem,
+    liveness: &Liveness,
+    k: u32,
+) -> ColorOutcome {
     let mut ivs = intervals(func, block_id, problem, liveness);
     ivs.sort_by_key(|iv| (iv.start, iv.end, iv.node));
 

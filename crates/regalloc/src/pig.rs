@@ -54,6 +54,18 @@ impl Pig {
     /// allocation counterpart and are dropped, per the paper's `u, v ∈ V`
     /// restriction.
     pub fn build(problem: &BlockAllocProblem, deps: &DepGraph, machine: &MachineDesc) -> Pig {
+        Self::build_with(problem, deps, machine, &parsched_telemetry::NullTelemetry)
+    }
+
+    /// [`Pig::build`] reporting construction statistics to `telemetry`:
+    /// node/edge counts per class (`pig.*`) and the maximum PIG degree.
+    pub fn build_with(
+        problem: &BlockAllocProblem,
+        deps: &DepGraph,
+        machine: &MachineDesc,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) -> Pig {
+        let _span = parsched_telemetry::span(telemetry, "pig.build");
         let ef = false_dependence_graph(deps, machine);
         let n = problem.len();
         let er = problem.interference();
@@ -64,7 +76,20 @@ impl Pig {
                 false_edges.add_edge(u, v);
             }
         }
-        Pig::from_parts(er.clone(), false_edges)
+        let pig = Pig::from_parts(er.clone(), false_edges);
+        if telemetry.enabled() {
+            telemetry.counter("pig.nodes", n as u64);
+            telemetry.counter("pig.edges", pig.graph.edge_count() as u64);
+            telemetry.counter(
+                "pig.interference_only_edges",
+                pig.interference_only.edge_count() as u64,
+            );
+            telemetry.counter("pig.false_only_edges", pig.false_only.edge_count() as u64);
+            telemetry.counter("pig.shared_edges", pig.shared.edge_count() as u64);
+            let max_degree = (0..n).map(|v| pig.graph.degree(v)).max().unwrap_or(0);
+            telemetry.gauge("pig.max_degree", max_degree as u64);
+        }
+        pig
     }
 
     /// Assembles a PIG from an interference graph `Er` and a

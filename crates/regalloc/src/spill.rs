@@ -29,6 +29,35 @@ pub fn insert_spill_code(
     spills: &[Reg],
     next_slot: &mut i64,
 ) -> (Function, usize) {
+    insert_spill_code_with(
+        func,
+        block_id,
+        spills,
+        next_slot,
+        &parsched_telemetry::NullTelemetry,
+    )
+}
+
+/// [`insert_spill_code`] reporting spill activity to `telemetry`:
+/// `spill.values` (registers spilled), `spill.inserted_mem_ops`
+/// (loads/stores added), and one `spill.value` event per register.
+///
+/// # Panics
+/// Panics if a spilled register is not symbolic.
+pub fn insert_spill_code_with(
+    func: &Function,
+    block_id: BlockId,
+    spills: &[Reg],
+    next_slot: &mut i64,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> (Function, usize) {
+    let _span = parsched_telemetry::span(telemetry, "spill.rewrite");
+    if telemetry.enabled() {
+        telemetry.counter("spill.values", spills.len() as u64);
+        for &r in spills {
+            telemetry.event("spill.value", &r.to_string());
+        }
+    }
     for &r in spills {
         assert!(r.is_sym(), "only symbolic registers are spilled, got {r}");
     }
@@ -97,6 +126,9 @@ pub fn insert_spill_code(
 
     let mut blocks = func.blocks().to_vec();
     blocks[block_id.0] = new_block;
+    if telemetry.enabled() {
+        telemetry.counter("spill.inserted_mem_ops", inserted as u64);
+    }
     (
         Function::new(func.name(), func.params().to_vec(), blocks),
         inserted,

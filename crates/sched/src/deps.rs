@@ -115,6 +115,21 @@ impl DepGraph {
     /// (same base + different offset proves independence); `call`s are
     /// barriers against all memory operations and each other.
     pub fn build(block: &Block) -> DepGraph {
+        Self::build_with(block, &parsched_telemetry::NullTelemetry)
+    }
+
+    /// [`DepGraph::build`] reporting node/edge counts to `telemetry`.
+    pub fn build_with(block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) -> DepGraph {
+        let _span = parsched_telemetry::span(telemetry, "deps.build");
+        let deps = Self::build_impl(block);
+        if telemetry.enabled() {
+            telemetry.counter("deps.insts", deps.len() as u64);
+            telemetry.counter("deps.edges", deps.graph.edge_count() as u64);
+        }
+        deps
+    }
+
+    fn build_impl(block: &Block) -> DepGraph {
         let body = block.body();
         let n = body.len();
         let mut graph = DiGraph::new(n);

@@ -25,6 +25,16 @@ use std::collections::HashMap;
 /// it from allocated code would bake the allocation's false dependences
 /// into `Et` and defeat the analysis.
 pub fn et_graph(deps: &DepGraph, machine: &MachineDesc) -> UnGraph {
+    et_graph_with(deps, machine, &parsched_telemetry::NullTelemetry)
+}
+
+/// [`et_graph`] reporting its edge count to `telemetry`.
+pub fn et_graph_with(
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> UnGraph {
+    let _span = parsched_telemetry::span(telemetry, "ef.et_build");
     let closure = deps.graph().transitive_closure();
     let mut et = closure.to_undirected();
     let n = deps.len();
@@ -34,6 +44,9 @@ pub fn et_graph(deps: &DepGraph, machine: &MachineDesc) -> UnGraph {
                 et.add_edge(u, v);
             }
         }
+    }
+    if telemetry.enabled() {
+        telemetry.counter("ef.et_edges", et.edge_count() as u64);
     }
     et
 }
@@ -59,6 +72,21 @@ pub fn et_graph(deps: &DepGraph, machine: &MachineDesc) -> UnGraph {
 /// ```
 pub fn false_dependence_graph(deps: &DepGraph, machine: &MachineDesc) -> UnGraph {
     et_graph(deps, machine).complement()
+}
+
+/// [`false_dependence_graph`] reporting `Et`/`Ef` edge counts to
+/// `telemetry`.
+pub fn false_dependence_graph_with(
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> UnGraph {
+    let _span = parsched_telemetry::span(telemetry, "ef.build");
+    let ef = et_graph_with(deps, machine, telemetry).complement();
+    if telemetry.enabled() {
+        telemetry.counter("ef.edges", ef.edge_count() as u64);
+    }
+    ef
 }
 
 /// Returns the register output-dependence edges of `alloc_deps` (the

@@ -28,7 +28,27 @@ pub fn list_schedule_with(
     machine: &MachineDesc,
     priority: SchedPriority,
 ) -> BlockSchedule {
-    schedule_impl(block, deps, machine, priority)
+    schedule_impl(
+        block,
+        deps,
+        machine,
+        priority,
+        &parsched_telemetry::NullTelemetry,
+    )
+}
+
+/// List-schedules while reporting ready-list pressure to `telemetry`:
+/// `sched.ready_len` (gauge, peak ready-list length), `sched.issue_cycles`
+/// (scheduler passes that issued at least one instruction) and
+/// `sched.stall_cycles` (cycles advanced with nothing ready or issuable).
+pub fn list_schedule_traced(
+    block: &Block,
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    priority: SchedPriority,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> BlockSchedule {
+    schedule_impl(block, deps, machine, priority, telemetry)
 }
 
 /// List-schedules the body of `block` on `machine`.
@@ -63,7 +83,13 @@ pub fn list_schedule_with(
 /// returned, so a bug here would panic rather than silently corrupt the
 /// evaluation.
 pub fn list_schedule(block: &Block, deps: &DepGraph, machine: &MachineDesc) -> BlockSchedule {
-    schedule_impl(block, deps, machine, SchedPriority::CriticalPath)
+    schedule_impl(
+        block,
+        deps,
+        machine,
+        SchedPriority::CriticalPath,
+        &parsched_telemetry::NullTelemetry,
+    )
 }
 
 fn schedule_impl(
@@ -71,6 +97,7 @@ fn schedule_impl(
     deps: &DepGraph,
     machine: &MachineDesc,
     priority: SchedPriority,
+    telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> BlockSchedule {
     let n = deps.len();
     let heights: Vec<u32> = match priority {
@@ -87,12 +114,16 @@ fn schedule_impl(
     let mut rt = machine.reservation_table();
     let mut cycle: u32 = 0;
 
+    let trace = telemetry.enabled();
     while remaining > 0 {
         // Ready at this cycle: all preds scheduled and latency satisfied.
         let mut ready: Vec<usize> = (0..n)
             .filter(|&i| cycles[i] == u32::MAX && unscheduled_preds[i] == 0 && earliest[i] <= cycle)
             .collect();
         ready.sort_by_key(|&i| (std::cmp::Reverse(heights[i]), i));
+        if trace {
+            telemetry.gauge("sched.ready_len", ready.len() as u64);
+        }
 
         let mut issued_any = false;
         for i in ready {
@@ -118,8 +149,14 @@ fn schedule_impl(
         // cycle become ready this same cycle only on the next loop pass;
         // advancing when nothing issued guarantees progress.
         if !issued_any {
+            if trace {
+                telemetry.counter("sched.stall_cycles", 1);
+            }
             cycle += 1;
         } else {
+            if trace {
+                telemetry.counter("sched.issue_cycles", 1);
+            }
             // Retry the same cycle once for newly-ready zero-latency deps;
             // if nothing more fits, the next iteration's !issued_any advances.
             let more_ready = (0..n).any(|i| {

@@ -7,9 +7,8 @@
 //! have small constant trip counts so the reference interpreter always
 //! terminates.
 
+use crate::rng::SplitMix64;
 use parsched_ir::{BinOp, Block, BlockId, Cond, Function, Inst, InstKind, Operand, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for the structured-CFG generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +30,7 @@ impl Default for CfgParams {
 
 /// Builder state: blocks under construction plus the value pool.
 struct Gen {
-    rng: SmallRng,
+    rng: SplitMix64,
     blocks: Vec<Block>,
     current: usize,
     next_sym: u32,
@@ -56,7 +55,7 @@ impl Gen {
     }
 
     fn pick(&mut self) -> Reg {
-        let i = self.rng.gen_range(0..self.pool.len());
+        let i = self.rng.gen_range_usize(0, self.pool.len());
         self.pool[i]
     }
 
@@ -69,10 +68,10 @@ impl Gen {
             BinOp::Fadd,
             BinOp::Fmul,
         ];
-        let op = OPS[self.rng.gen_range(0..OPS.len())];
+        let op = *self.rng.pick(OPS);
         let lhs = self.pick();
         let rhs: Operand = if self.rng.gen_bool(0.3) {
-            Operand::Imm(self.rng.gen_range(-4..10))
+            Operand::Imm(self.rng.gen_range_i64(-4, 10))
         } else {
             Operand::Reg(self.pick())
         };
@@ -90,7 +89,7 @@ impl Gen {
 /// Generates a structured multi-block function from `seed`.
 pub fn random_cfg_function(seed: u64, params: &CfgParams) -> Function {
     let mut g = Gen {
-        rng: SmallRng::seed_from_u64(seed),
+        rng: SplitMix64::seed_from_u64(seed),
         blocks: vec![Block::new("entry")],
         current: 0,
         next_sym: 0,
@@ -102,7 +101,7 @@ pub fn random_cfg_function(seed: u64, params: &CfgParams) -> Function {
     let params_regs = vec![p0, p1];
 
     for seg in 0..params.segments {
-        match g.rng.gen_range(0..3) {
+        match g.rng.gen_range_usize(0, 3) {
             // Straight-line segment in its own block (a mergeable chain
             // link, exercising region/chain analyses).
             0 => {
@@ -171,7 +170,7 @@ pub fn random_cfg_function(seed: u64, params: &CfgParams) -> Function {
                 let body = g.new_block(format!("body{seg}"));
                 let exit = g.new_block(format!("exit{seg}"));
                 g.current = head;
-                let trip = g.rng.gen_range(2..6);
+                let trip = g.rng.gen_range_i64(2, 6);
                 let cond = g.fresh();
                 g.push(InstKind::Binary {
                     op: BinOp::Slt,

@@ -1,8 +1,7 @@
 //! Seeded random straight-line blocks with controlled dependence density.
 
+use crate::rng::SplitMix64;
 use parsched_ir::{BinOp, FunctionBuilder, MemAddr, Operand, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the random-DAG generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,7 +42,7 @@ impl Default for DagParams {
 pub fn random_dag_function(seed: u64, params: &DagParams) -> parsched_ir::Function {
     assert!(params.size > 0, "need at least one instruction");
     assert!(params.window > 0, "window must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut b = FunctionBuilder::new(format!("dag_{seed}"));
     let base = b.param();
     let seed_val = b.param();
@@ -61,16 +60,16 @@ pub fn random_dag_function(seed: u64, params: &DagParams) -> parsched_ir::Functi
             load_offset += 8;
             b.load(addr)
         } else {
-            let pick = |rng: &mut SmallRng, values: &[Reg], window: usize| -> Reg {
+            let pick = |rng: &mut SplitMix64, values: &[Reg], window: usize| -> Reg {
                 let lo = values.len().saturating_sub(window);
-                values[rng.gen_range(lo..values.len())]
+                values[rng.gen_range_usize(lo, values.len())]
             };
             let lhs = pick(&mut rng, &values, params.window);
             let rhs = pick(&mut rng, &values, params.window);
             let op = if rng.gen_bool(params.float_fraction) {
-                FLOAT_OPS[rng.gen_range(0..FLOAT_OPS.len())]
+                *rng.pick(FLOAT_OPS)
             } else {
-                INT_OPS[rng.gen_range(0..INT_OPS.len())]
+                *rng.pick(INT_OPS)
             };
             b.binary(op, Operand::Reg(lhs), Operand::Reg(rhs))
         };

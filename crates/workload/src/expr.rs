@@ -1,8 +1,7 @@
 //! Balanced expression-tree blocks: maximal ILP at a given size.
 
+use crate::rng::SplitMix64;
 use parsched_ir::{BinOp, FunctionBuilder, MemAddr, Operand, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a single-block function that loads `2^depth` leaves and
 /// reduces them with a balanced binary tree of mixed int/float operations
@@ -17,7 +16,7 @@ use rand::{Rng, SeedableRng};
 pub fn expr_tree_function(seed: u64, depth: u32, float_fraction: f64) -> parsched_ir::Function {
     assert!(depth >= 1, "depth must be at least 1");
     assert!(depth <= 10, "depth above 10 is unreasonably large");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut b = FunctionBuilder::new(format!("expr_{seed}_{depth}"));
     let base = b.param();
     let entry = b.add_block("entry");

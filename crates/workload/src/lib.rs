@@ -15,8 +15,10 @@ pub mod cfgs;
 pub mod dag;
 pub mod expr;
 pub mod kernels;
+pub mod rng;
 
 pub use cfgs::{random_cfg_function, CfgParams};
 pub use dag::{random_dag_function, DagParams};
 pub use expr::expr_tree_function;
 pub use kernels::{kernel, kernel_names, kernels, straight_line_kernels};
+pub use rng::SplitMix64;

@@ -2,14 +2,17 @@
 //! yields the identical function, for every generator in the workspace.
 
 use parsched::ir::{parse_function, print_function};
-use parsched_workload::{kernels, random_cfg_function, random_dag_function, CfgParams, DagParams};
-use proptest::prelude::*;
+use parsched_workload::{
+    kernels, random_cfg_function, random_dag_function, CfgParams, DagParams, SplitMix64,
+};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dag_functions_round_trip(seed in 0u64..1000, size in 1usize..60, window in 1usize..12) {
+#[test]
+fn dag_functions_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0xda6);
+    for _ in 0..64 {
+        let seed = rng.next_u64() % 1000;
+        let size = rng.gen_range_usize(1, 60);
+        let window = rng.gen_range_usize(1, 12);
         let f = random_dag_function(
             seed,
             &DagParams {
@@ -21,11 +24,16 @@ proptest! {
         );
         let printed = print_function(&f);
         let reparsed = parse_function(&printed).expect("printer output parses");
-        prop_assert_eq!(f, reparsed);
+        assert_eq!(f, reparsed);
     }
+}
 
-    #[test]
-    fn cfg_functions_round_trip(seed in 0u64..1000, segments in 1usize..7) {
+#[test]
+fn cfg_functions_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0xcf6);
+    for _ in 0..64 {
+        let seed = rng.next_u64() % 1000;
+        let segments = rng.gen_range_usize(1, 7);
         let f = random_cfg_function(
             seed,
             &CfgParams {
@@ -35,7 +43,7 @@ proptest! {
         );
         let printed = print_function(&f);
         let reparsed = parse_function(&printed).expect("printer output parses");
-        prop_assert_eq!(f, reparsed);
+        assert_eq!(f, reparsed);
     }
 }
 

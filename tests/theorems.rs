@@ -1,5 +1,5 @@
-//! Empirical validation of the paper's theorems and lemmas with
-//! property-based tests over random basic blocks.
+//! Empirical validation of the paper's theorems and lemmas over random
+//! basic blocks, driven by a deterministic seeded parameter sweep.
 
 use parsched::graph::coloring::{exact_coloring, ExactLimits};
 use parsched::graph::UnGraph;
@@ -9,12 +9,22 @@ use parsched::regalloc::assignment::{apply_coloring, check_function_allocation};
 use parsched::regalloc::{BlockAllocProblem, Pig};
 use parsched::sched::falsedep::count_false_deps;
 use parsched::sched::DepGraph;
-use parsched_workload::{random_dag_function, DagParams};
-use proptest::prelude::*;
+use parsched_workload::{random_dag_function, DagParams, SplitMix64};
 
-fn small_block_params() -> impl Strategy<Value = (u64, DagParams)> {
-    (0u64..500, 3usize..10, 0.0f64..0.5, 0.0f64..0.8, 1usize..6).prop_map(
-        |(seed, size, load_fraction, float_fraction, window)| {
+const CASES: u64 = 64;
+
+/// Deterministic sweep of (seed, DagParams) pairs mirroring the original
+/// property-test strategy: size 3..10, load 0..0.5, float 0..0.8,
+/// window 1..6.
+fn small_block_params(case_seed: u64) -> Vec<(u64, DagParams)> {
+    let mut rng = SplitMix64::seed_from_u64(case_seed);
+    (0..CASES)
+        .map(|_| {
+            let seed = rng.next_u64() % 500;
+            let size = rng.gen_range_usize(3, 10);
+            let load_fraction = 0.5 * (rng.next_u64() as f64 / u64::MAX as f64);
+            let float_fraction = 0.8 * (rng.next_u64() as f64 / u64::MAX as f64);
+            let window = rng.gen_range_usize(1, 6);
             (
                 seed,
                 DagParams {
@@ -24,8 +34,8 @@ fn small_block_params() -> impl Strategy<Value = (u64, DagParams)> {
                     window,
                 },
             )
-        },
-    )
+        })
+        .collect()
 }
 
 fn setup(
@@ -41,50 +51,49 @@ fn setup(
     (f, p, d, pig)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// **Theorem 1**: an optimal coloring of the parallelizable
-    /// interference graph yields a valid allocation (no spills for live
-    /// values) that introduces **no false dependence**.
-    #[test]
-    fn theorem1_optimal_pig_coloring_is_false_dep_free(
-        (seed, params) in small_block_params()
-    ) {
+/// **Theorem 1**: an optimal coloring of the parallelizable interference
+/// graph yields a valid allocation (no spills for live values) that
+/// introduces **no false dependence**.
+#[test]
+fn theorem1_optimal_pig_coloring_is_false_dep_free() {
+    for (seed, params) in small_block_params(11) {
         let (f, p, _d, pig) = setup(seed, &params);
         let machine = parsched::paper::machine(32);
-        let limits = ExactLimits { max_nodes: 40, max_steps: 2_000_000 };
+        let limits = ExactLimits {
+            max_nodes: 40,
+            max_steps: 2_000_000,
+        };
         let Ok(coloring) = exact_coloring(pig.graph(), &limits) else {
             // Budget exhausted on a rare large instance: vacuous.
-            return Ok(());
+            continue;
         };
         let colors = coloring.into_vec();
         let allocated = apply_coloring(&f, &p, &colors);
         // Valid allocation…
         check_function_allocation(&f, &allocated, &p, &colors).unwrap();
         // …with zero false dependences (Theorem 1).
-        prop_assert_eq!(
-            count_false_deps(allocated.block(BlockId(0)), &machine),
-            0
-        );
+        assert_eq!(count_false_deps(allocated.block(BlockId(0)), &machine), 0);
     }
+}
 
-    /// **Theorem 2** (minimality): merging the endpoints of any PIG edge —
-    /// i.e. coloring the graph with that edge removed and forcing the two
-    /// vertices into one register — produces a spill (an invalid
-    /// allocation, for interference edges) or a false dependence (for
-    /// false-dependence edges).
-    #[test]
-    fn theorem2_every_pig_edge_is_load_bearing(
-        (seed, params) in small_block_params()
-    ) {
+/// **Theorem 2** (minimality): merging the endpoints of any PIG edge —
+/// i.e. coloring the graph with that edge removed and forcing the two
+/// vertices into one register — produces a spill (an invalid allocation,
+/// for interference edges) or a false dependence (for false-dependence
+/// edges).
+#[test]
+fn theorem2_every_pig_edge_is_load_bearing() {
+    for (seed, params) in small_block_params(12) {
         let (f, p, _d, pig) = setup(seed, &params);
         let machine = parsched::paper::machine(32);
         let edges: Vec<(usize, usize)> = pig.graph().edges().collect();
         for (u, v) in edges {
             // Contract v into u: color the graph-minus-edge with u,v fused.
             let contracted = contract(pig.graph(), u, v);
-            let limits = ExactLimits { max_nodes: 40, max_steps: 500_000 };
+            let limits = ExactLimits {
+                max_nodes: 40,
+                max_steps: 500_000,
+            };
             let Ok(coloring) = exact_coloring(&contracted, &limits) else {
                 continue;
             };
@@ -93,20 +102,22 @@ proptest! {
             let allocated = apply_coloring(&f, &p, &colors);
             let check = check_function_allocation(&f, &allocated, &p, &colors);
             let false_deps = count_false_deps(allocated.block(BlockId(0)), &machine);
-            prop_assert!(
+            assert!(
                 check.is_err() || false_deps > 0,
                 "merging PIG edge ({u},{v}) cost nothing — contradicts Theorem 2"
             );
         }
     }
+}
 
-    /// **Lemma 1, operational direction**: every pair of instructions the
-    /// list scheduler issues in the same cycle is an edge of `Ef` — the
-    /// false-dependence graph really does enumerate the co-issue options.
-    #[test]
-    fn same_cycle_pairs_are_ef_edges((seed, params) in small_block_params()) {
-        use parsched::sched::falsedep::false_dependence_graph;
-        use parsched::sched::list_schedule;
+/// **Lemma 1, operational direction**: every pair of instructions the list
+/// scheduler issues in the same cycle is an edge of `Ef` — the
+/// false-dependence graph really does enumerate the co-issue options.
+#[test]
+fn same_cycle_pairs_are_ef_edges() {
+    use parsched::sched::falsedep::false_dependence_graph;
+    use parsched::sched::list_schedule;
+    for (seed, params) in small_block_params(13) {
         let f = random_dag_function(seed, &params);
         let machine = parsched::paper::machine(32);
         let block = f.block(BlockId(0));
@@ -116,7 +127,7 @@ proptest! {
         for (_, group) in s.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {
-                    prop_assert!(
+                    assert!(
                         ef.has_edge(u, v),
                         "scheduler co-issued {u},{v} which Ef forbids"
                     );
@@ -124,26 +135,29 @@ proptest! {
             }
         }
     }
+}
 
-    /// **Theorem 1, operational form**: code allocated by optimal PIG
-    /// coloring never pairs two instructions the symbolic code could not —
-    /// and conversely never *loses* a co-issue to a false output
-    /// dependence. (The theorem preserves *co-issue* freedom; it does not
-    /// promise identical schedule *length*, because a zero-latency anti
-    /// edge still forbids issuing a redefiner strictly before the last
-    /// reader of its register — an ordering restriction the paper's false-
-    /// dependence criterion deliberately excludes.)
-    #[test]
-    fn theorem1_allocated_pairs_stay_within_ef(
-        (seed, params) in small_block_params()
-    ) {
-        use parsched::sched::falsedep::false_dependence_graph;
-        use parsched::sched::list_schedule;
+/// **Theorem 1, operational form**: code allocated by optimal PIG coloring
+/// never pairs two instructions the symbolic code could not — and
+/// conversely never *loses* a co-issue to a false output dependence. (The
+/// theorem preserves *co-issue* freedom; it does not promise identical
+/// schedule *length*, because a zero-latency anti edge still forbids
+/// issuing a redefiner strictly before the last reader of its register —
+/// an ordering restriction the paper's false-dependence criterion
+/// deliberately excludes.)
+#[test]
+fn theorem1_allocated_pairs_stay_within_ef() {
+    use parsched::sched::falsedep::false_dependence_graph;
+    use parsched::sched::list_schedule;
+    for (seed, params) in small_block_params(14) {
         let (f, p, d, pig) = setup(seed, &params);
         let machine = parsched::paper::machine(32);
-        let limits = ExactLimits { max_nodes: 40, max_steps: 2_000_000 };
+        let limits = ExactLimits {
+            max_nodes: 40,
+            max_steps: 2_000_000,
+        };
         let Ok(coloring) = exact_coloring(pig.graph(), &limits) else {
-            return Ok(());
+            continue;
         };
         let colors = coloring.into_vec();
         let allocated = apply_coloring(&f, &p, &colors);
@@ -153,7 +167,7 @@ proptest! {
         for (_, group) in schedule.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {
-                    prop_assert!(
+                    assert!(
                         ef.has_edge(u, v),
                         "allocated schedule paired {u},{v} outside the symbolic Ef"
                     );
@@ -161,50 +175,55 @@ proptest! {
             }
         }
         // And no co-issue option died to a false *output* dependence:
-        prop_assert_eq!(
-            count_false_deps(allocated.block(BlockId(0)), &machine),
-            0
-        );
+        assert_eq!(count_false_deps(allocated.block(BlockId(0)), &machine), 0);
     }
+}
 
-    /// **Lemma 1 companion**: symbolic single-definition code never has
-    /// register anti/output dependences, so no false dependences exist
-    /// before allocation.
-    #[test]
-    fn symbolic_code_has_no_false_deps((seed, params) in small_block_params()) {
+/// **Lemma 1 companion**: symbolic single-definition code never has
+/// register anti/output dependences, so no false dependences exist before
+/// allocation.
+#[test]
+fn symbolic_code_has_no_false_deps() {
+    for (seed, params) in small_block_params(15) {
         let f = random_dag_function(seed, &params);
         let machine = parsched::paper::machine(32);
-        prop_assert_eq!(count_false_deps(f.block(BlockId(0)), &machine), 0);
+        assert_eq!(count_false_deps(f.block(BlockId(0)), &machine), 0);
     }
+}
 
-    /// PIG ⊇ Gr structurally: interference edges never vanish, so the PIG
-    /// chromatic number is a register-count upper bound certificate.
-    #[test]
-    fn pig_contains_interference((seed, params) in small_block_params()) {
+/// PIG ⊇ Gr structurally: interference edges never vanish, so the PIG
+/// chromatic number is a register-count upper bound certificate.
+#[test]
+fn pig_contains_interference() {
+    for (seed, params) in small_block_params(16) {
         let (_f, p, _d, pig) = setup(seed, &params);
         for (u, v) in p.interference().edges() {
-            prop_assert!(pig.graph().has_edge(u, v));
+            assert!(pig.graph().has_edge(u, v));
         }
         // And the edge-class partition tiles the PIG exactly.
         let total = pig.interference_only().edge_count()
             + pig.false_only().edge_count()
             + pig.shared().edge_count();
-        prop_assert_eq!(total, pig.graph().edge_count());
+        assert_eq!(total, pig.graph().edge_count());
     }
+}
 
-    /// **Lemma 2/3 classification**: every false-only edge joins two
-    /// definitions whose live ranges are disjoint (no interference), and
-    /// every shared edge joins overlapping parallelizable definitions.
-    #[test]
-    fn edge_classes_are_consistent((seed, params) in small_block_params()) {
+/// **Lemma 2/3 classification**: every false-only edge joins two
+/// definitions whose live ranges are disjoint (no interference), and every
+/// shared edge joins overlapping parallelizable definitions.
+#[test]
+fn edge_classes_are_consistent() {
+    for (seed, params) in small_block_params(17) {
         let (_f, p, _d, pig) = setup(seed, &params);
         for (u, v) in pig.false_only().edges() {
-            prop_assert!(!p.interference().has_edge(u, v));
-            prop_assert!(p.def_site(u).is_some() && p.def_site(v).is_some(),
-                "false edges only connect in-block definitions");
+            assert!(!p.interference().has_edge(u, v));
+            assert!(
+                p.def_site(u).is_some() && p.def_site(v).is_some(),
+                "false edges only connect in-block definitions"
+            );
         }
         for (u, v) in pig.shared().edges() {
-            prop_assert!(p.interference().has_edge(u, v));
+            assert!(p.interference().has_edge(u, v));
         }
     }
 }
