@@ -1,6 +1,7 @@
 #!/bin/sh
-# Local CI: formatting, lints, and the tier-1 gate (release build + tests).
-# Runs fully offline — the workspace has no external dependencies.
+# Local CI: formatting, lints, the panic-audit ratchet, and the tier-1
+# gate (release build + tests). Runs fully offline — the workspace has no
+# external dependencies.
 set -eu
 
 echo "==> cargo fmt --check"
@@ -9,10 +10,29 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> panic audit (ratchet)"
+# Count unwrap()/expect(/panic! sites in the hardened crates. The count
+# may only go down: lower the baseline when you remove sites; never raise
+# it. (unreachable! is exempt — it states an impossibility, not a
+# recoverable failure.)
+baseline=$(cat ci/panic-baseline.txt)
+count=$(grep -rE 'unwrap\(\)|expect\(|panic!' \
+    crates/ir/src crates/sched/src crates/regalloc/src crates/core/src | wc -l)
+echo "    panic-pattern sites: $count (baseline $baseline)"
+if [ "$count" -gt "$baseline" ]; then
+    echo "panic audit FAILED: $count sites > baseline $baseline" >&2
+    echo "convert new unwrap()/expect(/panic! to typed errors, or justify" >&2
+    echo "an invariant with unreachable! instead" >&2
+    exit 1
+fi
+
 echo "==> tier-1: cargo build --release"
 cargo build --release --offline
 
-echo "==> tier-1: cargo test -q"
-cargo test -q --offline
+echo "==> resilience suite (must finish within 60s — hang guard)"
+timeout 60 cargo test -q --offline -p parsched --test resilience
+
+echo "==> tier-1: cargo test -q (10-minute hang guard)"
+timeout 600 cargo test -q --offline
 
 echo "CI OK"

@@ -19,19 +19,28 @@ use parsched::ir::{parse_function, print_function, print_inst, BlockId, Function
 use parsched::machine::{parse_machine_spec, presets, MachineDesc};
 use parsched::sched::{list_schedule, DepGraph};
 use parsched::telemetry::{ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry};
-use parsched::{CompileResult, Pipeline, Strategy};
+use parsched::{Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: psc FILE [options]
 options:
-  --strategy combined|alloc-first|sched-first   (default combined)
+  --strategy combined|alloc-first|sched-first|linear-scan|spill-everything
+                         (default combined)
   --machine single|paper|mips|rs6000|wide4      (default paper)
   --machine-spec FILE    load a textual machine description instead
   --regs N               override the register-file size
   --emit text|schedule|stats|json|dot           (default text)
                          dot renders block 0's parallelizable interference
                          graph (false-dependence edges dashed)
+  --max-insts N          budget: largest block (in instructions) the
+                         super-linear phases will accept
+  --deadline-ms N        budget: wall-clock deadline for the compile
+  --resilient            on failure, walk the degradation ladder
+                         (combined -> sched-first -> alloc-first ->
+                         linear-scan -> spill-everything) instead of
+                         exiting; the final level appears in --emit stats
   --trace FILE           write a Chrome trace_event JSON of the compile
                          (open in chrome://tracing or ui.perfetto.dev)
   --stats-json FILE      write statistics, per-phase wall times, and all
@@ -43,6 +52,9 @@ options:
   --run ARG...           execute before and after compiling and compare
   --help, -h             print this help
   --version              print the version
+exit codes:
+  0 ok   2 usage   3 parse   4 verify   5 alloc   6 global alloc
+  7 sched   8 budget exceeded   9 internal panic   10 io   11 miscompile
 ";
 
 struct Options {
@@ -51,10 +63,39 @@ struct Options {
     machine: MachineDesc,
     regs: Option<u32>,
     emit: Emit,
+    max_insts: Option<usize>,
+    deadline_ms: Option<u64>,
+    resilient: bool,
     trace: Option<String>,
     stats_json: Option<String>,
     dump_dir: Option<String>,
     run: Option<Vec<i64>>,
+}
+
+/// A diagnostic plus the process exit code it maps to. Every failure is
+/// one line on stderr — no panics, no backtraces for user errors.
+struct Failure {
+    code: u8,
+    msg: String,
+}
+
+impl Failure {
+    fn io(path: &str, err: &dyn std::fmt::Display) -> Failure {
+        Failure {
+            code: 10,
+            msg: format!("{path}: {err}"),
+        }
+    }
+}
+
+impl From<ParschedError> for Failure {
+    fn from(e: ParschedError) -> Failure {
+        Failure {
+            // Exit codes fit in a u8 by construction (3..=10).
+            code: e.exit_code() as u8,
+            msg: e.to_string(),
+        }
+    }
 }
 
 #[derive(PartialEq)]
@@ -85,14 +126,14 @@ fn main() -> ExitCode {
         }
         Ok(Cmd::Compile(opts)) => match real_main(*opts) {
             Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("psc: {msg}");
-                ExitCode::FAILURE
+            Err(f) => {
+                eprintln!("psc: {}", f.msg);
+                ExitCode::from(f.code)
             }
         },
         Err(msg) => {
             eprintln!("psc: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -104,6 +145,9 @@ fn parse_args() -> Result<Cmd, String> {
     let mut machine: Option<MachineDesc> = None;
     let mut regs: Option<u32> = None;
     let mut emit = Emit::Text;
+    let mut max_insts: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut resilient = false;
     let mut trace: Option<String> = None;
     let mut stats_json: Option<String> = None;
     let mut dump_dir: Option<String> = None;
@@ -119,6 +163,8 @@ fn parse_args() -> Result<Cmd, String> {
                     "combined" => Strategy::combined(),
                     "alloc-first" => Strategy::AllocThenSched,
                     "sched-first" => Strategy::SchedThenAlloc,
+                    "linear-scan" => Strategy::LinearScanThenSched,
+                    "spill-everything" => Strategy::SpillEverything,
                     other => return Err(format!("unknown strategy `{other}`")),
                 };
             }
@@ -154,6 +200,18 @@ fn parse_args() -> Result<Cmd, String> {
                     other => return Err(format!("unknown emit mode `{other}`")),
                 };
             }
+            "--max-insts" => {
+                let v = args.next().ok_or("--max-insts needs a value")?;
+                max_insts = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad instruction cap `{v}`"))?,
+                );
+            }
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a value")?;
+                deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline `{v}`"))?);
+            }
+            "--resilient" => resilient = true,
             "--trace" => {
                 trace = Some(args.next().ok_or("--trace needs a path")?);
             }
@@ -180,6 +238,9 @@ fn parse_args() -> Result<Cmd, String> {
         machine: machine.unwrap_or_else(|| presets::paper_machine(32)),
         regs,
         emit,
+        max_insts,
+        deadline_ms,
+        resilient,
         trace,
         stats_json,
         dump_dir,
@@ -187,15 +248,26 @@ fn parse_args() -> Result<Cmd, String> {
     })))
 }
 
-fn real_main(opts: Options) -> Result<(), String> {
-    let src =
-        std::fs::read_to_string(&opts.file).map_err(|e| format!("reading {}: {e}", opts.file))?;
-    let func = parse_function(&src).map_err(|e| e.to_string())?;
+fn real_main(opts: Options) -> Result<(), Failure> {
+    let src = std::fs::read_to_string(&opts.file).map_err(|e| Failure::io(&opts.file, &e))?;
+    let func = parse_function(&src).map_err(|e| Failure::from(ParschedError::Parse(e)))?;
+    // Reject ill-formed inputs (e.g. uses of never-defined registers) up
+    // front; the resilient driver re-checks, but the plain path must not
+    // silently compile garbage.
+    parsched::ir::verify::verify_function(&func, false)
+        .map_err(|errs| Failure::from(ParschedError::Verify(errs)))?;
     let machine = match opts.regs {
         Some(r) => opts.machine.with_num_regs(r),
         None => opts.machine,
     };
     let pipeline = Pipeline::new(machine.clone());
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.max_insts {
+        budget = budget.with_max_block_insts(n);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        budget = budget.with_deadline_in(Duration::from_millis(ms));
+    }
 
     // Observability sinks: a Recorder backs --stats-json, a ChromeTraceSink
     // backs --trace; both can be live at once via Fanout. With neither flag
@@ -216,21 +288,36 @@ fn real_main(opts: Options) -> Result<(), String> {
         &NullTelemetry
     };
 
-    let result = pipeline
-        .compile_with(&func, &opts.strategy, telemetry)
-        .map_err(|e| e.to_string())?;
+    let result = if opts.resilient {
+        // Under --resilient the requested strategy becomes the first rung
+        // and the rest of the default ladder follows it.
+        let mut ladder = Driver::default_ladder();
+        if opts.strategy != Strategy::combined() {
+            ladder.retain(|s| *s != opts.strategy);
+            ladder.insert(0, opts.strategy);
+        }
+        Driver::new(pipeline)
+            .with_budget(budget)
+            .with_ladder(ladder)
+            .compile_resilient_with(&func, telemetry)
+            .map_err(Failure::from)?
+    } else {
+        pipeline
+            .compile_budgeted(&func, &opts.strategy, &budget, telemetry)
+            .map_err(|e| Failure::from(ParschedError::from(e)))?
+    };
 
     if let Some(path) = &opts.trace {
         chrome
             .write_to_file(std::path::Path::new(path))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| Failure::io(path, &e))?;
     }
     if let Some(path) = &opts.stats_json {
         std::fs::write(
             path,
             stats_json(&opts.strategy, &machine, &result, &recorder),
         )
-        .map_err(|e| format!("writing {path}: {e}"))?;
+        .map_err(|e| Failure::io(path, &e))?;
     }
     if let Some(dir) = &opts.dump_dir {
         dump_graphs(&func, &machine, dir)?;
@@ -243,7 +330,10 @@ fn real_main(opts: Options) -> Result<(), String> {
             use parsched::regalloc::{BlockAllocProblem, Pig};
             let lv = Liveness::compute(&func, &[]);
             let problem =
-                BlockAllocProblem::build(&func, BlockId(0), &lv).map_err(|e| e.to_string())?;
+                BlockAllocProblem::build(&func, BlockId(0), &lv).map_err(|e| Failure {
+                    code: 5,
+                    msg: e.to_string(),
+                })?;
             let deps = DepGraph::build(func.block(BlockId(0)));
             let pig = Pig::build(&problem, &deps, &machine);
             let mut dot_opts = DotOptions::titled(format!(
@@ -265,7 +355,8 @@ fn real_main(opts: Options) -> Result<(), String> {
                 let block = result.function.block(BlockId(b));
                 println!("{}:", block.label());
                 let deps = DepGraph::build(block);
-                let s = list_schedule(block, &deps, &machine);
+                let s = list_schedule(block, &deps, &machine)
+                    .map_err(|e| Failure::from(ParschedError::Sched(e)))?;
                 for (cycle, group) in s.groups() {
                     let insts: Vec<String> = group
                         .iter()
@@ -301,6 +392,7 @@ fn real_main(opts: Options) -> Result<(), String> {
             println!("false deps introduced: {}", s.introduced_false_deps);
             println!("false edges given up: {}", s.removed_false_edges);
             println!("instructions:         {}", s.inst_count);
+            println!("degradation:          {}", result.degradation.label());
         }
     }
 
@@ -308,14 +400,23 @@ fn real_main(opts: Options) -> Result<(), String> {
         let interp = Interpreter::new();
         let before = interp
             .run(&func, &args, Memory::new())
-            .map_err(|e| format!("original failed: {e}"))?;
+            .map_err(|e| Failure {
+                code: 1,
+                msg: format!("original failed: {e}"),
+            })?;
         let after = interp
             .run(&result.function, &args, Memory::new())
-            .map_err(|e| format!("compiled failed: {e}"))?;
+            .map_err(|e| Failure {
+                code: 1,
+                msg: format!("compiled failed: {e}"),
+            })?;
         println!("original returns: {:?}", before.return_value);
         println!("compiled returns: {:?}", after.return_value);
         if before.return_value != after.return_value {
-            return Err("MISCOMPILE: return values differ".to_string());
+            return Err(Failure {
+                code: 11,
+                msg: "MISCOMPILE: return values differ".to_string(),
+            });
         }
     }
     Ok(())
@@ -338,6 +439,10 @@ fn stats_json(
         escape_json(machine.name())
     ));
     out.push_str(&format!("  \"strategy\": \"{}\",\n", strategy.label()));
+    out.push_str(&format!(
+        "  \"degradation\": \"{}\",\n",
+        result.degradation.label()
+    ));
     out.push_str("  \"stats\": {\n");
     out.push_str(&format!(
         "    \"registers_used\": {},\n    \"cycles\": {},\n    \"spilled_values\": {},\n    \"inserted_mem_ops\": {},\n    \"introduced_false_deps\": {},\n    \"removed_false_edges\": {},\n    \"inst_count\": {}\n",
@@ -386,17 +491,17 @@ fn stats_json(
 /// dashed). Blocks whose allocation problem cannot be built (e.g. multiple
 /// definitions of one register) get only the schedule-side graphs, with a
 /// note on stderr.
-fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), String> {
+fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), Failure> {
     use parsched::graph::dot::{digraph_to_dot, ungraph_to_dot, DotOptions};
     use parsched::ir::liveness::Liveness;
     use parsched::regalloc::{BlockAllocProblem, Pig};
     use parsched::sched::falsedep::{et_graph, false_dependence_graph};
 
     let dir = std::path::Path::new(dir);
-    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-    let write = |name: String, contents: String| -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| Failure::io(&dir.display().to_string(), &e))?;
+    let write = |name: String, contents: String| -> Result<(), Failure> {
         let path = dir.join(name);
-        std::fs::write(&path, contents).map_err(|e| format!("writing {}: {e}", path.display()))
+        std::fs::write(&path, contents).map_err(|e| Failure::io(&path.display().to_string(), &e))
     };
     let lv = Liveness::compute(func, &[]);
 

@@ -1,0 +1,127 @@
+//! Resource budgets for compilation.
+//!
+//! A [`Budget`] caps the super-linear work a compilation may do —
+//! instruction count per block (transitive closure and PIG construction
+//! are quadratic-plus in it), PIG edge count, spill-repair rounds — and
+//! can carry a wall-clock deadline. Budgets are checked at the choke
+//! points inside the allocators and between pipeline phases; a trip
+//! surfaces as a typed [`BudgetExceeded`](parsched_regalloc::BudgetExceeded)
+//! error rather than an unbounded compile time or a panic.
+//!
+//! The default budget is unlimited except for spill rounds (see
+//! [`parsched_regalloc::DEFAULT_MAX_ROUNDS`]), matching the pre-budget
+//! behaviour of the pipeline.
+
+use parsched_regalloc::AllocLimits;
+use std::time::{Duration, Instant};
+
+/// Resource caps for one compilation.
+///
+/// All caps are optional; `None` means unlimited. Construct with
+/// [`Budget::unlimited`] and narrow with the `with_*` builders:
+///
+/// ```
+/// use parsched::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::unlimited()
+///     .with_max_block_insts(10_000)
+///     .with_deadline_in(Duration::from_secs(5));
+/// assert_eq!(budget.max_block_insts, Some(10_000));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Largest basic block (in instructions, terminator included) the
+    /// quadratic-plus phases will accept.
+    pub max_block_insts: Option<usize>,
+    /// Largest parallelizable interference graph (in edges) the combined
+    /// allocator will color.
+    pub max_pig_edges: Option<u64>,
+    /// Most spill-and-retry rounds an allocator may take; `None` uses
+    /// [`parsched_regalloc::DEFAULT_MAX_ROUNDS`].
+    pub max_spill_rounds: Option<u32>,
+    /// Wall-clock deadline for the whole compilation.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget with no caps (spill rounds still default to
+    /// [`parsched_regalloc::DEFAULT_MAX_ROUNDS`]).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Caps the instruction count of any single block.
+    pub fn with_max_block_insts(mut self, n: usize) -> Budget {
+        self.max_block_insts = Some(n);
+        self
+    }
+
+    /// Caps the PIG edge count.
+    pub fn with_max_pig_edges(mut self, n: u64) -> Budget {
+        self.max_pig_edges = Some(n);
+        self
+    }
+
+    /// Caps the spill-and-retry rounds.
+    pub fn with_max_spill_rounds(mut self, n: u32) -> Budget {
+        self.max_spill_rounds = Some(n);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, at: Instant) -> Budget {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline to `d` from now.
+    pub fn with_deadline_in(self, d: Duration) -> Budget {
+        self.with_deadline(Instant::now() + d)
+    }
+
+    /// Lowers this budget to the allocator-level [`AllocLimits`].
+    pub fn alloc_limits(&self) -> AllocLimits {
+        AllocLimits {
+            max_rounds: self.max_spill_rounds,
+            max_block_insts: self.max_block_insts,
+            max_pig_edges: self.max_pig_edges,
+            deadline: self.deadline,
+        }
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_lowers_to_default_limits() {
+        let b = Budget::unlimited();
+        let l = b.alloc_limits();
+        assert_eq!(l.max_rounds, None);
+        assert_eq!(l.max_block_insts, None);
+        assert_eq!(l.max_pig_edges, None);
+        assert!(l.deadline.is_none());
+        assert!(!b.deadline_passed());
+    }
+
+    #[test]
+    fn builders_set_caps_and_deadline_trips() {
+        let b = Budget::unlimited()
+            .with_max_block_insts(7)
+            .with_max_pig_edges(9)
+            .with_max_spill_rounds(3)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(b.max_block_insts, Some(7));
+        assert_eq!(b.max_pig_edges, Some(9));
+        assert_eq!(b.max_spill_rounds, Some(3));
+        assert!(b.deadline_passed());
+        assert!(b.alloc_limits().check_deadline("t").is_err());
+    }
+}

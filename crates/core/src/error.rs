@@ -1,0 +1,256 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible stage of the pipeline — parsing, verification,
+//! allocation, scheduling, budget enforcement — surfaces here as one
+//! variant of [`ParschedError`], so drivers and the `psc` CLI handle a
+//! single type and can map each failure class to a distinct exit code.
+
+use parsched_ir::verify::VerifyError;
+use parsched_ir::ParseError;
+use parsched_regalloc::allocator::AllocError;
+use parsched_regalloc::global::GlobalAllocError;
+use parsched_regalloc::BudgetExceeded;
+use parsched_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+
+use crate::pipeline::PipelineError;
+
+/// Any failure the `parsched` pipeline can report.
+///
+/// Invariant-violation panics inside a compilation are caught by the
+/// resilient driver and surface as [`ParschedError::Panicked`]; everything
+/// else is constructed directly from the stage errors via `From`.
+#[derive(Debug, Clone)]
+pub enum ParschedError {
+    /// The `.psc` source did not parse.
+    Parse(ParseError),
+    /// The parsed function failed IR verification.
+    Verify(Vec<VerifyError>),
+    /// Block-level register allocation failed.
+    Alloc(AllocError),
+    /// Global (web-based) register allocation failed.
+    Global(GlobalAllocError),
+    /// Instruction scheduling failed (cyclic dependence graph or an
+    /// invalid schedule).
+    Sched(SchedError),
+    /// A resource budget was exhausted.
+    BudgetExceeded {
+        /// The phase that tripped the budget (e.g. `pig.edges`).
+        phase: &'static str,
+        /// The configured limit (0 for deadline trips).
+        limit: u64,
+        /// The observed value (0 for deadline trips).
+        actual: u64,
+    },
+    /// A compilation stage panicked; the panic was contained by the
+    /// driver and the process kept running.
+    Panicked {
+        /// What was being compiled (function name or strategy label).
+        context: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// An I/O failure (reading source, writing output).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl ParschedError {
+    /// A stable, distinct process exit code for each failure class:
+    ///
+    /// | code | class |
+    /// |---|---|
+    /// | 3 | parse |
+    /// | 4 | verify |
+    /// | 5 | block allocation |
+    /// | 6 | global allocation |
+    /// | 7 | scheduling |
+    /// | 8 | budget exhausted |
+    /// | 9 | contained panic |
+    /// | 10 | I/O |
+    ///
+    /// (0 is success; 1 is reserved for generic failure, 2 for usage
+    /// errors, 11 for miscompilation detected by `--check`.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ParschedError::Parse(_) => 3,
+            ParschedError::Verify(_) => 4,
+            ParschedError::Alloc(_) => 5,
+            ParschedError::Global(_) => 6,
+            ParschedError::Sched(_) => 7,
+            ParschedError::BudgetExceeded { .. } => 8,
+            ParschedError::Panicked { .. } => 9,
+            ParschedError::Io { .. } => 10,
+        }
+    }
+
+    /// Short class label for diagnostics and telemetry keys.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ParschedError::Parse(_) => "parse",
+            ParschedError::Verify(_) => "verify",
+            ParschedError::Alloc(_) => "alloc",
+            ParschedError::Global(_) => "global",
+            ParschedError::Sched(_) => "sched",
+            ParschedError::BudgetExceeded { .. } => "budget",
+            ParschedError::Panicked { .. } => "panic",
+            ParschedError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for ParschedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParschedError::Parse(e) => e.fmt(f),
+            ParschedError::Verify(errs) => match errs.len() {
+                0 => write!(f, "verification failed"),
+                1 => write!(f, "verification failed: {}", errs[0]),
+                n => write!(
+                    f,
+                    "verification failed with {n} errors: {} (first)",
+                    errs[0]
+                ),
+            },
+            ParschedError::Alloc(e) => e.fmt(f),
+            ParschedError::Global(e) => e.fmt(f),
+            ParschedError::Sched(e) => e.fmt(f),
+            ParschedError::BudgetExceeded {
+                phase,
+                limit,
+                actual,
+            } => {
+                if *limit == 0 && *actual == 0 {
+                    write!(f, "budget exceeded in {phase}: deadline passed")
+                } else {
+                    write!(f, "budget exceeded in {phase}: {actual} over limit {limit}")
+                }
+            }
+            ParschedError::Panicked { context, message } => {
+                write!(f, "internal error compiling {context}: {message}")
+            }
+            ParschedError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl Error for ParschedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParschedError::Parse(e) => Some(e),
+            ParschedError::Alloc(e) => Some(e),
+            ParschedError::Global(e) => Some(e),
+            ParschedError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ParschedError {
+    fn from(e: ParseError) -> Self {
+        ParschedError::Parse(e)
+    }
+}
+
+impl From<Vec<VerifyError>> for ParschedError {
+    fn from(e: Vec<VerifyError>) -> Self {
+        ParschedError::Verify(e)
+    }
+}
+
+impl From<BudgetExceeded> for ParschedError {
+    fn from(e: BudgetExceeded) -> Self {
+        ParschedError::BudgetExceeded {
+            phase: e.phase,
+            limit: e.limit,
+            actual: e.actual,
+        }
+    }
+}
+
+impl From<AllocError> for ParschedError {
+    fn from(e: AllocError) -> Self {
+        match e {
+            AllocError::Budget(b) => b.into(),
+            other => ParschedError::Alloc(other),
+        }
+    }
+}
+
+impl From<GlobalAllocError> for ParschedError {
+    fn from(e: GlobalAllocError) -> Self {
+        match e {
+            GlobalAllocError::Budget(b) => b.into(),
+            other => ParschedError::Global(other),
+        }
+    }
+}
+
+impl From<SchedError> for ParschedError {
+    fn from(e: SchedError) -> Self {
+        ParschedError::Sched(e)
+    }
+}
+
+impl From<PipelineError> for ParschedError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Alloc(e) => e.into(),
+            PipelineError::Global(e) => e.into(),
+            PipelineError::Sched(e) => e.into(),
+            PipelineError::Budget(b) => b.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errs: Vec<ParschedError> = vec![
+            ParschedError::Verify(Vec::new()),
+            ParschedError::BudgetExceeded {
+                phase: "t",
+                limit: 1,
+                actual: 2,
+            },
+            ParschedError::Panicked {
+                context: "f".into(),
+                message: "m".into(),
+            },
+            ParschedError::Io {
+                path: "p".into(),
+                message: "m".into(),
+            },
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(ParschedError::exit_code).collect();
+        assert!(codes.iter().all(|&c| c > 2));
+        codes.dedup();
+        assert_eq!(codes.len(), 4, "codes must be pairwise distinct");
+    }
+
+    #[test]
+    fn budget_flattens_through_alloc() {
+        let b = BudgetExceeded {
+            phase: "pig.edges",
+            limit: 10,
+            actual: 11,
+        };
+        let e: ParschedError = AllocError::Budget(b).into();
+        assert!(matches!(
+            e,
+            ParschedError::BudgetExceeded {
+                phase: "pig.edges",
+                ..
+            }
+        ));
+        assert_eq!(e.exit_code(), 8);
+    }
+}

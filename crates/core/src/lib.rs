@@ -37,10 +37,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod driver;
+pub mod error;
 pub mod paper;
 mod pipeline;
 pub mod report;
 
+pub use budget::Budget;
+pub use driver::{DegradationLevel, Driver};
+pub use error::ParschedError;
 pub use pipeline::{CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
 
 pub use parsched_graph as graph;

@@ -12,6 +12,16 @@
 use parsched_ir::{parse_function, Function};
 use parsched_machine::{presets, MachineDesc};
 
+/// Parses one of the constant example sources below. They are fixed
+/// strings checked by this crate's tests, so a parse failure is
+/// impossible by construction.
+fn parse_example(src: &str) -> Function {
+    match parse_function(src) {
+        Ok(f) => f,
+        Err(e) => unreachable!("built-in paper example must parse: {e}"),
+    }
+}
+
 /// The paper's walk-through machine: fixed-point, floating-point, fetch
 /// and branch units, one of each, with `num_regs` registers.
 pub fn machine(num_regs: u32) -> MachineDesc {
@@ -30,7 +40,7 @@ pub fn machine(num_regs: u32) -> MachineDesc {
 ///
 /// `s9` is the incoming value of `i`.
 pub fn example1() -> Function {
-    parse_function(
+    parse_example(
         r#"
         func @example1(s9) {
         entry:
@@ -43,14 +53,13 @@ pub fn example1() -> Function {
         }
         "#,
     )
-    .expect("example1 parses")
 }
 
 /// Example 1(c): the paper's allocation with `r1`/`r2` reuse that
 /// introduces a false dependence between the second and fourth
 /// instructions.
 pub fn example1_paper_alloc() -> Function {
-    parse_function(
+    parse_example(
         r#"
         func @example1c(r9) {
         entry:
@@ -63,14 +72,13 @@ pub fn example1_paper_alloc() -> Function {
         }
         "#,
     )
-    .expect("example1c parses")
 }
 
 /// The paper's alternative three-register allocation for Example 1
 /// (`s1-r1, s2-r2, s3-r2, s4-r3, s5-r2`) that introduces no false
 /// dependence — the allocation Figure 3 exhibits.
 pub fn example1_good_alloc() -> Function {
-    parse_function(
+    parse_example(
         r#"
         func @example1good(r9) {
         entry:
@@ -83,13 +91,12 @@ pub fn example1_good_alloc() -> Function {
         }
         "#,
     )
-    .expect("example1good parses")
 }
 
 /// Example 2 (Section 3): two fixed-point loads feeding a fixed-point
 /// chain, two float loads feeding a float chain, joined at the end.
 pub fn example2() -> Function {
-    parse_function(
+    parse_example(
         r#"
         func @example2() {
         entry:
@@ -106,13 +113,12 @@ pub fn example2() -> Function {
         }
         "#,
     )
-    .expect("example2 parses")
 }
 
 /// Figure 5's register assignment for Example 2: `r1 ← {s1,s6,s9}`,
 /// `r2 ← {s2,s4}`, `r3 ← {s3,s5}`, `r4 ← {s7,s8}`.
 pub fn example2_figure5_alloc() -> Function {
-    parse_function(
+    parse_example(
         r#"
         func @example2fig5() {
         entry:
@@ -129,14 +135,13 @@ pub fn example2_figure5_alloc() -> Function {
         }
         "#,
     )
-    .expect("example2fig5 parses")
 }
 
 /// The Figure 6 situation: a variable defined on both arms of a
 /// conditional and used after the join — its def-use chains combine into
 /// one non-linear live interval (one web).
 pub fn figure6() -> Function {
-    parse_function(
+    parse_example(
         r#"
         func @figure6(s0) {
         entry:
@@ -152,7 +157,6 @@ pub fn figure6() -> Function {
         }
         "#,
     )
-    .expect("figure6 parses")
 }
 
 #[cfg(test)]

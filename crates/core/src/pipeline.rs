@@ -1,13 +1,15 @@
 //! The compilation pipeline: strategy selection, allocation, scheduling,
 //! and statistics.
 
+use crate::budget::Budget;
+use crate::driver::DegradationLevel;
 use parsched_ir::{BlockId, Function};
 use parsched_machine::MachineDesc;
-use parsched_regalloc::allocator::{allocate_single_block_with, AllocError, BlockStrategy};
-use parsched_regalloc::global::{allocate_global_with, GlobalAllocError, GlobalStrategy};
-use parsched_regalloc::PinterConfig;
+use parsched_regalloc::allocator::{allocate_single_block_limited, AllocError, BlockStrategy};
+use parsched_regalloc::global::{allocate_global_limited, GlobalAllocError, GlobalStrategy};
+use parsched_regalloc::{BudgetExceeded, PinterConfig};
 use parsched_sched::falsedep::count_false_deps;
-use parsched_sched::list_schedule_traced;
+use parsched_sched::{list_schedule_traced, SchedError};
 use parsched_telemetry::{NullTelemetry, Telemetry};
 use std::error::Error;
 use std::fmt;
@@ -31,6 +33,11 @@ pub enum Strategy {
     /// then schedule. With enough registers this provably introduces no
     /// false dependence (Theorem 1).
     Combined(PinterConfig),
+    /// Degradation floor: spill every original value to memory and
+    /// schedule the residue. Produces the worst code the pipeline can emit
+    /// but succeeds on any verified input under any register count — the
+    /// last rung of the resilience ladder.
+    SpillEverything,
 }
 
 impl Strategy {
@@ -46,6 +53,7 @@ impl Strategy {
             Strategy::SchedThenAlloc => "sched-then-alloc",
             Strategy::LinearScanThenSched => "linear-scan",
             Strategy::Combined(_) => "combined",
+            Strategy::SpillEverything => "spill-everything",
         }
     }
 }
@@ -80,6 +88,10 @@ pub struct CompileResult {
     pub block_cycles: Vec<u32>,
     /// Aggregate statistics.
     pub stats: CompileStats,
+    /// How far down the resilience ladder the driver had to walk to
+    /// produce this result. [`DegradationLevel::None`] unless the result
+    /// came from [`crate::Driver::compile_resilient`] after a fallback.
+    pub degradation: DegradationLevel,
 }
 
 /// Pipeline failures.
@@ -89,6 +101,10 @@ pub enum PipelineError {
     Alloc(AllocError),
     /// Global allocation failed.
     Global(GlobalAllocError),
+    /// Scheduling failed (cyclic dependence graph or invalid schedule).
+    Sched(SchedError),
+    /// A resource budget was exhausted before compilation finished.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for PipelineError {
@@ -96,21 +112,53 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Alloc(e) => e.fmt(f),
             PipelineError::Global(e) => e.fmt(f),
+            PipelineError::Sched(e) => e.fmt(f),
+            PipelineError::Budget(e) => e.fmt(f),
         }
     }
 }
 
-impl Error for PipelineError {}
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Alloc(e) => Some(e),
+            PipelineError::Global(e) => Some(e),
+            PipelineError::Sched(e) => Some(e),
+            PipelineError::Budget(e) => Some(e),
+        }
+    }
+}
 
 impl From<AllocError> for PipelineError {
     fn from(e: AllocError) -> Self {
-        PipelineError::Alloc(e)
+        // Surface budget trips uniformly regardless of which allocator hit
+        // them, so the driver can distinguish "out of budget" from "cannot
+        // allocate".
+        match e {
+            AllocError::Budget(b) => PipelineError::Budget(b),
+            other => PipelineError::Alloc(other),
+        }
     }
 }
 
 impl From<GlobalAllocError> for PipelineError {
     fn from(e: GlobalAllocError) -> Self {
-        PipelineError::Global(e)
+        match e {
+            GlobalAllocError::Budget(b) => PipelineError::Budget(b),
+            other => PipelineError::Global(other),
+        }
+    }
+}
+
+impl From<SchedError> for PipelineError {
+    fn from(e: SchedError) -> Self {
+        PipelineError::Sched(e)
+    }
+}
+
+impl From<BudgetExceeded> for PipelineError {
+    fn from(e: BudgetExceeded) -> Self {
+        PipelineError::Budget(e)
     }
 }
 
@@ -193,7 +241,29 @@ impl Pipeline {
         strategy: &Strategy,
         telemetry: &dyn Telemetry,
     ) -> Result<CompileResult, PipelineError> {
+        self.compile_budgeted(func, strategy, &Budget::unlimited(), telemetry)
+    }
+
+    /// [`Pipeline::compile_with`] under a resource [`Budget`].
+    ///
+    /// Budget caps are checked at the super-linear choke points (PIG
+    /// construction, transitive closure, spill iteration); the deadline is
+    /// additionally checked between phases. The statistics-only false-
+    /// dependence count is *skipped* (not failed) for blocks over the
+    /// instruction cap, with a `pipeline.false_dep_count.skipped` event.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::Budget`] when a cap or the deadline trips,
+    /// and the other variants as [`Pipeline::compile`] does.
+    pub fn compile_budgeted(
+        &self,
+        func: &Function,
+        strategy: &Strategy,
+        budget: &Budget,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, PipelineError> {
         let _compile_span = parsched_telemetry::span(telemetry, "pipeline.compile");
+        let limits = budget.alloc_limits();
         let mut func = if self.merge_chains {
             let _span = parsched_telemetry::span(telemetry, "pipeline.merge_chains");
             parsched_ir::simplify::merge_chains(func)
@@ -212,14 +282,15 @@ impl Pipeline {
         let pre_scheduled = match strategy {
             Strategy::SchedThenAlloc => {
                 let _span = parsched_telemetry::span(telemetry, "pipeline.pre_schedule");
-                self.schedule_blocks_measured_with(func, telemetry).0
+                limits.check_deadline("pipeline.pre_schedule")?;
+                self.schedule_blocks_measured_with(func, telemetry)?.0
             }
             _ => func.clone(),
         };
 
         let (mut allocated, mut stats) = {
             let _span = parsched_telemetry::span(telemetry, "pipeline.allocate");
-            self.allocate(&pre_scheduled, strategy, telemetry)?
+            self.allocate(&pre_scheduled, strategy, &limits, telemetry)?
         };
         // Allocation can map a copy's source and destination to one
         // register; drop the resulting identity copies before scheduling.
@@ -228,17 +299,33 @@ impl Pipeline {
         // Count false dependences intrinsically: each allocated block is
         // renamed apart to recover its symbolic form, and the block's own
         // register output dependences are tested against the resulting Ef.
+        // The count is statistics-only, so budget pressure skips it (per
+        // block) instead of failing the compilation: it builds a transitive
+        // closure, the most expensive phase on pathological blocks.
         stats.introduced_false_deps = {
             let _span = parsched_telemetry::span(telemetry, "pipeline.false_dep_count");
+            let cap = limits.max_block_insts.unwrap_or(usize::MAX);
+            let deadline_ok = limits.check_deadline("pipeline.false_dep_count").is_ok();
             (0..allocated.block_count())
-                .map(|b| count_false_deps(allocated.block(BlockId(b)), &self.machine))
+                .map(|b| {
+                    let block = allocated.block(BlockId(b));
+                    if block.insts().len() > cap || !deadline_ok {
+                        if telemetry.enabled() {
+                            telemetry.event("pipeline.false_dep_count.skipped", block.label());
+                        }
+                        0
+                    } else {
+                        count_false_deps(block, &self.machine)
+                    }
+                })
                 .sum()
         };
 
         // Final scheduling of the allocated code.
+        limits.check_deadline("pipeline.final_schedule")?;
         let (final_fn, block_cycles) = {
             let _span = parsched_telemetry::span(telemetry, "pipeline.final_schedule");
-            self.schedule_blocks_measured_with(&allocated, telemetry)
+            self.schedule_blocks_measured_with(&allocated, telemetry)?
         };
         stats.cycles = block_cycles.iter().sum();
         stats.inst_count = final_fn.inst_count();
@@ -261,23 +348,34 @@ impl Pipeline {
             function: final_fn,
             block_cycles,
             stats,
+            degradation: DegradationLevel::None,
         })
     }
 
     /// Schedules every block of the final code and reports per-block
     /// completion cycles without allocating (used on physical code).
-    pub fn schedule_blocks_measured(&self, func: &Function) -> (Function, Vec<u32>) {
+    ///
+    /// # Errors
+    /// Returns [`SchedError`] when a block's dependence graph is cyclic or
+    /// the scheduler produces an invalid schedule.
+    pub fn schedule_blocks_measured(
+        &self,
+        func: &Function,
+    ) -> Result<(Function, Vec<u32>), SchedError> {
         self.schedule_blocks_measured_with(func, &NullTelemetry)
     }
 
     /// [`Pipeline::schedule_blocks_measured`] with one `sched.block` span
     /// per block (the block's label in a `sched.block` event) and a
     /// `sched.block_cycles` counter per block.
+    ///
+    /// # Errors
+    /// As [`Pipeline::schedule_blocks_measured`].
     pub fn schedule_blocks_measured_with(
         &self,
         func: &Function,
         telemetry: &dyn Telemetry,
-    ) -> (Function, Vec<u32>) {
+    ) -> Result<(Function, Vec<u32>), SchedError> {
         let mut out = func.clone();
         let mut cycles = Vec::with_capacity(func.block_count());
         for b in 0..func.block_count() {
@@ -293,7 +391,7 @@ impl Pipeline {
                 &self.machine,
                 parsched_sched::SchedPriority::CriticalPath,
                 telemetry,
-            );
+            )?;
             if telemetry.enabled() {
                 telemetry.counter(
                     "sched.block_cycles",
@@ -303,13 +401,14 @@ impl Pipeline {
             cycles.push(schedule.completion_cycles());
             *out.block_mut(BlockId(b)) = schedule.linearize(block);
         }
-        (out, cycles)
+        Ok((out, cycles))
     }
 
     fn allocate(
         &self,
         func: &Function,
         strategy: &Strategy,
+        limits: &parsched_regalloc::AllocLimits,
         telemetry: &dyn Telemetry,
     ) -> Result<(Function, CompileStats), PipelineError> {
         let mut stats = CompileStats::default();
@@ -318,8 +417,9 @@ impl Pipeline {
                 Strategy::AllocThenSched | Strategy::SchedThenAlloc => BlockStrategy::Chaitin,
                 Strategy::LinearScanThenSched => BlockStrategy::LinearScan,
                 Strategy::Combined(cfg) => BlockStrategy::Pinter(*cfg),
+                Strategy::SpillEverything => BlockStrategy::SpillAll,
             };
-            let out = allocate_single_block_with(func, &self.machine, s, telemetry)?;
+            let out = allocate_single_block_limited(func, &self.machine, s, limits, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_values;
             stats.inserted_mem_ops = out.inserted_mem_ops;
@@ -331,8 +431,9 @@ impl Pipeline {
                 | Strategy::SchedThenAlloc
                 | Strategy::LinearScanThenSched => GlobalStrategy::Chaitin,
                 Strategy::Combined(cfg) => GlobalStrategy::Pinter(*cfg),
+                Strategy::SpillEverything => GlobalStrategy::SpillAll,
             };
-            let out = allocate_global_with(func, &self.machine, s, true, telemetry)?;
+            let out = allocate_global_limited(func, &self.machine, s, true, limits, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_webs;
             stats.inserted_mem_ops = out.inserted_mem_ops;

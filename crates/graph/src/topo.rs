@@ -50,7 +50,9 @@ pub fn topological_sort(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
     if order.len() == n {
         Ok(order)
     } else {
-        let node = (0..n).find(|&v| in_deg[v] > 0).expect("cycle node exists");
+        // Some node must retain positive in-degree, else the order would be
+        // complete; fall back to node 0 rather than panicking.
+        let node = (0..n).find(|&v| in_deg[v] > 0).unwrap_or(0);
         Err(CycleError { node })
     }
 }

@@ -96,27 +96,20 @@ impl Memory {
         self.cells.get(&(String::new(), addr)).copied().unwrap_or(0)
     }
 
-    fn read(&self, addr: &MemAddr, base_val: Option<i64>) -> i64 {
+    // `base_val` is the evaluated register base; callers pass 0 for global
+    // addresses, where it is ignored.
+    fn read(&self, addr: &MemAddr, base_val: i64) -> i64 {
         match &addr.base {
             AddrBase::Global(g) => self.global(g, addr.offset),
-            AddrBase::Reg(_) => self.abs(
-                base_val
-                    .expect("register base evaluated")
-                    .wrapping_add(addr.offset),
-            ),
+            AddrBase::Reg(_) => self.abs(base_val.wrapping_add(addr.offset)),
         }
     }
 
-    fn write(&mut self, addr: &MemAddr, base_val: Option<i64>, value: i64) {
+    fn write(&mut self, addr: &MemAddr, base_val: i64, value: i64) {
         match &addr.base {
             AddrBase::Global(g) => self.set_global(g.clone(), addr.offset, value),
             AddrBase::Reg(_) => {
-                self.set_abs(
-                    base_val
-                        .expect("register base evaluated")
-                        .wrapping_add(addr.offset),
-                    value,
-                );
+                self.set_abs(base_val.wrapping_add(addr.offset), value);
             }
         }
     }
@@ -258,16 +251,16 @@ impl Interpreter {
                     }
                     InstKind::Load { dst, addr, .. } => {
                         let base = match addr.base_reg() {
-                            Some(r) => Some(read(&regs, r)?),
-                            None => None,
+                            Some(r) => read(&regs, r)?,
+                            None => 0,
                         };
                         let v = mem.read(addr, base);
                         regs.insert(*dst, v);
                     }
                     InstKind::Store { src, addr, .. } => {
                         let base = match addr.base_reg() {
-                            Some(r) => Some(read(&regs, r)?),
-                            None => None,
+                            Some(r) => read(&regs, r)?,
+                            None => 0,
                         };
                         let v = read(&regs, *src)?;
                         mem.write(addr, base, v);

@@ -99,18 +99,19 @@ pub fn print_inst(inst: &Inst, func: &Function) -> String {
 pub fn print_function(func: &Function) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    write!(out, "func @{}(", func.name()).expect("write to string");
+    // Writing to a String cannot fail; discard the Ok(()) results.
+    let _ = write!(out, "func @{}(", func.name());
     for (i, p) in func.params().iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        write!(out, "{p}").expect("write to string");
+        let _ = write!(out, "{p}");
     }
     out.push_str(") {\n");
     for block in func.blocks() {
-        writeln!(out, "{}:", block.label()).expect("write to string");
+        let _ = writeln!(out, "{}:", block.label());
         for inst in block.insts() {
-            writeln!(out, "    {}", print_inst(inst, func)).expect("write to string");
+            let _ = writeln!(out, "    {}", print_inst(inst, func));
         }
     }
     out.push_str("}\n");

@@ -2,8 +2,10 @@
 
 use crate::assignment::{apply_coloring, check_function_allocation, AllocCheckError};
 use crate::combined::PinterConfig;
+use crate::limits::{AllocLimits, BudgetExceeded};
 use crate::pig::Pig;
 use crate::problem::{BlockAllocProblem, ProblemError};
+use parsched_graph::CycleError;
 use parsched_ir::liveness::Liveness;
 use parsched_ir::{BlockId, Function, Reg};
 use parsched_machine::MachineDesc;
@@ -24,6 +26,11 @@ pub enum BlockStrategy {
     /// The paper's combined allocator on the parallelizable interference
     /// graph.
     Pinter(PinterConfig),
+    /// Degradation floor: spill every original value to memory up front,
+    /// then Chaitin-color the residue of short-lived reload temporaries.
+    /// Slow code, but succeeds on essentially any input without ever
+    /// building a quadratic structure.
+    SpillAll,
 }
 
 /// A completed block allocation.
@@ -62,6 +69,11 @@ pub enum AllocError {
     /// The final rewrite failed its independent validity check — an
     /// allocator bug, surfaced rather than hidden.
     Invalid(AllocCheckError),
+    /// A resource budget (block size, PIG edges, deadline) was exhausted.
+    Budget(BudgetExceeded),
+    /// The dependence graph was cyclic — malformed input to the combined
+    /// path (a well-formed block always yields a DAG).
+    Cycle(CycleError),
 }
 
 impl fmt::Display for AllocError {
@@ -78,11 +90,23 @@ impl fmt::Display for AllocError {
                 write!(f, "spilling did not converge within {limit} rounds")
             }
             AllocError::Invalid(e) => write!(f, "allocation failed validation: {e}"),
+            AllocError::Budget(b) => b.fmt(f),
+            AllocError::Cycle(c) => c.fmt(f),
         }
     }
 }
 
-impl Error for AllocError {}
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Problem(p) => Some(p),
+            AllocError::Invalid(e) => Some(e),
+            AllocError::Budget(b) => Some(b),
+            AllocError::Cycle(c) => Some(c),
+            _ => None,
+        }
+    }
+}
 
 impl From<ProblemError> for AllocError {
     fn from(p: ProblemError) -> Self {
@@ -90,7 +114,17 @@ impl From<ProblemError> for AllocError {
     }
 }
 
-const MAX_ROUNDS: u32 = 32;
+impl From<BudgetExceeded> for AllocError {
+    fn from(b: BudgetExceeded) -> Self {
+        AllocError::Budget(b)
+    }
+}
+
+impl From<CycleError> for AllocError {
+    fn from(c: CycleError) -> Self {
+        AllocError::Cycle(c)
+    }
+}
 
 /// Allocates registers for a single-block function on `machine`.
 ///
@@ -142,6 +176,27 @@ pub fn allocate_single_block_with(
     strategy: BlockStrategy,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> Result<BlockAllocation, AllocError> {
+    allocate_single_block_limited(func, machine, strategy, &AllocLimits::default(), telemetry)
+}
+
+/// [`allocate_single_block_with`] under an explicit resource budget.
+///
+/// `limits.max_block_insts` and `limits.max_pig_edges` gate only the
+/// quadratic [`BlockStrategy::Pinter`] path (transitive closure and PIG
+/// construction); the cheaper strategies always run, so a degradation
+/// ladder has rungs that still succeed under a tight budget. The deadline
+/// and round cap apply to every strategy.
+///
+/// # Errors
+/// As [`allocate_single_block`], plus [`AllocError::Budget`] when a limit
+/// trips and [`AllocError::Cycle`] on a malformed dependence graph.
+pub fn allocate_single_block_limited(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: BlockStrategy,
+    limits: &AllocLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<BlockAllocation, AllocError> {
     if func.block_count() != 1 {
         return Err(AllocError::NotSingleBlock {
             blocks: func.block_count(),
@@ -152,10 +207,11 @@ pub fn allocate_single_block_with(
 
     let mut current = func.clone();
     if let BlockStrategy::Pinter(cfg) = &strategy {
+        limits.check_block_insts("alloc.ep_prepass", current.block(block_id).body().len())?;
         if cfg.ep_prepass {
             let _span = parsched_telemetry::span(telemetry, "alloc.ep_prepass");
             let deps = DepGraph::build_with(current.block(block_id), telemetry);
-            let reordered = ep_reorder(current.block(block_id), &deps, machine);
+            let reordered = ep_reorder(current.block(block_id), &deps, machine)?;
             *current.block_mut(block_id) = reordered;
         }
     }
@@ -169,8 +225,14 @@ pub fn allocate_single_block_with(
     let mut removed_false_edges = 0usize;
     let mut inserted_mem_ops = 0usize;
     let mut next_slot: i64 = 0;
+    // SpillAll must not pick the same value twice: a spilled definition
+    // keeps its register name (def + store), so filtering on the id alone
+    // would re-spill it every round.
+    let mut spilled_once: std::collections::HashSet<Reg> = std::collections::HashSet::new();
 
-    for round in 1..=MAX_ROUNDS {
+    let max_rounds = limits.rounds();
+    for round in 1..=max_rounds {
+        limits.check_deadline("alloc.deadline")?;
         let round_span = parsched_telemetry::span(telemetry, "alloc.round");
         let (liveness, problem) = {
             let _span = parsched_telemetry::span(telemetry, "alloc.liveness");
@@ -206,9 +268,11 @@ pub fn allocate_single_block_with(
                 (out.colors, out.spilled, Vec::new())
             }
             BlockStrategy::Pinter(cfg) => {
+                limits.check_block_insts("pig.build", current.block(block_id).body().len())?;
                 let deps = DepGraph::build_with(current.block(block_id), telemetry);
                 let pig = Pig::build_with(&problem, &deps, machine, telemetry);
-                let heights = deps.heights(machine);
+                limits.check_pig_edges("pig.edges", pig.graph().edge_count() as u64)?;
+                let heights = deps.heights(machine)?;
                 let priority: Vec<u32> = (0..problem.len())
                     .map(|n| problem.def_site(n).map_or(0, |i| heights[i]))
                     .collect();
@@ -216,6 +280,30 @@ pub fn allocate_single_block_with(
                     &pig, k, &costs, &priority, cfg, telemetry,
                 );
                 (out.colors, out.spilled, out.removed_false_edges)
+            }
+            BlockStrategy::SpillAll => {
+                // Round 1 sends every original (unprotected) value to a
+                // spill slot; later rounds Chaitin-color the residue —
+                // reload temporaries and the point-range defs that feed the
+                // stores, all spanning single instructions.
+                let all: Vec<usize> = (0..problem.len())
+                    .filter(|&n| {
+                        let r = problem.nodes()[n];
+                        matches!(r, Reg::Sym(s) if s.0 < protected_from)
+                            && !spilled_once.contains(&r)
+                    })
+                    .collect();
+                if all.is_empty() {
+                    let out = crate::chaitin::chaitin_color_with(
+                        problem.interference(),
+                        k,
+                        &costs,
+                        telemetry,
+                    );
+                    (out.colors, out.spilled, Vec::new())
+                } else {
+                    (Vec::new(), all, Vec::new())
+                }
             }
         };
         removed_false_edges += removed.len();
@@ -246,6 +334,7 @@ pub fn allocate_single_block_with(
         }
 
         let spill_regs: Vec<Reg> = spills.iter().map(|&n| problem.nodes()[n]).collect();
+        spilled_once.extend(spill_regs.iter().copied());
         spilled_values += spill_regs.len();
         let (rewritten, inserted) = crate::spill::insert_spill_code_with(
             &current,
@@ -257,7 +346,7 @@ pub fn allocate_single_block_with(
         inserted_mem_ops += inserted;
         current = rewritten;
     }
-    Err(AllocError::TooManyRounds { limit: MAX_ROUNDS })
+    Err(AllocError::TooManyRounds { limit: max_rounds })
 }
 
 #[cfg(test)]

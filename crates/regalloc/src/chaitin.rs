@@ -98,15 +98,17 @@ pub fn color_with_spill_metric_with(
         let v = match pick {
             Some(v) => v,
             None => {
-                let v = (0..n)
-                    .filter(|&v| !removed[v])
-                    .min_by(|&a, &b| {
-                        metric(g, a, degree[a])
-                            .partial_cmp(&metric(g, b, degree[b]))
-                            .expect("spill metrics are finite")
-                            .then(a.cmp(&b))
-                    })
-                    .expect("nodes remain");
+                // Exactly one node is removed per outer iteration, so an
+                // unremoved node always exists here; `else break` is the
+                // panic-free statement of that invariant. `total_cmp`
+                // orders NaN metrics deterministically instead of panicking.
+                let Some(v) = (0..n).filter(|&v| !removed[v]).min_by(|&a, &b| {
+                    metric(g, a, degree[a])
+                        .total_cmp(&metric(g, b, degree[b]))
+                        .then(a.cmp(&b))
+                }) else {
+                    break;
+                };
                 candidates.push(v);
                 v
             }

@@ -204,31 +204,34 @@ pub fn combined_color_with(
             .collect();
 
         if !eligible.is_empty() {
-            let (a, b) = match config.edge_policy {
-                EdgeRemovalPolicy::LeastBenefit => *eligible
+            let chosen = match config.edge_policy {
+                EdgeRemovalPolicy::LeastBenefit => eligible
                     .iter()
                     .min_by_key(|&&(a, b)| (priority[a].saturating_add(priority[b]), a, b))
-                    .expect("eligible nonempty"),
+                    .copied(),
                 EdgeRemovalPolicy::Pseudorandom { .. } => {
                     // xorshift64*
                     rng_state ^= rng_state << 13;
                     rng_state ^= rng_state >> 7;
                     rng_state ^= rng_state << 17;
-                    eligible[(rng_state as usize) % eligible.len()]
+                    Some(eligible[(rng_state as usize) % eligible.len()])
                 }
-                EdgeRemovalPolicy::DegreeRelief => *eligible
+                EdgeRemovalPolicy::DegreeRelief => eligible
                     .iter()
                     .min_by_key(|&&(a, b)| {
                         let da = cur_degree(&work, &removed_node, a);
                         let db = cur_degree(&work, &removed_node, b);
                         (da.min(db), a, b)
                     })
-                    .expect("eligible nonempty"),
+                    .copied(),
             };
-            work.remove_edge(a, b);
-            false_left.remove_edge(a, b);
-            removed_edges.push((a, b));
-            continue;
+            // `eligible` is nonempty, so every policy yields an edge.
+            if let Some((a, b)) = chosen {
+                work.remove_edge(a, b);
+                false_left.remove_edge(a, b);
+                removed_edges.push((a, b));
+                continue;
+            }
         }
 
         // No savable node: spill by the configured metric.
@@ -254,14 +257,16 @@ pub fn combined_color_with(
                 })
                 .sum()
         };
-        let victim = (0..n)
-            .filter(|&v| !removed_node[v])
-            .min_by(|&a, &b| {
-                let ha = costs[a] / weight_sum(a).max(f64::MIN_POSITIVE);
-                let hb = costs[b] / weight_sum(b).max(f64::MIN_POSITIVE);
-                ha.partial_cmp(&hb).expect("finite metrics").then(a.cmp(&b))
-            })
-            .expect("nodes remain");
+        // `remaining > 0` guarantees an unremoved node; `else break` states
+        // that invariant without a panic path, and `total_cmp` orders NaN
+        // metrics deterministically.
+        let Some(victim) = (0..n).filter(|&v| !removed_node[v]).min_by(|&a, &b| {
+            let ha = costs[a] / weight_sum(a).max(f64::MIN_POSITIVE);
+            let hb = costs[b] / weight_sum(b).max(f64::MIN_POSITIVE);
+            ha.total_cmp(&hb).then(a.cmp(&b))
+        }) else {
+            break;
+        };
         removed_node[victim] = true;
         if telemetry.enabled() {
             telemetry.event("combined.spill", &format!("node {victim}"));
@@ -283,10 +288,13 @@ pub fn combined_color_with(
                 used[colors[u] as usize] = true;
             }
         }
-        let c = (0..k)
-            .find(|&c| !used[c as usize])
-            .expect("simplified node has a free color");
-        colors[v] = c;
+        match (0..k).find(|&c| !used[c as usize]) {
+            Some(c) => colors[v] = c,
+            // Simplified nodes have degree < k at removal time, so a free
+            // color always exists; if that invariant ever broke, spilling
+            // the node degrades the result instead of crashing the process.
+            None => spilled.push(v),
+        }
     }
     spilled.sort_unstable();
     if telemetry.enabled() {
@@ -320,7 +328,7 @@ mod tests {
         let d = DepGraph::build(&f.blocks()[0]);
         let pig = Pig::build(&p, &d, machine);
         let costs: Vec<f64> = (0..p.len()).map(|n| p.spill_cost(n)).collect();
-        let heights = d.heights(machine);
+        let heights = d.heights(machine).unwrap();
         let priority: Vec<u32> = (0..p.len())
             .map(|n| p.def_site(n).map_or(0, |i| heights[i]))
             .collect();

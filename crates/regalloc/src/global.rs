@@ -39,10 +39,38 @@ pub struct GlobalAllocProblem {
     priority: Vec<u32>,
 }
 
+// The transitive closure + complement per region is quadratic in region
+// size; beyond this cap the region contributes no false edges (still sound
+// — the PIG only loses parallelism information, never interference).
+const REGION_EF_CAP: usize = 400;
+
 impl GlobalAllocProblem {
     /// Builds the global problem: web interference from liveness plus
     /// region-restricted false-dependence edges on `machine`.
     pub fn build(func: &Function, machine: &MachineDesc) -> GlobalAllocProblem {
+        Self::build_impl(func, machine, REGION_EF_CAP)
+    }
+
+    /// [`GlobalAllocProblem::build`] under a resource budget: the per-region
+    /// false-edge pass skips regions larger than `limits.max_block_insts`
+    /// (sound — the PIG loses parallelism information, never interference),
+    /// and an expired deadline aborts construction entirely.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] when `limits.deadline` has passed.
+    pub fn build_limited(
+        func: &Function,
+        machine: &MachineDesc,
+        limits: &crate::limits::AllocLimits,
+    ) -> Result<GlobalAllocProblem, crate::limits::BudgetExceeded> {
+        limits.check_deadline("global.build")?;
+        let cap = limits
+            .max_block_insts
+            .map_or(REGION_EF_CAP, |m| m.min(REGION_EF_CAP));
+        Ok(Self::build_impl(func, machine, cap))
+    }
+
+    fn build_impl(func: &Function, machine: &MachineDesc, region_cap: usize) -> GlobalAllocProblem {
         let defuse = DefUse::compute(func);
         let webs = Webs::compute(func, &defuse);
         let liveness = Liveness::compute(func, &[]);
@@ -107,11 +135,6 @@ impl GlobalAllocProblem {
         let regions = form_regions(func, &cfg);
         let mut false_edges = UnGraph::new(nw);
         let mut priority = vec![0u32; nw];
-        // The transitive closure + complement per region is quadratic in
-        // region size; beyond this cap the region contributes no false
-        // edges (still sound — the PIG only loses parallelism information,
-        // never interference).
-        const REGION_EF_CAP: usize = 400;
         for region in &regions {
             // Concatenate member bodies (dominance order); remember the
             // original instruction of each concatenated position.
@@ -124,11 +147,15 @@ impl GlobalAllocProblem {
                     origin.push(InstId::new(bid, i));
                 }
             }
-            if origin.is_empty() || origin.len() > REGION_EF_CAP {
+            if origin.is_empty() || origin.len() > region_cap {
                 continue;
             }
             let deps = DepGraph::build(&concat);
-            let heights = deps.heights(machine);
+            // Built dependence graphs are DAGs by construction; if that ever
+            // failed, skipping the region only forfeits parallelism info.
+            let Ok(heights) = deps.heights(machine) else {
+                continue;
+            };
             let ef = falsedep::false_dependence_graph(&deps, machine);
             // Web of the (first) def of a concatenated position, if any.
             let web_at = |pos: usize| -> Option<WebId> {
@@ -446,6 +473,8 @@ pub enum GlobalAllocError {
     },
     /// Internal validation failure.
     Invalid(AllocCheckError),
+    /// A resource budget (region size, deadline) was exhausted.
+    Budget(crate::limits::BudgetExceeded),
 }
 
 impl fmt::Display for GlobalAllocError {
@@ -455,11 +484,26 @@ impl fmt::Display for GlobalAllocError {
                 write!(f, "global spilling did not converge within {limit} rounds")
             }
             GlobalAllocError::Invalid(e) => write!(f, "global allocation failed validation: {e}"),
+            GlobalAllocError::Budget(b) => b.fmt(f),
         }
     }
 }
 
-impl Error for GlobalAllocError {}
+impl Error for GlobalAllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GlobalAllocError::Invalid(e) => Some(e),
+            GlobalAllocError::Budget(b) => Some(b),
+            GlobalAllocError::TooManyRounds { .. } => None,
+        }
+    }
+}
+
+impl From<crate::limits::BudgetExceeded> for GlobalAllocError {
+    fn from(b: crate::limits::BudgetExceeded) -> Self {
+        GlobalAllocError::Budget(b)
+    }
+}
 
 /// Strategy for the global allocator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -468,9 +512,10 @@ pub enum GlobalStrategy {
     Chaitin,
     /// The paper's combined coloring of the global PIG.
     Pinter(PinterConfig),
+    /// Degradation floor: spill every original web up front, then
+    /// Chaitin-color the residue of reload temporaries.
+    SpillAll,
 }
-
-const MAX_ROUNDS: u32 = 32;
 
 /// Allocates registers for a whole function (any CFG shape) on `machine`.
 ///
@@ -523,6 +568,32 @@ pub fn allocate_global_with(
     coalesce: bool,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> Result<GlobalAllocation, GlobalAllocError> {
+    allocate_global_limited(
+        func,
+        machine,
+        strategy,
+        coalesce,
+        &crate::limits::AllocLimits::default(),
+        telemetry,
+    )
+}
+
+/// [`allocate_global_with`] under an explicit resource budget: the round
+/// count is capped by `limits.max_rounds`, the deadline is checked at round
+/// boundaries, and region-restricted false-edge construction honors
+/// `limits.max_block_insts` (see [`GlobalAllocProblem::build_limited`]).
+///
+/// # Errors
+/// As [`allocate_global`], plus [`GlobalAllocError::Budget`] when a limit
+/// trips.
+pub fn allocate_global_limited(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: GlobalStrategy,
+    coalesce: bool,
+    limits: &crate::limits::AllocLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<GlobalAllocation, GlobalAllocError> {
     let k = machine.num_regs();
     let mut current = func.clone();
     // Reload temporaries created by spill rewriting must never re-spill.
@@ -531,12 +602,17 @@ pub fn allocate_global_with(
     let mut removed_false_edges = 0usize;
     let mut inserted_mem_ops = 0usize;
     let mut next_slot: i64 = 0;
+    // SpillAll must not pick the same register twice: a spilled definition
+    // keeps its name (def + store), so its web would reappear every round.
+    let mut spilled_once: std::collections::HashSet<Reg> = std::collections::HashSet::new();
 
-    for round in 1..=MAX_ROUNDS {
+    let max_rounds = limits.rounds();
+    for round in 1..=max_rounds {
+        limits.check_deadline("global.deadline")?;
         let round_span = parsched_telemetry::span(telemetry, "global.round");
         let problem = {
             let _span = parsched_telemetry::span(telemetry, "global.problem");
-            GlobalAllocProblem::build(&current, machine)
+            GlobalAllocProblem::build_limited(&current, machine, limits)?
         };
         let nw = problem.webs.len();
         if telemetry.enabled() {
@@ -590,6 +666,27 @@ pub fn allocate_global_with(
                 );
                 (out.colors, out.spilled, out.removed_false_edges.len())
             }
+            GlobalStrategy::SpillAll => {
+                // Round 1 spills every unprotected class; later rounds
+                // Chaitin-color the residue — reload temporaries and the
+                // point-range defs feeding the stores.
+                let all: Vec<usize> = (0..quotient.len())
+                    .filter(|&c| {
+                        costs[c] < 1e12
+                            && !(0..nw).any(|w| {
+                                quotient.class_of(WebId(w)) == c
+                                    && spilled_once.contains(&problem.webs.reg_of(WebId(w)))
+                            })
+                    })
+                    .collect();
+                if all.is_empty() {
+                    let out =
+                        crate::chaitin::chaitin_color_with(&quotient.er, k, &costs, telemetry);
+                    (out.colors, out.spilled, 0)
+                } else {
+                    (Vec::new(), all, 0)
+                }
+            }
         };
         removed_false_edges += removed;
 
@@ -620,6 +717,7 @@ pub fn allocate_global_with(
         }
 
         let spill_set = quotient.expand_spills(&class_spills, nw);
+        spilled_once.extend(spill_set.iter().map(|&w| problem.webs.reg_of(w)));
         spilled_webs += spill_set.len();
         if telemetry.enabled() {
             for &w in &spill_set {
@@ -633,7 +731,7 @@ pub fn allocate_global_with(
         inserted_mem_ops += inserted;
         current = rewritten;
     }
-    Err(GlobalAllocError::TooManyRounds { limit: MAX_ROUNDS })
+    Err(GlobalAllocError::TooManyRounds { limit: max_rounds })
 }
 
 /// Rewrites every register reference through its web's color: definitions

@@ -27,14 +27,17 @@ pub mod assignment;
 pub mod chaitin;
 pub mod combined;
 pub mod global;
+pub mod limits;
 pub mod linear;
 pub mod pig;
 mod problem;
 pub mod spill;
 
 pub use allocator::{
-    allocate_single_block, allocate_single_block_with, AllocError, BlockAllocation, BlockStrategy,
+    allocate_single_block, allocate_single_block_limited, allocate_single_block_with, AllocError,
+    BlockAllocation, BlockStrategy,
 };
 pub use combined::{EdgeRemovalPolicy, PinterConfig, SpillMetric};
+pub use limits::{AllocLimits, BudgetExceeded, DEFAULT_MAX_ROUNDS};
 pub use pig::{AugmentedPig, Pig};
 pub use problem::{BlockAllocProblem, ProblemError};

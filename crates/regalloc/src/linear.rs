@@ -132,12 +132,17 @@ fn linear_scan_color_impl(
             colors[iv.node] = c;
             active.push(iv);
         } else {
-            // Spill the interval with the furthest end.
-            let (furthest_pos, &furthest) = active
+            // Spill the interval with the furthest end. `active` can be
+            // empty only on a zero-register machine (k = 0): then every
+            // interval spills, rather than panicking.
+            let Some((furthest_pos, &furthest)) = active
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, a)| (a.end, a.node))
-                .expect("active nonempty when no register is free");
+            else {
+                spilled.push(iv.node);
+                continue;
+            };
             if furthest.end > iv.end {
                 colors[iv.node] = colors[furthest.node];
                 colors[furthest.node] = u32::MAX;

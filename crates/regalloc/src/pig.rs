@@ -346,7 +346,7 @@ mod tests {
         let (f, p, d) = setup(EXAMPLE1);
         let m = presets::paper_machine(8);
         let aug = AugmentedPig::build(&p, &d, &m);
-        let s = list_schedule(&f.blocks()[0], &d, &m);
+        let s = list_schedule(&f.blocks()[0], &d, &m).unwrap();
         for (_, group) in s.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {

@@ -223,7 +223,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::wide(4, 8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         // inst 1 (reads r1) and inst 2 (writes r1) share a cycle.
         assert_eq!(s.cycle(1), s.cycle(2), "precondition: same-cycle pair");
         let mut init = HashMap::new();
@@ -253,7 +253,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(16);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
 
         let mut mem = Memory::new();
         mem.set_abs(40, 7);
@@ -318,7 +318,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::single_issue(4);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         let err = simulate(&b, &s, &HashMap::new(), Memory::new()).unwrap_err();
         assert!(matches!(err, CycleSimError::UninitializedRegister { .. }));
         assert!(err.to_string().contains("s0"));
@@ -339,7 +339,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         let mut init = HashMap::new();
         init.insert(Reg::sym(0), 9);
         let out = simulate(&b, &s, &init, Memory::new()).unwrap();

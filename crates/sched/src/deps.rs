@@ -283,11 +283,14 @@ impl DepGraph {
     /// Critical-path height of each node on `machine`: the longest
     /// latency-weighted path from the node to any sink, counting the node's
     /// own latency. The classic list-scheduling priority.
-    pub fn heights(&self, machine: &MachineDesc) -> Vec<u32> {
-        let order = self
-            .graph
-            .topological_sort()
-            .expect("dependence graphs are DAGs");
+    ///
+    /// # Errors
+    /// Returns [`parsched_graph::CycleError`] if the graph is not a DAG.
+    /// Graphs built by [`DepGraph::build`] are always acyclic (every edge
+    /// points forward in program order), but hand-assembled graphs need not
+    /// be, and a malformed `Gs` must not abort the process.
+    pub fn heights(&self, machine: &MachineDesc) -> Result<Vec<u32>, parsched_graph::CycleError> {
+        let order = self.graph.topological_sort()?;
         let mut height = vec![0u32; self.len()];
         for &u in order.iter().rev() {
             let own = machine.latency(self.class(u)).max(1);
@@ -295,19 +298,19 @@ impl DepGraph {
                 .graph
                 .succs(u)
                 .iter()
-                .map(|&v| {
+                .filter_map(|&v| {
                     let e = DepEdge {
                         from: u,
                         to: v,
-                        kind: self.kinds[&(u, v)],
+                        kind: self.kind(u, v)?,
                     };
-                    self.edge_latency(machine, &e) + height[v]
+                    Some(self.edge_latency(machine, &e) + height[v])
                 })
                 .max()
                 .unwrap_or(0);
             height[u] = own.max(best_succ);
         }
-        height
+        Ok(height)
     }
 }
 
@@ -444,7 +447,7 @@ mod tests {
         );
         let g = DepGraph::build(&b);
         let m = parsched_machine::presets::rs6000(32); // load latency 2
-        let h = g.heights(&m);
+        let h = g.heights(&m).unwrap();
         // chain: load(2) → add(1) → add(1) = 4, 2, 1
         assert_eq!(h, vec![4, 2, 1]);
     }

@@ -12,40 +12,46 @@
 //! reorder the program segment accordingly."
 
 use crate::deps::DepGraph;
+use parsched_graph::CycleError;
 use parsched_ir::Block;
 use parsched_machine::MachineDesc;
 
 /// Latency-aware earliest-possible issue times ignoring resources: the
 /// longest dependence path from any root to each node.
-pub fn ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Vec<u32> {
-    let order = deps
-        .graph()
-        .topological_sort()
-        .expect("dependence graphs are DAGs");
+///
+/// # Errors
+/// Returns [`CycleError`] if the dependence graph is not a DAG.
+pub fn ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Result<Vec<u32>, CycleError> {
+    let order = deps.graph().topological_sort()?;
     let mut ep = vec![0u32; deps.len()];
     for &u in &order {
         for &v in deps.graph().succs(u) {
-            let edge = crate::deps::DepEdge {
-                from: u,
-                to: v,
-                kind: deps.kind(u, v).expect("edge exists"),
-            };
-            ep[v] = ep[v].max(ep[u] + deps.edge_latency(machine, &edge));
+            if let Some(kind) = deps.kind(u, v) {
+                let edge = crate::deps::DepEdge {
+                    from: u,
+                    to: v,
+                    kind,
+                };
+                ep[v] = ep[v].max(ep[u] + deps.edge_latency(machine, &edge));
+            }
         }
     }
-    ep
+    Ok(ep)
 }
 
 /// EP numbers after the paper's capacity-postponement refinement: while any
 /// EP level holds more operations than the machine can issue together, the
 /// lowest-priority excess operations (smallest critical-path height) are
 /// postponed one level and the increase is propagated along outgoing paths.
-pub fn refined_ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Vec<u32> {
-    let mut ep = ep_numbers(deps, machine);
-    let heights = deps.heights(machine);
+///
+/// # Errors
+/// Returns [`CycleError`] if the dependence graph is not a DAG.
+pub fn refined_ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Result<Vec<u32>, CycleError> {
+    let mut ep = ep_numbers(deps, machine)?;
+    let heights = deps.heights(machine)?;
     let n = deps.len();
     if n == 0 {
-        return ep;
+        return Ok(ep);
     }
 
     // Iterate levels in increasing order; the maximum level can grow as
@@ -76,23 +82,22 @@ pub fn refined_ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Vec<u32> {
             ep[i] += 1;
         }
         // Re-propagate the partial order: EP(v) ≥ EP(u) + latency(u→v).
-        let order = deps
-            .graph()
-            .topological_sort()
-            .expect("dependence graphs are DAGs");
+        let order = deps.graph().topological_sort()?;
         for &u in &order {
             for &v in deps.graph().succs(u) {
-                let edge = crate::deps::DepEdge {
-                    from: u,
-                    to: v,
-                    kind: deps.kind(u, v).expect("edge exists"),
-                };
-                ep[v] = ep[v].max(ep[u] + deps.edge_latency(machine, &edge));
+                if let Some(kind) = deps.kind(u, v) {
+                    let edge = crate::deps::DepEdge {
+                        from: u,
+                        to: v,
+                        kind,
+                    };
+                    ep[v] = ep[v].max(ep[u] + deps.edge_latency(machine, &edge));
+                }
             }
         }
         // Stay on the same level: other ops may still exceed capacity.
     }
-    ep
+    Ok(ep)
 }
 
 /// Reorders the body of `block` into a linear order consistent with the
@@ -102,8 +107,15 @@ pub fn refined_ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Vec<u32> {
 /// This is the "registers allocation Algorithm" pre-pass of Section 4: it
 /// improves the sequential order that live ranges — and therefore the
 /// interference graph — are measured against.
-pub fn ep_reorder(block: &Block, deps: &DepGraph, machine: &MachineDesc) -> Block {
-    let ep = refined_ep_numbers(deps, machine);
+///
+/// # Errors
+/// Returns [`CycleError`] if the dependence graph is not a DAG.
+pub fn ep_reorder(
+    block: &Block,
+    deps: &DepGraph,
+    machine: &MachineDesc,
+) -> Result<Block, CycleError> {
+    let ep = refined_ep_numbers(deps, machine)?;
     let mut idx: Vec<usize> = (0..deps.len()).collect();
     idx.sort_by_key(|&i| (ep[i], i));
     let mut out = Block::new(block.label());
@@ -113,7 +125,7 @@ pub fn ep_reorder(block: &Block, deps: &DepGraph, machine: &MachineDesc) -> Bloc
     if let Some(t) = block.terminator() {
         out.push(t.clone());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -142,7 +154,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::rs6000(8); // load latency 2
-        let ep = ep_numbers(&deps, &m);
+        let ep = ep_numbers(&deps, &m).unwrap();
         assert_eq!(ep, vec![0, 2, 0, 3]);
     }
 
@@ -164,9 +176,9 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(8);
-        let raw = ep_numbers(&deps, &m);
+        let raw = ep_numbers(&deps, &m).unwrap();
         assert_eq!(raw, vec![0, 0, 0, 0]);
-        let mut refined = refined_ep_numbers(&deps, &m);
+        let mut refined = refined_ep_numbers(&deps, &m).unwrap();
         refined.sort();
         assert_eq!(refined, vec![0, 1, 2, 3]);
     }
@@ -189,7 +201,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(8);
-        let re = ep_reorder(&b, &deps, &m);
+        let re = ep_reorder(&b, &deps, &m).unwrap();
         assert_eq!(re.insts().len(), b.insts().len());
         // Every def still precedes its uses.
         let mut defined: Vec<parsched_ir::Reg> = vec![parsched_ir::Reg::sym(0)];
@@ -215,7 +227,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(8);
-        let re = ep_reorder(&b, &deps, &m);
+        let re = ep_reorder(&b, &deps, &m).unwrap();
         assert_eq!(re.insts(), b.insts());
     }
 
@@ -224,8 +236,8 @@ mod tests {
         let b = block("func @e() {\nentry:\n    ret\n}");
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(8);
-        assert!(ep_numbers(&deps, &m).is_empty());
-        let re = ep_reorder(&b, &deps, &m);
+        assert!(ep_numbers(&deps, &m).unwrap().is_empty());
+        let re = ep_reorder(&b, &deps, &m).unwrap();
         assert_eq!(re.insts().len(), 1);
     }
 }

@@ -31,4 +31,4 @@ mod schedule;
 
 pub use deps::{op_class, DepEdge, DepGraph, DepKind};
 pub use list::{list_schedule, list_schedule_traced, list_schedule_with, SchedPriority};
-pub use schedule::{BlockSchedule, ScheduleError};
+pub use schedule::{BlockSchedule, SchedError, ScheduleError};

@@ -1,7 +1,7 @@
 //! Gibbons–Muchnick list scheduling with functional-unit reservation.
 
 use crate::deps::DepGraph;
-use crate::schedule::BlockSchedule;
+use crate::schedule::{BlockSchedule, SchedError};
 use parsched_ir::Block;
 use parsched_machine::MachineDesc;
 
@@ -22,12 +22,16 @@ pub enum SchedPriority {
 ///
 /// See [`list_schedule`] for the algorithm; this variant exists for the
 /// scheduler ablation (T-SCHED in EXPERIMENTS.md).
+///
+/// # Errors
+/// Returns [`SchedError`] on a cyclic dependence graph or if the produced
+/// schedule fails validation.
 pub fn list_schedule_with(
     block: &Block,
     deps: &DepGraph,
     machine: &MachineDesc,
     priority: SchedPriority,
-) -> BlockSchedule {
+) -> Result<BlockSchedule, SchedError> {
     schedule_impl(
         block,
         deps,
@@ -47,7 +51,7 @@ pub fn list_schedule_traced(
     machine: &MachineDesc,
     priority: SchedPriority,
     telemetry: &dyn parsched_telemetry::Telemetry,
-) -> BlockSchedule {
+) -> Result<BlockSchedule, SchedError> {
     schedule_impl(block, deps, machine, priority, telemetry)
 }
 
@@ -65,11 +69,11 @@ pub fn list_schedule_traced(
 /// )?;
 /// let block = f.block(BlockId(0));
 /// let deps = DepGraph::build(block);
-/// let schedule = list_schedule(block, &deps, &presets::paper_machine(8));
+/// let schedule = list_schedule(block, &deps, &presets::paper_machine(8))?;
 /// // The int and float ops dual-issue in cycle 0.
 /// assert_eq!(schedule.cycle(0), 0);
 /// assert_eq!(schedule.cycle(1), 0);
-/// # Ok::<(), parsched_ir::ParseError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 ///
 /// The classic greedy algorithm of Gibbons & Muchnick (SIGPLAN '86): keep a
@@ -80,9 +84,17 @@ pub fn list_schedule_traced(
 /// issue that satisfies its data inputs and resources.
 ///
 /// The result is validated against the dependence graph before being
-/// returned, so a bug here would panic rather than silently corrupt the
-/// evaluation.
-pub fn list_schedule(block: &Block, deps: &DepGraph, machine: &MachineDesc) -> BlockSchedule {
+/// returned, so a bug here surfaces as [`SchedError::Invalid`] rather than
+/// silently corrupting the evaluation.
+///
+/// # Errors
+/// Returns [`SchedError::Cycle`] on a cyclic dependence graph and
+/// [`SchedError::Invalid`] if the produced schedule fails validation.
+pub fn list_schedule(
+    block: &Block,
+    deps: &DepGraph,
+    machine: &MachineDesc,
+) -> Result<BlockSchedule, SchedError> {
     schedule_impl(
         block,
         deps,
@@ -98,12 +110,20 @@ fn schedule_impl(
     machine: &MachineDesc,
     priority: SchedPriority,
     telemetry: &dyn parsched_telemetry::Telemetry,
-) -> BlockSchedule {
+) -> Result<BlockSchedule, SchedError> {
     let n = deps.len();
     let heights: Vec<u32> = match priority {
-        SchedPriority::CriticalPath => deps.heights(machine),
-        SchedPriority::SourceOrder => (0..n).map(|i| (n - i) as u32).collect(),
-        SchedPriority::FanOut => (0..n).map(|i| deps.graph().out_degree(i) as u32).collect(),
+        SchedPriority::CriticalPath => deps.heights(machine)?,
+        SchedPriority::SourceOrder => {
+            // Any non-DAG input must fail regardless of priority policy, or
+            // the main loop below would spin forever on a dependence cycle.
+            deps.graph().topological_sort()?;
+            (0..n).map(|i| (n - i) as u32).collect()
+        }
+        SchedPriority::FanOut => {
+            deps.graph().topological_sort()?;
+            (0..n).map(|i| deps.graph().out_degree(i) as u32).collect()
+        }
     };
 
     // earliest[i]: lower bound on issue cycle from already-scheduled preds.
@@ -135,13 +155,15 @@ fn schedule_impl(
                 issued_any = true;
                 for &s in deps.graph().succs(i) {
                     unscheduled_preds[s] -= 1;
-                    let edge = crate::deps::DepEdge {
-                        from: i,
-                        to: s,
-                        kind: deps.kind(i, s).expect("edge exists"),
-                    };
-                    let ready_at = cycle + deps.edge_latency(machine, &edge);
-                    earliest[s] = earliest[s].max(ready_at);
+                    if let Some(kind) = deps.kind(i, s) {
+                        let edge = crate::deps::DepEdge {
+                            from: i,
+                            to: s,
+                            kind,
+                        };
+                        let ready_at = cycle + deps.edge_latency(machine, &edge);
+                        earliest[s] = earliest[s].max(ready_at);
+                    }
                 }
             }
         }
@@ -185,8 +207,9 @@ fn schedule_impl(
         rt.next_free_cycle(machine, tclass, tc)
     });
 
-    BlockSchedule::new(block, deps, machine, cycles, term_cycle)
-        .expect("list scheduler produced an invalid schedule")
+    Ok(BlockSchedule::new(
+        block, deps, machine, cycles, term_cycle,
+    )?)
 }
 
 #[cfg(test)]
@@ -216,7 +239,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         // Fixed and float pairs dual-issue: 2 cycles of work.
         assert_eq!(s.cycle(0), 0);
         assert_eq!(s.cycle(1), 0);
@@ -239,7 +262,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::single_issue(8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         let mut cs: Vec<u32> = s.cycles().to_vec();
         cs.sort();
         assert_eq!(cs, vec![0, 1, 2]);
@@ -263,7 +286,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::mips_r3000(8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         assert_eq!(s.cycle(0), 0, "load first (highest path)");
         assert_eq!(s.cycle(2), 1, "independent add fills the slot");
         assert_eq!(s.cycle(1), 2, "dependent add after load latency");
@@ -274,7 +297,7 @@ mod tests {
         let b = block("func @e() {\nentry:\n    ret\n}");
         let deps = DepGraph::build(&b);
         let m = presets::single_issue(8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         assert_eq!(s.term_cycle(), Some(0));
         assert_eq!(s.completion_cycles(), 1);
     }
@@ -297,7 +320,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::wide(4, 8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         // inst1 (reads r1) and inst2 (redefines r1) — anti edge lets them
         // share cycle 1.
         assert!(s.cycle(2) >= s.cycle(1));
@@ -327,14 +350,18 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::paper_machine(16);
-        let cp = list_schedule_with(&b, &deps, &m, SchedPriority::CriticalPath);
-        let so = list_schedule_with(&b, &deps, &m, SchedPriority::SourceOrder);
-        let fo = list_schedule_with(&b, &deps, &m, SchedPriority::FanOut);
+        let cp = list_schedule_with(&b, &deps, &m, SchedPriority::CriticalPath).unwrap();
+        let so = list_schedule_with(&b, &deps, &m, SchedPriority::SourceOrder).unwrap();
+        let fo = list_schedule_with(&b, &deps, &m, SchedPriority::FanOut).unwrap();
         // All valid (construction validates); critical path is never worse
         // than source order on this block.
         assert!(cp.completion_cycles() <= so.completion_cycles());
         assert!(fo.completion_cycles() >= 1);
-        assert_eq!(list_schedule(&b, &deps, &m), cp, "default is critical path");
+        assert_eq!(
+            list_schedule(&b, &deps, &m).unwrap(),
+            cp,
+            "default is critical path"
+        );
     }
 
     #[test]
@@ -351,7 +378,7 @@ mod tests {
         );
         let deps = DepGraph::build(&b);
         let m = presets::wide(4, 8);
-        let s = list_schedule(&b, &deps, &m);
+        let s = list_schedule(&b, &deps, &m).unwrap();
         assert!(s.cycle(1) > s.cycle(0));
     }
 }

@@ -66,7 +66,9 @@ impl BlockSchedule {
         // Terminator: flows from its inputs and issues no earlier than any
         // body instruction.
         if let Some(tc) = term_cycle {
-            let term = block.terminator().expect("term_cycle implies terminator");
+            let Some(term) = block.terminator() else {
+                return Err(ScheduleError::TerminatorMissing);
+            };
             for (i, inst) in body.iter().enumerate() {
                 if cycles[i] > tc {
                     return Err(ScheduleError::TerminatorNotLast { inst: i });
@@ -192,6 +194,8 @@ pub enum ScheduleError {
         /// The offending body index.
         inst: usize,
     },
+    /// A terminator cycle was supplied for a block with no terminator.
+    TerminatorMissing,
 }
 
 impl fmt::Display for ScheduleError {
@@ -215,11 +219,56 @@ impl fmt::Display for ScheduleError {
             ScheduleError::TerminatorNotLast { inst } => {
                 write!(f, "instruction {inst} issues after the terminator")
             }
+            ScheduleError::TerminatorMissing => {
+                write!(f, "terminator cycle given for a block without a terminator")
+            }
         }
     }
 }
 
 impl Error for ScheduleError {}
+
+/// Any failure the scheduling layer can report: a cyclic (malformed)
+/// dependence graph, or a produced schedule that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The dependence graph is not a DAG; no schedule exists.
+    Cycle(parsched_graph::CycleError),
+    /// The scheduler produced a cycle assignment that failed validation —
+    /// an internal scheduler bug surfaced as a typed error instead of a
+    /// panic so one poisoned block cannot take down the process.
+    Invalid(ScheduleError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Cycle(e) => write!(f, "dependence graph is cyclic: {e}"),
+            SchedError::Invalid(e) => write!(f, "scheduler produced an invalid schedule: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Cycle(e) => Some(e),
+            SchedError::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<parsched_graph::CycleError> for SchedError {
+    fn from(e: parsched_graph::CycleError) -> Self {
+        SchedError::Cycle(e)
+    }
+}
+
+impl From<ScheduleError> for SchedError {
+    fn from(e: ScheduleError) -> Self {
+        SchedError::Invalid(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n=== {machine} ===  ({} cycles)", r.stats.cycles);
         let block = r.function.block(BlockId(0));
         let deps = DepGraph::build(block);
-        let schedule = list_schedule(block, &deps, &machine);
+        let schedule = list_schedule(block, &deps, &machine)?;
         for (cycle, group) in schedule.groups() {
             let insts: Vec<String> = group
                 .iter()

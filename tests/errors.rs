@@ -1,0 +1,116 @@
+//! Error-path tests: malformed `.psc` inputs must produce typed errors
+//! with stable, one-line messages (the strings `psc` prints to stderr),
+//! never panics. No extra dependencies — plain string asserts.
+
+use parsched::ir::parse_function;
+use parsched::ir::verify::verify_function;
+use parsched::ParschedError;
+
+/// A source cut off mid-function: the parser must reject it with a line
+/// number, not crash or accept a half-block.
+#[test]
+fn truncated_source_is_a_parse_error() {
+    let truncated = "func @cut(s0) {\nentry:\n    s1 = add s0, 1\n";
+    let err = parse_function(truncated).unwrap_err();
+    let e = ParschedError::from(err);
+    assert_eq!(e.exit_code(), 3);
+    let msg = e.to_string();
+    assert!(
+        msg.starts_with("parse error at line "),
+        "message must locate the failure: {msg}"
+    );
+    assert_eq!(msg.lines().count(), 1, "one-line diagnostic: {msg}");
+}
+
+#[test]
+fn garbage_instruction_is_a_parse_error_with_line() {
+    let src = "func @g() {\nentry:\n    s1 = frobnicate 1, 2\n    ret s1\n}";
+    let err = parse_function(src).unwrap_err();
+    assert_eq!(err.line, 3, "error points at the offending line");
+    let msg = err.to_string();
+    assert!(msg.contains("line 3"), "{msg}");
+}
+
+#[test]
+fn unknown_register_fails_verification() {
+    let src = "func @u(s0) {\nentry:\n    s1 = add s7, 1\n    ret s1\n}";
+    let func = parse_function(src).unwrap();
+    let errs = verify_function(&func, false).unwrap_err();
+    let e = ParschedError::Verify(errs);
+    assert_eq!(e.exit_code(), 4);
+    let msg = e.to_string();
+    assert_eq!(
+        msg,
+        "verification failed: register s7 is used but never defined"
+    );
+}
+
+#[test]
+fn duplicated_def_fails_strict_verification() {
+    let src = "func @d() {\nentry:\n    s1 = li 1\n    s1 = li 2\n    ret s1\n}";
+    let func = parse_function(src).unwrap();
+    assert!(
+        verify_function(&func, false).is_ok(),
+        "post-allocation (non-strict) mode tolerates redefinition"
+    );
+    let errs = verify_function(&func, true).unwrap_err();
+    let e = ParschedError::Verify(errs);
+    let msg = e.to_string();
+    assert_eq!(
+        msg,
+        "verification failed: symbolic register s1 defined twice in b0"
+    );
+}
+
+#[test]
+fn multiple_verify_errors_report_count_and_first() {
+    let src = "func @m() {\nentry:\n    s1 = add s7, s8\n    ret s1\n}";
+    let func = parse_function(src).unwrap();
+    let errs = verify_function(&func, false).unwrap_err();
+    assert!(errs.len() >= 2);
+    let msg = ParschedError::Verify(errs).to_string();
+    assert!(
+        msg.starts_with("verification failed with 2 errors:"),
+        "{msg}"
+    );
+    assert_eq!(msg.lines().count(), 1, "still one line: {msg}");
+}
+
+#[test]
+fn budget_error_messages_are_stable() {
+    let cap = ParschedError::BudgetExceeded {
+        phase: "pig.build",
+        limit: 16,
+        actual: 120,
+    };
+    assert_eq!(
+        cap.to_string(),
+        "budget exceeded in pig.build: 120 over limit 16"
+    );
+    let deadline = ParschedError::BudgetExceeded {
+        phase: "alloc.deadline",
+        limit: 0,
+        actual: 0,
+    };
+    assert_eq!(
+        deadline.to_string(),
+        "budget exceeded in alloc.deadline: deadline passed"
+    );
+}
+
+#[test]
+fn panic_and_io_messages_are_stable() {
+    let p = ParschedError::Panicked {
+        context: "@f with combined".to_string(),
+        message: "index out of bounds".to_string(),
+    };
+    assert_eq!(
+        p.to_string(),
+        "internal error compiling @f with combined: index out of bounds"
+    );
+    let io = ParschedError::Io {
+        path: "missing.psc".to_string(),
+        message: "No such file or directory".to_string(),
+    };
+    assert_eq!(io.to_string(), "missing.psc: No such file or directory");
+}

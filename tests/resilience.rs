@@ -1,0 +1,242 @@
+//! Fault-injection tests for the hardened pipeline: every input —
+//! pathological size, dense interference, starved budgets, passed
+//! deadlines, a telemetry sink that panics mid-compilation — must yield a
+//! verified schedule or a typed error, never a process panic or a hang.
+
+use parsched::ir::interp::{Interpreter, Memory};
+use parsched::ir::{parse_function, Function};
+use parsched::machine::presets;
+use parsched::telemetry::Telemetry;
+use parsched::{Budget, DegradationLevel, Driver, ParschedError, Pipeline, Strategy};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A telemetry sink that panics after a set number of calls — once. The
+/// fuse blows exactly one time so that span guards dropped during the
+/// resulting unwind do not double-panic (which would abort the process
+/// instead of exercising the driver's containment).
+struct FaultyTelemetry {
+    fuse: AtomicI64,
+}
+
+impl FaultyTelemetry {
+    fn after(calls: i64) -> FaultyTelemetry {
+        FaultyTelemetry {
+            fuse: AtomicI64::new(calls),
+        }
+    }
+
+    fn tick(&self) {
+        if self.fuse.fetch_sub(1, Ordering::SeqCst) == 0 {
+            panic!("telemetry sink failure injected by test");
+        }
+    }
+}
+
+impl Telemetry for FaultyTelemetry {
+    fn phase_start(&self, _name: &str) {
+        self.tick();
+    }
+    fn phase_end(&self, _name: &str) {
+        self.tick();
+    }
+    fn counter(&self, _name: &str, _value: u64) {
+        self.tick();
+    }
+    fn gauge(&self, _name: &str, _value: u64) {
+        self.tick();
+    }
+    fn event(&self, _name: &str, _detail: &str) {
+        self.tick();
+    }
+}
+
+/// A single-block function of `n` body instructions with long-lived
+/// values: `width` accumulators are all live across the whole block, so
+/// interference is dense when `width` approaches the instruction count.
+fn pathological(n: usize, width: usize) -> Function {
+    let mut src = String::from("func @path(s0) {\nentry:\n");
+    for i in 0..width {
+        let _ = writeln!(src, "    s{} = add s0, {i}", i + 1);
+    }
+    for i in 0..n {
+        let a = 1 + (i % width);
+        let b = 1 + ((i + 1) % width);
+        let _ = writeln!(src, "    s{} = add s{a}, s{b}", width + 1 + i);
+    }
+    let mut sum = String::from("s1");
+    // Fold the accumulators so everything stays live to the end.
+    for i in 1..width {
+        let _ = writeln!(src, "    s{} = add {sum}, s{}", width + n + i, i + 1);
+        sum = format!("s{}", width + n + i);
+    }
+    let _ = writeln!(src, "    ret {sum}");
+    src.push('}');
+    parse_function(&src).unwrap()
+}
+
+fn run_equal(a: &Function, b: &Function, args: &[i64]) {
+    let interp = Interpreter::new();
+    let ra = interp.run(a, args, Memory::new()).unwrap();
+    let rb = interp.run(b, args, Memory::new()).unwrap();
+    assert_eq!(ra.return_value, rb.return_value);
+}
+
+#[test]
+fn thousand_inst_block_compiles_under_budget() {
+    let func = pathological(1000, 8);
+    assert!(func.inst_count() > 1000);
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
+        .with_budget(Budget::unlimited().with_max_block_insts(1500));
+    let r = driver.compile_resilient(&func).unwrap();
+    assert!(r.stats.cycles > 0);
+    run_equal(&func, &r.function, &[3]);
+}
+
+#[test]
+fn tiny_instruction_budget_degrades_but_succeeds() {
+    // The combined strategy needs the quadratic phases, which the budget
+    // forbids for this block; the ladder must find a cheaper rung.
+    let func = pathological(120, 6);
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(6)))
+        .with_budget(Budget::unlimited().with_max_block_insts(16));
+    let r = driver.compile_resilient(&func).unwrap();
+    assert_ne!(
+        r.degradation,
+        DegradationLevel::None,
+        "a 16-instruction cap cannot hold a 120-instruction block on the combined rung"
+    );
+    run_equal(&func, &r.function, &[3]);
+}
+
+#[test]
+fn dense_interference_on_starved_machine_reaches_a_rung() {
+    // 16 values simultaneously live on a 2-register machine: massive
+    // spilling on every rung. A round budget keeps the iterative rungs
+    // from grinding; the driver must still land somewhere (the floor
+    // ignores the round cap by design).
+    let func = pathological(48, 16);
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(2)))
+        .with_budget(Budget::unlimited().with_max_spill_rounds(6));
+    let r = driver.compile_resilient(&func).unwrap();
+    assert!(r.stats.spilled_values > 0);
+    run_equal(&func, &r.function, &[1]);
+}
+
+#[test]
+fn strict_budget_without_ladder_is_a_typed_error() {
+    let func = pathological(120, 6);
+    let pipeline = Pipeline::new(presets::paper_machine(6));
+    let budget = Budget::unlimited().with_max_block_insts(16);
+    let err = pipeline
+        .compile_budgeted(
+            &func,
+            &Strategy::combined(),
+            &budget,
+            &parsched::telemetry::NullTelemetry,
+        )
+        .unwrap_err();
+    let e = ParschedError::from(err);
+    assert_eq!(e.exit_code(), 8, "budget trips map to exit code 8: {e}");
+    assert!(e.to_string().contains("budget exceeded"), "{e}");
+}
+
+#[test]
+fn passed_deadline_is_an_error_not_a_hang() {
+    let func = pathological(200, 8);
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
+        .with_budget(Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1)));
+    let start = Instant::now();
+    let err = driver.compile_resilient(&func).unwrap_err();
+    assert!(start.elapsed() < Duration::from_secs(10));
+    assert_eq!(err.exit_code(), 8, "{err}");
+}
+
+#[test]
+fn generous_deadline_succeeds() {
+    let func = pathological(100, 4);
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
+        .with_budget(Budget::unlimited().with_deadline_in(Duration::from_secs(60)));
+    let r = driver.compile_resilient(&func).unwrap();
+    run_equal(&func, &r.function, &[2]);
+}
+
+#[test]
+fn panicking_telemetry_fails_a_rung_not_the_process() {
+    let func = pathological(40, 4);
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(4)));
+    // Sweep the fuse across the compilation so the panic lands in many
+    // different phases; the driver must always contain it.
+    for fuse in [0, 1, 5, 25, 100, 400] {
+        let faulty = FaultyTelemetry::after(fuse);
+        match driver.compile_resilient_with(&func, &faulty) {
+            Ok(r) => run_equal(&func, &r.function, &[2]),
+            Err(e) => panic!("fuse {fuse}: driver returned error instead of degrading: {e}"),
+        }
+    }
+}
+
+#[test]
+fn telemetry_panic_in_every_rung_is_a_typed_error() {
+    let func = pathological(10, 2);
+    // A sink that panics on *every* call from the first one: each rung
+    // fails, and the driver must report a contained panic, not unwind.
+    struct AlwaysPanics;
+    impl Telemetry for AlwaysPanics {
+        fn phase_start(&self, _name: &str) {
+            panic!("sink always fails");
+        }
+        fn phase_end(&self, _name: &str) {}
+        fn counter(&self, _name: &str, _value: u64) {}
+        fn gauge(&self, _name: &str, _value: u64) {}
+        fn event(&self, _name: &str, _detail: &str) {}
+    }
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(4)));
+    let err = driver
+        .compile_resilient_with(&func, &AlwaysPanics)
+        .unwrap_err();
+    assert_eq!(err.exit_code(), 9, "{err}");
+    assert!(matches!(err, ParschedError::Panicked { .. }));
+}
+
+#[test]
+fn malformed_ir_is_rejected_before_the_ladder() {
+    // s9 is used but never defined: verification fails before any rung.
+    let func =
+        parse_function("func @bad(s0) {\nentry:\n    s1 = add s9, 1\n    ret s1\n}").unwrap();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(4)));
+    let err = driver.compile_resilient(&func).unwrap_err();
+    assert_eq!(err.exit_code(), 4, "{err}");
+}
+
+#[test]
+fn spill_everything_floor_works_directly() {
+    let func = pathological(50, 10);
+    let pipeline = Pipeline::new(presets::paper_machine(4));
+    let r = pipeline.compile(&func, &Strategy::SpillEverything).unwrap();
+    assert!(r.stats.spilled_values > 0, "the floor spills by definition");
+    run_equal(&func, &r.function, &[5]);
+}
+
+#[test]
+fn batch_isolates_failures() {
+    let good = pathological(20, 3);
+    let bad = parse_function("func @bad(s0) {\nentry:\n    s1 = add s9, 1\n    ret s1\n}").unwrap();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(4)));
+    let results = driver.compile_batch(&[good.clone(), bad, good]);
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_ok());
+}
+
+#[test]
+fn every_ladder_rung_preserves_semantics() {
+    let func = pathological(30, 5);
+    let pipeline = Pipeline::new(presets::paper_machine(5));
+    for strategy in Driver::default_ladder() {
+        let r = pipeline.compile(&func, &strategy).unwrap();
+        run_equal(&func, &r.function, &[7]);
+    }
+}

@@ -198,7 +198,7 @@ fn cycle_accurate_execution_matches_sequential() {
                 let r = p.compile(&f, &s).unwrap();
                 let block = r.function.block(BlockId(0));
                 let deps = DepGraph::build(block);
-                let schedule = list_schedule(block, &deps, &machine);
+                let schedule = list_schedule(block, &deps, &machine).unwrap();
 
                 let args = args_for(&r.function);
                 let mut init: HashMap<parsched::ir::Reg, i64> = HashMap::new();
@@ -240,7 +240,7 @@ fn scheduling_alone_preserves_semantics() {
     // code must be equivalent — the dependence graph is doing its job.
     for (name, f) in kernels() {
         let p = Pipeline::new(presets::wide(8, 32));
-        let (scheduled, _) = p.schedule_blocks_measured(&f);
+        let (scheduled, _) = p.schedule_blocks_measured(&f).unwrap();
         assert_equivalent(&f, &scheduled, &format!("{name} schedule-only"));
     }
 }

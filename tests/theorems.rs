@@ -123,7 +123,7 @@ fn same_cycle_pairs_are_ef_edges() {
         let block = f.block(BlockId(0));
         let deps = DepGraph::build(block);
         let ef = false_dependence_graph(&deps, &machine);
-        let s = list_schedule(block, &deps, &machine);
+        let s = list_schedule(block, &deps, &machine).unwrap();
         for (_, group) in s.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {
@@ -163,7 +163,7 @@ fn theorem1_allocated_pairs_stay_within_ef() {
         let allocated = apply_coloring(&f, &p, &colors);
         let ef = false_dependence_graph(&d, &machine);
         let alloc_deps = DepGraph::build(allocated.block(BlockId(0)));
-        let schedule = list_schedule(allocated.block(BlockId(0)), &alloc_deps, &machine);
+        let schedule = list_schedule(allocated.block(BlockId(0)), &alloc_deps, &machine).unwrap();
         for (_, group) in schedule.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {
