@@ -35,4 +35,15 @@ timeout 60 cargo test -q --offline -p parsched --test resilience
 echo "==> tier-1: cargo test -q (10-minute hang guard)"
 timeout 600 cargo test -q --offline
 
+echo "==> doc tests"
+timeout 300 cargo test -q --doc --offline --workspace
+
+echo "==> smoke bench (tiny sweep; output must self-validate)"
+smoke_out=$(mktemp /tmp/parsched-smoke-bench.XXXXXX.json)
+timeout 30 cargo run -q --release --offline -p parsched-bench -- \
+    --smoke --out "$smoke_out"
+timeout 30 cargo run -q --release --offline -p parsched-bench -- \
+    --check "$smoke_out"
+rm -f "$smoke_out"
+
 echo "CI OK"

@@ -338,10 +338,12 @@ fn t_sched() {
         ] {
             let total: u64 = workloads
                 .iter()
-                .map(|(_, f)| {
+                .map(|(name, f)| {
                     let block = f.block(BlockId(0));
                     let deps = DepGraph::build(block);
-                    u64::from(list_schedule_with(block, &deps, &machine, prio).completion_cycles())
+                    let schedule = list_schedule_with(block, &deps, &machine, prio)
+                        .unwrap_or_else(|e| panic!("T-SCHED: {name} failed to schedule: {e}"));
+                    u64::from(schedule.completion_cycles())
                 })
                 .sum();
             row.push(total.to_string());

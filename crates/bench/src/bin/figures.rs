@@ -158,7 +158,8 @@ fn figure4_and_5() {
     );
     let schedule_of = |func: &Function| {
         let deps = DepGraph::build(func.block(BlockId(0)));
-        let s = parsched::sched::list_schedule(func.block(BlockId(0)), &deps, &m);
+        let s = parsched::sched::list_schedule(func.block(BlockId(0)), &deps, &m)
+            .unwrap_or_else(|e| panic!("figure schedule failed: {e}"));
         (s.groups(), s.completion_cycles())
     };
     let (groups, cycles) = schedule_of(&fig5);

@@ -1,10 +1,26 @@
-//! Shared helpers for the `parsched` benchmark harness: the standard
-//! workload corpus and machine list used by the `figures` / `experiments`
-//! binaries and the Criterion benches, so every table in EXPERIMENTS.md is
-//! generated from one definition.
+//! The `parsched` benchmark harness.
+//!
+//! Three binaries share this crate:
+//!
+//! - `parsched-bench` (the default) runs the parallel batch-compilation
+//!   sweep from [`sweep`] and writes `BENCH_parallel.json` at the repo
+//!   root; see `docs/BENCHMARKING.md`.
+//! - `figures` and `experiments` regenerate the per-block tables in
+//!   EXPERIMENTS.md.
+//!
+//! The crate is deliberately zero-dependency (no criterion, no rand, no
+//! serde) so the workspace builds and benches fully offline: timing uses
+//! `std::time::Instant`, randomness comes from `parsched-workload`'s
+//! seeded SplitMix64 generators, and report validation uses the small
+//! JSON reader in [`json`]. This module itself holds the corpus shared by
+//! the `figures`/`experiments` binaries, so every table in EXPERIMENTS.md
+//! is generated from one definition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod sweep;
 
 use parsched::ir::Function;
 use parsched::machine::{presets, MachineDesc};

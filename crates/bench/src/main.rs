@@ -1,0 +1,146 @@
+//! `parsched-bench` — the reproducible parallel batch-compilation sweep.
+//!
+//! Run `cargo run -p parsched-bench --release` to produce
+//! `BENCH_parallel.json` in the current directory. See
+//! `docs/BENCHMARKING.md` for the schema and how to compare runs.
+
+use std::process::ExitCode;
+
+use parsched_bench::json;
+use parsched_bench::sweep::{self, SweepConfig};
+
+const USAGE: &str = "\
+parsched-bench: sweep batch compilation over workloads x strategies x threads
+
+USAGE: parsched-bench [OPTIONS]
+
+OPTIONS:
+  --smoke        tiny corpus, single iteration, no warm-up (CI smoke)
+  --out FILE     where to write the report (default: BENCH_parallel.json)
+  --check FILE   validate an existing report and exit; runs no sweep
+  --iters N      measured iterations per point (default: 5, median kept)
+  --warmup N     unmeasured warm-up runs per point (default: 1)
+  -h, --help     show this help
+";
+
+struct Options {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+    iters: Option<usize>,
+    warmup: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        out: "BENCH_parallel.json".to_string(),
+        check: None,
+        iters: None,
+        warmup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().ok_or("--out needs a file argument")?,
+            "--check" => {
+                opts.check = Some(args.next().ok_or("--check needs a file argument")?);
+            }
+            "--iters" => {
+                let n = args.next().ok_or("--iters needs a number")?;
+                opts.iters = Some(n.parse().map_err(|_| format!("bad --iters `{n}`"))?);
+            }
+            "--warmup" => {
+                let n = args.next().ok_or("--warmup needs a number")?;
+                opts.warmup = Some(n.parse().map_err(|_| format!("bad --warmup `{n}`"))?);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if let Some(iters) = opts.iters {
+        if iters == 0 {
+            return Err("--iters must be at least 1".to_string());
+        }
+    }
+    Ok(opts)
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    sweep::validate_report(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("parsched-bench: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.check {
+        return match check_file(path) {
+            Ok(()) => {
+                println!("{path}: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("parsched-bench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut config = if opts.smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::full()
+    };
+    if let Some(iters) = opts.iters {
+        config.iters = iters;
+    }
+    if let Some(warmup) = opts.warmup {
+        config.warmup = warmup;
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mode = if config.smoke { "smoke" } else { "full" };
+    eprintln!(
+        "parsched-bench: {mode} sweep, {} iters + {} warmup per point, host has {host_threads} thread(s)",
+        config.iters, config.warmup
+    );
+
+    let points = sweep::run_sweep(&config);
+    let report = sweep::render_report(&points, mode, host_threads);
+
+    // Self-validate before writing: a report that fails its own schema
+    // check must never land on disk looking authoritative.
+    let doc = match json::parse(&report) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("parsched-bench: generated report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sweep::validate_report(&doc) {
+        eprintln!("parsched-bench: generated report failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = std::fs::write(&opts.out, &report) {
+        eprintln!("parsched-bench: write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} sweep points)", opts.out, points.len());
+    ExitCode::SUCCESS
+}

@@ -1,8 +1,10 @@
 //! `psc` — the parsched command-line driver.
 //!
-//! Compile a textual-IR function with a chosen strategy and machine, print
-//! the result, the cycle-by-cycle schedule, or the statistics, and
-//! optionally execute it in the reference interpreter.
+//! Compile a textual-IR module (one or more functions) with a chosen
+//! strategy and machine, print the result, the cycle-by-cycle schedule, or
+//! the statistics, and optionally execute it in the reference interpreter.
+//! Multi-function modules compile in parallel under `--jobs N` with
+//! byte-identical output for every `N`.
 //!
 //! ```text
 //! psc FILE [--strategy combined|alloc-first|sched-first]
@@ -10,21 +12,25 @@
 //!          [--machine-spec FILE]
 //!          [--regs N]
 //!          [--emit text|schedule|stats|json|dot]
+//!          [--jobs N] [--bench-json FILE]
 //!          [--trace FILE] [--stats-json FILE] [--dump-dir DIR]
 //!          [--run ARG...]
 //! ```
 
 use parsched::ir::interp::{Interpreter, Memory};
-use parsched::ir::{parse_function, print_function, print_inst, BlockId, Function};
+use parsched::ir::{parse_module, print_function, print_inst, BlockId, Function};
 use parsched::machine::{parse_machine_spec, presets, MachineDesc};
 use parsched::sched::{list_schedule, DepGraph};
-use parsched::telemetry::{ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry};
-use parsched::{Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy};
+use parsched::telemetry::{
+    escape_json, ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry,
+};
+use parsched::{BatchDriver, Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy};
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "\
 usage: psc FILE [options]
+FILE is a textual-IR module: one or more `func @name(...) { ... }` bodies.
 options:
   --strategy combined|alloc-first|sched-first|linear-scan|spill-everything
                          (default combined)
@@ -33,7 +39,13 @@ options:
   --regs N               override the register-file size
   --emit text|schedule|stats|json|dot           (default text)
                          dot renders block 0's parallelizable interference
-                         graph (false-dependence edges dashed)
+                         graph (false-dependence edges dashed);
+                         schedule/dot/--run need a single-function module
+  --jobs N               compile the module's functions on N worker
+                         threads (work stealing; 0 = one per core;
+                         default 1); output is byte-identical for every N
+  --bench-json FILE      write per-function wall times and batch
+                         throughput as JSON (implies the batch driver)
   --max-insts N          budget: largest block (in instructions) the
                          super-linear phases will accept
   --deadline-ms N        budget: wall-clock deadline for the compile
@@ -63,6 +75,8 @@ struct Options {
     machine: MachineDesc,
     regs: Option<u32>,
     emit: Emit,
+    jobs: Option<usize>,
+    bench_json: Option<String>,
     max_insts: Option<usize>,
     deadline_ms: Option<u64>,
     resilient: bool,
@@ -145,6 +159,8 @@ fn parse_args() -> Result<Cmd, String> {
     let mut machine: Option<MachineDesc> = None;
     let mut regs: Option<u32> = None;
     let mut emit = Emit::Text;
+    let mut jobs: Option<usize> = None;
+    let mut bench_json: Option<String> = None;
     let mut max_insts: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut resilient = false;
@@ -200,6 +216,13 @@ fn parse_args() -> Result<Cmd, String> {
                     other => return Err(format!("unknown emit mode `{other}`")),
                 };
             }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                jobs = Some(v.parse().map_err(|_| format!("bad worker count `{v}`"))?);
+            }
+            "--bench-json" => {
+                bench_json = Some(args.next().ok_or("--bench-json needs a path")?);
+            }
             "--max-insts" => {
                 let v = args.next().ok_or("--max-insts needs a value")?;
                 max_insts = Some(
@@ -238,6 +261,8 @@ fn parse_args() -> Result<Cmd, String> {
         machine: machine.unwrap_or_else(|| presets::paper_machine(32)),
         regs,
         emit,
+        jobs,
+        bench_json,
         max_insts,
         deadline_ms,
         resilient,
@@ -250,7 +275,17 @@ fn parse_args() -> Result<Cmd, String> {
 
 fn real_main(opts: Options) -> Result<(), Failure> {
     let src = std::fs::read_to_string(&opts.file).map_err(|e| Failure::io(&opts.file, &e))?;
-    let func = parse_function(&src).map_err(|e| Failure::from(ParschedError::Parse(e)))?;
+    let mut funcs = parse_module(&src).map_err(|e| Failure::from(ParschedError::Parse(e)))?;
+    // Multi-function modules (and any explicit batch request) go through
+    // the parallel batch driver; single functions keep the classic path,
+    // whose output and exit codes are unchanged.
+    if funcs.len() > 1 || opts.bench_json.is_some() {
+        return batch_main(opts, funcs);
+    }
+    let func = match funcs.pop() {
+        Some(f) => f,
+        None => unreachable!("parse_module rejects empty modules"),
+    };
     // Reject ill-formed inputs (e.g. uses of never-defined registers) up
     // front; the resilient driver re-checks, but the plain path must not
     // silently compile garbage.
@@ -422,6 +457,264 @@ fn real_main(opts: Options) -> Result<(), Failure> {
     Ok(())
 }
 
+/// The batch path: compile every function of the module through the
+/// work-stealing [`BatchDriver`] and render per the emit mode. Results are
+/// joined in input order, so the output is byte-identical for every
+/// `--jobs` value. `--emit schedule`, `--emit dot`, and `--run` stay
+/// single-function features.
+fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
+    if opts.run.is_some() || opts.emit == Emit::Schedule || opts.emit == Emit::Dot {
+        return Err(Failure {
+            code: 2,
+            msg: "--emit schedule, --emit dot, and --run need a single-function module".to_string(),
+        });
+    }
+    if opts.dump_dir.is_some() {
+        return Err(Failure {
+            code: 2,
+            msg: "--dump-dir needs a single-function module".to_string(),
+        });
+    }
+    let machine = match opts.regs {
+        Some(r) => opts.machine.with_num_regs(r),
+        None => opts.machine.clone(),
+    };
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.max_insts {
+        budget = budget.with_max_block_insts(n);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        budget = budget.with_deadline_in(Duration::from_millis(ms));
+    }
+    // Without --resilient the ladder is the requested strategy alone, so a
+    // failure surfaces instead of silently degrading; with it, the same
+    // reordered ladder the single-function path uses.
+    let ladder = if opts.resilient {
+        let mut ladder = Driver::default_ladder();
+        if opts.strategy != Strategy::combined() {
+            ladder.retain(|s| *s != opts.strategy);
+            ladder.insert(0, opts.strategy);
+        }
+        ladder
+    } else {
+        vec![opts.strategy]
+    };
+    let driver = Driver::new(Pipeline::new(machine.clone()))
+        .with_budget(budget)
+        .with_ladder(ladder);
+    let batch = BatchDriver::new(driver)
+        .with_jobs(opts.jobs.unwrap_or(1))
+        .with_recording(opts.stats_json.is_some());
+
+    let chrome = ChromeTraceSink::new();
+    let out = if opts.trace.is_some() {
+        batch.compile_module_with(&funcs, &chrome)
+    } else {
+        batch.compile_module(&funcs)
+    };
+
+    if let Some(path) = &opts.trace {
+        chrome
+            .write_to_file(std::path::Path::new(path))
+            .map_err(|e| Failure::io(path, &e))?;
+    }
+    if let Some(path) = &opts.stats_json {
+        std::fs::write(path, batch_stats_json(&opts, &machine, &funcs, &out))
+            .map_err(|e| Failure::io(path, &e))?;
+    }
+    if let Some(path) = &opts.bench_json {
+        std::fs::write(path, bench_json(&opts, &funcs, &out)).map_err(|e| Failure::io(path, &e))?;
+    }
+
+    // Fail only after the measurement artifacts are on disk — a batch with
+    // one poisoned function still yields a complete bench/stats record.
+    let mut first: Option<Failure> = None;
+    for (func, res) in funcs.iter().zip(&out.results) {
+        if let Err(e) = res {
+            eprintln!("psc: @{}: {e}", func.name());
+            first.get_or_insert_with(|| Failure::from(e.clone()));
+        }
+    }
+    if let Some(f) = first {
+        return Err(f);
+    }
+
+    match opts.emit {
+        Emit::Text => {
+            let compiled: Vec<&CompileResult> =
+                out.results.iter().filter_map(|r| r.as_ref().ok()).collect();
+            let rendered: Vec<String> = compiled
+                .iter()
+                .map(|r| print_function(&r.function))
+                .collect();
+            print!("{}", rendered.join("\n"));
+        }
+        Emit::Json => {
+            println!("[");
+            let n = out.results.len();
+            for (i, (func, res)) in funcs.iter().zip(&out.results).enumerate() {
+                if let Ok(r) = res {
+                    let s = &r.stats;
+                    let comma = if i + 1 < n { "," } else { "" };
+                    println!(
+                        "  {{\"function\": \"{}\", \"machine\": \"{}\", \"strategy\": \"{}\", \"degradation\": \"{}\", \"registers_used\": {}, \"cycles\": {}, \"spilled_values\": {}, \"inserted_mem_ops\": {}, \"introduced_false_deps\": {}, \"removed_false_edges\": {}, \"inst_count\": {}}}{comma}",
+                        escape_json(func.name()),
+                        escape_json(machine.name()),
+                        opts.strategy.label(),
+                        r.degradation.label(),
+                        s.registers_used,
+                        s.cycles,
+                        s.spilled_values,
+                        s.inserted_mem_ops,
+                        s.introduced_false_deps,
+                        s.removed_false_edges,
+                        s.inst_count
+                    );
+                }
+            }
+            println!("]");
+        }
+        Emit::Stats => {
+            let worst = out
+                .results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|r| r.degradation)
+                .max()
+                .unwrap_or_default();
+            let cycles: u64 = out
+                .results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|r| u64::from(r.stats.cycles))
+                .sum();
+            println!("module:               {}", opts.file);
+            println!("functions:            {}", out.results.len());
+            println!("jobs:                 {}", out.jobs);
+            println!("machine:              {machine}");
+            println!("strategy:             {}", opts.strategy.label());
+            println!("total cycles:         {cycles}");
+            println!("total spilled values: {}", out.total_spills());
+            println!("total instructions:   {}", out.total_insts());
+            println!("worst degradation:    {}", worst.label());
+        }
+        // Rejected above.
+        Emit::Schedule | Emit::Dot => {}
+    }
+    Ok(())
+}
+
+/// Renders the `--bench-json` payload: per-function wall times and batch
+/// throughput, in input order. Schema documented in docs/BENCHMARKING.md.
+fn bench_json(opts: &Options, funcs: &[Function], out: &parsched::BatchOutput) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"psc-bench/1\",\n");
+    s.push_str(&format!("  \"file\": \"{}\",\n", escape_json(&opts.file)));
+    s.push_str(&format!("  \"strategy\": \"{}\",\n", opts.strategy.label()));
+    s.push_str(&format!("  \"jobs\": {},\n", out.jobs));
+    s.push_str("  \"functions\": [\n");
+    let n = funcs.len();
+    for (i, (func, res)) in funcs.iter().zip(&out.results).enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        match res {
+            Ok(r) => s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ok\": true, \"wall_ns\": {}, \"insts\": {}, \"cycles\": {}, \"spilled_values\": {}, \"degradation\": \"{}\"}}{comma}\n",
+                escape_json(func.name()),
+                out.per_func_ns[i],
+                r.stats.inst_count,
+                r.stats.cycles,
+                r.stats.spilled_values,
+                r.degradation.label()
+            )),
+            Err(e) => s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ok\": false, \"wall_ns\": {}, \"error\": \"{}\"}}{comma}\n",
+                escape_json(func.name()),
+                out.per_func_ns[i],
+                escape_json(&e.to_string())
+            )),
+        }
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"ok\": {},\n", out.ok_count()));
+    s.push_str(&format!("  \"failed\": {},\n", out.err_count()));
+    s.push_str(&format!("  \"total_wall_ns\": {},\n", out.wall.as_nanos()));
+    s.push_str(&format!("  \"total_insts\": {},\n", out.total_insts()));
+    s.push_str(&format!(
+        "  \"insts_per_sec\": {:.1}\n",
+        out.insts_per_sec()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the `--stats-json` payload for a batch: per-function stats plus
+/// the merged per-worker telemetry (phase totals and counters).
+fn batch_stats_json(
+    opts: &Options,
+    machine: &MachineDesc,
+    funcs: &[Function],
+    out: &parsched::BatchOutput,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"machine\": \"{}\",\n",
+        escape_json(machine.name())
+    ));
+    s.push_str(&format!("  \"strategy\": \"{}\",\n", opts.strategy.label()));
+    s.push_str(&format!("  \"jobs\": {},\n", out.jobs));
+    s.push_str("  \"functions\": [\n");
+    let n = funcs.len();
+    for (i, (func, res)) in funcs.iter().zip(&out.results).enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        match res {
+            Ok(r) => {
+                let st = &r.stats;
+                s.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"ok\": true, \"degradation\": \"{}\", \"registers_used\": {}, \"cycles\": {}, \"spilled_values\": {}, \"inserted_mem_ops\": {}, \"introduced_false_deps\": {}, \"removed_false_edges\": {}, \"inst_count\": {}}}{comma}\n",
+                    escape_json(func.name()),
+                    r.degradation.label(),
+                    st.registers_used,
+                    st.cycles,
+                    st.spilled_values,
+                    st.inserted_mem_ops,
+                    st.introduced_false_deps,
+                    st.removed_false_edges,
+                    st.inst_count
+                ));
+            }
+            Err(e) => s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ok\": false, \"error\": \"{}\"}}{comma}\n",
+                escape_json(func.name()),
+                escape_json(&e.to_string())
+            )),
+        }
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"phases\": [\n");
+    let phases = out.telemetry.phase_totals();
+    for (i, (name, ns)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"total_ns\": {}}}{comma}\n",
+            escape_json(name),
+            ns
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"counters\": {\n");
+    let counters = out.telemetry.counters();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {}{comma}\n",
+            escape_json(name),
+            value
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
 /// Renders the --stats-json payload: machine, strategy, the full
 /// [`parsched::CompileStats`], per-block cycles, per-phase wall times from
 /// the recorder, and every telemetry counter.
@@ -431,7 +724,6 @@ fn stats_json(
     result: &CompileResult,
     recorder: &Recorder,
 ) -> String {
-    use parsched::telemetry::escape_json;
     let s = &result.stats;
     let mut out = String::from("{\n");
     out.push_str(&format!(

@@ -24,6 +24,12 @@
 //! # Ok::<(), parsched::PipelineError>(())
 //! ```
 //!
+//! Above the pipeline sit two robustness layers: the [`Driver`] walks a
+//! degradation ladder under a resource [`Budget`] instead of failing, and
+//! the [`BatchDriver`] shards a whole module's functions across a
+//! work-stealing thread pool with deterministic, thread-count-independent
+//! output. See `docs/ARCHITECTURE.md` for the full picture.
+//!
 //! # Crate map
 //!
 //! | need | crate |
@@ -33,10 +39,12 @@
 //! | dependence graphs & scheduling | [`sched`] (`parsched-sched`) |
 //! | allocators (Chaitin & combined) | [`regalloc`] (`parsched-regalloc`) |
 //! | graph algorithms | [`graph`] (`parsched-graph`) |
+//! | telemetry sinks | [`telemetry`] (`parsched-telemetry`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod budget;
 pub mod driver;
 pub mod error;
@@ -44,6 +52,7 @@ pub mod paper;
 mod pipeline;
 pub mod report;
 
+pub use batch::{BatchDriver, BatchOutput};
 pub use budget::Budget;
 pub use driver::{DegradationLevel, Driver};
 pub use error::ParschedError;

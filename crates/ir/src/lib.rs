@@ -74,6 +74,6 @@ pub use block::{Block, BlockId};
 pub use builder::FunctionBuilder;
 pub use func::Function;
 pub use inst::{AddrBase, BinOp, Cond, Inst, InstId, InstKind, MemAddr, Operand, UnOp};
-pub use parser::{parse_function, ParseError};
-pub use printer::{print_function, print_inst};
+pub use parser::{parse_function, parse_module, ParseError};
+pub use printer::{print_function, print_inst, print_module};
 pub use reg::{PhysReg, Reg, SymReg};

@@ -125,6 +125,57 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
     Ok(Function::new(name, params, blocks))
 }
 
+/// Parses a whole module — one or more functions — from the textual IR.
+///
+/// Functions are delimited by their `func @name(...) {` header and the
+/// matching top-level `}`; anything between functions other than comments
+/// and blank lines is an error. Line numbers in errors refer to the whole
+/// input, not the offending function's chunk.
+///
+/// # Errors
+/// Returns [`ParseError`] as [`parse_function`] does, plus errors for an
+/// empty module and for text outside any function.
+pub fn parse_module(src: &str) -> Result<Vec<Function>, ParseError> {
+    let mut funcs = Vec::new();
+    // (1-based start line, accumulated source lines) of the open chunk.
+    let mut chunk: Option<(usize, Vec<&str>)> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let ln = i + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        match &mut chunk {
+            None => {
+                if stripped.is_empty() {
+                    continue;
+                }
+                if !stripped.starts_with("func") {
+                    return Err(err(ln, "expected `func @name(...) {` at module level"));
+                }
+                chunk = Some((ln, vec![raw]));
+            }
+            Some((start, lines)) => {
+                lines.push(raw);
+                if stripped == "}" {
+                    let start = *start;
+                    let func = parse_function(&lines.join("\n")).map_err(|mut e| {
+                        // Rebase the chunk-relative line onto the module.
+                        e.line += start - 1;
+                        e
+                    })?;
+                    funcs.push(func);
+                    chunk = None;
+                }
+            }
+        }
+    }
+    if let Some((start, _)) = chunk {
+        return Err(err(start, "unterminated function: missing closing `}`"));
+    }
+    if funcs.is_empty() {
+        return Err(err(0, "empty input: expected `func @name(...) {`"));
+    }
+    Ok(funcs)
+}
+
 fn parse_header(ln: usize, l: &str) -> Result<(String, Vec<Reg>), ParseError> {
     let rest = l
         .strip_prefix("func")
@@ -487,5 +538,56 @@ mod tests {
         let e = parse_function("func @f() {\nentry:\nbogus\n}").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn module_parses_multiple_functions_in_order() {
+        let src = "\
+# leading comment
+func @a(s0) {
+entry:
+    s1 = add s0, 1
+    ret s1
+}
+
+# between functions
+func @b() {
+entry:
+    s1 = li 7
+    ret s1
+}
+";
+        let Ok(funcs) = parse_module(src) else {
+            unreachable!("well-formed module must parse")
+        };
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name(), "a");
+        assert_eq!(funcs[1].name(), "b");
+    }
+
+    #[test]
+    fn module_of_one_function_matches_parse_function() {
+        let src = "func @f(s0) {\nentry:\n    s1 = add s0, 2\n    ret s1\n}\n";
+        let (Ok(single), Ok(module)) = (parse_function(src), parse_module(src)) else {
+            unreachable!("well-formed function must parse both ways")
+        };
+        assert_eq!(module, vec![single]);
+    }
+
+    #[test]
+    fn module_errors_carry_module_line_numbers() {
+        let src = "func @a() {\nentry:\n    ret\n}\nfunc @b() {\nentry:\n    bogus\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 7, "{e}");
+    }
+
+    #[test]
+    fn module_rejects_stray_text_and_missing_brace() {
+        let e = parse_module("stray\nfunc @a() {\nentry:\nret\n}\n").unwrap_err();
+        assert!(e.message.contains("module level"), "{e}");
+        let e = parse_module("func @a() {\nentry:\nret\n").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+        let e = parse_module("  # only a comment\n").unwrap_err();
+        assert!(e.message.contains("empty input"), "{e}");
     }
 }

@@ -118,6 +118,13 @@ pub fn print_function(func: &Function) -> String {
     out
 }
 
+/// Renders a whole module — functions separated by one blank line — in the
+/// syntax accepted by [`parse_module`](crate::parse_module).
+pub fn print_module(funcs: &[Function]) -> String {
+    let rendered: Vec<String> = funcs.iter().map(print_function).collect();
+    rendered.join("\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -125,6 +125,7 @@ struct RecorderState {
 
 /// In-memory sink. Records every signal and exposes query helpers, so tests
 /// can assert span nesting and counter values after a compile.
+#[derive(Debug)]
 pub struct Recorder {
     epoch: Instant,
     state: Mutex<RecorderState>,
@@ -236,6 +237,54 @@ impl Recorder {
                 .map(|s| s.duration_ns)
                 .sum(),
         }
+    }
+
+    /// Folds another recorder's closed state into this one: counters add,
+    /// gauges keep the maximum, spans and events append (at their recorded
+    /// depths), and nesting errors accumulate.
+    ///
+    /// Built for parallel drivers: give each worker thread its own
+    /// `Recorder` and merge them at join, so workers never contend on one
+    /// mutex mid-compilation. Span/event *offsets* stay relative to the
+    /// source recorder's epoch — after a merge, rely on durations
+    /// ([`total_ns`](Recorder::total_ns), [`phase_totals`](Recorder::phase_totals))
+    /// rather than on cross-recorder start-time ordering.
+    ///
+    /// ```
+    /// use parsched_telemetry::{span, Recorder, Telemetry};
+    ///
+    /// let (a, b) = (Recorder::new(), Recorder::new());
+    /// a.counter("funcs", 2);
+    /// b.counter("funcs", 3);
+    /// drop(span(&b, "compile"));
+    /// a.merge_from(&b);
+    /// assert_eq!(a.counter_value("funcs"), 5);
+    /// assert_eq!(a.span_count("compile"), 1);
+    /// ```
+    pub fn merge_from(&self, other: &Recorder) {
+        // Snapshot `other` first: taking both locks at once could deadlock
+        // if two recorders ever merged into each other concurrently.
+        let (spans, counters, gauges, events, errors) = {
+            let st = other.state.lock().unwrap();
+            (
+                st.spans.clone(),
+                st.counters.clone(),
+                st.gauges.clone(),
+                st.events.clone(),
+                st.errors.clone(),
+            )
+        };
+        let mut st = self.state.lock().unwrap();
+        st.spans.extend(spans);
+        for (name, value) in counters {
+            *st.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, value) in gauges {
+            let slot = st.gauges.entry(name).or_insert(0);
+            *slot = (*slot).max(value);
+        }
+        st.events.extend(events);
+        st.errors.extend(errors);
     }
 
     /// Per-phase totals `(name, total_ns)` for every distinct span name,
@@ -551,6 +600,46 @@ mod tests {
         assert_eq!(spans.len(), 2);
         // Only the outer (depth-0) occurrence contributes.
         assert_eq!(r.total_ns("color"), spans[1].duration_ns);
+    }
+
+    #[test]
+    fn merge_from_combines_all_signal_kinds() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        {
+            let _s = span(&a, "alpha");
+            a.counter("shared", 1);
+            a.gauge("peak", 9);
+        }
+        {
+            let _s = span(&b, "beta");
+            b.counter("shared", 4);
+            b.counter("only_b", 2);
+            b.gauge("peak", 3);
+            b.event("note", "from b");
+        }
+        b.phase_start("x");
+        b.phase_end("y"); // one nesting error in b
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("shared"), 5);
+        assert_eq!(a.counter_value("only_b"), 2);
+        assert_eq!(a.gauge_value("peak"), Some(9));
+        assert_eq!(a.span_count("alpha"), 1);
+        assert_eq!(a.span_count("beta"), 1);
+        assert_eq!(a.events().len(), 1);
+        assert!(!a.nesting_well_formed());
+        // b itself is untouched.
+        assert_eq!(b.counter_value("shared"), 4);
+        assert_eq!(b.span_count("alpha"), 0);
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let a = Recorder::new();
+        a.counter("c", 7);
+        a.merge_from(&Recorder::new());
+        assert_eq!(a.counter_value("c"), 7);
+        assert_eq!(a.spans().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+func @dot8(s0, s1) {
+entry:
+    s2 = load [s0 + 0]
+    s3 = load [s1 + 0]
+    s4 = load [s0 + 8]
+    s5 = load [s1 + 8]
+    s6 = load [s0 + 16]
+    s7 = load [s1 + 16]
+    s8 = load [s0 + 24]
+    s9 = load [s1 + 24]
+    s10 = fmul s2, s3
+    s11 = fmul s4, s5
+    s12 = fmul s6, s7
+    s13 = fmul s8, s9
+    s14 = fadd s10, s11
+    s15 = fadd s12, s13
+    s16 = fadd s14, s15
+    ret s16
+}
+
+func @fir4(s0, s1) {
+entry:
+    s2 = load [s0 + 0]
+    s3 = load [s0 + 8]
+    s4 = load [s0 + 16]
+    s5 = load [s0 + 24]
+    s6 = load [s1 + 0]
+    s7 = load [s1 + 8]
+    s8 = load [s1 + 16]
+    s9 = load [s1 + 24]
+    s10 = fmul s2, s6
+    s11 = fmul s3, s7
+    s12 = fmul s4, s8
+    s13 = fmul s5, s9
+    s14 = fadd s10, s11
+    s15 = fadd s14, s12
+    s16 = fadd s15, s13
+    ret s16
+}
+
+func @horner6(s0, s1) {
+entry:
+    s2 = load [s1 + 0]
+    s3 = load [s1 + 8]
+    s4 = load [s1 + 16]
+    s5 = load [s1 + 24]
+    s6 = load [s1 + 32]
+    s7 = load [s1 + 40]
+    s8 = load [s1 + 48]
+    s9 = fmul s2, s0
+    s10 = fadd s9, s3
+    s11 = fmul s10, s0
+    s12 = fadd s11, s4
+    s13 = fmul s12, s0
+    s14 = fadd s13, s5
+    s15 = fmul s14, s0
+    s16 = fadd s15, s6
+    s17 = fmul s16, s0
+    s18 = fadd s17, s7
+    s19 = fmul s18, s0
+    s20 = fadd s19, s8
+    ret s20
+}
+
+func @matmul2(s0, s1, s2) {
+entry:
+    s3 = load [s0 + 0]
+    s4 = load [s0 + 8]
+    s5 = load [s0 + 16]
+    s6 = load [s0 + 24]
+    s7 = load [s1 + 0]
+    s8 = load [s1 + 8]
+    s9 = load [s1 + 16]
+    s10 = load [s1 + 24]
+    s11 = fmul s3, s7
+    s12 = fmul s4, s9
+    s13 = fadd s11, s12
+    s14 = fmul s3, s8
+    s15 = fmul s4, s10
+    s16 = fadd s14, s15
+    s17 = fmul s5, s7
+    s18 = fmul s6, s9
+    s19 = fadd s17, s18
+    s20 = fmul s5, s8
+    s21 = fmul s6, s10
+    s22 = fadd s20, s21
+    store s13, [s2 + 0]
+    store s16, [s2 + 8]
+    store s19, [s2 + 16]
+    store s22, [s2 + 24]
+    ret s13
+}

@@ -1,0 +1,194 @@
+func @dag_1(s0, s1) {
+entry:
+    s2 = sub s1, s1
+    s3 = fsub s2, s2
+    s4 = sub s2, s3
+    s5 = load [s0 + 0]
+    s6 = sub s2, s5
+    s7 = load [s0 + 8]
+    s8 = fsub s4, s5
+    s9 = mul s4, s5
+    s10 = and s6, s7
+    s11 = xor s7, s9
+    s12 = load [s0 + 16]
+    s13 = fmul s8, s11
+    s14 = fsub s10, s8
+    s15 = mul s14, s10
+    s16 = fmul s12, s10
+    s17 = fmul s11, s15
+    s18 = add s17, s17
+    s19 = mul s15, s14
+    s20 = fadd s19, s17
+    s21 = and s20, s20
+    s22 = load [s0 + 24]
+    s23 = fadd s19, s17
+    s24 = add s20, s19
+    s25 = sub s22, s20
+    s26 = fadd s23, s23
+    s27 = and s23, s23
+    s28 = load [s0 + 32]
+    s29 = load [s0 + 40]
+    s30 = and s26, s28
+    s31 = fmul s28, s27
+    s32 = xor s26, s27
+    s33 = xor s32, s28
+    s34 = xor s33, s29
+    s35 = xor s34, s30
+    s36 = xor s35, s31
+    ret s36
+}
+
+func @dag_8(s0, s1) {
+entry:
+    s2 = mul s1, s1
+    s3 = fsub s2, s1
+    s4 = fadd s2, s1
+    s5 = xor s2, s2
+    s6 = xor s5, s2
+    s7 = mul s3, s4
+    s8 = mul s7, s5
+    s9 = fmul s4, s7
+    s10 = fadd s7, s6
+    s11 = fadd s5, s5
+    s12 = load [s0 + 0]
+    s13 = fsub s12, s7
+    s14 = fmul s12, s9
+    s15 = fadd s14, s9
+    s16 = and s14, s13
+    s17 = sub s16, s14
+    s18 = mul s15, s15
+    s19 = xor s18, s16
+    s20 = load [s0 + 8]
+    s21 = sub s20, s15
+    s22 = load [s0 + 16]
+    s23 = xor s19, s17
+    s24 = sub s19, s21
+    s25 = xor s20, s24
+    s26 = and s24, s22
+    s27 = sub s21, s22
+    s28 = load [s0 + 24]
+    s29 = fsub s27, s26
+    s30 = and s27, s29
+    s31 = load [s0 + 32]
+    s32 = xor s26, s27
+    s33 = xor s32, s28
+    s34 = xor s33, s29
+    s35 = xor s34, s30
+    s36 = xor s35, s31
+    ret s36
+}
+
+func @dag_15(s0, s1) {
+entry:
+    s2 = fsub s1, s1
+    s3 = fmul s2, s2
+    s4 = load [s0 + 0]
+    s5 = fadd s1, s1
+    s6 = fadd s5, s3
+    s7 = sub s5, s5
+    s8 = fsub s2, s5
+    s9 = load [s0 + 8]
+    s10 = sub s5, s8
+    s11 = load [s0 + 16]
+    s12 = load [s0 + 24]
+    s13 = mul s11, s8
+    s14 = add s13, s9
+    s15 = add s9, s13
+    s16 = and s12, s10
+    s17 = fsub s13, s14
+    s18 = mul s16, s13
+    s19 = add s15, s15
+    s20 = and s17, s17
+    s21 = load [s0 + 32]
+    s22 = load [s0 + 40]
+    s23 = fsub s22, s20
+    s24 = sub s23, s21
+    s25 = and s24, s20
+    s26 = load [s0 + 48]
+    s27 = load [s0 + 56]
+    s28 = mul s23, s24
+    s29 = load [s0 + 64]
+    s30 = fmul s27, s26
+    s31 = xor s29, s28
+    s32 = xor s26, s27
+    s33 = xor s32, s28
+    s34 = xor s33, s29
+    s35 = xor s34, s30
+    s36 = xor s35, s31
+    ret s36
+}
+
+func @cfg_40(s0, s1) {
+entry:
+    blt s1, 0, else0
+then0:
+    s3 = xor s0, s1
+    s4 = xor s0, s0
+    s2 = add s1, 1
+    jmp join0
+else0:
+    s2 = mul s0, 3
+join0:
+    s5 = mov s1
+    s6 = li 0
+head1:
+    s7 = slt s6, 5
+    beq s7, 0, exit1
+body1:
+    s8 = add s5, s0
+    s5 = mov s8
+    s9 = add s6, 1
+    s6 = mov s9
+    jmp head1
+exit1:
+    s10 = mov s2
+    s11 = li 0
+head2:
+    s12 = slt s11, 2
+    beq s12, 0, exit2
+body2:
+    s13 = add s10, s2
+    s10 = mov s13
+    s14 = add s11, 1
+    s11 = mov s14
+    jmp head2
+exit2:
+    s15 = xor s10, s5
+    s16 = xor s15, s2
+    ret s16
+}
+
+func @cfg_41(s0, s1) {
+entry:
+    jmp straight0
+straight0:
+    s2 = xor s1, s1
+    s3 = xor s0, 5
+    s4 = and s0, s1
+    s5 = fadd s3, 2
+    s6 = fmul s4, s2
+    s7 = mov s4
+    s8 = li 0
+head1:
+    s9 = slt s8, 5
+    beq s9, 0, exit1
+body1:
+    s10 = add s7, s5
+    s7 = mov s10
+    s11 = add s8, 1
+    s8 = mov s11
+    jmp head1
+exit1:
+    blt s3, 0, else2
+then2:
+    s13 = fadd s1, s2
+    s14 = and s7, 9
+    s12 = add s7, 1
+    jmp join2
+else2:
+    s12 = mul s2, 3
+join2:
+    s15 = xor s12, s7
+    s16 = xor s15, s6
+    ret s16
+}

@@ -1,0 +1,251 @@
+//! Batch-compilation contracts: thread count must never change the
+//! output (byte-identical assembly, identical spill counts), one
+//! function's failure must stay in its own result slot, and a panicking
+//! shared telemetry sink must not take the batch down.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use parsched::ir::{parse_module, print_function, Function};
+use parsched::machine::presets;
+use parsched::telemetry::Telemetry;
+use parsched::{
+    BatchDriver, BatchOutput, Budget, DegradationLevel, Driver, ParschedError, Pipeline,
+};
+use parsched_workload::{
+    random_cfg_function, random_dag_function, straight_line_kernels, CfgParams, DagParams,
+};
+
+/// A corpus with every shape the generators produce: straight-line
+/// kernels, random DAGs, and branching CFG functions.
+fn corpus() -> Vec<Function> {
+    let mut funcs: Vec<Function> = straight_line_kernels()
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect();
+    for seed in 0..6u64 {
+        funcs.push(random_dag_function(
+            seed * 3 + 1,
+            &DagParams {
+                size: 40,
+                load_fraction: 0.25,
+                float_fraction: 0.4,
+                window: 6,
+            },
+        ));
+    }
+    for seed in 0..4u64 {
+        funcs.push(random_cfg_function(
+            seed + 9,
+            &CfgParams {
+                segments: 3,
+                ops_per_block: 5,
+            },
+        ));
+    }
+    funcs
+}
+
+fn assembly(out: &BatchOutput) -> String {
+    out.results
+        .iter()
+        .map(|r| match r {
+            Ok(res) => print_function(&res.function),
+            Err(e) => panic!("batch function failed: {e}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn jobs_one_and_eight_are_byte_identical() {
+    let funcs = corpus();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
+    let serial = BatchDriver::new(driver.clone())
+        .with_jobs(1)
+        .compile_module(&funcs);
+    let threaded = BatchDriver::new(driver).with_jobs(8).compile_module(&funcs);
+    assert_eq!(serial.jobs, 1);
+    assert_eq!(threaded.jobs, 8.min(funcs.len()));
+    assert_eq!(serial.ok_count(), funcs.len());
+    assert_eq!(assembly(&serial), assembly(&threaded));
+    assert_eq!(serial.total_spills(), threaded.total_spills());
+    assert_eq!(serial.total_insts(), threaded.total_insts());
+}
+
+#[test]
+fn example_modules_are_deterministic_across_jobs() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut modules: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("examples dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "psc"))
+        .collect();
+    modules.sort();
+    assert!(
+        modules.len() >= 2,
+        "expected at least two .psc example modules, found {modules:?}"
+    );
+    for path in modules {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let funcs = parse_module(&src)
+            .unwrap_or_else(|e| panic!("{}: failed to parse: {e}", path.display()));
+        let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
+        let baseline = BatchDriver::new(driver.clone())
+            .with_jobs(1)
+            .compile_module(&funcs);
+        let base_asm = assembly(&baseline);
+        for jobs in [2, 4, 8] {
+            let out = BatchDriver::new(driver.clone())
+                .with_jobs(jobs)
+                .compile_module(&funcs);
+            assert_eq!(
+                base_asm,
+                assembly(&out),
+                "{}: jobs={jobs} changed the assembly",
+                path.display()
+            );
+            assert_eq!(
+                baseline.total_spills(),
+                out.total_spills(),
+                "{}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn one_failing_function_stays_in_its_own_slot() {
+    // The middle function uses a value it never defines, so it fails
+    // input verification on every rung; its neighbours are healthy.
+    let ok_fn = |seed| {
+        random_dag_function(
+            seed,
+            &DagParams {
+                size: 10,
+                load_fraction: 0.25,
+                float_fraction: 0.4,
+                window: 4,
+            },
+        )
+    };
+    let bad = parse_module("func @bad(s0) {\nentry:\n    s1 = add s0, s99\n    ret s1\n}")
+        .expect("parses; fails verification, not parsing")
+        .remove(0);
+    let funcs = vec![ok_fn(1), bad, ok_fn(3)];
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
+    for jobs in [1, 3] {
+        let out = BatchDriver::new(driver.clone())
+            .with_jobs(jobs)
+            .compile_module(&funcs);
+        assert!(out.results[0].is_ok(), "jobs={jobs}: first function failed");
+        match &out.results[1] {
+            Err(ParschedError::Verify(_)) => {}
+            other => panic!("jobs={jobs}: expected a verify error, got {other:?}"),
+        }
+        assert!(out.results[2].is_ok(), "jobs={jobs}: last function failed");
+        assert_eq!(out.ok_count(), 2);
+        assert_eq!(out.err_count(), 1);
+    }
+}
+
+#[test]
+fn budget_caps_degrade_rather_than_fail_in_batch() {
+    // A block over the combined rung's instruction cap must fall down the
+    // ladder (recorded as degradation), not error out of the batch.
+    let big = random_dag_function(
+        2,
+        &DagParams {
+            size: 60,
+            load_fraction: 0.25,
+            float_fraction: 0.4,
+            window: 4,
+        },
+    );
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
+        .with_budget(Budget::unlimited().with_max_block_insts(30));
+    let out = BatchDriver::new(driver).with_jobs(2).compile_module(&[big]);
+    let result = out.results[0].as_ref().expect("degrades, not fails");
+    assert!(result.degradation > DegradationLevel::None);
+}
+
+/// A shared sink whose fuse blows exactly once: the panic is contained by
+/// the driver's per-rung catch, so exactly one function may degrade and
+/// nothing else is affected.
+struct FaultyTelemetry {
+    fuse: AtomicI64,
+}
+
+impl FaultyTelemetry {
+    fn tick(&self) {
+        if self.fuse.fetch_sub(1, Ordering::SeqCst) == 0 {
+            panic!("telemetry sink failure injected by test");
+        }
+    }
+}
+
+impl Telemetry for FaultyTelemetry {
+    fn phase_start(&self, _name: &str) {
+        self.tick();
+    }
+    fn phase_end(&self, _name: &str) {
+        self.tick();
+    }
+    fn counter(&self, _name: &str, _value: u64) {
+        self.tick();
+    }
+    fn gauge(&self, _name: &str, _value: u64) {
+        self.tick();
+    }
+    fn event(&self, _name: &str, _detail: &str) {
+        self.tick();
+    }
+}
+
+#[test]
+fn panicking_shared_sink_does_not_take_the_batch_down() {
+    let funcs = corpus();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
+    for jobs in [1, 4] {
+        let sink = FaultyTelemetry {
+            fuse: AtomicI64::new(40),
+        };
+        let out = BatchDriver::new(driver.clone())
+            .with_jobs(jobs)
+            .compile_module_with(&funcs, &sink);
+        assert_eq!(
+            out.ok_count(),
+            funcs.len(),
+            "jobs={jobs}: sink panic must degrade, not fail"
+        );
+        let degraded = out
+            .results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .filter(|r| r.degradation > DegradationLevel::None)
+            .count();
+        assert!(
+            degraded <= 1,
+            "jobs={jobs}: one fuse can hit at most one function, got {degraded}"
+        );
+    }
+}
+
+#[test]
+fn per_worker_telemetry_merges_at_join() {
+    let funcs = corpus();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
+    let serial = BatchDriver::new(driver.clone())
+        .with_jobs(1)
+        .with_recording(true)
+        .compile_module(&funcs);
+    let threaded = BatchDriver::new(driver)
+        .with_jobs(8)
+        .with_recording(true)
+        .compile_module(&funcs);
+    let a = serial.telemetry.counters();
+    let b = threaded.telemetry.counters();
+    assert!(!a.is_empty(), "recording on must capture counters");
+    assert_eq!(a, b, "merged counters must not depend on thread count");
+}
