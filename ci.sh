@@ -17,7 +17,8 @@ echo "==> panic audit (ratchet)"
 # recoverable failure.)
 baseline=$(cat ci/panic-baseline.txt)
 count=$(grep -rE 'unwrap\(\)|expect\(|panic!' \
-    crates/ir/src crates/sched/src crates/regalloc/src crates/core/src | wc -l)
+    crates/ir/src crates/sched/src crates/regalloc/src crates/core/src \
+    crates/verify/src | wc -l)
 echo "    panic-pattern sites: $count (baseline $baseline)"
 if [ "$count" -gt "$baseline" ]; then
     echo "panic audit FAILED: $count sites > baseline $baseline" >&2
@@ -37,6 +38,16 @@ timeout 600 cargo test -q --offline
 
 echo "==> doc tests"
 timeout 300 cargo test -q --doc --offline --workspace
+
+echo "==> fuzz smoke (corpus replay + seeded sweep over every rung)"
+# Replay previously-found bugs first, then a fixed-seed fresh sweep.
+# Both are deterministic and together stay well under 30 seconds.
+timeout 30 cargo run -q --release --offline -p parsched-verify -- \
+    replay ci/fuzz-corpus/*.psc
+fuzz_dir=$(mktemp -d /tmp/parsched-fuzz-smoke.XXXXXX)
+timeout 30 cargo run -q --release --offline -p parsched-verify -- \
+    fuzz --seed 0 --count 60 --out "$fuzz_dir"
+rm -rf "$fuzz_dir"
 
 echo "==> smoke bench (tiny sweep; output must self-validate)"
 smoke_out=$(mktemp /tmp/parsched-smoke-bench.XXXXXX.json)

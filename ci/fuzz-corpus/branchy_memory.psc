@@ -1,0 +1,21 @@
+# Control flow + memory traffic across every rung and machine in the
+# replay matrix: branches, a global region, and reuse of loaded values
+# keep the schedule, allocation, spill, and oracle checkers all engaged.
+func @branchy(s0, s1) {
+entry:
+    s2 = load [@g + 0]
+    s3 = add s0, s2
+    bne s1, 0, other
+then:
+    s4 = mul s3, s3
+    store s4, [@g + 8]
+    jmp done
+other:
+    s5 = sub s3, s1
+    store s5, [@g + 8]
+    jmp done
+done:
+    s6 = load [@g + 8]
+    s7 = add s6, s0
+    ret s7
+}

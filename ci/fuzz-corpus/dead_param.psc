@@ -1,0 +1,12 @@
+# Regression: a parameter that is never read stays symbolic after
+# allocation (the allocator only renames registers that belong to some
+# colored web). The allocation checker must not flag it — only symbolic
+# registers that are actually defined or read in the body are violations.
+# Found by `parsched-verify fuzz --seed 0` across every strategy.
+func @dead_param(s0, s1) {
+entry:
+    s2 = add s1, s1
+    s3 = mul s2, s2
+    s4 = xor s3, s2
+    ret s4
+}

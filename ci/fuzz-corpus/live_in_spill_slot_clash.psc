@@ -1,0 +1,27 @@
+# Regression: spill slot assignment let two live-in values share slot 0,
+# so the entry store of the second clobbered the first before its reload.
+# Found by `parsched-verify fuzz --seed 0` (case 44) under spill-everything;
+# fixed by starting live-in memory lifetimes at -1 in assign_slots.
+func @live_in_clash(s0, s1) {
+entry:
+    s2 = load [s0 + 0]
+    s3 = mul s2, s1
+    s5 = add s3, s3
+    s6 = fmul s5, s5
+    s7 = xor s6, s5
+    s8 = xor s6, s7
+    s9 = sub s8, s7
+    s10 = xor s6, s7
+    s11 = xor s10, s8
+    s12 = xor s11, s9
+    ret s12
+}
+
+# Minimal core of the same defect: both parameters live-in, both spilled,
+# the first reloaded only after the second's entry store.
+func @live_in_clash_min(s0, s1) {
+entry:
+    s2 = add s0, 1
+    s3 = mul s2, s1
+    ret s3
+}

@@ -58,6 +58,17 @@ pub enum ParschedError {
         /// The underlying error message.
         message: String,
     },
+    /// The compiled output failed post-compilation translation validation
+    /// (`psc --verify`): an independent checker in `parsched-verify` found
+    /// a violated invariant in otherwise "successful" output.
+    OutputVerify {
+        /// The function whose compile failed validation.
+        function: String,
+        /// How many violations the checkers reported.
+        count: usize,
+        /// The first violation, rendered for diagnostics.
+        first: String,
+    },
 }
 
 impl ParschedError {
@@ -73,9 +84,10 @@ impl ParschedError {
     /// | 8 | budget exhausted |
     /// | 9 | contained panic |
     /// | 10 | I/O |
+    /// | 12 | output failed translation validation (`--verify`) |
     ///
     /// (0 is success; 1 is reserved for generic failure, 2 for usage
-    /// errors, 11 for miscompilation detected by `--check`.)
+    /// errors, 11 for miscompilation detected by `--run`.)
     pub fn exit_code(&self) -> i32 {
         match self {
             ParschedError::Parse(_) => 3,
@@ -86,6 +98,7 @@ impl ParschedError {
             ParschedError::BudgetExceeded { .. } => 8,
             ParschedError::Panicked { .. } => 9,
             ParschedError::Io { .. } => 10,
+            ParschedError::OutputVerify { .. } => 12,
         }
     }
 
@@ -100,6 +113,7 @@ impl ParschedError {
             ParschedError::BudgetExceeded { .. } => "budget",
             ParschedError::Panicked { .. } => "panic",
             ParschedError::Io { .. } => "io",
+            ParschedError::OutputVerify { .. } => "output-verify",
         }
     }
 }
@@ -135,6 +149,18 @@ impl fmt::Display for ParschedError {
                 write!(f, "internal error compiling {context}: {message}")
             }
             ParschedError::Io { path, message } => write!(f, "{path}: {message}"),
+            ParschedError::OutputVerify {
+                function,
+                count,
+                first,
+            } => match count {
+                1 => write!(f, "output verification failed for @{function}: {first}"),
+                n => write!(
+                    f,
+                    "output verification failed for @{function} with {n} violations: \
+                     {first} (first)"
+                ),
+            },
         }
     }
 }
@@ -229,11 +255,17 @@ mod tests {
                 path: "p".into(),
                 message: "m".into(),
             },
+            ParschedError::OutputVerify {
+                function: "f".into(),
+                count: 1,
+                first: "v".into(),
+            },
         ];
         let mut codes: Vec<i32> = errs.iter().map(ParschedError::exit_code).collect();
         assert!(codes.iter().all(|&c| c > 2));
         codes.dedup();
-        assert_eq!(codes.len(), 4, "codes must be pairwise distinct");
+        assert_eq!(codes.len(), 5, "codes must be pairwise distinct");
+        assert!(!codes.contains(&11), "11 belongs to --run miscompiles");
     }
 
     #[test]

@@ -151,17 +151,21 @@ fn assign_slots(
 ) -> HashMap<Reg, i64> {
     let insts = func.block(block_id).insts();
     // Memory lifetime of each spilled value in instruction positions.
-    let mut ranges: Vec<(Reg, usize, usize)> = spills
+    // Live-in values (no def in this block) are stored at block *entry*,
+    // before position 0 — their lifetime starts at -1, not 0, so they can
+    // never share a slot with a value whose reload happens at or after
+    // entry (two live-in spills would otherwise clobber each other).
+    let mut ranges: Vec<(Reg, i64, i64)> = spills
         .iter()
         .map(|&r| {
             let def = insts
                 .iter()
                 .position(|i| i.defs().contains(&r))
-                .unwrap_or(0);
+                .map_or(-1, |p| p as i64);
             let last_use = insts
                 .iter()
                 .rposition(|i| i.uses().contains(&r))
-                .unwrap_or(insts.len());
+                .map_or(insts.len() as i64, |p| p as i64);
             (r, def, last_use.max(def))
         })
         .collect();
@@ -170,7 +174,7 @@ fn assign_slots(
     // Greedy interval coloring: reuse the slot with the earliest-expiring
     // lifetime that ends before this one starts.
     let mut slot_of: HashMap<Reg, i64> = HashMap::new();
-    let mut slot_free_at: Vec<(i64, usize)> = Vec::new(); // (slot, busy-until)
+    let mut slot_free_at: Vec<(i64, i64)> = Vec::new(); // (slot, busy-until)
     for (r, start, end) in ranges {
         // `<=` is safe at equality: the old value's reload is emitted
         // *before* the boundary instruction and the new value's store
@@ -330,6 +334,37 @@ mod tests {
             i.run(&g, &[5], Memory::new()).unwrap().return_value,
             Some(13)
         );
+    }
+
+    #[test]
+    fn live_in_spills_never_share_a_slot() {
+        // Both params are live-in, so both are stored at block entry;
+        // sharing a slot would let the second store clobber the first
+        // value before its reload. Found by the translation-validation
+        // fuzzer (seed 0, case 44).
+        let Ok(f) = parse_function(
+            r#"
+            func @li2(s0, s1) {
+            entry:
+                s2 = add s0, 1
+                s3 = mul s2, s1
+                ret s3
+            }
+            "#,
+        ) else {
+            unreachable!("fixture parses")
+        };
+        let mut slot = 0;
+        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(0), Reg::sym(1)], &mut slot);
+        assert_eq!(slot, 2, "live-in spills need distinct slots");
+        let i = Interpreter::new();
+        let run = |h: &Function| {
+            i.run(h, &[5, 3], Memory::new())
+                .ok()
+                .and_then(|o| o.return_value)
+        };
+        assert!(run(&f).is_some());
+        assert_eq!(run(&g), run(&f));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Allocation-soundness checking from an independent liveness pass.
+//!
+//! The checker re-derives liveness over the *output* function with its own
+//! backward fixed point (not `parsched_ir::liveness`, and certainly not the
+//! pipeline's `Gr`) and enforces what a sound allocation must look like
+//! structurally:
+//!
+//! * no symbolic register survives — every value sits in a physical
+//!   register (dead parameters excepted: the allocator never renames a
+//!   register no web touches, and a never-read parameter is harmless);
+//! * no register index reaches past the machine's register file;
+//! * no path can read a register before any definition — live-in at entry
+//!   is exactly the parameter set, so a dropped reload or a use renamed to
+//!   the wrong register cannot hide;
+//! * the parameter arity is preserved, and the claimed `registers_used`
+//!   fits the register file.
+//!
+//! Two simultaneously-live *values* sharing one register is, on final
+//! code, a semantic defect rather than a structural one (the code remains
+//! self-consistent; it just computes the wrong value) — the differential
+//! oracle is the checker that convicts it. See docs/VERIFICATION.md.
+
+use crate::{Check, Violation};
+use parsched::CompileResult;
+use parsched_ir::{BlockId, Function, Reg};
+use parsched_machine::MachineDesc;
+use std::collections::BTreeSet;
+
+/// Checks `result` against `machine`, using `original` only for parameter
+/// arity and message context.
+pub fn check(original: &Function, result: &CompileResult, machine: &MachineDesc) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let func = &result.function;
+    let name = original.name().to_string();
+    let violation = |block: Option<usize>, detail: String| Violation {
+        check: Check::Alloc,
+        function: name.clone(),
+        block,
+        detail,
+    };
+
+    if func.params().len() != original.params().len() {
+        out.push(violation(
+            None,
+            format!(
+                "output takes {} parameters, original takes {}",
+                func.params().len(),
+                original.params().len()
+            ),
+        ));
+    }
+
+    // Every register fully allocated and within the register file.
+    let check_reg = |r: Reg, b: Option<usize>, out: &mut Vec<Violation>| match r.as_phys() {
+        None => out.push(violation(
+            b,
+            format!("symbolic register {r} survives allocation"),
+        )),
+        Some(p) if p.0 >= machine.num_regs() => out.push(violation(
+            b,
+            format!(
+                "register {r} is out of range for {} ({} registers)",
+                machine.name(),
+                machine.num_regs()
+            ),
+        )),
+        Some(_) => {}
+    };
+    // Parameters: a *dead* parameter may keep its symbolic name — the
+    // allocator only renames registers that participate in some colored
+    // web, and a never-read parameter participates in none. A symbolic
+    // parameter that is actually read is caught at the use site below.
+    for &p in func.params() {
+        if p.as_phys().is_some() {
+            check_reg(p, None, &mut out);
+        }
+    }
+    for (b, block) in func.blocks().iter().enumerate() {
+        for inst in block.insts() {
+            for r in inst.defs().into_iter().chain(inst.uses()) {
+                check_reg(r, Some(b), &mut out);
+            }
+        }
+    }
+
+    if result.stats.registers_used > machine.num_regs() {
+        out.push(violation(
+            None,
+            format!(
+                "stats.registers_used = {} exceeds the {}-register file",
+                result.stats.registers_used,
+                machine.num_regs()
+            ),
+        ));
+    }
+
+    // Independent backward liveness: what is live into the entry block must
+    // be covered by the parameters, else some path reads an undefined
+    // register (a spill reload that never happened, a misrenamed use, …).
+    let live_in = entry_live_in(func);
+    let params: BTreeSet<Reg> = func.params().iter().copied().collect();
+    for r in live_in.difference(&params) {
+        out.push(violation(
+            None,
+            format!("register {r} may be read before any definition"),
+        ));
+    }
+    out
+}
+
+/// Live-in set of the entry block, from a private backward fixed point
+/// over all blocks (terminators included).
+fn entry_live_in(func: &Function) -> BTreeSet<Reg> {
+    let nb = func.block_count();
+    let mut uses: Vec<BTreeSet<Reg>> = Vec::with_capacity(nb);
+    let mut defs: Vec<BTreeSet<Reg>> = Vec::with_capacity(nb);
+    for block in func.blocks() {
+        let mut u = BTreeSet::new();
+        let mut d: BTreeSet<Reg> = BTreeSet::new();
+        for inst in block.insts() {
+            for r in inst.uses() {
+                if !d.contains(&r) {
+                    u.insert(r);
+                }
+            }
+            for r in inst.defs() {
+                d.insert(r);
+            }
+        }
+        uses.push(u);
+        defs.push(d);
+    }
+    let mut live_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let mut live_out: BTreeSet<Reg> = BTreeSet::new();
+            for s in func.successors(BlockId(b)) {
+                live_out.extend(live_in[s.0].iter().copied());
+            }
+            let mut new_in = uses[b].clone();
+            for r in live_out.difference(&defs[b]) {
+                new_in.insert(*r);
+            }
+            if new_in != live_in[b] {
+                live_in[b] = new_in;
+                changed = true;
+            }
+        }
+    }
+    live_in.first().cloned().unwrap_or_default()
+}

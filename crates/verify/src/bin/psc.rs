@@ -14,8 +14,14 @@
 //!          [--emit text|schedule|stats|json|dot]
 //!          [--jobs N] [--bench-json FILE]
 //!          [--trace FILE] [--stats-json FILE] [--dump-dir DIR]
+//!          [--verify]
 //!          [--run ARG...]
 //! ```
+//!
+//! `--verify` runs the independent `parsched-verify` checkers on every
+//! compiled function (schedule legality, allocation soundness, Theorem 1,
+//! spill well-formedness, and the differential oracle) and exits 12 if any
+//! invariant is violated.
 
 use parsched::ir::interp::{Interpreter, Memory};
 use parsched::ir::{parse_module, print_function, print_inst, BlockId, Function};
@@ -25,6 +31,7 @@ use parsched::telemetry::{
     escape_json, ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry,
 };
 use parsched::{BatchDriver, Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy};
+use parsched_verify::Verifier;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -61,12 +68,18 @@ options:
                          graphs: Gs (scheduling DAG), Et (transitive
                          schedule closure), Gf (false-dependence graph),
                          Gr (interference), and the PIG
+  --verify               validate the output with the independent
+                         parsched-verify checkers (schedule legality,
+                         allocation soundness, Theorem 1, spill code,
+                         differential oracle); violations exit 12 and the
+                         checks appear as verify.* counters in --stats-json
   --run ARG...           execute before and after compiling and compare
   --help, -h             print this help
   --version              print the version
 exit codes:
   0 ok   2 usage   3 parse   4 verify   5 alloc   6 global alloc
   7 sched   8 budget exceeded   9 internal panic   10 io   11 miscompile
+  12 output failed --verify
 ";
 
 struct Options {
@@ -83,6 +96,7 @@ struct Options {
     trace: Option<String>,
     stats_json: Option<String>,
     dump_dir: Option<String>,
+    verify: bool,
     run: Option<Vec<i64>>,
 }
 
@@ -105,7 +119,7 @@ impl Failure {
 impl From<ParschedError> for Failure {
     fn from(e: ParschedError) -> Failure {
         Failure {
-            // Exit codes fit in a u8 by construction (3..=10).
+            // Exit codes fit in a u8 by construction (3..=12).
             code: e.exit_code() as u8,
             msg: e.to_string(),
         }
@@ -167,6 +181,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut trace: Option<String> = None;
     let mut stats_json: Option<String> = None;
     let mut dump_dir: Option<String> = None;
+    let mut verify = false;
     let mut run: Option<Vec<i64>> = None;
 
     while let Some(arg) = args.next() {
@@ -244,6 +259,7 @@ fn parse_args() -> Result<Cmd, String> {
             "--dump-dir" => {
                 dump_dir = Some(args.next().ok_or("--dump-dir needs a directory")?);
             }
+            "--verify" => verify = true,
             "--run" => {
                 let rest: Result<Vec<i64>, _> = args.by_ref().map(|a| a.parse()).collect();
                 run = Some(rest.map_err(|_| "--run arguments must be integers")?);
@@ -269,6 +285,7 @@ fn parse_args() -> Result<Cmd, String> {
         trace,
         stats_json,
         dump_dir,
+        verify,
         run,
     })))
 }
@@ -342,6 +359,19 @@ fn real_main(opts: Options) -> Result<(), Failure> {
             .map_err(|e| Failure::from(ParschedError::from(e)))?
     };
 
+    // --verify runs before the artifacts are written, so its verify.*
+    // counters land in --stats-json; the failure itself (exit 12) comes
+    // after, so a violating compile still leaves a complete record.
+    let verify_report = if opts.verify {
+        Some(
+            Verifier::new(&machine)
+                .strategy(opts.strategy)
+                .verify_with(&func, &result, telemetry),
+        )
+    } else {
+        None
+    };
+
     if let Some(path) = &opts.trace {
         chrome
             .write_to_file(std::path::Path::new(path))
@@ -356,6 +386,18 @@ fn real_main(opts: Options) -> Result<(), Failure> {
     }
     if let Some(dir) = &opts.dump_dir {
         dump_graphs(&func, &machine, dir)?;
+    }
+    if let Some(report) = &verify_report {
+        if let Some(first) = report.violations.first() {
+            for v in &report.violations {
+                eprintln!("psc: {v}");
+            }
+            return Err(Failure::from(ParschedError::OutputVerify {
+                function: func.name().to_string(),
+                count: report.violations.len(),
+                first: first.to_string(),
+            }));
+        }
     }
 
     match opts.emit {
@@ -513,6 +555,23 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
         batch.compile_module(&funcs)
     };
 
+    // --verify: check every successfully compiled slot with the
+    // independent checkers before the artifacts are rendered, so the
+    // verify.* counters land in the batch --stats-json payload. Failures
+    // surface below, after compile errors (which take precedence).
+    let mut verify_failures: Vec<(String, Vec<parsched_verify::Violation>)> = Vec::new();
+    if opts.verify {
+        let verifier = Verifier::new(&machine).strategy(opts.strategy);
+        for (func, res) in funcs.iter().zip(&out.results) {
+            if let Ok(r) = res {
+                let report = verifier.verify_with(func, r, &out.telemetry);
+                if !report.ok() {
+                    verify_failures.push((func.name().to_string(), report.violations));
+                }
+            }
+        }
+    }
+
     if let Some(path) = &opts.trace {
         chrome
             .write_to_file(std::path::Path::new(path))
@@ -537,6 +596,25 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
     }
     if let Some(f) = first {
         return Err(f);
+    }
+    // Per-slot verification failures must not be swallowed by an
+    // otherwise-successful batch: report every violation, fail with the
+    // first function's.
+    if !verify_failures.is_empty() {
+        for (name, violations) in &verify_failures {
+            for v in violations {
+                eprintln!("psc: @{name}: {v}");
+            }
+        }
+        let (name, violations) = &verify_failures[0];
+        return Err(Failure::from(ParschedError::OutputVerify {
+            function: name.clone(),
+            count: violations.len(),
+            first: violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+        }));
     }
 
     match opts.emit {

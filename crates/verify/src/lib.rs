@@ -1,0 +1,217 @@
+//! Translation validation for the parsched pipeline.
+//!
+//! The pipeline in `parsched` compiles a function (allocates registers and
+//! schedules instructions); this crate decides — entirely independently —
+//! whether a [`CompileResult`] can be trusted. Nothing here calls into the
+//! pipeline's own analyses: dependences, liveness, `Et`/`Gf`, and spill
+//! dataflow are all re-derived from scratch, so a bug in the compiler's
+//! version of an analysis cannot also blind its checker.
+//!
+//! Five checks (see docs/VERIFICATION.md for the catalog and its mapping
+//! onto the paper's Theorem 1 / Lemma 1 / Claim 1):
+//!
+//! * [`schedule`] — the claimed per-block cycle counts are achievable by
+//!   the emitted instruction order under re-derived dependences and the
+//!   machine's issue width and unit constraints;
+//! * [`alloc`] — allocation is structurally sound under an independent
+//!   liveness pass (no symbolic leftovers, registers in range, no read
+//!   of a possibly-undefined register);
+//! * [`falsedep`] — combined-strategy output introduces no false output
+//!   dependence on `Gf`-adjacent pairs (Theorem 1);
+//! * [`spill`] — spill slots are stored before every reload and the
+//!   region's addressing is canonical;
+//! * [`oracle`] — the input and output functions compute identical
+//!   observable results under the reference interpreter.
+//!
+//! The [`Verifier`] bundles them with the right gating, and the crate's
+//! binaries put it to work: `psc --verify` validates real compiles, and
+//! `parsched-verify fuzz` drives seeded random modules through every
+//! ladder rung with all checks on (failures are delta-debugged down to
+//! minimal `.psc` reproducers).
+
+pub mod alloc;
+pub mod analyze;
+pub mod falsedep;
+pub mod fuzz;
+pub mod minimize;
+pub mod oracle;
+pub mod schedule;
+pub mod spill;
+
+pub use oracle::OracleConfig;
+
+use parsched::{CompileResult, DegradationLevel, Strategy};
+use parsched_ir::Function;
+use parsched_machine::MachineDesc;
+use parsched_telemetry::{NullTelemetry, Telemetry};
+use std::fmt;
+
+/// Which invariant a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Check {
+    /// Schedule legality (dependences, issue width, units, cycle claims).
+    Schedule,
+    /// Allocation soundness (independent liveness).
+    Alloc,
+    /// False-dependence freedom (Theorem 1).
+    FalseDep,
+    /// Spill-code well-formedness.
+    Spill,
+    /// Differential execution against the input.
+    Oracle,
+}
+
+impl Check {
+    /// Stable lowercase name, used in reports and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::Schedule => "schedule",
+            Check::Alloc => "alloc",
+            Check::FalseDep => "falsedep",
+            Check::Spill => "spill",
+            Check::Oracle => "oracle",
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken invariant, tied to a function (and block, where that makes
+/// sense) with a human-readable explanation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The check that failed.
+    pub check: Check,
+    /// Name of the (original) function.
+    pub function: String,
+    /// Block index, for block-local invariants.
+    pub block: Option<usize>,
+    /// What exactly is wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] @{}", self.check, self.function)?;
+        if let Some(b) = self.block {
+            write!(f, " block {b}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The outcome of verifying one compile.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// How many checks ran (gated checks that were skipped don't count).
+    pub checks_run: u64,
+    /// Everything that failed; empty means the result is validated.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether the result passed every check that ran.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.checks_run += other.checks_run;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Configured bundle of all checks for one machine/strategy combination.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    machine: MachineDesc,
+    strategy: Option<Strategy>,
+    oracle: OracleConfig,
+    run_oracle: bool,
+}
+
+impl Verifier {
+    /// A verifier for results compiled against `machine`, with the oracle
+    /// enabled at its default two runs.
+    pub fn new(machine: &MachineDesc) -> Verifier {
+        Verifier {
+            machine: machine.clone(),
+            strategy: None,
+            oracle: OracleConfig::default(),
+            run_oracle: true,
+        }
+    }
+
+    /// Records the strategy the compile was *requested* with. Required for
+    /// the Theorem 1 check: the promise only holds for the combined
+    /// approach, and a resilient compile may have degraded away from it.
+    pub fn strategy(mut self, strategy: Strategy) -> Verifier {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Overrides the oracle configuration.
+    pub fn oracle(mut self, config: OracleConfig) -> Verifier {
+        self.oracle = config;
+        self
+    }
+
+    /// Disables the differential oracle (structural checks only).
+    pub fn without_oracle(mut self) -> Verifier {
+        self.run_oracle = false;
+        self
+    }
+
+    /// Whether Theorem 1 applies to `result`: the compile was requested as
+    /// combined, ran at full fidelity, spilled nothing, and the pipeline
+    /// itself claims not to have given up any false edge.
+    pub fn expects_theorem1(&self, result: &CompileResult) -> bool {
+        matches!(self.strategy, Some(Strategy::Combined(_)))
+            && result.degradation == DegradationLevel::None
+            && result.stats.spilled_values == 0
+            && result.stats.removed_false_edges == 0
+    }
+
+    /// Runs every applicable check on `result`.
+    pub fn verify(&self, original: &Function, result: &CompileResult) -> Report {
+        self.verify_with(original, result, &NullTelemetry)
+    }
+
+    /// Runs every applicable check, emitting `verify.checks` and
+    /// `verify.violations` counters (and a `verify.violation` event per
+    /// failure) into `telemetry`.
+    pub fn verify_with(
+        &self,
+        original: &Function,
+        result: &CompileResult,
+        telemetry: &dyn Telemetry,
+    ) -> Report {
+        let mut report = Report::default();
+        let mut run = |violations: Vec<Violation>| {
+            report.checks_run += 1;
+            report.violations.extend(violations);
+        };
+        run(schedule::check(original, result, &self.machine));
+        run(alloc::check(original, result, &self.machine));
+        run(spill::check(original, result));
+        if self.expects_theorem1(result) {
+            run(falsedep::check(original, result, &self.machine));
+        }
+        if self.run_oracle {
+            run(oracle::check(original, result, &self.oracle));
+        }
+        telemetry.counter("verify.checks", report.checks_run);
+        telemetry.counter("verify.violations", report.violations.len() as u64);
+        if telemetry.enabled() {
+            for v in &report.violations {
+                telemetry.event("verify.violation", &v.to_string());
+            }
+        }
+        report
+    }
+}

@@ -1,0 +1,60 @@
+//! Delta-debugging of failing inputs.
+//!
+//! When the fuzzer finds a function the pipeline miscompiles (or crashes
+//! on), the raw reproducer is rarely the story — most of its instructions
+//! are bystanders. The minimizer shrinks it by greedy instruction removal:
+//! repeatedly try deleting one body instruction, keep the deletion
+//! whenever the candidate still parses as a well-formed input *and* still
+//! fails, and iterate to a fixpoint. Terminators stay (removing one
+//! changes the CFG shape rather than shrinking the story) and every
+//! candidate is re-validated with the same `verify_function` gate the
+//! pipeline applies, so the minimizer can never "find" a failure the
+//! pipeline would have rejected as malformed input.
+//!
+//! The predicate is handed in as a closure, so one minimizer serves crash
+//! reproduction, checker violations, and oracle divergence alike. A
+//! recompile budget caps the work on stubborn inputs; minimization is
+//! best-effort by design.
+
+use parsched_ir::verify::verify_function;
+use parsched_ir::Function;
+
+/// Shrinks `func` while `still_fails` holds, spending at most
+/// `max_attempts` candidate evaluations. Returns the smallest failing
+/// function found (possibly `func` itself, unchanged).
+pub fn minimize(
+    func: &Function,
+    max_attempts: usize,
+    mut still_fails: impl FnMut(&Function) -> bool,
+) -> Function {
+    let mut best = func.clone();
+    let mut attempts = 0usize;
+    loop {
+        let mut shrunk = false;
+        let nb = best.block_count();
+        for b in 0..nb {
+            // Walk backwards so indices stay valid across removals and
+            // late instructions (often dead after earlier removals) go
+            // first.
+            let body_len = {
+                let block = &best.blocks()[b];
+                block.body().len()
+            };
+            for i in (0..body_len).rev() {
+                if attempts >= max_attempts {
+                    return best;
+                }
+                let mut candidate = best.clone();
+                candidate.blocks_mut()[b].insts_mut().remove(i);
+                attempts += 1;
+                if verify_function(&candidate, false).is_ok() && still_fails(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                }
+            }
+        }
+        if !shrunk {
+            return best;
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential execution oracle.
+//!
+//! Structural checks cannot see every miscompile: two simultaneously-live
+//! values merged into one register produce perfectly well-formed code that
+//! computes the wrong answer. The oracle catches those the direct way — it
+//! runs the `parsched_ir` interpreter on the *input* function and on the
+//! *output* function with identical arguments, memory images, and call
+//! handlers, then demands identical observable results: the returned value
+//! and the final memory snapshot (minus the compiler-private `@__spill`
+//! region, which only the output may touch).
+//!
+//! Inputs that themselves fault (divide-by-zero is total in this IR, but a
+//! block can still read an uninitialized register or exceed the step
+//! budget) are skipped: the contract only covers defined executions. An
+//! input that runs clean while the output faults is itself a violation.
+
+use crate::{Check, Violation};
+use parsched::CompileResult;
+use parsched_ir::interp::{Interpreter, Memory};
+use parsched_ir::{AddrBase, Function, InstKind};
+use parsched_workload::SplitMix64;
+use std::collections::BTreeSet;
+
+const SPILL_REGION: &str = "__spill";
+
+/// How the oracle derives its concrete runs.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Seed for argument/memory generation.
+    pub seed: u64,
+    /// Number of differential runs per function.
+    pub runs: u32,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            seed: 0x9e3779b97f4a7c15,
+            runs: 2,
+        }
+    }
+}
+
+/// Runs `original` and `result.function` on identical inputs and reports
+/// any observable divergence.
+pub fn check(original: &Function, result: &CompileResult, config: &OracleConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
+    for run in 0..config.runs {
+        let args: Vec<i64> = original
+            .params()
+            .iter()
+            .map(|_| rng.gen_range_i64(0, 64))
+            .collect();
+        let memory = initial_memory(original, result, &mut rng);
+
+        let mut interp = Interpreter::new();
+        install_handlers(&mut interp, original);
+        install_handlers(&mut interp, &result.function);
+
+        let want = match interp.run(original, &args, memory.clone()) {
+            Ok(o) => o,
+            // The input faults on these operands; the contract is void.
+            Err(_) => continue,
+        };
+        let got = match interp.run(&result.function, &args, memory) {
+            Ok(o) => o,
+            Err(e) => {
+                out.push(Violation {
+                    check: Check::Oracle,
+                    function: original.name().to_string(),
+                    block: None,
+                    detail: format!(
+                        "run {run} (args {args:?}): input computes {:?} but the \
+                         compiled code faults: {e}",
+                        want.return_value
+                    ),
+                });
+                continue;
+            }
+        };
+
+        if want.return_value != got.return_value {
+            out.push(Violation {
+                check: Check::Oracle,
+                function: original.name().to_string(),
+                block: None,
+                detail: format!(
+                    "run {run} (args {args:?}): input returns {:?}, compiled code \
+                     returns {:?}",
+                    want.return_value, got.return_value
+                ),
+            });
+        }
+        let want_mem = visible_snapshot(&want.memory);
+        let got_mem = visible_snapshot(&got.memory);
+        if want_mem != got_mem {
+            let diff = first_diff(&want_mem, &got_mem);
+            out.push(Violation {
+                check: Check::Oracle,
+                function: original.name().to_string(),
+                block: None,
+                detail: format!("run {run} (args {args:?}): final memory diverges at {diff}"),
+            });
+        }
+    }
+    out
+}
+
+/// A memory image covering everything either function might read: every
+/// global region found in either body gets deterministic cell contents, and
+/// a band of absolute addresses backs register-relative accesses.
+fn initial_memory(original: &Function, result: &CompileResult, rng: &mut SplitMix64) -> Memory {
+    let mut memory = Memory::new();
+    for i in 0..512 {
+        memory.set_abs(i, i * 13 + 7);
+    }
+    let mut regions: BTreeSet<String> = BTreeSet::new();
+    for func in [original, &result.function] {
+        for block in func.blocks() {
+            for inst in block.insts() {
+                for addr in inst.mem_read().into_iter().chain(inst.mem_write()) {
+                    if let AddrBase::Global(name) = &addr.base {
+                        if name != SPILL_REGION {
+                            regions.insert(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for region in regions {
+        for slot in 0..64 {
+            memory.set_global(region.clone(), slot * 8, rng.gen_range_i64(-128, 128));
+        }
+    }
+    memory
+}
+
+/// Registers a pure, deterministic handler for every callee of `func`, so
+/// both runs observe identical call results.
+fn install_handlers(interp: &mut Interpreter, func: &Function) {
+    let mut callees: BTreeSet<String> = BTreeSet::new();
+    for block in func.blocks() {
+        for inst in block.insts() {
+            if let InstKind::Call { name, .. } = inst.kind() {
+                callees.insert(name.clone());
+            }
+        }
+    }
+    for name in callees {
+        let tag = name
+            .bytes()
+            .fold(0i64, |a, b| a.wrapping_mul(31).wrapping_add(b as i64));
+        interp.handler(name, move |args: &[i64]| {
+            let base = args
+                .iter()
+                .fold(tag, |a, &v| a.wrapping_mul(1099511628211).wrapping_add(v));
+            (0..8).map(|i| base.wrapping_add(i * 271)).collect()
+        });
+    }
+}
+
+fn visible_snapshot(memory: &Memory) -> Vec<((String, i64), i64)> {
+    memory
+        .snapshot()
+        .into_iter()
+        .filter(|((region, _), _)| region != SPILL_REGION)
+        .collect()
+}
+
+fn first_diff(want: &[((String, i64), i64)], got: &[((String, i64), i64)]) -> String {
+    let w: std::collections::BTreeMap<_, _> = want.iter().cloned().collect();
+    let g: std::collections::BTreeMap<_, _> = got.iter().cloned().collect();
+    for (key, wv) in &w {
+        match g.get(key) {
+            Some(gv) if gv == wv => {}
+            Some(gv) => {
+                return format!(
+                    "[@{} + {}]: input leaves {wv}, compiled leaves {gv}",
+                    key.0, key.1
+                )
+            }
+            None => {
+                return format!(
+                    "[@{} + {}]: input leaves {wv}, compiled leaves nothing",
+                    key.0, key.1
+                )
+            }
+        }
+    }
+    for (key, gv) in &g {
+        if !w.contains_key(key) {
+            return format!(
+                "[@{} + {}]: compiled writes {gv}, input does not",
+                key.0, key.1
+            );
+        }
+    }
+    "an unknown cell".to_string()
+}

@@ -1,0 +1,132 @@
+//! Schedule-legality checking by in-order replay.
+//!
+//! A `CompileResult` carries the scheduled code in *linearized* form
+//! (cycle-major order) plus the claimed per-block completion cycles. The
+//! checker re-derives dependences independently (`analyze`) and replays
+//! the emitted order through a fresh reservation table, giving every
+//! instruction the earliest cycle that respects dependences, the machine's
+//! issue width and unit counts, and the nondecreasing-cycle property of a
+//! linearization. For any legal schedule consistent with the emitted order
+//! the replay completes no later (a standard greedy exchange argument, valid
+//! because units are booked for the issue cycle only), so
+//!
+//! > replay completion > claimed completion ⇒ the claim is unachievable
+//!
+//! which catches dependence-latency violations, issue-width and same-cycle
+//! unit oversubscription baked into the claim, misplaced terminators, and
+//! fabricated `block_cycles`/`stats.cycles` values.
+
+use crate::analyze;
+use crate::{Check, Violation};
+use parsched::CompileResult;
+use parsched_ir::{BlockId, Function};
+use parsched_machine::MachineDesc;
+
+/// Checks every block of `result` against `machine`. `original` is only
+/// used for context in messages; the replay needs nothing from it.
+pub fn check(original: &Function, result: &CompileResult, machine: &MachineDesc) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let func = &result.function;
+    if result.block_cycles.len() != func.block_count() {
+        out.push(Violation {
+            check: Check::Schedule,
+            function: original.name().to_string(),
+            block: None,
+            detail: format!(
+                "block_cycles has {} entries for {} blocks",
+                result.block_cycles.len(),
+                func.block_count()
+            ),
+        });
+        return out;
+    }
+    let mut total: u64 = 0;
+    for b in 0..func.block_count() {
+        let claimed = result.block_cycles[b];
+        total += u64::from(claimed);
+        if let Some(v) = check_block(original, func, b, claimed, machine) {
+            out.push(v);
+        }
+    }
+    if total != u64::from(result.stats.cycles) {
+        out.push(Violation {
+            check: Check::Schedule,
+            function: original.name().to_string(),
+            block: None,
+            detail: format!(
+                "stats.cycles = {} but block_cycles sum to {total}",
+                result.stats.cycles
+            ),
+        });
+    }
+    out
+}
+
+fn check_block(
+    original: &Function,
+    func: &Function,
+    b: usize,
+    claimed: u32,
+    machine: &MachineDesc,
+) -> Option<Violation> {
+    let block = func.block(BlockId(b));
+    let body = block.body();
+    let deps = analyze::build(block);
+    let n = body.len();
+
+    // Dependences must point forward in the emitted order (they do by
+    // construction of the analysis); what can fail is the cycle claim.
+    let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for e in &deps.edges {
+        let lat = analyze::edge_latency(machine, &deps.classes, e);
+        preds[e.to].push((e.from, lat));
+    }
+
+    let mut rt = machine.reservation_table();
+    let mut cycles: Vec<u32> = Vec::with_capacity(n);
+    let mut floor: u32 = 0;
+    for (i, ps) in preds.iter().enumerate() {
+        let mut earliest = floor;
+        for &(p, lat) in ps {
+            earliest = earliest.max(cycles[p] + lat);
+        }
+        let c = rt.next_free_cycle(machine, deps.classes[i], earliest);
+        rt.issue(machine, deps.classes[i], c);
+        floor = c;
+        cycles.push(c);
+    }
+
+    let mut completion: u32 = cycles
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c + machine.latency(deps.classes[i]))
+        .max()
+        .unwrap_or(0);
+    if let Some(term) = block.terminator() {
+        let mut earliest = floor;
+        for (i, inst) in body.iter().enumerate() {
+            let defs = inst.defs();
+            if term.uses().iter().any(|u| defs.contains(u)) {
+                earliest = earliest.max(cycles[i] + machine.latency(deps.classes[i]));
+            }
+        }
+        let tclass = analyze::class_of(term);
+        let tc = rt.next_free_cycle(machine, tclass, earliest);
+        completion = completion.max(tc + 1);
+    }
+
+    if completion > claimed {
+        return Some(Violation {
+            check: Check::Schedule,
+            function: original.name().to_string(),
+            block: Some(b),
+            detail: format!(
+                "claimed {claimed} cycles, but the emitted order needs at least \
+                 {completion} on {} (dependence, issue-width, or unit constraints \
+                 make the claim unachievable)",
+                machine.name()
+            ),
+        });
+    }
+    None
+}

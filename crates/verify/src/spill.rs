@@ -1,0 +1,177 @@
+//! Spill-code well-formedness.
+//!
+//! Spilled values live in the dedicated `@__spill` region at 8-byte slots.
+//! The checker re-derives, with a forward must-initialized dataflow over
+//! slots, that:
+//!
+//! * every load from a spill slot sits on paths where that slot was
+//!   stored first — a reload of a slot nothing ever spilled (or spilled
+//!   only on *some* incoming path) reads garbage;
+//! * slot addresses are well-formed: global base, nonnegative offset,
+//!   8-byte aligned — so distinct slots are provably disjoint;
+//! * the compiler's claim lines up: a result whose stats admit spilling
+//!   must actually touch the region, and spill traffic without the claim
+//!   is equally suspect.
+//!
+//! Functions whose *input* already addresses `@__spill` are skipped — the
+//! region is the compiler's private namespace and such inputs void the
+//! invariant (the fuzzer never generates them).
+
+use crate::{Check, Violation};
+use parsched::CompileResult;
+use parsched_ir::{AddrBase, BlockId, Function, MemAddr};
+use std::collections::BTreeSet;
+
+const SPILL_REGION: &str = "__spill";
+
+fn spill_slot(addr: &MemAddr) -> Option<i64> {
+    match &addr.base {
+        AddrBase::Global(name) if name == SPILL_REGION => Some(addr.offset),
+        _ => None,
+    }
+}
+
+fn touches_spill(func: &Function) -> bool {
+    func.blocks().iter().any(|b| {
+        b.insts().iter().any(|inst| {
+            inst.mem_read().and_then(spill_slot).is_some()
+                || inst.mem_write().and_then(spill_slot).is_some()
+        })
+    })
+}
+
+/// Checks the spill traffic of `result` against `original`.
+pub fn check(original: &Function, result: &CompileResult) -> Vec<Violation> {
+    if touches_spill(original) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let func = &result.function;
+    let name = original.name().to_string();
+    let violation = |block: Option<usize>, detail: String| Violation {
+        check: Check::Spill,
+        function: name.clone(),
+        block,
+        detail,
+    };
+
+    // Slot addresses must be canonical so disjointness is provable.
+    let mut slots: BTreeSet<i64> = BTreeSet::new();
+    for (b, block) in func.blocks().iter().enumerate() {
+        for inst in block.insts() {
+            for addr in inst.mem_read().into_iter().chain(inst.mem_write()) {
+                if let Some(off) = spill_slot(addr) {
+                    if off < 0 || off % 8 != 0 {
+                        out.push(violation(
+                            Some(b),
+                            format!("malformed spill address [@{SPILL_REGION} + {off}]"),
+                        ));
+                    }
+                    slots.insert(off);
+                }
+            }
+        }
+    }
+
+    let spilled = result.stats.spilled_values > 0;
+    if spilled && slots.is_empty() {
+        out.push(violation(
+            None,
+            format!(
+                "stats claim {} spilled values but no instruction touches @{SPILL_REGION}",
+                result.stats.spilled_values
+            ),
+        ));
+    }
+    if !spilled && !slots.is_empty() {
+        out.push(violation(
+            None,
+            format!(
+                "spill traffic on {} slots but stats claim none spilled",
+                slots.len()
+            ),
+        ));
+    }
+
+    // Forward must-initialized dataflow: IN[entry] = ∅, OUT starts ⊤,
+    // meet = ∩ over predecessors. A reload is sound only if its slot is
+    // must-initialized at that point.
+    let nb = func.block_count();
+    let all: BTreeSet<i64> = slots;
+    let mut out_sets: Vec<BTreeSet<i64>> = vec![all.clone(); nb];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for b in 0..nb {
+        for s in func.successors(BlockId(b)) {
+            preds[s.0].push(b);
+        }
+    }
+    let transfer = |b: usize, inp: &BTreeSet<i64>| -> BTreeSet<i64> {
+        let mut live = inp.clone();
+        for inst in func.block(BlockId(b)).insts() {
+            if let Some(off) = inst.mem_write().and_then(spill_slot) {
+                live.insert(off);
+            }
+        }
+        live
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let inp = if b == 0 {
+                BTreeSet::new()
+            } else {
+                let mut it = preds[b].iter();
+                match it.next() {
+                    None => BTreeSet::new(),
+                    Some(&first) => {
+                        let mut acc = out_sets[first].clone();
+                        for &p in it {
+                            acc = acc.intersection(&out_sets[p]).copied().collect();
+                        }
+                        acc
+                    }
+                }
+            };
+            let new_out = transfer(b, &inp);
+            if new_out != out_sets[b] {
+                out_sets[b] = new_out;
+                changed = true;
+            }
+        }
+    }
+    for (b, bpreds) in preds.iter().enumerate() {
+        let mut init = if b == 0 {
+            BTreeSet::new()
+        } else {
+            let mut it = bpreds.iter();
+            match it.next() {
+                None => BTreeSet::new(),
+                Some(&first) => {
+                    let mut acc = out_sets[first].clone();
+                    for &p in it {
+                        acc = acc.intersection(&out_sets[p]).copied().collect();
+                    }
+                    acc
+                }
+            }
+        };
+        for inst in func.block(BlockId(b)).insts() {
+            if let Some(off) = inst.mem_read().and_then(spill_slot) {
+                if !init.contains(&off) {
+                    out.push(violation(
+                        Some(b),
+                        format!(
+                            "reload from [@{SPILL_REGION} + {off}] on a path where the \
+                             slot was never stored"
+                        ),
+                    ));
+                }
+            }
+            if let Some(off) = inst.mem_write().and_then(spill_slot) {
+                init.insert(off);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,74 @@
+//! Module-level parser/printer round-trip property: for seeded random
+//! modules mixing every workload family, `parse_module(print_module(m))`
+//! reproduces the module exactly, and printing is idempotent.
+//! (Per-function round-trips live in `tests/textual.rs`; this covers the
+//! module framing the fuzzer's reproducer files rely on.)
+
+use parsched::ir::{parse_module, print_module, Function};
+use parsched_workload::{
+    expr_tree_function, random_cfg_function, random_dag_function, CfgParams, DagParams, SplitMix64,
+};
+
+fn random_module(seed: u64) -> Vec<Function> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let count = rng.gen_range_usize(1, 6);
+    (0..count)
+        .map(|i| {
+            let fseed = rng.next_u64();
+            let f = match rng.gen_range_usize(0, 3) {
+                0 => random_dag_function(
+                    fseed,
+                    &DagParams {
+                        size: rng.gen_range_usize(4, 24),
+                        load_fraction: 0.3,
+                        float_fraction: 0.25,
+                        window: rng.gen_range_usize(2, 6),
+                    },
+                ),
+                1 => random_cfg_function(
+                    fseed,
+                    &CfgParams {
+                        segments: rng.gen_range_usize(1, 4),
+                        ops_per_block: rng.gen_range_usize(2, 5),
+                    },
+                ),
+                _ => expr_tree_function(fseed, rng.gen_range_usize(2, 6) as u32, 0.3),
+            };
+            // Distinct names so the module is unambiguous.
+            Function::new(
+                format!("{}_{i}", f.name()),
+                f.params().to_vec(),
+                f.blocks().to_vec(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn module_round_trip_over_seeded_random_modules() {
+    for seed in 0..50u64 {
+        let module = random_module(seed);
+        let text = print_module(&module);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: printed module did not parse: {e}\n{text}"));
+        assert_eq!(reparsed, module, "seed {seed}: round trip diverged\n{text}");
+        // Idempotence: printing the reparse reproduces the text.
+        assert_eq!(
+            print_module(&reparsed),
+            text,
+            "seed {seed}: print not idempotent"
+        );
+    }
+}
+
+#[test]
+fn module_round_trip_survives_comments_and_blank_lines() {
+    let module = random_module(99);
+    let text = print_module(&module);
+    let decorated = format!(
+        "# reproducer header\n# seed 99\n\n{}\n\n# trailing note\n",
+        text
+    );
+    let reparsed = parse_module(&decorated).expect("decorated module parses");
+    assert_eq!(reparsed, module);
+}

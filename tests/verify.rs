@@ -1,0 +1,384 @@
+//! Translation-validation contracts: every ladder rung's output passes the
+//! independent checkers; deliberately corrupted results are caught; and
+//! `psc --verify` surfaces violations with its own exit code (12) while
+//! recording `verify.*` counters in `--stats-json`.
+
+use parsched::ir::{parse_function, Function};
+use parsched::machine::presets;
+use parsched::{
+    CompileResult, CompileStats, DegradationLevel, Driver, ParschedError, Pipeline, Strategy,
+};
+use parsched_verify::{Check, OracleConfig, Verifier};
+use parsched_workload::{
+    expr_tree_function, random_cfg_function, random_dag_function, CfgParams, DagParams,
+};
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::combined(),
+        Strategy::SchedThenAlloc,
+        Strategy::AllocThenSched,
+        Strategy::LinearScanThenSched,
+        Strategy::SpillEverything,
+    ]
+}
+
+fn matrix_funcs() -> Vec<Function> {
+    vec![
+        random_dag_function(
+            7,
+            &DagParams {
+                size: 18,
+                load_fraction: 0.3,
+                float_fraction: 0.2,
+                window: 4,
+            },
+        ),
+        random_cfg_function(
+            11,
+            &CfgParams {
+                segments: 3,
+                ops_per_block: 4,
+            },
+        ),
+        expr_tree_function(3, 4, 0.25),
+    ]
+}
+
+/// Every rung, on an ample and on a tight register file, either refuses
+/// with a typed error or produces output that passes every checker —
+/// schedule legality, allocation soundness, spill well-formedness, the
+/// gated Theorem 1 check, and the differential oracle.
+#[test]
+fn ladder_times_verifier_matrix() {
+    for regs in [6u32, 32] {
+        let machine = presets::paper_machine(regs);
+        for func in matrix_funcs() {
+            for strategy in all_strategies() {
+                let driver =
+                    Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![strategy]);
+                let label = format!("{} @{} regs {regs}", strategy.label(), func.name());
+                match driver.compile_resilient(&func) {
+                    Ok(result) => {
+                        let report = Verifier::new(&machine)
+                            .strategy(strategy)
+                            .verify(&func, &result);
+                        assert!(report.ok(), "{label}: {:#?}", report.violations);
+                        assert!(report.checks_run >= 4, "{label}: too few checks ran");
+                    }
+                    Err(ParschedError::Panicked { .. }) => {
+                        panic!("{label}: pipeline panicked")
+                    }
+                    // Honest refusal (can't color in 6 registers, …) is a
+                    // legitimate outcome on the tight machine.
+                    Err(e) => assert!(regs < 32, "{label}: unexpected refusal: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// The degradation floor must actually spill — and its spill code must
+/// pass the store-before-reload dataflow check.
+#[test]
+fn spill_everything_passes_spill_checker() {
+    let machine = presets::paper_machine(4);
+    let func = random_dag_function(
+        5,
+        &DagParams {
+            size: 20,
+            load_fraction: 0.25,
+            float_fraction: 0.0,
+            window: 3,
+        },
+    );
+    let driver =
+        Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![Strategy::SpillEverything]);
+    let result = driver
+        .compile_resilient(&func)
+        .expect("floor rung succeeds");
+    assert!(result.stats.spilled_values > 0, "floor must spill");
+    let report = Verifier::new(&machine)
+        .strategy(Strategy::SpillEverything)
+        .verify(&func, &result);
+    assert!(report.ok(), "{:#?}", report.violations);
+}
+
+/// A hand-built "compile" whose only defect is merging two simultaneously
+/// live values into one register. The code is structurally flawless — the
+/// differential oracle is the checker that must convict it.
+#[test]
+fn oracle_catches_interfering_values_sharing_a_register() {
+    let original = parse_function(
+        "func @m(r0, r1) {\n\
+         entry:\n\
+             r2 = add r0, r1\n\
+             r3 = sub r0, r1\n\
+             r4 = mul r2, r3\n\
+             ret r4\n\
+         }\n",
+    )
+    .expect("valid input");
+    // The corrupted output keeps both values in r2: (a+b)*(a-b) becomes
+    // (a-b)*(a-b).
+    let corrupted = parse_function(
+        "func @m(r0, r1) {\n\
+         entry:\n\
+             r2 = add r0, r1\n\
+             r2 = sub r0, r1\n\
+             r4 = mul r2, r2\n\
+             ret r4\n\
+         }\n",
+    )
+    .expect("parses");
+    let machine = presets::paper_machine(8);
+    let result = CompileResult {
+        function: corrupted,
+        block_cycles: vec![100],
+        stats: CompileStats {
+            registers_used: 4,
+            cycles: 100,
+            inst_count: 4,
+            ..CompileStats::default()
+        },
+        degradation: DegradationLevel::None,
+    };
+    let report = Verifier::new(&machine)
+        .oracle(OracleConfig { seed: 1, runs: 3 })
+        .verify(&original, &result);
+    assert!(!report.ok(), "corruption must be caught");
+    assert!(
+        report.violations.iter().any(|v| v.check == Check::Oracle),
+        "the oracle is the catcher here: {:#?}",
+        report.violations
+    );
+}
+
+/// A claimed cycle count below what the emitted order can achieve is a
+/// schedule violation.
+#[test]
+fn schedule_checker_rejects_fabricated_cycle_claims() {
+    let original = parse_function(
+        "func @c(r0, r1) {\n\
+         entry:\n\
+             r2 = add r0, r1\n\
+             r3 = mul r2, r2\n\
+             ret r3\n\
+         }\n",
+    )
+    .expect("parses");
+    let machine = presets::paper_machine(8);
+    let result = CompileResult {
+        function: original.clone(),
+        block_cycles: vec![0],
+        stats: CompileStats {
+            registers_used: 4,
+            cycles: 0,
+            inst_count: 3,
+            ..CompileStats::default()
+        },
+        degradation: DegradationLevel::None,
+    };
+    let report = Verifier::new(&machine)
+        .without_oracle()
+        .verify(&original, &result);
+    assert!(
+        report.violations.iter().any(|v| v.check == Check::Schedule),
+        "{:#?}",
+        report.violations
+    );
+}
+
+/// Symbolic leftovers and out-of-range registers are allocation
+/// violations under the independent liveness checker.
+#[test]
+fn alloc_checker_rejects_symbolic_and_out_of_range_registers() {
+    let original = parse_function(
+        "func @a(r0) {\n\
+         entry:\n\
+             r1 = add r0, 1\n\
+             ret r1\n\
+         }\n",
+    )
+    .expect("parses");
+    let bad = parse_function(
+        "func @a(r0) {\n\
+         entry:\n\
+             s1 = add r0, 1\n\
+             r99 = add r0, 2\n\
+             ret r99\n\
+         }\n",
+    )
+    .expect("parses");
+    let machine = presets::paper_machine(8);
+    let result = CompileResult {
+        function: bad,
+        block_cycles: vec![100],
+        stats: CompileStats {
+            registers_used: 2,
+            cycles: 100,
+            inst_count: 3,
+            ..CompileStats::default()
+        },
+        degradation: DegradationLevel::None,
+    };
+    let report = Verifier::new(&machine)
+        .without_oracle()
+        .verify(&original, &result);
+    let allocs: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Alloc)
+        .collect();
+    assert!(
+        allocs.iter().any(|v| v.detail.contains("symbolic")),
+        "{allocs:#?}"
+    );
+    assert!(
+        allocs.iter().any(|v| v.detail.contains("out of range")),
+        "{allocs:#?}"
+    );
+}
+
+/// A reload from a slot no path has stored is a spill violation.
+#[test]
+fn spill_checker_rejects_reload_before_store() {
+    let original = parse_function(
+        "func @s(r0) {\n\
+         entry:\n\
+             r1 = add r0, 1\n\
+             ret r1\n\
+         }\n",
+    )
+    .expect("parses");
+    let bad = parse_function(
+        "func @s(r0) {\n\
+         entry:\n\
+             r1 = load [@__spill + 8]\n\
+             ret r1\n\
+         }\n",
+    )
+    .expect("parses");
+    let machine = presets::paper_machine(8);
+    let result = CompileResult {
+        function: bad,
+        block_cycles: vec![100],
+        stats: CompileStats {
+            registers_used: 2,
+            cycles: 100,
+            inst_count: 2,
+            spilled_values: 1,
+            ..CompileStats::default()
+        },
+        degradation: DegradationLevel::None,
+    };
+    let report = Verifier::new(&machine)
+        .without_oracle()
+        .verify(&original, &result);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.check == Check::Spill && v.detail.contains("never stored")),
+        "{:#?}",
+        report.violations
+    );
+}
+
+/// The new failure class maps to its own exit code, distinct from every
+/// other ladder exit.
+#[test]
+fn output_verify_error_has_exit_code_12() {
+    let e = ParschedError::OutputVerify {
+        function: "f".into(),
+        count: 2,
+        first: "x".into(),
+    };
+    assert_eq!(e.exit_code(), 12);
+    assert_eq!(e.class(), "output-verify");
+    assert!(e.to_string().contains("@f"));
+}
+
+/// End-to-end: `psc --verify` exits 0 on an honest compile and writes the
+/// verify.* counters into --stats-json.
+#[test]
+fn psc_verify_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("psc-verify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("m.psc");
+    let stats = dir.join("stats.json");
+    std::fs::write(
+        &src,
+        "func @f(s0, s1) {\n\
+         entry:\n\
+             s2 = add s0, s1\n\
+             s3 = mul s2, s0\n\
+             s4 = sub s3, s1\n\
+             ret s4\n\
+         }\n",
+    )
+    .expect("write source");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_psc"))
+        .arg(&src)
+        .arg("--verify")
+        .arg("--stats-json")
+        .arg(&stats)
+        .output()
+        .expect("psc runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&stats).expect("stats written");
+    assert!(json.contains("\"verify.checks\""), "{json}");
+    assert!(json.contains("\"verify.violations\": 0"), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end on a module: the batch path must not swallow per-slot
+/// verification (both functions verify; exit 0), and a multi-function
+/// module still exits 12 if any slot fails — exercised here via the
+/// single-function corrupt-claim path being unreachable from real
+/// compiles, so we assert the honest module verifies cleanly under --jobs.
+#[test]
+fn psc_verify_batch_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("psc-verify-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("mod.psc");
+    std::fs::write(
+        &src,
+        "func @f(s0, s1) {\n\
+         entry:\n\
+             s2 = add s0, s1\n\
+             ret s2\n\
+         }\n\
+         \n\
+         func @g(s0) {\n\
+         entry:\n\
+             s1 = mul s0, s0\n\
+             s2 = add s1, 1\n\
+             ret s2\n\
+         }\n",
+    )
+    .expect("write source");
+    let stats = dir.join("stats.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_psc"))
+        .arg(&src)
+        .arg("--verify")
+        .arg("--jobs")
+        .arg("2")
+        .arg("--stats-json")
+        .arg(&stats)
+        .output()
+        .expect("psc runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&stats).expect("stats written");
+    assert!(json.contains("\"verify.checks\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
