@@ -49,6 +49,13 @@ timeout 30 cargo run -q --release --offline -p parsched-verify -- \
     fuzz --seed 0 --count 60 --out "$fuzz_dir"
 rm -rf "$fuzz_dir"
 
+echo "==> perf smoke (combined compile must stay incremental)"
+# One spill-heavy combined compile under a recorder; fails if the
+# session PIG never ran (pig.rounds = 0) or spill rounds fell back to
+# full closure rebuilds (pig.full_rebuilds > 1).
+timeout 30 cargo run -q --release --offline -p parsched-bench -- \
+    --perf-smoke
+
 echo "==> smoke bench (tiny sweep; output must self-validate)"
 smoke_out=$(mktemp /tmp/parsched-smoke-bench.XXXXXX.json)
 timeout 30 cargo run -q --release --offline -p parsched-bench -- \

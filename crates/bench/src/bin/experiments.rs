@@ -9,6 +9,7 @@ use parsched::machine::presets;
 use parsched::regalloc::{BlockAllocProblem, EdgeRemovalPolicy, Pig, PinterConfig, SpillMetric};
 use parsched::report::Table;
 use parsched::sched::DepGraph;
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 use parsched_bench::{evaluation_workloads, standard_machines};
 
@@ -58,8 +59,8 @@ fn t_regs() {
     for (name, f) in evaluation_workloads() {
         let lv = Liveness::compute(&f, &[]);
         let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-        let d = DepGraph::build(f.block(BlockId(0)));
-        let pig = Pig::build(&p, &d, &machine);
+        let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
+        let pig = Pig::build(&p, &d, &machine, &NullTelemetry);
         let gr = exact_chromatic_number(p.interference(), &limits)
             .map(|c| c.to_string())
             .unwrap_or_else(|_| "-".into());
@@ -98,7 +99,7 @@ fn t_cycles() {
             for s in STRATEGIES {
                 let total: u64 = workloads
                     .iter()
-                    .map(|(_, f)| u64::from(p.compile(f, &s).unwrap().stats.cycles))
+                    .map(|(_, f)| u64::from(p.compile(f, &s, &NullTelemetry).unwrap().stats.cycles))
                     .sum();
                 cells.push(total.to_string());
             }
@@ -134,7 +135,7 @@ fn t_spill_and_falsedep() {
         for s in STRATEGIES {
             let (mut sp, mut fd) = (0usize, 0usize);
             for (_, f) in &workloads {
-                let r = p.compile(f, &s).unwrap();
+                let r = p.compile(f, &s, &NullTelemetry).unwrap();
                 sp += r.stats.spilled_values;
                 fd += r.stats.introduced_false_deps;
             }
@@ -202,7 +203,7 @@ fn t_heur() {
             });
             let (mut cycles, mut spills, mut removed) = (0u64, 0usize, 0usize);
             for (_, f) in &workloads {
-                let r = p.compile(f, &s).unwrap();
+                let r = p.compile(f, &s, &NullTelemetry).unwrap();
                 cycles += u64::from(r.stats.cycles);
                 spills += r.stats.spilled_values;
                 removed += r.stats.removed_false_edges;
@@ -241,7 +242,7 @@ fn t_ep() {
             });
             let (mut cycles, mut sp) = (0u64, 0usize);
             for (_, f) in &workloads {
-                let r = p.compile(f, &s).unwrap();
+                let r = p.compile(f, &s, &NullTelemetry).unwrap();
                 cycles += u64::from(r.stats.cycles);
                 sp += r.stats.spilled_values;
             }
@@ -295,7 +296,7 @@ fn t_global() {
             for s in STRATEGIES {
                 let mut total = 0u64;
                 for (_, f) in &workloads {
-                    let r = p.compile(f, &s).unwrap();
+                    let r = p.compile(f, &s, &NullTelemetry).unwrap();
                     total += u64::from(r.stats.cycles);
                     if matches!(s, Strategy::Combined(_)) {
                         sp += r.stats.spilled_values;
@@ -322,7 +323,7 @@ fn t_global() {
 /// (no allocation): critical-path vs source-order vs fan-out.
 fn t_sched() {
     use parsched::ir::BlockId;
-    use parsched::sched::{list_schedule_with, SchedPriority};
+    use parsched::sched::{list_schedule, SchedPriority};
     heading(
         "T-SCHED",
         "scheduler priority ablation on symbolic code (total cycles)",
@@ -340,8 +341,8 @@ fn t_sched() {
                 .iter()
                 .map(|(name, f)| {
                     let block = f.block(BlockId(0));
-                    let deps = DepGraph::build(block);
-                    let schedule = list_schedule_with(block, &deps, &machine, prio)
+                    let deps = DepGraph::build(block, &NullTelemetry);
+                    let schedule = list_schedule(block, &deps, &machine, prio, &NullTelemetry)
                         .unwrap_or_else(|e| panic!("T-SCHED: {name} failed to schedule: {e}"));
                     u64::from(schedule.completion_cycles())
                 })

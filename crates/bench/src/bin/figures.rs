@@ -11,6 +11,7 @@ use parsched::ir::{print_function, print_inst, BlockId, Function};
 use parsched::regalloc::{BlockAllocProblem, Pig};
 use parsched::sched::falsedep::{count_false_deps, et_graph, false_dependence_graph};
 use parsched::sched::DepGraph;
+use parsched::telemetry::NullTelemetry;
 use parsched::{paper, Pipeline, Strategy};
 
 fn main() {
@@ -74,7 +75,7 @@ fn example1_walkthrough() {
 fn figure1() {
     heading("Figure 1: dependence edges of the schedule graph of Example 2");
     let f = paper::example2();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     for e in d.edges() {
         println!(
             "  {} -> {}   [{:?}]",
@@ -88,7 +89,7 @@ fn figure1() {
 fn figure2() {
     heading("Figure 2: schedule graph, Et, and interference graph of Example 1");
     let f = paper::example1();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     let m = paper::machine(8);
     println!("(a) dependence edges:");
     for e in d.edges() {
@@ -100,10 +101,10 @@ fn figure2() {
         );
     }
     let names = |i: usize| inst_name(&f, i);
-    print_edges("(b) Et", &et_graph(&d, &m), &names);
+    print_edges("(b) Et", &et_graph(&d, &m, &NullTelemetry), &names);
     print_edges(
         "    Ef (complement = false-dependence graph)",
-        &false_dependence_graph(&d, &m),
+        &false_dependence_graph(&d, &m, &NullTelemetry),
         &names,
     );
     let lv = Liveness::compute(&f, &[]);
@@ -117,9 +118,9 @@ fn figure3() {
     let f = paper::example1();
     let lv = Liveness::compute(&f, &[]);
     let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     let m = paper::machine(8);
-    let pig = Pig::build(&p, &d, &m);
+    let pig = Pig::build(&p, &d, &m, &NullTelemetry);
     let node_names = |n: usize| p.nodes()[n].to_string();
     print_edges("PIG edges", pig.graph(), &node_names);
     let limits = ExactLimits::default();
@@ -129,7 +130,9 @@ fn figure3() {
         println!("  {reg} -> r{}", coloring.color(n));
     }
     let pipeline = Pipeline::new(paper::machine(3));
-    let r = pipeline.compile(&f, &Strategy::combined()).unwrap();
+    let r = pipeline
+        .compile(&f, &Strategy::combined(), &NullTelemetry)
+        .unwrap();
     println!(
         "combined pipeline at 3 registers: {} regs, {} false deps, {} cycles",
         r.stats.registers_used, r.stats.introduced_false_deps, r.stats.cycles
@@ -142,11 +145,11 @@ fn figure4_and_5() {
     let f = paper::example2();
     let lv = Liveness::compute(&f, &[]);
     let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     let m = paper::machine(8);
     let limits = ExactLimits::default();
     let chrom_gr = exact_chromatic_number(p.interference(), &limits).unwrap();
-    let pig = Pig::build(&p, &d, &m);
+    let pig = Pig::build(&p, &d, &m, &NullTelemetry);
     let chrom_pig = exact_chromatic_number(pig.graph(), &limits).unwrap();
     println!("χ(interference graph) = {chrom_gr}   (Figure 4: 3 registers)");
     println!("χ(PIG)                = {chrom_pig}   (Figure 5: 4 registers)");
@@ -157,9 +160,15 @@ fn figure4_and_5() {
         count_false_deps(fig5.block(BlockId(0)), &m)
     );
     let schedule_of = |func: &Function| {
-        let deps = DepGraph::build(func.block(BlockId(0)));
-        let s = parsched::sched::list_schedule(func.block(BlockId(0)), &deps, &m)
-            .unwrap_or_else(|e| panic!("figure schedule failed: {e}"));
+        let deps = DepGraph::build(func.block(BlockId(0)), &NullTelemetry);
+        let s = parsched::sched::list_schedule(
+            func.block(BlockId(0)),
+            &deps,
+            &m,
+            parsched::sched::SchedPriority::CriticalPath,
+            &NullTelemetry,
+        )
+        .unwrap_or_else(|e| panic!("figure schedule failed: {e}"));
         (s.groups(), s.completion_cycles())
     };
     let (groups, cycles) = schedule_of(&fig5);

@@ -16,6 +16,9 @@ USAGE: parsched-bench [OPTIONS]
 
 OPTIONS:
   --smoke        tiny corpus, single iteration, no warm-up (CI smoke)
+  --perf-smoke   compile one pressure function with the combined strategy
+                 and fail unless the PIG stayed incremental
+                 (pig.full_rebuilds <= 1); runs no sweep
   --out FILE     where to write the report (default: BENCH_parallel.json)
   --check FILE   validate an existing report and exit; runs no sweep
   --iters N      measured iterations per point (default: 5, median kept)
@@ -25,6 +28,7 @@ OPTIONS:
 
 struct Options {
     smoke: bool,
+    perf_smoke: bool,
     out: String,
     check: Option<String>,
     iters: Option<usize>,
@@ -34,6 +38,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
+        perf_smoke: false,
         out: "BENCH_parallel.json".to_string(),
         check: None,
         iters: None,
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => opts.smoke = true,
+            "--perf-smoke" => opts.perf_smoke = true,
             "--out" => opts.out = args.next().ok_or("--out needs a file argument")?,
             "--check" => {
                 opts.check = Some(args.next().ok_or("--check needs a file argument")?);
@@ -76,6 +82,49 @@ fn check_file(path: &str) -> Result<(), String> {
     sweep::validate_report(&doc).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Compiles one pressure-sweep function with the combined strategy and a
+/// recorder, then asserts the incremental-PIG machinery actually engaged:
+/// multiple spill rounds ran, but at most one full closure rebuild
+/// happened (the initial one). A regression that silently falls back to
+/// from-scratch PIG construction every round fails here, not in a
+/// benchmark nobody reruns.
+fn perf_smoke() -> Result<(), String> {
+    use parsched::telemetry::Recorder;
+    use parsched::{Pipeline, Strategy};
+    use parsched_workload::{random_dag_function, DagParams};
+
+    let params = DagParams {
+        size: 48,
+        load_fraction: 0.2,
+        float_fraction: 0.3,
+        window: 24,
+    };
+    let func = random_dag_function(3, &params);
+    let pipeline = Pipeline::new(parsched::machine::presets::paper_machine(6));
+    let recorder = Recorder::new();
+    let result = pipeline
+        .compile(&func, &Strategy::combined(), &recorder)
+        .map_err(|e| format!("combined compile failed: {e}"))?;
+    let rounds = recorder.counter_value("pig.rounds");
+    let full = recorder.counter_value("pig.full_rebuilds");
+    let incremental = recorder.counter_value("pig.incremental_nodes");
+    eprintln!(
+        "perf-smoke: {} insts, {} spilled, pig.rounds={rounds}, \
+         pig.full_rebuilds={full}, pig.incremental_nodes={incremental}",
+        result.stats.inst_count, result.stats.spilled_values
+    );
+    if rounds == 0 {
+        return Err("pig.rounds = 0: the session PIG path never ran".to_string());
+    }
+    if full > 1 {
+        return Err(format!(
+            "pig.full_rebuilds = {full} (> 1): spill rounds are rebuilding \
+             the closure from scratch instead of incrementally"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -85,6 +134,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.perf_smoke {
+        return match perf_smoke() {
+            Ok(()) => {
+                println!("perf-smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("parsched-bench: perf-smoke: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if let Some(path) = &opts.check {
         return match check_file(path) {

@@ -11,6 +11,7 @@
 use crate::json::Value;
 use parsched::ir::Function;
 use parsched::machine::{presets, MachineDesc};
+use parsched::telemetry::NullTelemetry;
 use parsched::{BatchDriver, Driver, Pipeline, Strategy};
 use parsched_workload::{random_dag_function, straight_line_kernels, DagParams};
 
@@ -179,12 +180,12 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
             for threads in THREAD_COUNTS {
                 let batch = BatchDriver::new(driver.clone()).with_jobs(threads);
                 for _ in 0..config.warmup {
-                    let _ = batch.compile_module(&workload.funcs);
+                    let _ = batch.compile_module(&workload.funcs, &NullTelemetry);
                 }
                 let mut wall_ns = Vec::with_capacity(config.iters);
                 let mut last = None;
                 for _ in 0..config.iters.max(1) {
-                    let out = batch.compile_module(&workload.funcs);
+                    let out = batch.compile_module(&workload.funcs, &NullTelemetry);
                     wall_ns.push(out.wall.as_nanos());
                     last = Some(out);
                 }
@@ -280,8 +281,12 @@ pub fn render_report(points: &[SweepPoint], mode: &str, host_threads: usize) -> 
     s
 }
 
-/// Validates a parsed report: schema tag, and one point per
-/// (workload, strategy, thread-count) cell with sane numeric fields.
+/// Validates a parsed report: schema tag, one point per
+/// (workload, strategy, thread-count) cell with sane numeric fields, and
+/// **determinism across thread counts** — every (workload, strategy)
+/// pair must report identical `insts` and `spilled_values` at every
+/// thread count, or the timings were taken from nondeterministic builds
+/// and the whole report is untrustworthy.
 ///
 /// # Errors
 /// Returns a human-readable description of the first problem found.
@@ -301,6 +306,7 @@ pub fn validate_report(doc: &Value) -> Result<(), String> {
         return Err("empty points array".to_string());
     }
     let mut cells: Vec<(String, String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, String, u64, u64)> = Vec::new();
     for (i, p) in points.iter().enumerate() {
         let workload = p
             .get("workload")
@@ -329,6 +335,31 @@ pub fn validate_report(doc: &Value) -> Result<(), String> {
             .ok_or(format!("point {i}: missing errors"))?;
         if errors > 0.0 {
             return Err(format!("point {i}: {errors} functions failed"));
+        }
+        let insts = p
+            .get("insts")
+            .and_then(Value::as_num)
+            .ok_or(format!("point {i}: missing insts"))? as u64;
+        let spilled = p
+            .get("spilled_values")
+            .and_then(Value::as_num)
+            .ok_or(format!("point {i}: missing spilled_values"))? as u64;
+        // Thread-count determinism: all points of one (workload, strategy)
+        // pair must agree on what they compiled, not just when.
+        match outputs
+            .iter()
+            .find(|(w, s, _, _)| w == workload && s == strategy)
+        {
+            None => outputs.push((workload.to_string(), strategy.to_string(), insts, spilled)),
+            Some((_, _, ei, es)) => {
+                if *ei != insts || *es != spilled {
+                    return Err(format!(
+                        "{workload}/{strategy}: insts/spilled differ across thread counts \
+                         ({ei}/{es} vs {insts}/{spilled} at {threads} threads) — \
+                         nondeterministic batch output"
+                    ));
+                }
+            }
         }
         cells.push((workload.to_string(), strategy.to_string(), threads));
     }
@@ -406,12 +437,42 @@ mod tests {
     #[test]
     fn validation_rejects_incomplete_sweeps() {
         let doc = json::parse(&format!(
-            r#"{{"schema": "{SCHEMA}", "points": [{{"workload": "w", "strategy": "s", "threads": 1, "functions": 1, "median_wall_ns": 5, "insts": 3, "insts_per_sec": 1.0, "errors": 0}}]}}"#
+            r#"{{"schema": "{SCHEMA}", "points": [{{"workload": "w", "strategy": "s", "threads": 1, "functions": 1, "median_wall_ns": 5, "insts": 3, "insts_per_sec": 1.0, "spilled_values": 0, "errors": 0}}]}}"#
         ))
         .unwrap();
         let e = validate_report(&doc).unwrap_err();
         assert!(e.contains("missing sweep point"), "{e}");
         let doc = json::parse(r#"{"schema": "bogus", "points": []}"#).unwrap();
         assert!(validate_report(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn validation_rejects_thread_count_nondeterminism() {
+        let p = SweepPoint {
+            workload: "kernels",
+            strategy: "combined",
+            threads: 1,
+            functions: 12,
+            wall_ns: vec![100],
+            median_wall_ns: 100,
+            insts: 50,
+            insts_per_sec: 5e8,
+            spilled_values: 0,
+            errors: 0,
+            worst_degradation: "none",
+        };
+        let points: Vec<SweepPoint> = THREAD_COUNTS
+            .iter()
+            .map(|&t| SweepPoint {
+                threads: t,
+                wall_ns: p.wall_ns.clone(),
+                // One thread count "compiles" an extra instruction.
+                insts: if t == 4 { 51 } else { 50 },
+                ..p.clone()
+            })
+            .collect();
+        let doc = json::parse(&render_report(&points, "smoke", 1)).unwrap();
+        let e = validate_report(&doc).unwrap_err();
+        assert!(e.contains("differ across thread counts"), "{e}");
     }
 }

@@ -27,10 +27,11 @@
 //!
 //! ```
 //! use parsched::{paper, BatchDriver, Driver, Pipeline};
+//! use parsched_telemetry::NullTelemetry;
 //!
 //! let module = vec![paper::example1(), paper::example2()];
 //! let batch = BatchDriver::new(Driver::new(Pipeline::new(paper::machine(8)))).with_jobs(2);
-//! let out = batch.compile_module(&module);
+//! let out = batch.compile_module(&module, &NullTelemetry);
 //! assert_eq!(out.results.len(), 2);
 //! assert!(out.results.iter().all(|r| r.is_ok()));
 //! ```
@@ -39,6 +40,7 @@ use crate::driver::{panic_message, Driver};
 use crate::error::ParschedError;
 use crate::pipeline::CompileResult;
 use parsched_ir::Function;
+use parsched_regalloc::AllocSession;
 use parsched_telemetry::{Fanout, NullTelemetry, Recorder, Telemetry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -169,24 +171,18 @@ impl BatchDriver {
 
     /// Compiles every function of `funcs` across the worker pool.
     ///
-    /// Equivalent to [`compile_module_with`](BatchDriver::compile_module_with)
-    /// against a [`NullTelemetry`] shared sink.
-    pub fn compile_module(&self, funcs: &[Function]) -> BatchOutput {
-        self.compile_module_with(funcs, &NullTelemetry)
-    }
-
-    /// [`compile_module`](BatchDriver::compile_module) with an additional
-    /// **shared** sink every worker also reports to (it must be `Sync`;
-    /// the built-in sinks are). Per-worker recorders still merge into
+    /// `sink` is a **shared** sink every worker also reports to (it must
+    /// be `Sync`; the built-in sinks are — pass [`NullTelemetry`] to opt
+    /// out). Per-worker recorders still merge into
     /// [`BatchOutput::telemetry`] when recording is on; the shared sink
     /// sees all workers' signals interleaved live. A sink that panics
     /// fails at most the rung it panicked in — the driver's containment
     /// applies to batch compilation too.
-    pub fn compile_module_with(
-        &self,
-        funcs: &[Function],
-        sink: &(dyn Telemetry + Sync),
-    ) -> BatchOutput {
+    ///
+    /// Each worker owns one [`AllocSession`] reused across every function
+    /// it compiles, so dependence-graph and closure allocations stay warm
+    /// for the whole stripe.
+    pub fn compile_module(&self, funcs: &[Function], sink: &(dyn Telemetry + Sync)) -> BatchOutput {
         let start = Instant::now();
         let n = funcs.len();
         let jobs = self.resolved_jobs(n);
@@ -199,8 +195,9 @@ impl BatchDriver {
             // Inline fast path: same per-function code as the workers, no
             // thread spawn. `--jobs 1` output is identical by construction.
             let worker = Recorder::new();
+            let mut session = AllocSession::new();
             for (i, func) in funcs.iter().enumerate() {
-                let (res, ns) = self.compile_one(func, &worker, sink);
+                let (res, ns) = self.compile_one(&mut session, func, &worker, sink);
                 results[i] = Some(res);
                 per_func_ns[i] = ns;
             }
@@ -221,8 +218,10 @@ impl BatchDriver {
                     let master = &master;
                     scope.spawn(move || {
                         let worker = Recorder::new();
+                        let mut session = AllocSession::new();
                         while let Some(idx) = next_job(queues, w) {
-                            let (res, ns) = self.compile_one(&funcs[idx], &worker, sink);
+                            let (res, ns) =
+                                self.compile_one(&mut session, &funcs[idx], &worker, sink);
                             // The receiver outlives the scope; a send can
                             // only fail if the parent vanished, in which
                             // case there is nobody to report to.
@@ -264,11 +263,27 @@ impl BatchDriver {
         }
     }
 
+    /// Deprecated spelling of [`compile_module`](BatchDriver::compile_module)
+    /// from when the no-sink variant owned the short name.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `BatchDriver::compile_module(funcs, sink)`"
+    )]
+    pub fn compile_module_with(
+        &self,
+        funcs: &[Function],
+        sink: &(dyn Telemetry + Sync),
+    ) -> BatchOutput {
+        self.compile_module(funcs, sink)
+    }
+
     /// Compiles one function with the worker's private recorder and the
     /// shared sink fanned in, timing it and containing any panic that
-    /// escapes the driver's own per-rung containment.
+    /// escapes the driver's own per-rung containment. The worker's
+    /// `session` is rebuilt per function but keeps its allocations.
     fn compile_one(
         &self,
+        session: &mut AllocSession,
         func: &Function,
         worker: &Recorder,
         sink: &(dyn Telemetry + Sync),
@@ -288,7 +303,8 @@ impl BatchDriver {
         };
         let t0 = Instant::now();
         let res = catch_unwind(AssertUnwindSafe(|| {
-            self.driver.compile_resilient_with(func, telemetry)
+            self.driver
+                .compile_resilient_in(&mut *session, func, telemetry)
         }))
         .unwrap_or_else(|payload| {
             Err(ParschedError::Panicked {
@@ -353,11 +369,11 @@ mod tests {
         let module = module();
         let baseline = BatchDriver::new(driver())
             .with_jobs(1)
-            .compile_module(&module);
+            .compile_module(&module, &NullTelemetry);
         for jobs in [2, 3, 8] {
             let out = BatchDriver::new(driver())
                 .with_jobs(jobs)
-                .compile_module(&module);
+                .compile_module(&module, &NullTelemetry);
             assert_eq!(out.results.len(), module.len());
             for (a, b) in baseline.results.iter().zip(&out.results) {
                 let (Ok(a), Ok(b)) = (a, b) else {
@@ -381,7 +397,9 @@ mod tests {
 
     #[test]
     fn empty_module_is_fine() {
-        let out = BatchDriver::new(driver()).with_jobs(4).compile_module(&[]);
+        let out = BatchDriver::new(driver())
+            .with_jobs(4)
+            .compile_module(&[], &NullTelemetry);
         assert!(out.results.is_empty());
         assert_eq!(out.ok_count(), 0);
         assert_eq!(out.insts_per_sec(), 0.0);
@@ -393,7 +411,7 @@ mod tests {
         let out = BatchDriver::new(driver())
             .with_jobs(2)
             .with_recording(true)
-            .compile_module(&module);
+            .compile_module(&module, &NullTelemetry);
         // One driver.compiled count per function, regardless of worker.
         assert_eq!(
             out.telemetry.counter_value("driver.compiled"),
@@ -406,7 +424,7 @@ mod tests {
     fn output_helpers_aggregate() {
         let out = BatchDriver::new(driver())
             .with_jobs(2)
-            .compile_module(&module());
+            .compile_module(&module(), &NullTelemetry);
         assert_eq!(out.ok_count(), 5);
         assert_eq!(out.err_count(), 0);
         assert!(out.total_insts() > 0);

@@ -20,7 +20,8 @@ use crate::error::ParschedError;
 use crate::pipeline::{CompileResult, Pipeline, Strategy};
 use parsched_ir::verify::verify_function;
 use parsched_ir::Function;
-use parsched_telemetry::{NullTelemetry, Telemetry};
+use parsched_regalloc::AllocSession;
+use parsched_telemetry::Telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How far down the strategy ladder a resilient compilation had to walk.
@@ -70,8 +71,10 @@ impl DegradationLevel {
 /// ```
 /// use parsched::{paper, Budget, Driver, Pipeline};
 ///
+/// use parsched_telemetry::NullTelemetry;
+///
 /// let driver = Driver::new(Pipeline::new(paper::machine(4)));
-/// let result = driver.compile_resilient(&paper::example1())?;
+/// let result = driver.compile_resilient(&paper::example1(), &NullTelemetry)?;
 /// assert_eq!(result.degradation.label(), "none");
 /// # Ok::<(), parsched::ParschedError>(())
 /// ```
@@ -145,24 +148,50 @@ impl Driver {
     /// runs without the spill-round cap. If every rung fails, the *first*
     /// rung's error is returned (it describes the preferred strategy).
     ///
+    /// Downgrades are reported to `telemetry`. A faulty sink is part of
+    /// the threat model: telemetry emitted by the driver itself is wrapped
+    /// in `catch_unwind`, and a sink that panics mid-compilation fails
+    /// only that rung.
+    ///
     /// # Errors
     /// Any [`ParschedError`]; with the default ladder this is only
     /// possible for verification failures, a passed deadline, or a
     /// panic in every rung.
-    pub fn compile_resilient(&self, func: &Function) -> Result<CompileResult, ParschedError> {
-        self.compile_resilient_with(func, &NullTelemetry)
+    pub fn compile_resilient(
+        &self,
+        func: &Function,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, ParschedError> {
+        let mut session = AllocSession::new();
+        self.compile_resilient_in(&mut session, func, telemetry)
     }
 
-    /// [`Driver::compile_resilient`] reporting downgrades to `telemetry`.
-    ///
-    /// A faulty sink is part of the threat model: telemetry emitted by the
-    /// driver itself is wrapped in `catch_unwind`, and a sink that panics
-    /// mid-compilation fails only that rung.
+    /// Deprecated alias for [`Driver::compile_resilient`].
     ///
     /// # Errors
     /// As [`Driver::compile_resilient`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Driver::compile_resilient(func, telemetry)`"
+    )]
     pub fn compile_resilient_with(
         &self,
+        func: &Function,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, ParschedError> {
+        self.compile_resilient(func, telemetry)
+    }
+
+    /// [`Driver::compile_resilient`] running inside a caller-owned
+    /// [`AllocSession`] (see [`Pipeline::compile_budgeted_in`]); the batch
+    /// driver gives each worker one session reused across its whole stripe
+    /// of functions.
+    ///
+    /// # Errors
+    /// As [`Driver::compile_resilient`].
+    pub fn compile_resilient_in(
+        &self,
+        session: &mut AllocSession,
         func: &Function,
         telemetry: &dyn Telemetry,
     ) -> Result<CompileResult, ParschedError> {
@@ -190,7 +219,7 @@ impl Driver {
             };
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 self.pipeline
-                    .compile_budgeted(func, strategy, &budget, telemetry)
+                    .compile_budgeted_in(&mut *session, func, strategy, &budget, telemetry)
             }));
             let err: ParschedError = match attempt {
                 Ok(Ok(mut result)) => {
@@ -229,9 +258,14 @@ impl Driver {
     }
 
     /// Compiles every function independently; one poisoned function fails
-    /// its own entry, never its neighbours.
+    /// its own entry, never its neighbours. One [`AllocSession`] is reused
+    /// across the whole batch.
     pub fn compile_batch(&self, funcs: &[Function]) -> Vec<Result<CompileResult, ParschedError>> {
-        funcs.iter().map(|f| self.compile_resilient(f)).collect()
+        let mut session = AllocSession::new();
+        funcs
+            .iter()
+            .map(|f| self.compile_resilient_in(&mut session, f, &parsched_telemetry::NullTelemetry))
+            .collect()
     }
 }
 
@@ -273,7 +307,9 @@ mod tests {
     #[test]
     fn healthy_input_does_not_degrade() {
         let driver = Driver::new(Pipeline::new(paper::machine(4)));
-        let r = driver.compile_resilient(&paper::example1()).unwrap();
+        let r = driver
+            .compile_resilient(&paper::example1(), &parsched_telemetry::NullTelemetry)
+            .unwrap();
         assert_eq!(r.degradation, DegradationLevel::None);
     }
 
@@ -284,7 +320,9 @@ mod tests {
             .with_ladder(vec![Strategy::SpillEverything]);
         assert_eq!(driver.ladder().len(), 1);
         assert_eq!(driver.budget().max_spill_rounds, Some(2));
-        let r = driver.compile_resilient(&paper::example1()).unwrap();
+        let r = driver
+            .compile_resilient(&paper::example1(), &parsched_telemetry::NullTelemetry)
+            .unwrap();
         // A one-rung ladder that succeeds on its first rung reports None.
         assert_eq!(r.degradation, DegradationLevel::None);
     }

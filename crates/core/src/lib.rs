@@ -12,17 +12,22 @@
 //! # Quick start
 //!
 //! ```
-//! use parsched::{Pipeline, Strategy};
+//! use parsched::prelude::*;
 //!
 //! let func = parsched::paper::example1();
 //! let machine = parsched::paper::machine(4);
 //! let pipeline = Pipeline::new(machine);
 //!
-//! let combined = pipeline.compile(&func, &Strategy::combined())?;
-//! let naive = pipeline.compile(&func, &Strategy::AllocThenSched)?;
+//! let combined = pipeline.compile(&func, &Strategy::combined(), &NullTelemetry)?;
+//! let naive = pipeline.compile(&func, &Strategy::AllocThenSched, &NullTelemetry)?;
 //! assert!(combined.stats.cycles <= naive.stats.cycles);
 //! # Ok::<(), parsched::PipelineError>(())
 //! ```
+//!
+//! Every phase entry point takes a `&dyn Telemetry` last argument; pass
+//! [`NullTelemetry`](parsched_telemetry::NullTelemetry) when you don't
+//! care, or a [`Recorder`](parsched_telemetry::Recorder) to capture phase
+//! timings and counters such as `pig.rounds` / `pig.full_rebuilds`.
 //!
 //! Above the pipeline sit two robustness layers: the [`Driver`] walks a
 //! degradation ladder under a resource [`Budget`] instead of failing, and
@@ -51,6 +56,28 @@ pub mod error;
 pub mod paper;
 mod pipeline;
 pub mod report;
+
+/// One-stop imports for the common compilation workflow.
+///
+/// ```
+/// use parsched::prelude::*;
+///
+/// let pipeline = Pipeline::new(parsched::paper::machine(4));
+/// let out = pipeline
+///     .compile(&parsched::paper::example1(), &Strategy::combined(), &NullTelemetry)?;
+/// assert!(out.stats.cycles > 0);
+/// # Ok::<(), parsched::PipelineError>(())
+/// ```
+pub mod prelude {
+    pub use crate::batch::{BatchDriver, BatchOutput};
+    pub use crate::budget::Budget;
+    pub use crate::driver::{DegradationLevel, Driver};
+    pub use crate::error::ParschedError;
+    pub use crate::pipeline::{CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
+    pub use parsched_regalloc::AllocSession;
+    pub use parsched_sched::{BlockRemap, SchedSession};
+    pub use parsched_telemetry::{NullTelemetry, Recorder, Telemetry};
+}
 
 pub use batch::{BatchDriver, BatchOutput};
 pub use budget::Budget;

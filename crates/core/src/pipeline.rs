@@ -5,12 +5,12 @@ use crate::budget::Budget;
 use crate::driver::DegradationLevel;
 use parsched_ir::{BlockId, Function};
 use parsched_machine::MachineDesc;
-use parsched_regalloc::allocator::{allocate_single_block_limited, AllocError, BlockStrategy};
-use parsched_regalloc::global::{allocate_global_limited, GlobalAllocError, GlobalStrategy};
-use parsched_regalloc::{BudgetExceeded, PinterConfig};
+use parsched_regalloc::allocator::{allocate_single_block_in, AllocError, BlockStrategy};
+use parsched_regalloc::global::{allocate_global, GlobalAllocError, GlobalStrategy};
+use parsched_regalloc::{AllocSession, BudgetExceeded, PinterConfig};
 use parsched_sched::falsedep::count_false_deps;
-use parsched_sched::{list_schedule_traced, SchedError};
-use parsched_telemetry::{NullTelemetry, Telemetry};
+use parsched_sched::{list_schedule, SchedError};
+use parsched_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
 
@@ -208,22 +208,8 @@ impl Pipeline {
     /// Single-block functions use the block-level allocators; multi-block
     /// functions use the global (web-based) allocators.
     ///
-    /// # Errors
-    /// Returns [`PipelineError`] when allocation fails (e.g. spilling does
-    /// not converge on a pathological input).
-    pub fn compile(
-        &self,
-        func: &Function,
-        strategy: &Strategy,
-    ) -> Result<CompileResult, PipelineError> {
-        self.compile_with(func, strategy, &NullTelemetry)
-    }
-
-    /// [`Pipeline::compile`] reporting phase spans and counters to
-    /// `telemetry`.
-    ///
-    /// Phases appear as spans (`pipeline.merge_chains`, `pipeline.optimize`,
-    /// `pipeline.pre_schedule`, `pipeline.allocate`,
+    /// Phases appear as spans on `telemetry` (`pipeline.merge_chains`,
+    /// `pipeline.optimize`, `pipeline.pre_schedule`, `pipeline.allocate`,
     /// `pipeline.false_dep_count`, `pipeline.final_schedule`) nested under
     /// one `pipeline.compile` span. The final [`CompileStats`] fields are
     /// emitted once, authoritatively, as `stats.*` counters
@@ -231,11 +217,13 @@ impl Pipeline {
     /// `stats.inserted_mem_ops`, `stats.removed_false_edges`,
     /// `stats.introduced_false_deps`, `stats.cycles`, `stats.inst_count`),
     /// so a recording sink can cross-check them against the returned value.
+    /// Pass [`parsched_telemetry::NullTelemetry`] when observability is not
+    /// needed.
     ///
     /// # Errors
-    /// Returns [`PipelineError`] when allocation fails, as
-    /// [`Pipeline::compile`] does.
-    pub fn compile_with(
+    /// Returns [`PipelineError`] when allocation fails (e.g. spilling does
+    /// not converge on a pathological input).
+    pub fn compile(
         &self,
         func: &Function,
         strategy: &Strategy,
@@ -244,7 +232,24 @@ impl Pipeline {
         self.compile_budgeted(func, strategy, &Budget::unlimited(), telemetry)
     }
 
-    /// [`Pipeline::compile_with`] under a resource [`Budget`].
+    /// Deprecated alias for [`Pipeline::compile`].
+    ///
+    /// # Errors
+    /// Same contract as [`Pipeline::compile`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Pipeline::compile(func, strategy, telemetry)`"
+    )]
+    pub fn compile_with(
+        &self,
+        func: &Function,
+        strategy: &Strategy,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, PipelineError> {
+        self.compile(func, strategy, telemetry)
+    }
+
+    /// [`Pipeline::compile`] under a resource [`Budget`].
     ///
     /// Budget caps are checked at the super-linear choke points (PIG
     /// construction, transitive closure, spill iteration); the deadline is
@@ -257,6 +262,26 @@ impl Pipeline {
     /// and the other variants as [`Pipeline::compile`] does.
     pub fn compile_budgeted(
         &self,
+        func: &Function,
+        strategy: &Strategy,
+        budget: &Budget,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, PipelineError> {
+        let mut session = AllocSession::new();
+        self.compile_budgeted_in(&mut session, func, strategy, budget, telemetry)
+    }
+
+    /// [`Pipeline::compile_budgeted`] running inside a caller-owned
+    /// [`AllocSession`]: the dependence graph and transitive closure of the
+    /// combined strategy persist across spill rounds (updated
+    /// incrementally) and across calls, which is how the batch driver
+    /// amortizes PIG construction over a whole module.
+    ///
+    /// # Errors
+    /// Same contract as [`Pipeline::compile_budgeted`].
+    pub fn compile_budgeted_in(
+        &self,
+        session: &mut AllocSession,
         func: &Function,
         strategy: &Strategy,
         budget: &Budget,
@@ -283,14 +308,14 @@ impl Pipeline {
             Strategy::SchedThenAlloc => {
                 let _span = parsched_telemetry::span(telemetry, "pipeline.pre_schedule");
                 limits.check_deadline("pipeline.pre_schedule")?;
-                self.schedule_blocks_measured_with(func, telemetry)?.0
+                self.schedule_blocks_measured(func, telemetry)?.0
             }
             _ => func.clone(),
         };
 
         let (mut allocated, mut stats) = {
             let _span = parsched_telemetry::span(telemetry, "pipeline.allocate");
-            self.allocate(&pre_scheduled, strategy, &limits, telemetry)?
+            self.allocate(session, &pre_scheduled, strategy, &limits, telemetry)?
         };
         // Allocation can map a copy's source and destination to one
         // register; drop the resulting identity copies before scheduling.
@@ -325,7 +350,7 @@ impl Pipeline {
         limits.check_deadline("pipeline.final_schedule")?;
         let (final_fn, block_cycles) = {
             let _span = parsched_telemetry::span(telemetry, "pipeline.final_schedule");
-            self.schedule_blocks_measured_with(&allocated, telemetry)?
+            self.schedule_blocks_measured(&allocated, telemetry)?
         };
         stats.cycles = block_cycles.iter().sum();
         stats.inst_count = final_fn.inst_count();
@@ -353,25 +378,14 @@ impl Pipeline {
     }
 
     /// Schedules every block of the final code and reports per-block
-    /// completion cycles without allocating (used on physical code).
+    /// completion cycles without allocating (used on physical code), with
+    /// one `sched.block` span per block (the block's label in a
+    /// `sched.block` event) and a `sched.block_cycles` counter per block.
     ///
     /// # Errors
     /// Returns [`SchedError`] when a block's dependence graph is cyclic or
     /// the scheduler produces an invalid schedule.
     pub fn schedule_blocks_measured(
-        &self,
-        func: &Function,
-    ) -> Result<(Function, Vec<u32>), SchedError> {
-        self.schedule_blocks_measured_with(func, &NullTelemetry)
-    }
-
-    /// [`Pipeline::schedule_blocks_measured`] with one `sched.block` span
-    /// per block (the block's label in a `sched.block` event) and a
-    /// `sched.block_cycles` counter per block.
-    ///
-    /// # Errors
-    /// As [`Pipeline::schedule_blocks_measured`].
-    pub fn schedule_blocks_measured_with(
         &self,
         func: &Function,
         telemetry: &dyn Telemetry,
@@ -384,8 +398,8 @@ impl Pipeline {
             if telemetry.enabled() {
                 telemetry.event("sched.block", block.label());
             }
-            let deps = parsched_sched::DepGraph::build_with(block, telemetry);
-            let schedule = list_schedule_traced(
+            let deps = parsched_sched::DepGraph::build(block, telemetry);
+            let schedule = list_schedule(
                 block,
                 &deps,
                 &self.machine,
@@ -404,8 +418,25 @@ impl Pipeline {
         Ok((out, cycles))
     }
 
+    /// Deprecated alias for [`Pipeline::schedule_blocks_measured`].
+    ///
+    /// # Errors
+    /// As [`Pipeline::schedule_blocks_measured`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Pipeline::schedule_blocks_measured(func, telemetry)`"
+    )]
+    pub fn schedule_blocks_measured_with(
+        &self,
+        func: &Function,
+        telemetry: &dyn Telemetry,
+    ) -> Result<(Function, Vec<u32>), SchedError> {
+        self.schedule_blocks_measured(func, telemetry)
+    }
+
     fn allocate(
         &self,
+        session: &mut AllocSession,
         func: &Function,
         strategy: &Strategy,
         limits: &parsched_regalloc::AllocLimits,
@@ -419,7 +450,7 @@ impl Pipeline {
                 Strategy::Combined(cfg) => BlockStrategy::Pinter(*cfg),
                 Strategy::SpillEverything => BlockStrategy::SpillAll,
             };
-            let out = allocate_single_block_limited(func, &self.machine, s, limits, telemetry)?;
+            let out = allocate_single_block_in(session, func, &self.machine, s, limits, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_values;
             stats.inserted_mem_ops = out.inserted_mem_ops;
@@ -433,7 +464,7 @@ impl Pipeline {
                 Strategy::Combined(cfg) => GlobalStrategy::Pinter(*cfg),
                 Strategy::SpillEverything => GlobalStrategy::SpillAll,
             };
-            let out = allocate_global_limited(func, &self.machine, s, true, limits, telemetry)?;
+            let out = allocate_global(func, &self.machine, s, true, limits, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_webs;
             stats.inserted_mem_ops = out.inserted_mem_ops;
@@ -470,8 +501,20 @@ mod tests {
         let func = paper::example1();
         let machine = paper::machine(3);
         let p = Pipeline::new(machine);
-        let combined = p.compile(&func, &Strategy::combined()).unwrap();
-        let naive = p.compile(&func, &Strategy::AllocThenSched).unwrap();
+        let combined = p
+            .compile(
+                &func,
+                &Strategy::combined(),
+                &parsched_telemetry::NullTelemetry,
+            )
+            .unwrap();
+        let naive = p
+            .compile(
+                &func,
+                &Strategy::AllocThenSched,
+                &parsched_telemetry::NullTelemetry,
+            )
+            .unwrap();
         assert_eq!(combined.stats.introduced_false_deps, 0);
         assert!(combined.stats.cycles <= naive.stats.cycles);
         interp_equal(&func, &combined.function, &[1]);
@@ -488,7 +531,9 @@ mod tests {
             Strategy::SchedThenAlloc,
             Strategy::combined(),
         ] {
-            let r = p.compile(&func, &s).unwrap();
+            let r = p
+                .compile(&func, &s, &parsched_telemetry::NullTelemetry)
+                .unwrap();
             assert!(r.stats.registers_used <= 4, "{}", s.label());
             interp_equal(&func, &r.function, &[]);
         }
@@ -499,7 +544,13 @@ mod tests {
         let func = paper::example2();
         for regs in [4, 6, 8] {
             let p = Pipeline::new(paper::machine(regs));
-            let r = p.compile(&func, &Strategy::combined()).unwrap();
+            let r = p
+                .compile(
+                    &func,
+                    &Strategy::combined(),
+                    &parsched_telemetry::NullTelemetry,
+                )
+                .unwrap();
             assert!(r.stats.registers_used <= regs);
         }
     }
@@ -533,7 +584,9 @@ mod tests {
             Strategy::SchedThenAlloc,
             Strategy::combined(),
         ] {
-            let r = p.compile(&func, &s).unwrap();
+            let r = p
+                .compile(&func, &s, &parsched_telemetry::NullTelemetry)
+                .unwrap();
             assert_eq!(r.block_cycles.len(), 4);
             interp_equal(&func, &r.function, &[9]);
         }
@@ -559,8 +612,20 @@ mod tests {
         let machine = paper::machine(8);
         let plain = Pipeline::new(machine.clone());
         let opt = Pipeline::new(machine).with_optimizations(true);
-        let r_plain = plain.compile(&func, &Strategy::combined()).unwrap();
-        let r_opt = opt.compile(&func, &Strategy::combined()).unwrap();
+        let r_plain = plain
+            .compile(
+                &func,
+                &Strategy::combined(),
+                &parsched_telemetry::NullTelemetry,
+            )
+            .unwrap();
+        let r_opt = opt
+            .compile(
+                &func,
+                &Strategy::combined(),
+                &parsched_telemetry::NullTelemetry,
+            )
+            .unwrap();
         assert!(
             r_opt.stats.inst_count < r_plain.stats.inst_count,
             "{} < {}",
@@ -591,8 +656,20 @@ mod tests {
         let machine = paper::machine(8);
         let plain = Pipeline::new(machine.clone());
         let merged = Pipeline::new(machine).with_chain_merging(true);
-        let r_plain = plain.compile(&func, &Strategy::combined()).unwrap();
-        let r_merged = merged.compile(&func, &Strategy::combined()).unwrap();
+        let r_plain = plain
+            .compile(
+                &func,
+                &Strategy::combined(),
+                &parsched_telemetry::NullTelemetry,
+            )
+            .unwrap();
+        let r_merged = merged
+            .compile(
+                &func,
+                &Strategy::combined(),
+                &parsched_telemetry::NullTelemetry,
+            )
+            .unwrap();
         assert_eq!(r_merged.function.block_count(), 1);
         assert!(
             r_merged.stats.cycles <= r_plain.stats.cycles,

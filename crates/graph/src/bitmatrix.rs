@@ -53,6 +53,12 @@ impl BitMatrix {
         &self.rows[i]
     }
 
+    /// Mutably borrows row `i`, for whole-row writes (e.g. incremental
+    /// closure maintenance). Callers must keep the row's capacity at `n`.
+    pub fn row_mut(&mut self, i: usize) -> &mut BitSet {
+        &mut self.rows[i]
+    }
+
     /// Unions row `src` into row `dst`; returns `true` if `dst` changed.
     ///
     /// # Panics

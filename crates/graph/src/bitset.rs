@@ -64,6 +64,17 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Inserts every index in `0..capacity()`.
+    pub fn fill(&mut self) {
+        self.words.fill(!0);
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
     /// Number of elements present.
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -219,6 +230,16 @@ mod tests {
     fn contains_out_of_range_is_false() {
         let s = BitSet::new(10);
         assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn fill_sets_exactly_the_capacity() {
+        for n in [0, 1, 63, 64, 65, 130] {
+            let mut s = BitSet::new(n);
+            s.fill();
+            assert_eq!(s.count(), n, "fill() at capacity {n}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        }
     }
 
     #[test]

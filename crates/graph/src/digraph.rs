@@ -110,13 +110,13 @@ impl DiGraph {
         topological_sort(self)
     }
 
-    /// Computes the reachability (transitive-closure) relation as a new
-    /// directed graph: edge `u -> v` iff there is a non-empty directed path.
+    /// Computes the reachability relation as a bit matrix: entry `(u, v)` is
+    /// set iff there is a non-empty directed path from `u` to `v`.
     ///
     /// Runs in O(V·E/64) for DAGs by propagating successor bit-rows in
     /// reverse topological order; for cyclic graphs it iterates to a fixed
     /// point.
-    pub fn transitive_closure(&self) -> DiGraph {
+    pub fn reachability(&self) -> BitMatrix {
         let n = self.node_count();
         let mut reach = BitMatrix::new(n);
         for (u, v) in self.edges() {
@@ -150,6 +150,17 @@ impl DiGraph {
                 }
             }
         }
+        reach
+    }
+
+    /// Computes the reachability (transitive-closure) relation as a new
+    /// directed graph: edge `u -> v` iff there is a non-empty directed path.
+    ///
+    /// This materializes [`DiGraph::reachability`] into adjacency lists; use
+    /// the bit-matrix form directly when only row queries are needed.
+    pub fn transitive_closure(&self) -> DiGraph {
+        let n = self.node_count();
+        let reach = self.reachability();
         let mut g = DiGraph::new(n);
         for u in 0..n {
             for v in reach.row(u).iter() {

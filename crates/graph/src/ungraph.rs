@@ -82,6 +82,11 @@ impl UnGraph {
         self.neighbors[u].len()
     }
 
+    /// Borrows the adjacency row of `u` as a bit set (one bit per neighbor).
+    pub fn row(&self, u: NodeId) -> &BitSet {
+        self.adj.row(u)
+    }
+
     /// Iterates over edges as `(u, v)` pairs with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.neighbors

@@ -5,6 +5,7 @@ use crate::combined::PinterConfig;
 use crate::limits::{AllocLimits, BudgetExceeded};
 use crate::pig::Pig;
 use crate::problem::{BlockAllocProblem, ProblemError};
+use crate::session::AllocSession;
 use parsched_graph::CycleError;
 use parsched_ir::liveness::Liveness;
 use parsched_ir::{BlockId, Function, Reg};
@@ -133,13 +134,20 @@ impl From<CycleError> for AllocError {
 /// ```
 /// use parsched_ir::parse_function;
 /// use parsched_machine::presets;
-/// use parsched_regalloc::{allocate_single_block, BlockStrategy, PinterConfig};
+/// use parsched_regalloc::{allocate_single_block, AllocLimits, BlockStrategy, PinterConfig};
+/// use parsched_telemetry::NullTelemetry;
 ///
 /// let f = parse_function(
 ///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = mul s1, s1\n    ret s2\n}",
 /// )?;
 /// let machine = presets::paper_machine(4);
-/// let out = allocate_single_block(&f, &machine, BlockStrategy::Pinter(PinterConfig::default()))?;
+/// let out = allocate_single_block(
+///     &f,
+///     &machine,
+///     BlockStrategy::Pinter(PinterConfig::default()),
+///     &AllocLimits::default(),
+///     &NullTelemetry,
+/// )?;
 /// assert_eq!(out.spilled_values, 0);
 /// assert!(out.colors_used <= 4);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -150,47 +158,79 @@ impl From<CycleError> for AllocError {
 /// [`BlockStrategy::Pinter`] with `ep_prepass`, the block body is first
 /// reordered by refined EP numbers (the paper's Section 4 pre-pass).
 ///
-/// # Errors
-/// Returns [`AllocError`] if the function is not single-block, violates the
-/// symbolic single-definition discipline, or spilling fails to converge.
-pub fn allocate_single_block(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: BlockStrategy,
-) -> Result<BlockAllocation, AllocError> {
-    allocate_single_block_with(func, machine, strategy, &parsched_telemetry::NullTelemetry)
-}
-
-/// [`allocate_single_block`] reporting per-round progress to `telemetry`:
-/// an `alloc.round` span wraps each color/spill round (containing
-/// `alloc.liveness`, `pig.build`, the backend's coloring span, and
-/// `spill.rewrite`), and `alloc.rounds` / `alloc.spilled_values` /
-/// `alloc.removed_false_edges` / `alloc.inserted_mem_ops` counters
-/// accumulate the round outcomes.
-///
-/// # Errors
-/// Same contract as [`allocate_single_block`].
-pub fn allocate_single_block_with(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: BlockStrategy,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<BlockAllocation, AllocError> {
-    allocate_single_block_limited(func, machine, strategy, &AllocLimits::default(), telemetry)
-}
-
-/// [`allocate_single_block_with`] under an explicit resource budget.
-///
 /// `limits.max_block_insts` and `limits.max_pig_edges` gate only the
 /// quadratic [`BlockStrategy::Pinter`] path (transitive closure and PIG
 /// construction); the cheaper strategies always run, so a degradation
 /// ladder has rungs that still succeed under a tight budget. The deadline
 /// and round cap apply to every strategy.
 ///
+/// Per-round progress is reported to `telemetry`: an `alloc.round` span
+/// wraps each color/spill round (containing `alloc.liveness`, `pig.build`,
+/// the backend\'s coloring span, and `spill.rewrite`), and `alloc.rounds` /
+/// `alloc.spilled_values` / `alloc.removed_false_edges` /
+/// `alloc.inserted_mem_ops` counters accumulate the round outcomes.
+///
 /// # Errors
-/// As [`allocate_single_block`], plus [`AllocError::Budget`] when a limit
-/// trips and [`AllocError::Cycle`] on a malformed dependence graph.
+/// Returns [`AllocError`] if the function is not single-block, violates the
+/// symbolic single-definition discipline, or spilling fails to converge;
+/// [`AllocError::Budget`] when a limit trips; [`AllocError::Cycle`] on a
+/// malformed dependence graph.
+pub fn allocate_single_block(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: BlockStrategy,
+    limits: &AllocLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<BlockAllocation, AllocError> {
+    let mut session = AllocSession::new();
+    allocate_single_block_in(&mut session, func, machine, strategy, limits, telemetry)
+}
+
+/// Deprecated alias for [`allocate_single_block`] with default limits.
+///
+/// # Errors
+/// Same contract as [`allocate_single_block`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `allocate_single_block(func, machine, strategy, limits, telemetry)`"
+)]
+pub fn allocate_single_block_with(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: BlockStrategy,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<BlockAllocation, AllocError> {
+    allocate_single_block(func, machine, strategy, &AllocLimits::default(), telemetry)
+}
+
+/// Deprecated alias for [`allocate_single_block`].
+///
+/// # Errors
+/// Same contract as [`allocate_single_block`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `allocate_single_block(func, machine, strategy, limits, telemetry)`"
+)]
 pub fn allocate_single_block_limited(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: BlockStrategy,
+    limits: &AllocLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<BlockAllocation, AllocError> {
+    allocate_single_block(func, machine, strategy, limits, telemetry)
+}
+
+/// [`allocate_single_block`] running inside a caller-owned
+/// [`AllocSession`], so the dependence graph and transitive closure persist
+/// across spill rounds (updated incrementally, not rebuilt) and warm
+/// allocations persist across functions. The batch driver gives each
+/// worker one session and routes every function through it.
+///
+/// # Errors
+/// Same contract as [`allocate_single_block`].
+pub fn allocate_single_block_in(
+    session: &mut AllocSession,
     func: &Function,
     machine: &MachineDesc,
     strategy: BlockStrategy,
@@ -210,7 +250,7 @@ pub fn allocate_single_block_limited(
         limits.check_block_insts("alloc.ep_prepass", current.block(block_id).body().len())?;
         if cfg.ep_prepass {
             let _span = parsched_telemetry::span(telemetry, "alloc.ep_prepass");
-            let deps = DepGraph::build_with(current.block(block_id), telemetry);
+            let deps = DepGraph::build(current.block(block_id), telemetry);
             let reordered = ep_reorder(current.block(block_id), &deps, machine)?;
             *current.block_mut(block_id) = reordered;
         }
@@ -229,6 +269,9 @@ pub fn allocate_single_block_limited(
     // keeps its register name (def + store), so filtering on the id alone
     // would re-spill it every round.
     let mut spilled_once: std::collections::HashSet<Reg> = std::collections::HashSet::new();
+    // The remap produced by the previous round's spill rewrite, consumed by
+    // the session's incremental closure update at the top of the next round.
+    let mut pending_remap: Option<parsched_sched::BlockRemap> = None;
 
     let max_rounds = limits.rounds();
     for round in 1..=max_rounds {
@@ -249,16 +292,12 @@ pub fn allocate_single_block_limited(
 
         let (colors, spills, removed) = match &strategy {
             BlockStrategy::Chaitin => {
-                let out = crate::chaitin::chaitin_color_with(
-                    problem.interference(),
-                    k,
-                    &costs,
-                    telemetry,
-                );
+                let out =
+                    crate::chaitin::chaitin_color(problem.interference(), k, &costs, telemetry);
                 (out.colors, out.spilled, Vec::new())
             }
             BlockStrategy::LinearScan => {
-                let out = crate::linear::linear_scan_color_with(
+                let out = crate::linear::linear_scan_color(
                     &current, block_id, &problem, &liveness, k, telemetry,
                 );
                 // Linear scan has no cost model; protect reload temps by
@@ -269,16 +308,33 @@ pub fn allocate_single_block_limited(
             }
             BlockStrategy::Pinter(cfg) => {
                 limits.check_block_insts("pig.build", current.block(block_id).body().len())?;
-                let deps = DepGraph::build_with(current.block(block_id), telemetry);
-                let pig = Pig::build_with(&problem, &deps, machine, telemetry);
+                match pending_remap.take() {
+                    Some(remap) => {
+                        session.rebuild_after_spill(current.block(block_id), &remap, telemetry);
+                    }
+                    None => session.begin(current.block(block_id), telemetry),
+                }
+                let pig = match session.build_pig(&problem, machine, telemetry) {
+                    Some(pig) => pig,
+                    None => {
+                        // Unreachable after begin/rebuild, but fall back to
+                        // the from-scratch construction rather than panic.
+                        let deps = DepGraph::build(current.block(block_id), telemetry);
+                        Pig::build(&problem, &deps, machine, telemetry)
+                    }
+                };
                 limits.check_pig_edges("pig.edges", pig.graph().edge_count() as u64)?;
-                let heights = deps.heights(machine)?;
-                let priority: Vec<u32> = (0..problem.len())
-                    .map(|n| problem.def_site(n).map_or(0, |i| heights[i]))
-                    .collect();
-                let out = crate::combined::combined_color_with(
-                    &pig, k, &costs, &priority, cfg, telemetry,
-                );
+                let priority: Vec<u32> = match session.deps() {
+                    Some(deps) => {
+                        let heights = deps.heights(machine)?;
+                        (0..problem.len())
+                            .map(|n| problem.def_site(n).map_or(0, |i| heights[i]))
+                            .collect()
+                    }
+                    None => vec![0; problem.len()],
+                };
+                let out =
+                    crate::combined::combined_color(&pig, k, &costs, &priority, cfg, telemetry);
                 (out.colors, out.spilled, out.removed_false_edges)
             }
             BlockStrategy::SpillAll => {
@@ -294,12 +350,8 @@ pub fn allocate_single_block_limited(
                     })
                     .collect();
                 if all.is_empty() {
-                    let out = crate::chaitin::chaitin_color_with(
-                        problem.interference(),
-                        k,
-                        &costs,
-                        telemetry,
-                    );
+                    let out =
+                        crate::chaitin::chaitin_color(problem.interference(), k, &costs, telemetry);
                     (out.colors, out.spilled, Vec::new())
                 } else {
                     (Vec::new(), all, Vec::new())
@@ -336,7 +388,7 @@ pub fn allocate_single_block_limited(
         let spill_regs: Vec<Reg> = spills.iter().map(|&n| problem.nodes()[n]).collect();
         spilled_once.extend(spill_regs.iter().copied());
         spilled_values += spill_regs.len();
-        let (rewritten, inserted) = crate::spill::insert_spill_code_with(
+        let (rewritten, inserted, remap) = crate::spill::insert_spill_code(
             &current,
             block_id,
             &spill_regs,
@@ -344,6 +396,7 @@ pub fn allocate_single_block_limited(
             telemetry,
         );
         inserted_mem_ops += inserted;
+        pending_remap = Some(remap);
         current = rewritten;
     }
     Err(AllocError::TooManyRounds { limit: max_rounds })
@@ -355,6 +408,15 @@ mod tests {
     use parsched_ir::interp::{Interpreter, Memory};
     use parsched_ir::parse_function;
     use parsched_machine::presets;
+    use parsched_telemetry::NullTelemetry;
+
+    fn alloc(
+        f: &Function,
+        m: &MachineDesc,
+        strategy: BlockStrategy,
+    ) -> Result<BlockAllocation, AllocError> {
+        allocate_single_block(f, m, strategy, &AllocLimits::default(), &NullTelemetry)
+    }
 
     const EXAMPLE1: &str = r#"
         func @ex1(s9) {
@@ -384,7 +446,7 @@ mod tests {
     fn chaitin_allocates_example1() {
         let f = parse_function(EXAMPLE1).unwrap();
         let m = presets::paper_machine(3);
-        let out = allocate_single_block(&f, &m, BlockStrategy::Chaitin).unwrap();
+        let out = alloc(&f, &m, BlockStrategy::Chaitin).unwrap();
         assert_eq!(out.spilled_values, 0);
         assert!(out.colors_used <= 3);
         assert_eq!(out.function.num_sym_regs(), 0, "fully rewritten");
@@ -399,16 +461,16 @@ mod tests {
             ep_prepass: false,
             ..PinterConfig::default()
         };
-        let out = allocate_single_block(&f, &m, BlockStrategy::Pinter(cfg)).unwrap();
+        let out = alloc(&f, &m, BlockStrategy::Pinter(cfg)).unwrap();
         assert_eq!(out.spilled_values, 0, "paper: 3 registers suffice");
         assert_eq!(out.removed_false_edges, 0, "no parallelism given up");
         run_both(&f, &out.function, &[5]);
 
         // And the allocation introduces no false dependence.
         use parsched_sched::falsedep::{false_dependence_graph, introduced_false_deps};
-        let sym_deps = DepGraph::build(f.block(BlockId(0)));
-        let ef = false_dependence_graph(&sym_deps, &m);
-        let alloc_deps = DepGraph::build(out.function.block(BlockId(0)));
+        let sym_deps = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
+        let ef = false_dependence_graph(&sym_deps, &m, &NullTelemetry);
+        let alloc_deps = DepGraph::build(out.function.block(BlockId(0)), &NullTelemetry);
         assert!(introduced_false_deps(&ef, &alloc_deps).is_empty());
     }
 
@@ -437,7 +499,7 @@ mod tests {
             BlockStrategy::LinearScan,
             BlockStrategy::Pinter(PinterConfig::default()),
         ] {
-            let out = allocate_single_block(&f, &m, strat).unwrap();
+            let out = alloc(&f, &m, strat).unwrap();
             assert!(out.colors_used <= 2, "{strat:?}");
             assert!(out.spilled_values > 0, "{strat:?} must spill");
             run_both(&f, &out.function, &[100]);
@@ -461,7 +523,7 @@ mod tests {
         )
         .unwrap();
         let m = presets::paper_machine(4);
-        let err = allocate_single_block(&f, &m, BlockStrategy::Chaitin).unwrap_err();
+        let err = alloc(&f, &m, BlockStrategy::Chaitin).unwrap_err();
         assert_eq!(err, AllocError::NotSingleBlock { blocks: 3 });
     }
 
@@ -470,8 +532,7 @@ mod tests {
         // Just exercises the prepass path end to end.
         let f = parse_function(EXAMPLE1).unwrap();
         let m = presets::paper_machine(4);
-        let out =
-            allocate_single_block(&f, &m, BlockStrategy::Pinter(PinterConfig::default())).unwrap();
+        let out = alloc(&f, &m, BlockStrategy::Pinter(PinterConfig::default())).unwrap();
         assert_eq!(out.function.inst_count(), f.inst_count());
         // Interpreter equivalence holds despite reordering.
         run_both(&f, &out.function, &[5]);
@@ -482,7 +543,7 @@ mod tests {
         let f = parse_function(EXAMPLE1).unwrap();
         let cfg = BlockStrategy::Pinter(PinterConfig::default());
         let spill_at = |r: u32| {
-            allocate_single_block(&f, &presets::paper_machine(r), cfg)
+            alloc(&f, &presets::paper_machine(r), cfg)
                 .unwrap()
                 .spilled_values
         };

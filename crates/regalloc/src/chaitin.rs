@@ -34,49 +34,42 @@ impl ColorOutcome {
 /// metric when simplification blocks.
 ///
 /// `costs[n]` is the spill cost of node `n` (higher = keep in a register).
-///
-/// # Panics
-/// Panics if `costs.len() != g.node_count()`.
-pub fn chaitin_color(g: &UnGraph, k: u32, costs: &[f64]) -> ColorOutcome {
-    let h = |_g: &UnGraph, node: usize, degree: usize| costs[node] / degree.max(1) as f64;
-    color_with_spill_metric(g, k, costs, h)
-}
-
-/// [`chaitin_color`] reporting simplify/spill statistics to `telemetry`:
+/// Simplify/spill statistics are reported to `telemetry`:
 /// `chaitin.simplified` (nodes removed below degree `k`),
 /// `chaitin.spill_candidates` (optimistic candidates), `chaitin.spilled`
 /// (candidates that received no color).
-pub fn chaitin_color_with(
+///
+/// # Panics
+/// Panics if `costs.len() != g.node_count()`.
+pub fn chaitin_color(
     g: &UnGraph,
     k: u32,
     costs: &[f64],
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> ColorOutcome {
     let h = |_g: &UnGraph, node: usize, degree: usize| costs[node] / degree.max(1) as f64;
-    color_with_spill_metric_with(g, k, costs, h, telemetry)
+    color_with_spill_metric(g, k, costs, h, telemetry)
+}
+
+/// Deprecated alias for [`chaitin_color`].
+#[deprecated(since = "0.1.0", note = "use `chaitin_color(g, k, costs, telemetry)`")]
+pub fn chaitin_color_with(
+    g: &UnGraph,
+    k: u32,
+    costs: &[f64],
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> ColorOutcome {
+    chaitin_color(g, k, costs, telemetry)
 }
 
 /// Generalized Chaitin coloring with a custom spill metric: when no node is
 /// simplifiable, the node minimizing `metric(graph, node, current_degree)`
-/// is removed as a spill candidate.
+/// is removed as a spill candidate. Statistics go to `telemetry` (see
+/// [`chaitin_color`] for the counter names).
 ///
 /// # Panics
 /// Panics if `costs.len() != g.node_count()`.
 pub fn color_with_spill_metric(
-    g: &UnGraph,
-    k: u32,
-    costs: &[f64],
-    metric: impl Fn(&UnGraph, usize, usize) -> f64,
-) -> ColorOutcome {
-    color_with_spill_metric_with(g, k, costs, metric, &parsched_telemetry::NullTelemetry)
-}
-
-/// [`color_with_spill_metric`] reporting simplify/spill statistics to
-/// `telemetry` (see [`chaitin_color_with`] for the counter names).
-///
-/// # Panics
-/// Panics if `costs.len() != g.node_count()`.
-pub fn color_with_spill_metric_with(
     g: &UnGraph,
     k: u32,
     costs: &[f64],
@@ -146,6 +139,24 @@ pub fn color_with_spill_metric_with(
     ColorOutcome { colors, spilled }
 }
 
+/// Deprecated alias for [`color_with_spill_metric`].
+///
+/// # Panics
+/// Panics if `costs.len() != g.node_count()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `color_with_spill_metric(g, k, costs, metric, telemetry)`"
+)]
+pub fn color_with_spill_metric_with(
+    g: &UnGraph,
+    k: u32,
+    costs: &[f64],
+    metric: impl Fn(&UnGraph, usize, usize) -> f64,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> ColorOutcome {
+    color_with_spill_metric(g, k, costs, metric, telemetry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,7 +177,7 @@ mod tests {
         for i in 0..4 {
             g.add_edge(i, i + 1);
         }
-        let out = chaitin_color(&g, 2, &[1.0; 5]);
+        let out = chaitin_color(&g, 2, &[1.0; 5], &parsched_telemetry::NullTelemetry);
         assert!(out.spilled.is_empty());
         assert!(g.is_proper_coloring(&out.colors));
         assert_eq!(out.colors_used(), 2);
@@ -177,7 +188,7 @@ mod tests {
         // K4 with 3 colors: one node must spill; costs make node 2 cheapest.
         let g = complete(4);
         let costs = [10.0, 10.0, 1.0, 10.0];
-        let out = chaitin_color(&g, 3, &costs);
+        let out = chaitin_color(&g, 3, &costs, &parsched_telemetry::NullTelemetry);
         assert_eq!(out.spilled, vec![2]);
         // Remaining nodes properly colored.
         for (v, &c) in out.colors.iter().enumerate() {
@@ -196,7 +207,7 @@ mod tests {
         g.add_edge(1, 2);
         g.add_edge(2, 3);
         g.add_edge(3, 0);
-        let out = chaitin_color(&g, 2, &[1.0; 4]);
+        let out = chaitin_color(&g, 2, &[1.0; 4], &parsched_telemetry::NullTelemetry);
         assert!(out.spilled.is_empty(), "optimism should color C4");
         assert!(g.is_proper_coloring(&out.colors));
     }
@@ -205,21 +216,27 @@ mod tests {
     fn custom_metric_changes_victim() {
         let g = complete(4);
         // Spill the node with the *highest* id regardless of cost.
-        let out = color_with_spill_metric(&g, 3, &[1.0; 4], |_, v, _| -(v as f64));
+        let out = color_with_spill_metric(
+            &g,
+            3,
+            &[1.0; 4],
+            |_, v, _| -(v as f64),
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(out.spilled, vec![3]);
     }
 
     #[test]
     fn zero_k_spills_everything_connected() {
         let g = complete(3);
-        let out = chaitin_color(&g, 1, &[1.0; 3]);
+        let out = chaitin_color(&g, 1, &[1.0; 3], &parsched_telemetry::NullTelemetry);
         assert_eq!(out.spilled.len(), 2, "one node keeps the single color");
     }
 
     #[test]
     fn empty_graph() {
         let g = UnGraph::new(0);
-        let out = chaitin_color(&g, 4, &[]);
+        let out = chaitin_color(&g, 4, &[], &parsched_telemetry::NullTelemetry);
         assert!(out.spilled.is_empty());
         assert_eq!(out.colors_used(), 0);
     }

@@ -10,7 +10,7 @@
 //! weighted metric `h*(v) = cost(v) / Σ w({u,v})`.
 
 use crate::pig::Pig;
-use parsched_graph::UnGraph;
+use parsched_graph::BitSet;
 
 /// How the allocator picks which false-dependence edge to sacrifice when
 /// register pressure blocks simplification.
@@ -102,39 +102,24 @@ impl CombinedOutcome {
     }
 }
 
-/// Runs the paper's coloring procedure on `pig` with `k` registers.
+/// Runs the paper's coloring procedure on `pig` with `k` registers,
+/// reporting its decisions to `telemetry`: `combined.simplified` (nodes
+/// simplified), `combined.removed_false_edges` (parallelism given away),
+/// `combined.spilled` (spill-list length), and a `combined.spill` event per
+/// victim.
 ///
 /// `costs[n]` is the spill cost of node `n`; `priority[n]` is the
 /// scheduling priority of the node's defining instruction (critical-path
 /// height; 0 for live-in values).
 ///
-/// # Panics
-/// Panics if `costs` or `priority` lengths differ from the node count.
-pub fn combined_color(
-    pig: &Pig,
-    k: u32,
-    costs: &[f64],
-    priority: &[u32],
-    config: &PinterConfig,
-) -> CombinedOutcome {
-    combined_color_with(
-        pig,
-        k,
-        costs,
-        priority,
-        config,
-        &parsched_telemetry::NullTelemetry,
-    )
-}
-
-/// [`combined_color`] reporting the procedure's decisions to `telemetry`:
-/// `combined.simplified` (nodes simplified), `combined.removed_false_edges`
-/// (parallelism given away), `combined.spilled` (spill-list length), and a
-/// `combined.spill` event per victim.
+/// The procedure keeps per-node degree counters split into interference
+/// and removable-false-edge components, so every simplify/save/spill
+/// decision is O(n) per round rather than O(n·deg); decisions are
+/// tie-broken identically to the reference formulation.
 ///
 /// # Panics
 /// Panics if `costs` or `priority` lengths differ from the node count.
-pub fn combined_color_with(
+pub fn combined_color(
     pig: &Pig,
     k: u32,
     costs: &[f64],
@@ -147,10 +132,23 @@ pub fn combined_color_with(
     assert_eq!(costs.len(), n, "one cost per node");
     assert_eq!(priority.len(), n, "one priority per node");
 
-    // Working copies: the full graph and the still-removable false edges.
-    let mut work = pig.graph().clone();
-    let mut false_left = pig.false_only().clone();
-    let mut removed_node = vec![false; n];
+    // Working copies of the adjacency rows: the full graph and the
+    // still-removable false edges. Node removal only flips `alive` and
+    // adjusts neighbor counters; the rows themselves lose bits only on
+    // false-edge removal, so the select phase sees exactly the surviving
+    // edge set.
+    let mut work_rows: Vec<BitSet> = (0..n).map(|v| pig.graph().row(v).clone()).collect();
+    let mut false_rows: Vec<BitSet> = (0..n).map(|v| pig.false_only().row(v).clone()).collect();
+    let mut alive = BitSet::new(n);
+    alive.fill();
+    // inter_deg[v]: alive neighbors over non-removable (interference or
+    // shared) edges; falive_deg[v]: alive neighbors over removable false
+    // edges. Current degree is their sum.
+    let mut inter_deg: Vec<usize> = (0..n)
+        .map(|v| pig.graph().degree(v) - pig.false_only().degree(v))
+        .collect();
+    let mut falive_deg: Vec<usize> = (0..n).map(|v| pig.false_only().degree(v)).collect();
+
     let mut stack: Vec<usize> = Vec::with_capacity(n);
     let mut spilled: Vec<usize> = Vec::new();
     let mut removed_edges: Vec<(usize, usize)> = Vec::new();
@@ -158,94 +156,98 @@ pub fn combined_color_with(
         EdgeRemovalPolicy::Pseudorandom { seed } => seed | 1,
         _ => 1,
     };
-
-    let cur_degree = |work: &UnGraph, removed: &[bool], v: usize| {
-        work.neighbors(v).iter().filter(|&&u| !removed[u]).count()
-    };
+    let mut scratch = BitSet::new(n);
 
     let mut remaining = n;
     while remaining > 0 {
-        // Simplify: remove nodes of degree < k.
-        let pick = (0..n)
-            .filter(|&v| !removed_node[v] && cur_degree(&work, &removed_node, v) < k as usize)
-            .min_by_key(|&v| (cur_degree(&work, &removed_node, v), v));
+        // Simplify: remove nodes of degree < k (smallest degree first,
+        // ties by node id).
+        let pick = alive
+            .iter()
+            .filter(|&v| inter_deg[v] + falive_deg[v] < k as usize)
+            .min_by_key(|&v| (inter_deg[v] + falive_deg[v], v));
         if let Some(v) = pick {
-            removed_node[v] = true;
+            remove_node(
+                v,
+                &mut alive,
+                &work_rows,
+                &false_rows,
+                &mut inter_deg,
+                &mut falive_deg,
+                &mut scratch,
+            );
             stack.push(v);
             remaining -= 1;
             continue;
         }
 
-        // Blocked. Find nodes whose *interference* degree is below k — a
-        // false-edge removal can save them (the paper's second loop).
-        let savable: Vec<usize> = (0..n)
-            .filter(|&v| {
-                !removed_node[v] && {
-                    let intf = work
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| !removed_node[u] && !false_left.has_edge(v, u))
-                        .count();
-                    intf < k as usize && false_left.neighbors(v).iter().any(|&u| !removed_node[u])
-                }
-            })
-            .collect();
-
-        let eligible: Vec<(usize, usize)> = savable
-            .iter()
-            .flat_map(|&v| {
-                false_left
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&&u| !removed_node[u])
-                    .map(move |&u| if v < u { (v, u) } else { (u, v) })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-
-        if !eligible.is_empty() {
-            let chosen = match config.edge_policy {
-                EdgeRemovalPolicy::LeastBenefit => eligible
-                    .iter()
-                    .min_by_key(|&&(a, b)| (priority[a].saturating_add(priority[b]), a, b))
-                    .copied(),
-                EdgeRemovalPolicy::Pseudorandom { .. } => {
+        // Blocked. A node is *savable* when its interference degree alone
+        // is below k and at least one removable false edge touches it (the
+        // paper's second loop); removing such an edge can free it.
+        let mut chosen: Option<(usize, usize)> = None;
+        match config.edge_policy {
+            EdgeRemovalPolicy::LeastBenefit => {
+                let mut best: Option<(u32, usize, usize)> = None;
+                for_each_eligible(&alive, &false_rows, &inter_deg, &falive_deg, k, |a, b| {
+                    let key = (priority[a].saturating_add(priority[b]), a, b);
+                    if best.is_none_or(|cur| key < cur) {
+                        best = Some(key);
+                    }
+                });
+                chosen = best.map(|(_, a, b)| (a, b));
+            }
+            EdgeRemovalPolicy::Pseudorandom { .. } => {
+                let mut eligible: Vec<(usize, usize)> = Vec::new();
+                for_each_eligible(&alive, &false_rows, &inter_deg, &falive_deg, k, |a, b| {
+                    eligible.push((a, b));
+                });
+                if !eligible.is_empty() {
                     // xorshift64*
                     rng_state ^= rng_state << 13;
                     rng_state ^= rng_state >> 7;
                     rng_state ^= rng_state << 17;
-                    Some(eligible[(rng_state as usize) % eligible.len()])
+                    chosen = Some(eligible[(rng_state as usize) % eligible.len()]);
                 }
-                EdgeRemovalPolicy::DegreeRelief => eligible
-                    .iter()
-                    .min_by_key(|&&(a, b)| {
-                        let da = cur_degree(&work, &removed_node, a);
-                        let db = cur_degree(&work, &removed_node, b);
-                        (da.min(db), a, b)
-                    })
-                    .copied(),
-            };
-            // `eligible` is nonempty, so every policy yields an edge.
-            if let Some((a, b)) = chosen {
-                work.remove_edge(a, b);
-                false_left.remove_edge(a, b);
-                removed_edges.push((a, b));
-                continue;
+            }
+            EdgeRemovalPolicy::DegreeRelief => {
+                let mut best: Option<(usize, usize, usize)> = None;
+                for_each_eligible(&alive, &false_rows, &inter_deg, &falive_deg, k, |a, b| {
+                    let da = inter_deg[a] + falive_deg[a];
+                    let db = inter_deg[b] + falive_deg[b];
+                    let key = (da.min(db), a, b);
+                    if best.is_none_or(|cur| key < cur) {
+                        best = Some(key);
+                    }
+                });
+                chosen = best.map(|(_, a, b)| (a, b));
             }
         }
+        if let Some((a, b)) = chosen {
+            work_rows[a].remove(b);
+            work_rows[b].remove(a);
+            false_rows[a].remove(b);
+            false_rows[b].remove(a);
+            falive_deg[a] -= 1;
+            falive_deg[b] -= 1;
+            removed_edges.push((a, b));
+            continue;
+        }
 
-        // No savable node: spill by the configured metric.
-        let weight_sum = |v: usize| -> f64 {
-            work.neighbors(v)
-                .iter()
-                .filter(|&&u| !removed_node[u])
-                .map(|&u| match config.spill_metric {
-                    SpillMetric::CostOverDegree => 1.0,
-                    SpillMetric::HStar {
-                        interference_weight,
-                        shared_weight,
-                        parallel_weight,
-                    } => {
+        // No savable node: spill by the configured metric. Edge classes are
+        // read from the *original* PIG (a removed false edge is gone from
+        // the working rows, so it no longer contributes weight).
+        let weight_sum = |v: usize, scratch: &mut BitSet| -> f64 {
+            scratch.clone_from(&work_rows[v]);
+            scratch.intersect_with(&alive);
+            match config.spill_metric {
+                SpillMetric::CostOverDegree => scratch.count() as f64,
+                SpillMetric::HStar {
+                    interference_weight,
+                    shared_weight,
+                    parallel_weight,
+                } => scratch
+                    .iter()
+                    .map(|u| {
                         if pig.shared().has_edge(v, u) {
                             shared_weight
                         } else if pig.false_only().has_edge(v, u) {
@@ -253,21 +255,36 @@ pub fn combined_color_with(
                         } else {
                             interference_weight
                         }
-                    }
-                })
-                .sum()
+                    })
+                    .sum(),
+            }
         };
         // `remaining > 0` guarantees an unremoved node; `else break` states
         // that invariant without a panic path, and `total_cmp` orders NaN
         // metrics deterministically.
-        let Some(victim) = (0..n).filter(|&v| !removed_node[v]).min_by(|&a, &b| {
-            let ha = costs[a] / weight_sum(a).max(f64::MIN_POSITIVE);
-            let hb = costs[b] / weight_sum(b).max(f64::MIN_POSITIVE);
-            ha.total_cmp(&hb).then(a.cmp(&b))
-        }) else {
+        let mut victim: Option<(usize, f64)> = None;
+        for v in alive.iter() {
+            let h = costs[v] / weight_sum(v, &mut scratch).max(f64::MIN_POSITIVE);
+            let better = match victim {
+                None => true,
+                Some((_, hb)) => h.total_cmp(&hb).is_lt(),
+            };
+            if better {
+                victim = Some((v, h));
+            }
+        }
+        let Some((victim, _)) = victim else {
             break;
         };
-        removed_node[victim] = true;
+        remove_node(
+            victim,
+            &mut alive,
+            &work_rows,
+            &false_rows,
+            &mut inter_deg,
+            &mut falive_deg,
+            &mut scratch,
+        );
         if telemetry.enabled() {
             telemetry.event("combined.spill", &format!("node {victim}"));
         }
@@ -283,7 +300,7 @@ pub fn combined_color_with(
     let mut colors = vec![u32::MAX; n];
     for &v in stack.iter().rev() {
         let mut used = vec![false; k as usize];
-        for &u in work.neighbors(v) {
+        for u in work_rows[v].iter() {
             if colors[u] != u32::MAX {
                 used[colors[u] as usize] = true;
             }
@@ -309,6 +326,77 @@ pub fn combined_color_with(
     }
 }
 
+/// Deprecated alias for [`combined_color`].
+///
+/// # Panics
+/// Panics if `costs` or `priority` lengths differ from the node count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `combined_color(pig, k, costs, priority, config, telemetry)`"
+)]
+pub fn combined_color_with(
+    pig: &Pig,
+    k: u32,
+    costs: &[f64],
+    priority: &[u32],
+    config: &PinterConfig,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> CombinedOutcome {
+    combined_color(pig, k, costs, priority, config, telemetry)
+}
+
+/// Marks `v` dead and repairs its alive neighbors' split degree counters.
+/// Adjacency rows are left intact: the select phase needs the surviving
+/// edge set over *all* nodes.
+fn remove_node(
+    v: usize,
+    alive: &mut BitSet,
+    work_rows: &[BitSet],
+    false_rows: &[BitSet],
+    inter_deg: &mut [usize],
+    falive_deg: &mut [usize],
+    scratch: &mut BitSet,
+) {
+    alive.remove(v);
+    scratch.clone_from(&work_rows[v]);
+    scratch.intersect_with(alive);
+    for u in scratch.iter() {
+        if false_rows[v].contains(u) {
+            falive_deg[u] -= 1;
+        } else {
+            inter_deg[u] -= 1;
+        }
+    }
+}
+
+/// Calls `f(a, b)` (canonical `a < b`) for every removable false edge whose
+/// savable endpoint makes it eligible, in ascending savable-node order —
+/// the same enumeration order as the reference formulation (an edge with
+/// two savable endpoints is visited twice, as before).
+fn for_each_eligible(
+    alive: &BitSet,
+    false_rows: &[BitSet],
+    inter_deg: &[usize],
+    falive_deg: &[usize],
+    k: u32,
+    mut f: impl FnMut(usize, usize),
+) {
+    for v in alive.iter() {
+        if inter_deg[v] >= k as usize || falive_deg[v] == 0 {
+            continue;
+        }
+        for u in false_rows[v].iter() {
+            if alive.contains(u) {
+                if v < u {
+                    f(v, u);
+                } else {
+                    f(u, v);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,8 +413,8 @@ mod tests {
         let f = parse_function(src).unwrap();
         let lv = Liveness::compute(&f, &[]);
         let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-        let d = DepGraph::build(&f.blocks()[0]);
-        let pig = Pig::build(&p, &d, machine);
+        let d = DepGraph::build(&f.blocks()[0], &parsched_telemetry::NullTelemetry);
+        let pig = Pig::build(&p, &d, machine, &parsched_telemetry::NullTelemetry);
         let costs: Vec<f64> = (0..p.len()).map(|n| p.spill_cost(n)).collect();
         let heights = d.heights(machine).unwrap();
         let priority: Vec<u32> = (0..p.len())
@@ -351,7 +439,14 @@ mod tests {
     fn enough_registers_no_spill_no_removal() {
         let m = presets::paper_machine(8);
         let (_p, pig, costs, prio) = pig_of(EXAMPLE1, &m);
-        let out = combined_color(&pig, 8, &costs, &prio, &PinterConfig::default());
+        let out = combined_color(
+            &pig,
+            8,
+            &costs,
+            &prio,
+            &PinterConfig::default(),
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(out.spilled.is_empty());
         assert!(out.removed_false_edges.is_empty());
         assert!(pig.graph().is_proper_coloring(&out.colors));
@@ -362,7 +457,14 @@ mod tests {
     fn example1_three_registers_suffice() {
         let m = presets::paper_machine(3);
         let (_p, pig, costs, prio) = pig_of(EXAMPLE1, &m);
-        let out = combined_color(&pig, 3, &costs, &prio, &PinterConfig::default());
+        let out = combined_color(
+            &pig,
+            3,
+            &costs,
+            &prio,
+            &PinterConfig::default(),
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(out.spilled.is_empty(), "paper: 3 registers, no spill");
         assert!(pig.graph().is_proper_coloring(&out.colors));
     }
@@ -388,7 +490,14 @@ mod tests {
             }
         "#;
         let (_p, pig, costs, prio) = pig_of(src, &m);
-        let out = combined_color(&pig, 2, &costs, &prio, &PinterConfig::default());
+        let out = combined_color(
+            &pig,
+            2,
+            &costs,
+            &prio,
+            &PinterConfig::default(),
+            &parsched_telemetry::NullTelemetry,
+        );
         // Int and float chains interleave: Gr is small, false edges connect
         // the chains. Two registers must cost parallelism, not spills.
         assert!(
@@ -411,7 +520,14 @@ mod tests {
             }
         "#;
         let (_p, pig, costs, prio) = pig_of(src, &m);
-        let out = combined_color(&pig, 1, &costs, &prio, &PinterConfig::default());
+        let out = combined_color(
+            &pig,
+            1,
+            &costs,
+            &prio,
+            &PinterConfig::default(),
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(!out.spilled.is_empty());
     }
 
@@ -428,8 +544,22 @@ mod tests {
                 edge_policy: policy,
                 ..PinterConfig::default()
             };
-            let a = combined_color(&pig, 2, &costs, &prio, &cfg);
-            let b = combined_color(&pig, 2, &costs, &prio, &cfg);
+            let a = combined_color(
+                &pig,
+                2,
+                &costs,
+                &prio,
+                &cfg,
+                &parsched_telemetry::NullTelemetry,
+            );
+            let b = combined_color(
+                &pig,
+                2,
+                &costs,
+                &prio,
+                &cfg,
+                &parsched_telemetry::NullTelemetry,
+            );
             assert_eq!(a, b, "{policy:?} must be deterministic");
         }
     }
@@ -456,7 +586,14 @@ mod tests {
             },
             ..PinterConfig::default()
         };
-        let out = combined_color(&pig, 1, &costs, &prio, &cfg);
+        let out = combined_color(
+            &pig,
+            1,
+            &costs,
+            &prio,
+            &cfg,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(!out.spilled.is_empty());
     }
 }

@@ -150,13 +150,17 @@ impl GlobalAllocProblem {
             if origin.is_empty() || origin.len() > region_cap {
                 continue;
             }
-            let deps = DepGraph::build(&concat);
+            let deps = DepGraph::build(&concat, &parsched_telemetry::NullTelemetry);
             // Built dependence graphs are DAGs by construction; if that ever
             // failed, skipping the region only forfeits parallelism info.
             let Ok(heights) = deps.heights(machine) else {
                 continue;
             };
-            let ef = falsedep::false_dependence_graph(&deps, machine);
+            let ef = falsedep::false_dependence_graph(
+                &deps,
+                machine,
+                &parsched_telemetry::NullTelemetry,
+            );
             // Web of the (first) def of a concatenated position, if any.
             let web_at = |pos: usize| -> Option<WebId> {
                 let id = origin[pos];
@@ -529,64 +533,35 @@ pub enum GlobalStrategy {
 /// let f = parse_function(
 ///     "func @abs(s0) {\nentry:\n    blt s0, 0, neg\npos:\n    ret s0\nneg:\n    s1 = neg s0\n    ret s1\n}",
 /// )?;
-/// let out = allocate_global(&f, &presets::paper_machine(4), GlobalStrategy::Chaitin, true)?;
+/// use parsched_regalloc::AllocLimits;
+/// use parsched_telemetry::NullTelemetry;
+/// let out = allocate_global(
+///     &f,
+///     &presets::paper_machine(4),
+///     GlobalStrategy::Chaitin,
+///     true,
+///     &AllocLimits::default(),
+///     &NullTelemetry,
+/// )?;
 /// assert_eq!(out.function.num_sym_regs(), 0, "fully physical");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 ///
+/// Per-round progress is reported to `telemetry`: a `global.round` span
+/// wraps each round (containing `global.problem`, `global.coalesce`, the
+/// backend's coloring span, and `global.spill_rewrite`), with
+/// `global.webs` / `global.interference_edges` / `global.false_edges` /
+/// `global.merged_moves` counters per round and `global.rounds` /
+/// `global.spilled_webs` / `global.inserted_mem_ops` totals on success.
+/// The round count is capped by `limits.max_rounds`, the deadline is
+/// checked at round boundaries, and region-restricted false-edge
+/// construction honors `limits.max_block_insts` (see
+/// [`GlobalAllocProblem::build_limited`]).
+///
 /// # Errors
-/// Returns [`GlobalAllocError`] if spilling fails to converge.
+/// Returns [`GlobalAllocError`] if spilling fails to converge, or
+/// [`GlobalAllocError::Budget`] when a limit trips.
 pub fn allocate_global(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: GlobalStrategy,
-    coalesce: bool,
-) -> Result<GlobalAllocation, GlobalAllocError> {
-    allocate_global_with(
-        func,
-        machine,
-        strategy,
-        coalesce,
-        &parsched_telemetry::NullTelemetry,
-    )
-}
-
-/// [`allocate_global`] reporting per-round progress to `telemetry`: a
-/// `global.round` span wraps each round (containing `global.problem`,
-/// `global.coalesce`, the backend's coloring span, and
-/// `global.spill_rewrite`), with `global.webs` / `global.interference_edges`
-/// / `global.false_edges` / `global.merged_moves` counters per round and
-/// `global.rounds` / `global.spilled_webs` / `global.inserted_mem_ops`
-/// totals on success.
-///
-/// # Errors
-/// Same contract as [`allocate_global`].
-pub fn allocate_global_with(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: GlobalStrategy,
-    coalesce: bool,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<GlobalAllocation, GlobalAllocError> {
-    allocate_global_limited(
-        func,
-        machine,
-        strategy,
-        coalesce,
-        &crate::limits::AllocLimits::default(),
-        telemetry,
-    )
-}
-
-/// [`allocate_global_with`] under an explicit resource budget: the round
-/// count is capped by `limits.max_rounds`, the deadline is checked at round
-/// boundaries, and region-restricted false-edge construction honors
-/// `limits.max_block_insts` (see [`GlobalAllocProblem::build_limited`]).
-///
-/// # Errors
-/// As [`allocate_global`], plus [`GlobalAllocError::Budget`] when a limit
-/// trips.
-pub fn allocate_global_limited(
     func: &Function,
     machine: &MachineDesc,
     strategy: GlobalStrategy,
@@ -651,12 +626,12 @@ pub fn allocate_global_limited(
             .collect();
         let (class_colors, class_spills, removed) = match &strategy {
             GlobalStrategy::Chaitin => {
-                let out = crate::chaitin::chaitin_color_with(&quotient.er, k, &costs, telemetry);
+                let out = crate::chaitin::chaitin_color(&quotient.er, k, &costs, telemetry);
                 (out.colors, out.spilled, 0)
             }
             GlobalStrategy::Pinter(cfg) => {
                 let pig = quotient.pig();
-                let out = crate::combined::combined_color_with(
+                let out = crate::combined::combined_color(
                     &pig,
                     k,
                     &costs,
@@ -680,8 +655,7 @@ pub fn allocate_global_limited(
                     })
                     .collect();
                 if all.is_empty() {
-                    let out =
-                        crate::chaitin::chaitin_color_with(&quotient.er, k, &costs, telemetry);
+                    let out = crate::chaitin::chaitin_color(&quotient.er, k, &costs, telemetry);
                     (out.colors, out.spilled, 0)
                 } else {
                     (Vec::new(), all, 0)
@@ -732,6 +706,50 @@ pub fn allocate_global_limited(
         current = rewritten;
     }
     Err(GlobalAllocError::TooManyRounds { limit: max_rounds })
+}
+
+/// Deprecated alias for [`allocate_global`] with default limits.
+///
+/// # Errors
+/// Same contract as [`allocate_global`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `allocate_global(func, machine, strategy, coalesce, limits, telemetry)`"
+)]
+pub fn allocate_global_with(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: GlobalStrategy,
+    coalesce: bool,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<GlobalAllocation, GlobalAllocError> {
+    allocate_global(
+        func,
+        machine,
+        strategy,
+        coalesce,
+        &crate::limits::AllocLimits::default(),
+        telemetry,
+    )
+}
+
+/// Deprecated alias for [`allocate_global`].
+///
+/// # Errors
+/// Same contract as [`allocate_global`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `allocate_global(func, machine, strategy, coalesce, limits, telemetry)`"
+)]
+pub fn allocate_global_limited(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: GlobalStrategy,
+    coalesce: bool,
+    limits: &crate::limits::AllocLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<GlobalAllocation, GlobalAllocError> {
+    allocate_global(func, machine, strategy, coalesce, limits, telemetry)
 }
 
 /// Rewrites every register reference through its web's color: definitions
@@ -937,6 +955,22 @@ fn param_web(du: &DefUse, webs: &Webs, param_index: usize) -> WebId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn galloc(
+        f: &Function,
+        m: &MachineDesc,
+        strategy: GlobalStrategy,
+        coalesce: bool,
+    ) -> Result<GlobalAllocation, GlobalAllocError> {
+        allocate_global(
+            f,
+            m,
+            strategy,
+            coalesce,
+            &crate::limits::AllocLimits::default(),
+            &parsched_telemetry::NullTelemetry,
+        )
+    }
     use parsched_ir::interp::{Interpreter, Memory};
     use parsched_ir::parse_function;
     use parsched_machine::presets;
@@ -991,7 +1025,7 @@ mod tests {
     fn global_chaitin_allocates_loop() {
         let f = parse_function(LOOP).unwrap();
         let m = presets::paper_machine(8);
-        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
+        let out = galloc(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
         assert_eq!(out.spilled_webs, 0);
         assert!(out.colors_used <= 8);
         assert_eq!(out.function.num_sym_regs(), 0, "fully physical");
@@ -1002,7 +1036,7 @@ mod tests {
     fn global_pinter_allocates_loop() {
         let f = parse_function(LOOP).unwrap();
         let m = presets::paper_machine(8);
-        let out = allocate_global(
+        let out = galloc(
             &f,
             &m,
             GlobalStrategy::Pinter(PinterConfig::default()),
@@ -1041,7 +1075,7 @@ mod tests {
             problem.webs.web_of(s1_defs[0]),
             problem.webs.web_of(s1_defs[1])
         );
-        let out = allocate_global(
+        let out = galloc(
             &f,
             &m,
             GlobalStrategy::Pinter(PinterConfig::default()),
@@ -1056,7 +1090,7 @@ mod tests {
     fn global_spilling_converges() {
         let f = parse_function(LOOP).unwrap();
         let m = presets::paper_machine(2);
-        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
+        let out = galloc(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
         assert!(out.colors_used <= 2);
         check_semantics(&f, &out.function, &[7]);
         if out.spilled_webs > 0 {
@@ -1092,7 +1126,7 @@ mod tests {
             problem.false_edges().edge_count() > 0,
             "cross-unit defs across control-equivalent blocks are parallelizable"
         );
-        let out = allocate_global(
+        let out = galloc(
             &f,
             &m,
             GlobalStrategy::Pinter(PinterConfig::default()),
@@ -1119,7 +1153,7 @@ mod tests {
         )
         .unwrap();
         let m = presets::paper_machine(8);
-        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
+        let out = galloc(&f, &m, GlobalStrategy::Chaitin, false).unwrap();
         check_semantics(&f, &out.function, &[0]);
     }
 
@@ -1133,7 +1167,7 @@ mod tests {
         assert!(q.len() < problem.webs().len());
         // Quotient interference stays loop-free of self-edges by
         // construction (debug_assert) and properly colorable:
-        let out = allocate_global(&f, &m, GlobalStrategy::Chaitin, true).unwrap();
+        let out = galloc(&f, &m, GlobalStrategy::Chaitin, true).unwrap();
         check_semantics(&f, &out.function, &[10]);
     }
 
@@ -1146,7 +1180,7 @@ mod tests {
                 GlobalStrategy::Pinter(PinterConfig::default()),
             ] {
                 let m = presets::paper_machine(6);
-                let out = allocate_global(&f, &m, strategy, true).unwrap();
+                let out = galloc(&f, &m, strategy, true).unwrap();
                 check_semantics(&f, &out.function, &[9]);
                 assert!(out.colors_used <= 6);
             }

@@ -17,7 +17,10 @@
 //! * [`assignment`] — symbolic→physical rewriting plus an independent
 //!   validity checker;
 //! * [`global`] — the inter-block extension: webs as vertices, region-wide
-//!   false-dependence edges.
+//!   false-dependence edges;
+//! * [`AllocSession`] — a reusable session holding the dependence graph and
+//!   incrementally-maintained closure across spill rounds and functions,
+//!   deriving the PIG from closure rows instead of rebuilding it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,13 +34,16 @@ pub mod limits;
 pub mod linear;
 pub mod pig;
 mod problem;
+mod session;
 pub mod spill;
 
 pub use allocator::{
-    allocate_single_block, allocate_single_block_limited, allocate_single_block_with, AllocError,
-    BlockAllocation, BlockStrategy,
+    allocate_single_block, allocate_single_block_in, AllocError, BlockAllocation, BlockStrategy,
 };
+#[allow(deprecated)]
+pub use allocator::{allocate_single_block_limited, allocate_single_block_with};
 pub use combined::{EdgeRemovalPolicy, PinterConfig, SpillMetric};
 pub use limits::{AllocLimits, BudgetExceeded, DEFAULT_MAX_ROUNDS};
 pub use pig::{AugmentedPig, Pig};
 pub use problem::{BlockAllocProblem, ProblemError};
+pub use session::AllocSession;

@@ -65,20 +65,9 @@ pub fn intervals(
 ///
 /// The paper's last-use refinement applies: an interval ending exactly
 /// where another starts does not conflict, so expiry happens before
-/// assignment at equal positions.
+/// assignment at equal positions. Interval/spill counts are reported to
+/// `telemetry` (`linear.intervals`, `linear.spilled`).
 pub fn linear_scan_color(
-    func: &Function,
-    block_id: BlockId,
-    problem: &BlockAllocProblem,
-    liveness: &Liveness,
-    k: u32,
-) -> ColorOutcome {
-    linear_scan_color_impl(func, block_id, problem, liveness, k)
-}
-
-/// [`linear_scan_color`] reporting interval/spill counts to `telemetry`
-/// (`linear.intervals`, `linear.spilled`).
-pub fn linear_scan_color_with(
     func: &Function,
     block_id: BlockId,
     problem: &BlockAllocProblem,
@@ -93,6 +82,22 @@ pub fn linear_scan_color_with(
         telemetry.counter("linear.spilled", out.spilled.len() as u64);
     }
     out
+}
+
+/// Deprecated alias for [`linear_scan_color`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `linear_scan_color(func, block_id, problem, liveness, k, telemetry)`"
+)]
+pub fn linear_scan_color_with(
+    func: &Function,
+    block_id: BlockId,
+    problem: &BlockAllocProblem,
+    liveness: &Liveness,
+    k: u32,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> ColorOutcome {
+    linear_scan_color(func, block_id, problem, liveness, k, telemetry)
 }
 
 fn linear_scan_color_impl(
@@ -183,7 +188,14 @@ mod tests {
     #[test]
     fn chain_reuses_one_register_pair() {
         let (f, p, lv) = setup(CHAIN);
-        let out = linear_scan_color(&f, BlockId(0), &p, &lv, 2);
+        let out = linear_scan_color(
+            &f,
+            BlockId(0),
+            &p,
+            &lv,
+            2,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(out.spilled.is_empty());
         assert!(out.colors_used() <= 2);
         assert!(p.interference().is_proper_coloring(&out.colors));
@@ -221,7 +233,14 @@ mod tests {
             }
             "#,
         );
-        let out = linear_scan_color(&f, BlockId(0), &p, &lv, 2);
+        let out = linear_scan_color(
+            &f,
+            BlockId(0),
+            &p,
+            &lv,
+            2,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(!out.spilled.is_empty(), "2 regs force spilling");
         // Non-spilled nodes are properly colored w.r.t. interference among
         // themselves.
@@ -235,7 +254,14 @@ mod tests {
     #[test]
     fn never_worse_than_node_count() {
         let (f, p, lv) = setup(CHAIN);
-        let out = linear_scan_color(&f, BlockId(0), &p, &lv, 32);
+        let out = linear_scan_color(
+            &f,
+            BlockId(0),
+            &p,
+            &lv,
+            32,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert!(out.spilled.is_empty());
         assert!(out.colors_used() as usize <= p.len());
     }

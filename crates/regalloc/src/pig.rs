@@ -34,14 +34,15 @@ impl Pig {
     /// use parsched_machine::presets;
     /// use parsched_regalloc::{BlockAllocProblem, Pig};
     /// use parsched_sched::DepGraph;
+    /// use parsched_telemetry::NullTelemetry;
     ///
     /// let f = parse_function(
     ///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = fadd s0, 2\n    s3 = add s1, s2\n    ret s3\n}",
     /// )?;
     /// let lv = Liveness::compute(&f, &[]);
     /// let problem = BlockAllocProblem::build(&f, BlockId(0), &lv)?;
-    /// let deps = DepGraph::build(f.block(BlockId(0)));
-    /// let pig = Pig::build(&problem, &deps, &presets::paper_machine(8));
+    /// let deps = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
+    /// let pig = Pig::build(&problem, &deps, &presets::paper_machine(8), &NullTelemetry);
     /// // The PIG contains at least the interference edges.
     /// assert!(pig.graph().edge_count() >= problem.interference().edge_count());
     /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -53,20 +54,17 @@ impl Pig {
     /// touching non-defining instructions (stores, branch inputs) have no
     /// allocation counterpart and are dropped, per the paper's `u, v ∈ V`
     /// restriction.
-    pub fn build(problem: &BlockAllocProblem, deps: &DepGraph, machine: &MachineDesc) -> Pig {
-        Self::build_with(problem, deps, machine, &parsched_telemetry::NullTelemetry)
-    }
-
-    /// [`Pig::build`] reporting construction statistics to `telemetry`:
-    /// node/edge counts per class (`pig.*`) and the maximum PIG degree.
-    pub fn build_with(
+    ///
+    /// Construction statistics are reported to `telemetry`: node/edge
+    /// counts per class (`pig.*`) and the maximum PIG degree.
+    pub fn build(
         problem: &BlockAllocProblem,
         deps: &DepGraph,
         machine: &MachineDesc,
         telemetry: &dyn parsched_telemetry::Telemetry,
     ) -> Pig {
         let _span = parsched_telemetry::span(telemetry, "pig.build");
-        let ef = false_dependence_graph(deps, machine);
+        let ef = false_dependence_graph(deps, machine, &parsched_telemetry::NullTelemetry);
         let n = problem.len();
         let er = problem.interference();
 
@@ -77,19 +75,37 @@ impl Pig {
             }
         }
         let pig = Pig::from_parts(er.clone(), false_edges);
+        pig.report(n, telemetry);
+        pig
+    }
+
+    /// Deprecated alias for [`Pig::build`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Pig::build(problem, deps, machine, telemetry)`"
+    )]
+    pub fn build_with(
+        problem: &BlockAllocProblem,
+        deps: &DepGraph,
+        machine: &MachineDesc,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) -> Pig {
+        Self::build(problem, deps, machine, telemetry)
+    }
+
+    pub(crate) fn report(&self, n: usize, telemetry: &dyn parsched_telemetry::Telemetry) {
         if telemetry.enabled() {
             telemetry.counter("pig.nodes", n as u64);
-            telemetry.counter("pig.edges", pig.graph.edge_count() as u64);
+            telemetry.counter("pig.edges", self.graph.edge_count() as u64);
             telemetry.counter(
                 "pig.interference_only_edges",
-                pig.interference_only.edge_count() as u64,
+                self.interference_only.edge_count() as u64,
             );
-            telemetry.counter("pig.false_only_edges", pig.false_only.edge_count() as u64);
-            telemetry.counter("pig.shared_edges", pig.shared.edge_count() as u64);
-            let max_degree = (0..n).map(|v| pig.graph.degree(v)).max().unwrap_or(0);
+            telemetry.counter("pig.false_only_edges", self.false_only.edge_count() as u64);
+            telemetry.counter("pig.shared_edges", self.shared.edge_count() as u64);
+            let max_degree = (0..n).map(|v| self.graph.degree(v)).max().unwrap_or(0);
             telemetry.gauge("pig.max_degree", max_degree as u64);
         }
-        pig
     }
 
     /// Assembles a PIG from an interference graph `Er` and a
@@ -180,14 +196,16 @@ pub struct AugmentedPig {
 }
 
 impl AugmentedPig {
-    /// Builds the augmented graph for a block.
+    /// Builds the augmented graph for a block, reporting `Ef` construction
+    /// statistics to `telemetry`.
     pub fn build(
         problem: &BlockAllocProblem,
         deps: &DepGraph,
         machine: &MachineDesc,
+        telemetry: &dyn parsched_telemetry::Telemetry,
     ) -> AugmentedPig {
         let n = deps.len();
-        let ef = false_dependence_graph(deps, machine);
+        let ef = false_dependence_graph(deps, machine, telemetry);
         // Lift Er onto instructions: an interference edge between two
         // in-block definitions becomes an edge between their instructions.
         let mut interference_insts = UnGraph::new(n);
@@ -241,7 +259,7 @@ mod tests {
         let f = parse_function(src).unwrap();
         let lv = Liveness::compute(&f, &[]);
         let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-        let d = DepGraph::build(&f.blocks()[0]);
+        let d = DepGraph::build(&f.blocks()[0], &parsched_telemetry::NullTelemetry);
         (f, p, d)
     }
 
@@ -263,7 +281,7 @@ mod tests {
         // admits a 3-register allocation.
         let (_f, p, d) = setup(EXAMPLE1);
         let m = presets::paper_machine(8);
-        let pig = Pig::build(&p, &d, &m);
+        let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         let chrom = exact_chromatic_number(pig.graph(), &ExactLimits::default()).unwrap();
         assert_eq!(chrom, 3);
     }
@@ -272,7 +290,7 @@ mod tests {
     fn example1_pig_adds_false_edges() {
         let (_f, p, d) = setup(EXAMPLE1);
         let m = presets::paper_machine(8);
-        let pig = Pig::build(&p, &d, &m);
+        let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         let n = |r: u32| p.node_of(Reg::sym(r)).unwrap();
         // The false-dependence pairs {s1,s2}, {s2,s4}, {s3,s4} appear.
         assert!(pig.graph().has_edge(n(1), n(2)));
@@ -294,7 +312,7 @@ mod tests {
         // No parallelism → Ef empty → PIG is exactly Gr.
         let (_f, p, d) = setup(EXAMPLE1);
         let m = presets::single_issue(8);
-        let pig = Pig::build(&p, &d, &m);
+        let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         assert_eq!(pig.graph().edge_count(), p.interference().edge_count());
         assert_eq!(pig.false_only().edge_count(), 0);
     }
@@ -313,7 +331,7 @@ mod tests {
             "#,
         );
         let m = presets::paper_machine(8);
-        let pig = Pig::build(&p, &d, &m);
+        let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         let s0 = p.node_of(Reg::sym(0)).unwrap();
         let s1 = p.node_of(Reg::sym(1)).unwrap();
         assert_eq!(pig.false_only().degree(s0), 0);
@@ -327,7 +345,7 @@ mod tests {
         // Example 1's available pairs are the three Ef edges.
         let (_f, p, d) = setup(EXAMPLE1);
         let m = presets::paper_machine(8);
-        let aug = AugmentedPig::build(&p, &d, &m);
+        let aug = AugmentedPig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         assert_eq!(aug.len(), 5);
         assert!(aug.can_pair(0, 1), "load z ∥ s2");
         assert!(aug.can_pair(1, 3), "s2 ∥ add");
@@ -345,8 +363,15 @@ mod tests {
         use parsched_sched::list_schedule;
         let (f, p, d) = setup(EXAMPLE1);
         let m = presets::paper_machine(8);
-        let aug = AugmentedPig::build(&p, &d, &m);
-        let s = list_schedule(&f.blocks()[0], &d, &m).unwrap();
+        let aug = AugmentedPig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
+        let s = list_schedule(
+            &f.blocks()[0],
+            &d,
+            &m,
+            parsched_sched::SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         for (_, group) in s.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {
@@ -364,7 +389,7 @@ mod tests {
         // PIG ⊇ Gr, so χ(PIG) ≥ χ(Gr) always.
         let (_f, p, d) = setup(EXAMPLE1);
         let m = presets::paper_machine(8);
-        let pig = Pig::build(&p, &d, &m);
+        let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         let lim = ExactLimits::default();
         let chrom_gr = exact_chromatic_number(p.interference(), &lim).unwrap();
         let chrom_pig = exact_chromatic_number(pig.graph(), &lim).unwrap();

@@ -1,0 +1,244 @@
+//! Reusable allocation sessions.
+//!
+//! An [`AllocSession`] wraps a [`SchedSession`] (the dependence graph and
+//! its incrementally-maintained transitive closure) and derives the PIG
+//! from the closure *rows* directly, without ever materializing the dense
+//! `Et`/`Ef` graphs that [`crate::Pig::build`] constructs from scratch.
+//! Across a spill loop this replaces the per-round `O(n³)` closure plus
+//! `O(n²)` complement with an incremental closure update and a row walk
+//! restricted to defining instructions — the tentpole of making the
+//! combined strategy competitive in compile time.
+//!
+//! The session is reusable across functions: [`AllocSession::begin`] fully
+//! resets it for a new block while keeping allocations warm, which is what
+//! the batch driver's per-worker sessions rely on.
+
+use crate::pig::Pig;
+use crate::problem::BlockAllocProblem;
+use parsched_graph::{BitSet, UnGraph};
+use parsched_ir::Block;
+use parsched_machine::{MachineDesc, OpClass};
+use parsched_sched::{BlockRemap, DepGraph, SchedSession};
+
+/// Long-lived allocation state for one block, reusable across spill rounds
+/// (via [`AllocSession::rebuild_after_spill`]) and across functions (via
+/// [`AllocSession::begin`]).
+///
+/// Telemetry: closure maintenance reports `pig.full_rebuilds` /
+/// `pig.incremental_nodes` (see [`SchedSession`]); every
+/// [`AllocSession::build_pig`] call bumps `pig.rounds` and reports the
+/// usual `pig.*` construction statistics.
+#[derive(Debug)]
+pub struct AllocSession {
+    sched: SchedSession,
+    scratch: BitSet,
+}
+
+impl Default for AllocSession {
+    fn default() -> Self {
+        AllocSession::new()
+    }
+}
+
+impl AllocSession {
+    /// Creates an empty session.
+    pub fn new() -> AllocSession {
+        AllocSession {
+            sched: SchedSession::new(),
+            scratch: BitSet::new(0),
+        }
+    }
+
+    /// Starts a fresh block: full dependence-graph and closure build. Also
+    /// the reset between functions when a session is reused.
+    pub fn begin(&mut self, block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) {
+        self.sched.build(block, telemetry);
+    }
+
+    /// Updates the session after a spill round rewrote the block, reusing
+    /// closure rows the inserted loads/stores did not dirty. Falls back to
+    /// a full build when the remap does not match the stored state.
+    pub fn rebuild_after_spill(
+        &mut self,
+        block: &Block,
+        remap: &BlockRemap,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) {
+        self.sched.rebuild_after_spill(block, remap, telemetry);
+    }
+
+    /// The current dependence graph, if a block has been built.
+    pub fn deps(&self) -> Option<&DepGraph> {
+        self.sched.deps()
+    }
+
+    /// The underlying scheduling session.
+    pub fn sched(&self) -> &SchedSession {
+        &self.sched
+    }
+
+    /// Builds the PIG for `problem` from the session's closure rows.
+    ///
+    /// Edge-identical to [`Pig::build`] on the same inputs (the property
+    /// suite in `tests/sessions.rs` checks this across seeded spill loops),
+    /// but touches only the rows of *defining* instructions: a pair of
+    /// definition vertices gets an `Ef` edge exactly when neither
+    /// instruction reaches the other in the closure and their op classes
+    /// have no pairwise machine conflict.
+    ///
+    /// Returns `None` if no block has been built or the stored closure does
+    /// not cover `deps` — callers should fall back to [`Pig::build`].
+    pub fn build_pig(
+        &mut self,
+        problem: &BlockAllocProblem,
+        machine: &MachineDesc,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) -> Option<Pig> {
+        let deps = self.sched.deps()?;
+        let n = deps.len();
+        if self.sched.closure().size() != n {
+            return None;
+        }
+        let _span = parsched_telemetry::span(telemetry, "pig.build");
+        let closure = self.sched.closure();
+
+        // def_node[i] = allocation vertex defined at body position i.
+        let mut def_node: Vec<Option<usize>> = vec![None; n];
+        let mut def_mask = BitSet::new(n);
+        for node in 0..problem.len() {
+            if let Some(i) = problem.def_site(node) {
+                if i < n {
+                    def_node[i] = Some(node);
+                    def_mask.insert(i);
+                }
+            }
+        }
+
+        // Positions grouped by op class, and per-class conflict rows:
+        // conflict_row(c) = ⋃ { positions of class d : c conflicts with d }.
+        let classes = deps.classes();
+        let mut class_positions: Vec<(OpClass, BitSet)> = Vec::new();
+        for (i, &c) in classes.iter().enumerate() {
+            match class_positions.iter_mut().find(|(d, _)| *d == c) {
+                Some((_, set)) => {
+                    set.insert(i);
+                }
+                None => {
+                    let mut set = BitSet::new(n);
+                    set.insert(i);
+                    class_positions.push((c, set));
+                }
+            }
+        }
+        let conflict_rows: Vec<(OpClass, BitSet)> = class_positions
+            .iter()
+            .map(|(c, _)| {
+                let mut row = BitSet::new(n);
+                for (d, set) in &class_positions {
+                    if machine.pairwise_conflict(*c, *d) {
+                        row.union_with(set);
+                    }
+                }
+                (*c, row)
+            })
+            .collect();
+
+        // Ef needs closure reachability in *either* direction; rows only
+        // store forward reachability, so fold in the transpose.
+        let tclosure = closure.transposed();
+
+        let mut false_edges = UnGraph::new(problem.len());
+        for i in def_mask.iter() {
+            // ef_row(i) = defs \ reach(i) \ reach⁻¹(i) \ conflicts(i) \ {i}
+            self.scratch.clone_from(&def_mask);
+            self.scratch.difference_with(closure.row(i));
+            self.scratch.difference_with(tclosure.row(i));
+            if let Some((_, row)) = conflict_rows.iter().find(|(c, _)| *c == classes[i]) {
+                self.scratch.difference_with(row);
+            }
+            self.scratch.remove(i);
+            for j in self.scratch.iter() {
+                // Each unordered pair once: Ef is symmetric.
+                if j <= i {
+                    continue;
+                }
+                if let (Some(u), Some(v)) = (def_node[i], def_node[j]) {
+                    false_edges.add_edge(u, v);
+                }
+            }
+        }
+
+        let pig = Pig::from_parts(problem.interference().clone(), false_edges);
+        pig.report(problem.len(), telemetry);
+        if telemetry.enabled() {
+            telemetry.counter("pig.rounds", 1);
+        }
+        Some(pig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::liveness::Liveness;
+    use parsched_ir::{parse_function, BlockId};
+    use parsched_machine::presets;
+    use parsched_telemetry::NullTelemetry;
+
+    fn edge_set(g: &UnGraph) -> Vec<(usize, usize)> {
+        g.edges().collect()
+    }
+
+    fn must<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => unreachable!("test input is fixed and valid: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn session_pig_matches_from_scratch_pig() {
+        let f = must(parse_function(
+            r#"
+            func @f(s0) {
+            entry:
+                s1 = load [s0 + 0]
+                s2 = load [s0 + 8]
+                s3 = fadd s1, s2
+                s4 = add s1, 1
+                s5 = mul s4, s3
+                ret s5
+            }
+            "#,
+        ));
+        for m in [presets::paper_machine(4), presets::single_issue(4)] {
+            let lv = Liveness::compute(&f, &[]);
+            let problem = must(BlockAllocProblem::build(&f, BlockId(0), &lv));
+            let deps = DepGraph::build(&f.blocks()[0], &NullTelemetry);
+            let reference = Pig::build(&problem, &deps, &m, &NullTelemetry);
+
+            let mut sess = AllocSession::new();
+            sess.begin(&f.blocks()[0], &NullTelemetry);
+            let Some(pig) = sess.build_pig(&problem, &m, &NullTelemetry) else {
+                unreachable!("session was begun, PIG must build")
+            };
+
+            assert_eq!(edge_set(pig.graph()), edge_set(reference.graph()));
+            assert_eq!(edge_set(pig.false_only()), edge_set(reference.false_only()));
+            assert_eq!(edge_set(pig.shared()), edge_set(reference.shared()));
+        }
+    }
+
+    #[test]
+    fn build_pig_without_begin_returns_none() {
+        let f = must(parse_function(
+            "func @g() {\nentry:\n    s0 = li 1\n    ret s0\n}",
+        ));
+        let lv = Liveness::compute(&f, &[]);
+        let problem = must(BlockAllocProblem::build(&f, BlockId(0), &lv));
+        let mut sess = AllocSession::new();
+        assert!(sess
+            .build_pig(&problem, &presets::paper_machine(4), &NullTelemetry)
+            .is_none());
+    }
+}

@@ -8,17 +8,25 @@
 //! easier to color.
 
 use parsched_ir::{Block, BlockId, Function, Inst, InstKind, MemAddr, Reg};
+use parsched_sched::BlockRemap;
 use std::collections::HashMap;
 
 /// The reserved global region that holds spilled values.
 pub const SPILL_REGION: &str = "__spill";
 
 /// Allocates spill slots and rewrites one block of `func`, spilling the
-/// given symbolic registers. Returns the rewritten function and the number
-/// of memory operations inserted.
+/// given symbolic registers. Returns the rewritten function, the number of
+/// memory operations inserted, and a [`BlockRemap`] from old to new body
+/// positions (every original instruction survives the rewrite, so the map
+/// is total) that lets a [`parsched_sched::SchedSession`] update its
+/// closure incrementally instead of rebuilding from scratch.
 ///
 /// `next_slot` is the next free slot index; it is advanced so repeated
 /// spill rounds never reuse a slot.
+///
+/// Spill activity is reported to `telemetry`: `spill.values` (registers
+/// spilled), `spill.inserted_mem_ops` (loads/stores added), and one
+/// `spill.value` event per register.
 ///
 /// # Panics
 /// Panics if a spilled register is not symbolic (physical registers are
@@ -28,29 +36,8 @@ pub fn insert_spill_code(
     block_id: BlockId,
     spills: &[Reg],
     next_slot: &mut i64,
-) -> (Function, usize) {
-    insert_spill_code_with(
-        func,
-        block_id,
-        spills,
-        next_slot,
-        &parsched_telemetry::NullTelemetry,
-    )
-}
-
-/// [`insert_spill_code`] reporting spill activity to `telemetry`:
-/// `spill.values` (registers spilled), `spill.inserted_mem_ops`
-/// (loads/stores added), and one `spill.value` event per register.
-///
-/// # Panics
-/// Panics if a spilled register is not symbolic.
-pub fn insert_spill_code_with(
-    func: &Function,
-    block_id: BlockId,
-    spills: &[Reg],
-    next_slot: &mut i64,
     telemetry: &dyn parsched_telemetry::Telemetry,
-) -> (Function, usize) {
+) -> (Function, usize, BlockRemap) {
     let _span = parsched_telemetry::span(telemetry, "spill.rewrite");
     if telemetry.enabled() {
         telemetry.counter("spill.values", spills.len() as u64);
@@ -66,6 +53,8 @@ pub fn insert_spill_code_with(
     let mut inserted = 0usize;
 
     let old_block = func.block(block_id);
+    let old_body_len = old_block.body().len();
+    let mut old_to_new: Vec<usize> = Vec::with_capacity(old_body_len);
     let mut new_block = Block::new(old_block.label());
 
     // Live-in spills (parameters or upstream values): store on entry.
@@ -81,7 +70,7 @@ pub fn insert_spill_code_with(
         }
     }
 
-    for inst in old_block.insts() {
+    for (old_pos, inst) in old_block.insts().iter().enumerate() {
         // Reload each spilled use into a fresh register.
         let mut replacement: HashMap<Reg, Reg> = HashMap::new();
         for u in inst.uses() {
@@ -110,6 +99,9 @@ pub fn insert_spill_code_with(
             });
         }
         let defs = rewritten.defs();
+        if old_pos < old_body_len {
+            old_to_new.push(new_block.insts().len());
+        }
         new_block.push(rewritten);
         // Store each spilled definition right after it.
         for d in defs {
@@ -124,6 +116,7 @@ pub fn insert_spill_code_with(
         }
     }
 
+    let remap = BlockRemap::new(old_to_new, new_block.body().len());
     let mut blocks = func.blocks().to_vec();
     blocks[block_id.0] = new_block;
     if telemetry.enabled() {
@@ -132,7 +125,27 @@ pub fn insert_spill_code_with(
     (
         Function::new(func.name(), func.params().to_vec(), blocks),
         inserted,
+        remap,
     )
+}
+
+/// Deprecated alias for [`insert_spill_code`] (drops the [`BlockRemap`]).
+///
+/// # Panics
+/// Panics if a spilled register is not symbolic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `insert_spill_code(func, block_id, spills, next_slot, telemetry)`"
+)]
+pub fn insert_spill_code_with(
+    func: &Function,
+    block_id: BlockId,
+    spills: &[Reg],
+    next_slot: &mut i64,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> (Function, usize) {
+    let (func, inserted, _) = insert_spill_code(func, block_id, spills, next_slot, telemetry);
+    (func, inserted)
 }
 
 fn spill_addr(slot: i64) -> MemAddr {
@@ -221,11 +234,26 @@ mod tests {
         )
         .unwrap();
         let mut slot = 0;
-        let (g, inserted) = insert_spill_code(&f, BlockId(0), &[Reg::sym(1)], &mut slot);
+        let (g, inserted, remap) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(1)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(slot, 1);
         // One store after the def + two reloads.
         assert_eq!(inserted, 3);
         assert_eq!(g.inst_count(), f.inst_count() + 3);
+        // The remap tracks every surviving body instruction: old body
+        // position p holds the same opcode/def as new position remap(p).
+        let old_body = f.block(BlockId(0)).body();
+        let new_body = g.block(BlockId(0)).body();
+        assert_eq!(remap.old_len(), old_body.len());
+        assert_eq!(remap.new_len(), new_body.len());
+        for (p, inst) in old_body.iter().enumerate() {
+            assert_eq!(inst.defs(), new_body[remap.new_pos(p)].defs());
+        }
         // Semantics preserved.
         let i = Interpreter::new();
         let before = i.run(&f, &[10], Memory::new()).unwrap();
@@ -247,7 +275,13 @@ mod tests {
         )
         .unwrap();
         let mut slot = 5;
-        let (g, inserted) = insert_spill_code(&f, BlockId(0), &[Reg::sym(0)], &mut slot);
+        let (g, inserted, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(0)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(slot, 6);
         assert_eq!(inserted, 3, "entry store + two reloads");
         // First instruction is the entry store to slot 5 (offset 40).
@@ -275,7 +309,13 @@ mod tests {
         )
         .unwrap();
         let mut slot = 0;
-        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(1), Reg::sym(2)], &mut slot);
+        let (g, _, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(1), Reg::sym(2)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(slot, 2);
         let text = parsched_ir::print_function(&g);
         assert!(text.contains("[@__spill + 0]"));
@@ -303,7 +343,13 @@ mod tests {
         )
         .unwrap();
         let mut slot = 0;
-        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(1), Reg::sym(2)], &mut slot);
+        let (g, _, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(1), Reg::sym(2)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(slot, 1, "non-overlapping lifetimes share one slot");
         let i = Interpreter::new();
         assert_eq!(
@@ -327,7 +373,13 @@ mod tests {
         )
         .unwrap();
         let mut slot = 0;
-        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(1), Reg::sym(2)], &mut slot);
+        let (g, _, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(1), Reg::sym(2)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(slot, 2, "overlapping lifetimes need two slots");
         let i = Interpreter::new();
         assert_eq!(
@@ -355,7 +407,13 @@ mod tests {
             unreachable!("fixture parses")
         };
         let mut slot = 0;
-        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(0), Reg::sym(1)], &mut slot);
+        let (g, _, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(0), Reg::sym(1)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         assert_eq!(slot, 2, "live-in spills need distinct slots");
         let i = Interpreter::new();
         let run = |h: &Function| {
@@ -387,7 +445,13 @@ mod tests {
         let lv = Liveness::compute(&f, &[]);
         let before = lv.block_pressure(&f, BlockId(0));
         let mut slot = 0;
-        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(0)], &mut slot);
+        let (g, _, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(0)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         let lv2 = Liveness::compute(&g, &[]);
         let after = lv2.block_pressure(&g, BlockId(0));
         assert!(after < before, "pressure {before} -> {after}");
@@ -406,7 +470,13 @@ mod tests {
         )
         .unwrap();
         let mut slot = 0;
-        let (g, _) = insert_spill_code(&f, BlockId(0), &[Reg::sym(0)], &mut slot);
+        let (g, _, _) = insert_spill_code(
+            &f,
+            BlockId(0),
+            &[Reg::sym(0)],
+            &mut slot,
+            &parsched_telemetry::NullTelemetry,
+        );
         let i = Interpreter::new();
         assert_eq!(
             i.run(&g, &[], Memory::new()).unwrap().return_value,

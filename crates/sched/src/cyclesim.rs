@@ -221,9 +221,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::wide(4, 8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            crate::SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         // inst 1 (reads r1) and inst 2 (writes r1) share a cycle.
         assert_eq!(s.cycle(1), s.cycle(2), "precondition: same-cycle pair");
         let mut init = HashMap::new();
@@ -251,9 +258,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(16);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            crate::SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
 
         let mut mem = Memory::new();
         mem.set_abs(40, 7);
@@ -283,7 +297,7 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::wide(4, 8);
         let s = crate::schedule::BlockSchedule::new(&b, &deps, &m, vec![0, 0], Some(1)).unwrap();
         // Mutate the block so both write r1 (keeping the schedule): easier —
@@ -316,9 +330,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::single_issue(4);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            crate::SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         let err = simulate(&b, &s, &HashMap::new(), Memory::new()).unwrap_err();
         assert!(matches!(err, CycleSimError::UninitializedRegister { .. }));
         assert!(err.to_string().contains("s0"));
@@ -337,9 +358,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            crate::SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         let mut init = HashMap::new();
         init.insert(Reg::sym(0), 9);
         let out = simulate(&b, &s, &init, Memory::new()).unwrap();

@@ -91,7 +91,10 @@ pub fn op_class(inst: &Inst) -> OpClass {
 /// let f = parse_function(
 ///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = mul s1, s1\n    ret s2\n}",
 /// )?;
-/// let deps = DepGraph::build(f.block(parsched_ir::BlockId(0)));
+/// let deps = DepGraph::build(
+///     f.block(parsched_ir::BlockId(0)),
+///     &parsched_telemetry::NullTelemetry,
+/// );
 /// assert_eq!(deps.kind(0, 1), Some(DepKind::Flow));
 /// # Ok::<(), parsched_ir::ParseError>(())
 /// ```
@@ -108,18 +111,16 @@ pub struct DepGraph {
 }
 
 impl DepGraph {
-    /// Builds the dependence graph of `block`'s body.
+    /// Builds the dependence graph of `block`'s body, reporting node/edge
+    /// counts to `telemetry` (pass
+    /// [`parsched_telemetry::NullTelemetry`] when observability is not
+    /// needed).
     ///
     /// Register dependences (flow/anti/output) are found per the paper's
     /// definitions; memory dependences use [`parsched_ir::MemAddr::may_alias`]
     /// (same base + different offset proves independence); `call`s are
     /// barriers against all memory operations and each other.
-    pub fn build(block: &Block) -> DepGraph {
-        Self::build_with(block, &parsched_telemetry::NullTelemetry)
-    }
-
-    /// [`DepGraph::build`] reporting node/edge counts to `telemetry`.
-    pub fn build_with(block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) -> DepGraph {
+    pub fn build(block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) -> DepGraph {
         let _span = parsched_telemetry::span(telemetry, "deps.build");
         let deps = Self::build_impl(block);
         if telemetry.enabled() {
@@ -127,6 +128,12 @@ impl DepGraph {
             telemetry.counter("deps.edges", deps.graph.edge_count() as u64);
         }
         deps
+    }
+
+    /// Deprecated alias for [`DepGraph::build`].
+    #[deprecated(since = "0.1.0", note = "use `DepGraph::build(block, telemetry)`")]
+    pub fn build_with(block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) -> DepGraph {
+        Self::build(block, telemetry)
     }
 
     fn build_impl(block: &Block) -> DepGraph {
@@ -335,6 +342,10 @@ mod tests {
         parse_function(src).unwrap().blocks()[0].clone()
     }
 
+    fn build(b: &parsched_ir::Block) -> DepGraph {
+        DepGraph::build(b, &parsched_telemetry::NullTelemetry)
+    }
+
     #[test]
     fn flow_dependences_in_example1() {
         // The paper's Example 1(b), symbolic form.
@@ -351,7 +362,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = build(&b);
         assert_eq!(g.len(), 5);
         // Figure 2(a): s2→s3, s1→s4, s1→s5, s3→s5 flow edges.
         assert_eq!(g.kind(1, 2), Some(DepKind::Flow));
@@ -378,7 +389,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = build(&b);
         // The paper's false dependence: inst 2 (uses r2) vs inst 3 (redefines r2).
         assert_eq!(g.kind(2, 3), Some(DepKind::Anti));
         // Output dep: r2 defined at 1 and 3 — but flow 1→2's anti? Check output.
@@ -401,7 +412,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = build(&b);
         // store [s0+0] vs load [s0+8]: provably disjoint.
         assert_eq!(g.kind(0, 1), None);
         // store [s0+0] vs load [s0+0]: must alias → MemFlow.
@@ -426,7 +437,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = build(&b);
         assert_eq!(g.kind(0, 1), Some(DepKind::Flow), "arg flow wins");
         assert_eq!(g.kind(1, 2), Some(DepKind::Control), "call blocks load");
         assert_eq!(g.kind(1, 3), Some(DepKind::Control), "call blocks call");
@@ -445,7 +456,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = build(&b);
         let m = parsched_machine::presets::rs6000(32); // load latency 2
         let h = g.heights(&m).unwrap();
         // chain: load(2) → add(1) → add(1) = 4, 2, 1
@@ -468,7 +479,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = build(&b);
         assert_eq!(g.class(0), OpClass::IntAlu);
         assert_eq!(g.class(1), OpClass::FloatAlu);
         assert_eq!(g.class(2), OpClass::MemLoad);

@@ -152,7 +152,7 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::rs6000(8); // load latency 2
         let ep = ep_numbers(&deps, &m).unwrap();
         assert_eq!(ep, vec![0, 2, 0, 3]);
@@ -174,7 +174,7 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let raw = ep_numbers(&deps, &m).unwrap();
         assert_eq!(raw, vec![0, 0, 0, 0]);
@@ -199,7 +199,7 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let re = ep_reorder(&b, &deps, &m).unwrap();
         assert_eq!(re.insts().len(), b.insts().len());
@@ -225,7 +225,7 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let re = ep_reorder(&b, &deps, &m).unwrap();
         assert_eq!(re.insts(), b.insts());
@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn empty_body() {
         let b = block("func @e() {\nentry:\n    ret\n}");
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         assert!(ep_numbers(&deps, &m).unwrap().is_empty());
         let re = ep_reorder(&b, &deps, &m).unwrap();

@@ -19,26 +19,29 @@ use parsched_machine::MachineDesc;
 use std::collections::HashMap;
 
 /// Builds `Et` for a block body: undirected transitive closure of the
-/// dependence graph plus pairwise machine constraints.
+/// dependence graph plus pairwise machine constraints, reporting its edge
+/// count to `telemetry`.
 ///
 /// `deps` should be built from *symbolic* code (the paper's `Gs`); building
 /// it from allocated code would bake the allocation's false dependences
 /// into `Et` and defeat the analysis.
-pub fn et_graph(deps: &DepGraph, machine: &MachineDesc) -> UnGraph {
-    et_graph_with(deps, machine, &parsched_telemetry::NullTelemetry)
-}
-
-/// [`et_graph`] reporting its edge count to `telemetry`.
-pub fn et_graph_with(
+pub fn et_graph(
     deps: &DepGraph,
     machine: &MachineDesc,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> UnGraph {
     let _span = parsched_telemetry::span(telemetry, "ef.et_build");
-    let closure = deps.graph().transitive_closure();
-    let mut et = closure.to_undirected();
+    let reach = deps.graph().reachability();
     let n = deps.len();
+    let mut et = UnGraph::new(n);
     for u in 0..n {
+        for v in reach.row(u).iter() {
+            if u < v {
+                et.add_edge(u, v);
+            } else if u > v && !et.has_edge(u, v) {
+                et.add_edge(v, u);
+            }
+        }
         for v in (u + 1)..n {
             if machine.pairwise_conflict(deps.class(u), deps.class(v)) {
                 et.add_edge(u, v);
@@ -49,6 +52,16 @@ pub fn et_graph_with(
         telemetry.counter("ef.et_edges", et.edge_count() as u64);
     }
     et
+}
+
+/// Deprecated alias for [`et_graph`].
+#[deprecated(since = "0.1.0", note = "use `et_graph(deps, machine, telemetry)`")]
+pub fn et_graph_with(
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> UnGraph {
+    et_graph(deps, machine, telemetry)
 }
 
 /// Builds the false-dependence graph `Ef`: the complement of [`et_graph`].
@@ -65,28 +78,39 @@ pub fn et_graph_with(
 /// let f = parse_function(
 ///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = fadd s0, 2\n    ret s2\n}",
 /// )?;
-/// let deps = DepGraph::build(f.block(BlockId(0)));
-/// let ef = falsedep::false_dependence_graph(&deps, &presets::paper_machine(8));
+/// let deps = DepGraph::build(f.block(BlockId(0)), &parsched_telemetry::NullTelemetry);
+/// let ef = falsedep::false_dependence_graph(
+///     &deps,
+///     &presets::paper_machine(8),
+///     &parsched_telemetry::NullTelemetry,
+/// );
 /// assert!(ef.has_edge(0, 1), "int and float ops may co-issue");
 /// # Ok::<(), parsched_ir::ParseError>(())
 /// ```
-pub fn false_dependence_graph(deps: &DepGraph, machine: &MachineDesc) -> UnGraph {
-    et_graph(deps, machine).complement()
-}
-
-/// [`false_dependence_graph`] reporting `Et`/`Ef` edge counts to
-/// `telemetry`.
-pub fn false_dependence_graph_with(
+pub fn false_dependence_graph(
     deps: &DepGraph,
     machine: &MachineDesc,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> UnGraph {
     let _span = parsched_telemetry::span(telemetry, "ef.build");
-    let ef = et_graph_with(deps, machine, telemetry).complement();
+    let ef = et_graph(deps, machine, telemetry).complement();
     if telemetry.enabled() {
         telemetry.counter("ef.edges", ef.edge_count() as u64);
     }
     ef
+}
+
+/// Deprecated alias for [`false_dependence_graph`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `false_dependence_graph(deps, machine, telemetry)`"
+)]
+pub fn false_dependence_graph_with(
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> UnGraph {
+    false_dependence_graph(deps, machine, telemetry)
 }
 
 /// Returns the register output-dependence edges of `alloc_deps` (the
@@ -207,10 +231,11 @@ fn rewrite_roles(inst: &mut Inst, def_map: &HashMap<Reg, Reg>, use_map: &HashMap
 /// against it. Zero for any code produced by PIG coloring with enough
 /// registers (Theorem 1).
 pub fn count_false_deps(block: &Block, machine: &MachineDesc) -> usize {
+    let quiet = parsched_telemetry::NullTelemetry;
     let renamed = rename_apart(block);
-    let sym_deps = DepGraph::build(&renamed);
-    let ef = false_dependence_graph(&sym_deps, machine);
-    let own_deps = DepGraph::build(block);
+    let sym_deps = DepGraph::build(&renamed, &quiet);
+    let ef = false_dependence_graph(&sym_deps, machine, &quiet);
+    let own_deps = DepGraph::build(block, &quiet);
     introduced_false_deps(&ef, &own_deps).len()
 }
 
@@ -219,6 +244,8 @@ mod tests {
     use super::*;
     use parsched_ir::parse_function;
     use parsched_machine::presets;
+
+    const Q: parsched_telemetry::NullTelemetry = parsched_telemetry::NullTelemetry;
 
     fn block(src: &str) -> parsched_ir::Block {
         parse_function(src).unwrap().blocks()[0].clone()
@@ -270,8 +297,8 @@ mod tests {
 
     #[test]
     fn ef_contains_parallel_pairs_of_example1() {
-        let deps = DepGraph::build(&example1_sym());
-        let ef = false_dependence_graph(&deps, &machine());
+        let deps = DepGraph::build(&example1_sym(), &Q);
+        let ef = false_dependence_graph(&deps, &machine(), &Q);
         // The paper (Figure 2): false-dependence (parallelizable) pairs
         // include {s1,s2} (0,1), {s2,s4} (1,3), {s3,s4} (2,3).
         assert!(ef.has_edge(0, 1), "load z ∥ li");
@@ -285,8 +312,8 @@ mod tests {
 
     #[test]
     fn et_includes_machine_constraints() {
-        let deps = DepGraph::build(&example1_sym());
-        let et = et_graph(&deps, &machine());
+        let deps = DepGraph::build(&example1_sym(), &Q);
+        let et = et_graph(&deps, &machine(), &Q);
         // {s1, s3}: both loads — machine constraint even though the paper's
         // figure also lists it among machine-dependent edges.
         assert!(et.has_edge(0, 2));
@@ -298,9 +325,9 @@ mod tests {
 
     #[test]
     fn paper_allocation_introduces_false_dep() {
-        let sym_deps = DepGraph::build(&example1_sym());
-        let ef = false_dependence_graph(&sym_deps, &machine());
-        let alloc_deps = DepGraph::build(&example1_bad_alloc());
+        let sym_deps = DepGraph::build(&example1_sym(), &Q);
+        let ef = false_dependence_graph(&sym_deps, &machine(), &Q);
+        let alloc_deps = DepGraph::build(&example1_bad_alloc(), &Q);
         let false_deps = introduced_false_deps(&ef, &alloc_deps);
         // The paper: reuse of r2 forbids parallel execution of the second
         // and fourth instructions (indices 1 and 3).
@@ -329,9 +356,9 @@ mod tests {
             }
             "#,
         );
-        let sym_deps = DepGraph::build(&example1_sym());
-        let ef = false_dependence_graph(&sym_deps, &machine());
-        let alloc_deps = DepGraph::build(&alloc);
+        let sym_deps = DepGraph::build(&example1_sym(), &Q);
+        let ef = false_dependence_graph(&sym_deps, &machine(), &Q);
+        let alloc_deps = DepGraph::build(&alloc, &Q);
         let false_deps = introduced_false_deps(&ef, &alloc_deps);
         assert!(
             false_deps.is_empty(),
@@ -343,7 +370,7 @@ mod tests {
     fn rename_apart_removes_reuse() {
         let b = example1_bad_alloc();
         let renamed = rename_apart(&b);
-        let deps = DepGraph::build(&renamed);
+        let deps = DepGraph::build(&renamed, &Q);
         assert!(
             deps.edges().all(|e| !matches!(
                 e.kind,
@@ -379,8 +406,8 @@ mod tests {
     fn single_issue_machine_has_empty_ef() {
         // On a single-issue machine nothing is parallelizable, so Ef = ∅ and
         // *no* allocation can introduce a false dependence.
-        let deps = DepGraph::build(&example1_sym());
-        let ef = false_dependence_graph(&deps, &presets::single_issue(8));
+        let deps = DepGraph::build(&example1_sym(), &Q);
+        let ef = false_dependence_graph(&deps, &presets::single_issue(8), &Q);
         assert_eq!(ef.edge_count(), 0);
     }
 }

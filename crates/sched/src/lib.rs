@@ -15,6 +15,9 @@
 //!   plus non-precedence machine constraints), its complement `Ef` (the
 //!   false-dependence graph, Lemma 1), and detection of false dependences
 //!   introduced by a register allocation;
+//! * [`SchedSession`] — a reusable session owning the dependence graph and
+//!   closure bit-matrix across spill rounds, with exact incremental closure
+//!   maintenance guided by a [`BlockRemap`];
 //! * [`region`] — dominator/post-dominator *plausible pair* region
 //!   formation for inter-block scheduling.
 
@@ -28,7 +31,11 @@ pub mod falsedep;
 mod list;
 pub mod region;
 mod schedule;
+mod session;
 
 pub use deps::{op_class, DepEdge, DepGraph, DepKind};
-pub use list::{list_schedule, list_schedule_traced, list_schedule_with, SchedPriority};
+pub use list::{list_schedule, SchedPriority};
+#[allow(deprecated)]
+pub use list::{list_schedule_traced, list_schedule_with};
 pub use schedule::{BlockSchedule, SchedError, ScheduleError};
+pub use session::{BlockRemap, SchedSession};

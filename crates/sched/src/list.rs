@@ -18,14 +18,72 @@ pub enum SchedPriority {
     FanOut,
 }
 
-/// List-schedules with an explicit ready-list [`SchedPriority`].
+/// List-schedules the body of `block` on `machine`.
 ///
-/// See [`list_schedule`] for the algorithm; this variant exists for the
-/// scheduler ablation (T-SCHED in EXPERIMENTS.md).
+/// # Examples
+///
+/// ```
+/// use parsched_ir::{parse_function, BlockId};
+/// use parsched_machine::presets;
+/// use parsched_sched::{list_schedule, DepGraph, SchedPriority};
+/// use parsched_telemetry::NullTelemetry;
+///
+/// let f = parse_function(
+///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = fadd s0, 2\n    s3 = add s1, s2\n    ret s3\n}",
+/// )?;
+/// let block = f.block(BlockId(0));
+/// let deps = DepGraph::build(block, &NullTelemetry);
+/// let schedule = list_schedule(
+///     block,
+///     &deps,
+///     &presets::paper_machine(8),
+///     SchedPriority::CriticalPath,
+///     &NullTelemetry,
+/// )?;
+/// // The int and float ops dual-issue in cycle 0.
+/// assert_eq!(schedule.cycle(0), 0);
+/// assert_eq!(schedule.cycle(1), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// The classic greedy algorithm of Gibbons & Muchnick (SIGPLAN '86): keep a
+/// ready list of instructions whose predecessors have completed; each cycle,
+/// issue ready instructions in priority order (critical-path height, ties
+/// broken by original position) while units and issue slots remain; then
+/// advance the clock. The terminator issues in the first cycle ≥ every body
+/// issue that satisfies its data inputs and resources.
+///
+/// Ready-list pressure is reported to `telemetry`: `sched.ready_len`
+/// (gauge, peak ready-list length), `sched.issue_cycles` (scheduler passes
+/// that issued at least one instruction) and `sched.stall_cycles` (cycles
+/// advanced with nothing ready or issuable).
+///
+/// The result is validated against the dependence graph before being
+/// returned, so a bug here surfaces as [`SchedError::Invalid`] rather than
+/// silently corrupting the evaluation.
+///
+/// # Errors
+/// Returns [`SchedError::Cycle`] on a cyclic dependence graph and
+/// [`SchedError::Invalid`] if the produced schedule fails validation.
+pub fn list_schedule(
+    block: &Block,
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    priority: SchedPriority,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<BlockSchedule, SchedError> {
+    schedule_impl(block, deps, machine, priority, telemetry)
+}
+
+/// Deprecated alias for [`list_schedule`].
 ///
 /// # Errors
 /// Returns [`SchedError`] on a cyclic dependence graph or if the produced
 /// schedule fails validation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `list_schedule(block, deps, machine, priority, telemetry)`"
+)]
 pub fn list_schedule_with(
     block: &Block,
     deps: &DepGraph,
@@ -41,10 +99,15 @@ pub fn list_schedule_with(
     )
 }
 
-/// List-schedules while reporting ready-list pressure to `telemetry`:
-/// `sched.ready_len` (gauge, peak ready-list length), `sched.issue_cycles`
-/// (scheduler passes that issued at least one instruction) and
-/// `sched.stall_cycles` (cycles advanced with nothing ready or issuable).
+/// Deprecated alias for [`list_schedule`].
+///
+/// # Errors
+/// Returns [`SchedError`] on a cyclic dependence graph or if the produced
+/// schedule fails validation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `list_schedule(block, deps, machine, priority, telemetry)`"
+)]
 pub fn list_schedule_traced(
     block: &Block,
     deps: &DepGraph,
@@ -53,55 +116,6 @@ pub fn list_schedule_traced(
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> Result<BlockSchedule, SchedError> {
     schedule_impl(block, deps, machine, priority, telemetry)
-}
-
-/// List-schedules the body of `block` on `machine`.
-///
-/// # Examples
-///
-/// ```
-/// use parsched_ir::{parse_function, BlockId};
-/// use parsched_machine::presets;
-/// use parsched_sched::{list_schedule, DepGraph};
-///
-/// let f = parse_function(
-///     "func @f(s0) {\nentry:\n    s1 = add s0, 1\n    s2 = fadd s0, 2\n    s3 = add s1, s2\n    ret s3\n}",
-/// )?;
-/// let block = f.block(BlockId(0));
-/// let deps = DepGraph::build(block);
-/// let schedule = list_schedule(block, &deps, &presets::paper_machine(8))?;
-/// // The int and float ops dual-issue in cycle 0.
-/// assert_eq!(schedule.cycle(0), 0);
-/// assert_eq!(schedule.cycle(1), 0);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-///
-/// The classic greedy algorithm of Gibbons & Muchnick (SIGPLAN '86): keep a
-/// ready list of instructions whose predecessors have completed; each cycle,
-/// issue ready instructions in priority order (critical-path height, ties
-/// broken by original position) while units and issue slots remain; then
-/// advance the clock. The terminator issues in the first cycle ≥ every body
-/// issue that satisfies its data inputs and resources.
-///
-/// The result is validated against the dependence graph before being
-/// returned, so a bug here surfaces as [`SchedError::Invalid`] rather than
-/// silently corrupting the evaluation.
-///
-/// # Errors
-/// Returns [`SchedError::Cycle`] on a cyclic dependence graph and
-/// [`SchedError::Invalid`] if the produced schedule fails validation.
-pub fn list_schedule(
-    block: &Block,
-    deps: &DepGraph,
-    machine: &MachineDesc,
-) -> Result<BlockSchedule, SchedError> {
-    schedule_impl(
-        block,
-        deps,
-        machine,
-        SchedPriority::CriticalPath,
-        &parsched_telemetry::NullTelemetry,
-    )
 }
 
 fn schedule_impl(
@@ -237,9 +251,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         // Fixed and float pairs dual-issue: 2 cycles of work.
         assert_eq!(s.cycle(0), 0);
         assert_eq!(s.cycle(1), 0);
@@ -260,9 +281,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::single_issue(8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         let mut cs: Vec<u32> = s.cycles().to_vec();
         cs.sort();
         assert_eq!(cs, vec![0, 1, 2]);
@@ -284,9 +312,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::mips_r3000(8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         assert_eq!(s.cycle(0), 0, "load first (highest path)");
         assert_eq!(s.cycle(2), 1, "independent add fills the slot");
         assert_eq!(s.cycle(1), 2, "dependent add after load latency");
@@ -295,9 +330,16 @@ mod tests {
     #[test]
     fn empty_body_schedules() {
         let b = block("func @e() {\nentry:\n    ret\n}");
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::single_issue(8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         assert_eq!(s.term_cycle(), Some(0));
         assert_eq!(s.completion_cycles(), 1);
     }
@@ -318,9 +360,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::wide(4, 8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         // inst1 (reads r1) and inst2 (redefines r1) — anti edge lets them
         // share cycle 1.
         assert!(s.cycle(2) >= s.cycle(1));
@@ -348,17 +397,45 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(16);
-        let cp = list_schedule_with(&b, &deps, &m, SchedPriority::CriticalPath).unwrap();
-        let so = list_schedule_with(&b, &deps, &m, SchedPriority::SourceOrder).unwrap();
-        let fo = list_schedule_with(&b, &deps, &m, SchedPriority::FanOut).unwrap();
+        let cp = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
+        let so = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::SourceOrder,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
+        let fo = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::FanOut,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         // All valid (construction validates); critical path is never worse
         // than source order on this block.
         assert!(cp.completion_cycles() <= so.completion_cycles());
         assert!(fo.completion_cycles() >= 1);
         assert_eq!(
-            list_schedule(&b, &deps, &m).unwrap(),
+            list_schedule(
+                &b,
+                &deps,
+                &m,
+                SchedPriority::CriticalPath,
+                &parsched_telemetry::NullTelemetry
+            )
+            .unwrap(),
             cp,
             "default is critical path"
         );
@@ -376,9 +453,16 @@ mod tests {
             }
             "#,
         );
-        let deps = DepGraph::build(&b);
+        let deps = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::wide(4, 8);
-        let s = list_schedule(&b, &deps, &m).unwrap();
+        let s = list_schedule(
+            &b,
+            &deps,
+            &m,
+            SchedPriority::CriticalPath,
+            &parsched_telemetry::NullTelemetry,
+        )
+        .unwrap();
         assert!(s.cycle(1) > s.cycle(0));
     }
 }

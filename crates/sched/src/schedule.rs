@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn accepts_valid_schedule() {
         let b = block(INDEP);
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let s = BlockSchedule::new(&b, &g, &m, vec![0, 1], Some(2)).unwrap();
         assert_eq!(s.completion_cycles(), 3);
@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn rejects_dependence_violation() {
         let b = block(INDEP);
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let err = BlockSchedule::new(&b, &g, &m, vec![0, 0], Some(2)).unwrap_err();
         assert!(matches!(err, ScheduleError::DependenceViolated { .. }));
@@ -321,7 +321,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         // Two loads same cycle: one fetch unit.
         let err = BlockSchedule::new(&b, &g, &m, vec![0, 0, 1], Some(3)).unwrap_err();
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn rejects_terminator_before_body() {
         let b = block(INDEP);
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let err = BlockSchedule::new(&b, &g, &m, vec![0, 1], Some(0)).unwrap_err();
         assert!(matches!(
@@ -353,7 +353,7 @@ mod tests {
             }
             "#,
         );
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::rs6000(8); // load latency 2
         let err = BlockSchedule::new(&b, &g, &m, vec![0], Some(1)).unwrap_err();
         assert!(matches!(err, ScheduleError::DependenceViolated { .. }));
@@ -363,7 +363,7 @@ mod tests {
     #[test]
     fn linearize_orders_by_cycle() {
         let b = block(INDEP);
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let s = BlockSchedule::new(&b, &g, &m, vec![0, 1], Some(2)).unwrap();
         let lin = s.linearize(&b);
@@ -374,7 +374,7 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         let b = block(INDEP);
-        let g = DepGraph::build(&b);
+        let g = DepGraph::build(&b, &parsched_telemetry::NullTelemetry);
         let m = presets::paper_machine(8);
         let err = BlockSchedule::new(&b, &g, &m, vec![0], Some(2)).unwrap_err();
         assert!(matches!(

@@ -1,0 +1,338 @@
+//! Reusable scheduling sessions.
+//!
+//! A [`SchedSession`] owns the long-lived per-block state of Pinter's
+//! construction — the dependence graph `Gs` and its reachability (closure)
+//! bit-matrix — across spill rounds and across functions. A fresh block
+//! enters via [`SchedSession::build`] (full closure propagation); after a
+//! spill round rewrites the block, [`SchedSession::rebuild_after_spill`]
+//! re-derives only the closure rows that the inserted loads/stores actually
+//! dirtied, guided by a [`BlockRemap`] from old to new body positions.
+//!
+//! The incremental update is exact, not approximate: a node's closure row
+//! is reused verbatim only when its successor set is unchanged (under the
+//! remap) *and* no successor's own row changed; every other row is
+//! recomputed from its successors in reverse topological order. The result
+//! is therefore bit-identical to a from-scratch
+//! [`parsched_graph::DiGraph::reachability`] run, which the property suite
+//! in `tests/sessions.rs` checks against hundreds of seeded cases.
+
+use crate::deps::DepGraph;
+use parsched_graph::{BitMatrix, BitSet};
+use parsched_ir::Block;
+
+/// Maps old body positions to new body positions across a spill rewrite.
+///
+/// Spill rewriting preserves every original instruction (reloads are
+/// inserted before uses, stores after definitions), so the map is total
+/// and strictly increasing.
+#[derive(Debug, Clone)]
+pub struct BlockRemap {
+    old_to_new: Vec<usize>,
+    new_len: usize,
+}
+
+impl BlockRemap {
+    /// Builds a remap from the explicit old-position → new-position table.
+    ///
+    /// # Panics
+    /// Panics if any mapped position is out of range of `new_len`.
+    pub fn new(old_to_new: Vec<usize>, new_len: usize) -> BlockRemap {
+        assert!(
+            old_to_new.iter().all(|&p| p < new_len),
+            "remapped position out of range"
+        );
+        BlockRemap {
+            old_to_new,
+            new_len,
+        }
+    }
+
+    /// The identity remap over `n` positions.
+    pub fn identity(n: usize) -> BlockRemap {
+        BlockRemap {
+            old_to_new: (0..n).collect(),
+            new_len: n,
+        }
+    }
+
+    /// Number of old body positions.
+    pub fn old_len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Number of new body positions.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// The new position of old body position `old`.
+    pub fn new_pos(&self, old: usize) -> usize {
+        self.old_to_new[old]
+    }
+
+    /// The old → new table.
+    pub fn table(&self) -> &[usize] {
+        &self.old_to_new
+    }
+}
+
+/// Long-lived scheduling state for one block, reusable across spill rounds
+/// and (after [`SchedSession::build`] on a new block) across functions.
+///
+/// Telemetry: every full closure construction bumps `pig.full_rebuilds`;
+/// every incremental rebuild bumps `pig.incremental_nodes` by the number of
+/// closure rows actually recomputed.
+#[derive(Debug)]
+pub struct SchedSession {
+    deps: Option<DepGraph>,
+    closure: BitMatrix,
+    /// Nodes whose closure row changed in the last (re)build, in new ids.
+    changed: BitSet,
+    scratch: BitSet,
+}
+
+impl Default for SchedSession {
+    fn default() -> Self {
+        SchedSession::new()
+    }
+}
+
+impl SchedSession {
+    /// Creates an empty session.
+    pub fn new() -> SchedSession {
+        SchedSession {
+            deps: None,
+            closure: BitMatrix::new(0),
+            changed: BitSet::new(0),
+            scratch: BitSet::new(0),
+        }
+    }
+
+    /// Rebuilds everything from scratch for `block` — the entry point for a
+    /// fresh block (and the reset between functions).
+    pub fn build(&mut self, block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) {
+        let deps = DepGraph::build(block, telemetry);
+        self.closure = deps.graph().reachability();
+        let n = deps.len();
+        self.changed = BitSet::new(n);
+        self.changed.fill();
+        self.deps = Some(deps);
+        if telemetry.enabled() {
+            telemetry.counter("pig.full_rebuilds", 1);
+        }
+    }
+
+    /// Rebuilds after a spill round rewrote the block, reusing closure rows
+    /// that the inserted instructions did not dirty.
+    ///
+    /// `remap` must map the previous block's body positions to `block`'s.
+    /// If the session has no previous state, the remap lengths do not match
+    /// the stored state, or the new graph is cyclic (impossible for graphs
+    /// built from blocks, possible for hand-made ones), this falls back to
+    /// a full [`SchedSession::build`].
+    pub fn rebuild_after_spill(
+        &mut self,
+        block: &Block,
+        remap: &BlockRemap,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) {
+        let n = block.body().len();
+        let usable =
+            self.deps.is_some() && self.closure.size() == remap.old_len() && remap.new_len() == n;
+        if !usable {
+            self.build(block, telemetry);
+            return;
+        }
+        let prev_deps = match self.deps.take() {
+            Some(d) => d,
+            None => unreachable!("checked above"),
+        };
+        let deps = DepGraph::build(block, telemetry);
+        let order = match deps.graph().topological_sort() {
+            Ok(o) => o,
+            Err(_) => {
+                self.closure = deps.graph().reachability();
+                self.changed = BitSet::new(n);
+                self.changed.fill();
+                self.deps = Some(deps);
+                if telemetry.enabled() {
+                    telemetry.counter("pig.full_rebuilds", 1);
+                }
+                return;
+            }
+        };
+
+        // old_of[new] = old position, or usize::MAX for inserted nodes.
+        let mut old_of = vec![usize::MAX; n];
+        for (old, &newp) in remap.table().iter().enumerate() {
+            old_of[newp] = old;
+        }
+
+        let prev_closure = std::mem::replace(&mut self.closure, BitMatrix::new(n));
+        let mut changed = BitSet::new(n);
+        let mut dirty_rows: u64 = 0;
+        self.scratch = BitSet::new(n);
+
+        for &u in order.iter().rev() {
+            let old_u = old_of[u];
+            // A surviving node is clean when its successor set is unchanged
+            // under the remap and no successor's closure row changed.
+            let clean = old_u != usize::MAX
+                && !deps.graph().succs(u).iter().any(|&s| changed.contains(s))
+                && Self::succs_equal(prev_deps.graph().succs(old_u), remap, deps.graph().succs(u));
+            if clean {
+                Self::remap_row_into(prev_closure.row(old_u), remap, &mut self.scratch);
+                self.closure.row_mut(u).clone_from(&self.scratch);
+                continue;
+            }
+            dirty_rows += 1;
+            // Recompute: row(u) = ⋃_{s ∈ succs(u)} ({s} ∪ row(s)).
+            self.scratch.clear();
+            let succs: Vec<usize> = deps.graph().succs(u).to_vec();
+            for s in succs {
+                if s != u {
+                    self.scratch.insert(s);
+                    self.scratch.union_with(self.closure.row(s));
+                }
+            }
+            let row_changed = if old_u == usize::MAX {
+                true
+            } else {
+                !Self::row_matches(prev_closure.row(old_u), remap, &self.scratch)
+            };
+            if row_changed {
+                changed.insert(u);
+            }
+            self.closure.row_mut(u).clone_from(&self.scratch);
+        }
+
+        self.changed = changed;
+        self.deps = Some(deps);
+        if telemetry.enabled() {
+            telemetry.counter("pig.incremental_nodes", dirty_rows);
+        }
+    }
+
+    /// The current dependence graph, if a block has been built.
+    pub fn deps(&self) -> Option<&DepGraph> {
+        self.deps.as_ref()
+    }
+
+    /// The current reachability (closure) matrix.
+    pub fn closure(&self) -> &BitMatrix {
+        &self.closure
+    }
+
+    /// Nodes (new ids) whose closure row changed in the last (re)build.
+    /// After a full build this is every node.
+    pub fn changed(&self) -> &BitSet {
+        &self.changed
+    }
+
+    fn succs_equal(old_succs: &[usize], remap: &BlockRemap, new_succs: &[usize]) -> bool {
+        if old_succs.len() != new_succs.len() {
+            return false;
+        }
+        let mut a: Vec<usize> = old_succs.iter().map(|&s| remap.new_pos(s)).collect();
+        let mut b: Vec<usize> = new_succs.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    fn remap_row_into(old_row: &BitSet, remap: &BlockRemap, out: &mut BitSet) {
+        out.clear();
+        for v in old_row.iter() {
+            out.insert(remap.new_pos(v));
+        }
+    }
+
+    fn row_matches(old_row: &BitSet, remap: &BlockRemap, new_row: &BitSet) -> bool {
+        if old_row.count() != new_row.count() {
+            return false;
+        }
+        old_row.iter().all(|v| new_row.contains(remap.new_pos(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_ir::parse_function;
+    use parsched_telemetry::NullTelemetry;
+
+    fn block(src: &str) -> Block {
+        match parse_function(src) {
+            Ok(f) => f.blocks()[0].clone(),
+            Err(e) => unreachable!("test input is fixed and valid: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn full_build_matches_reachability() {
+        let b = block(
+            r#"
+            func @f(s0) {
+            entry:
+                s1 = load [s0 + 0]
+                s2 = add s1, 1
+                s3 = mul s2, s1
+                ret s3
+            }
+            "#,
+        );
+        let mut sess = SchedSession::new();
+        sess.build(&b, &NullTelemetry);
+        let reference = DepGraph::build(&b, &NullTelemetry).graph().reachability();
+        assert_eq!(sess.closure(), &reference);
+        assert_eq!(sess.changed().count(), 3);
+    }
+
+    #[test]
+    fn incremental_rebuild_is_exact_after_insertions() {
+        let old = block(
+            r#"
+            func @f(s0) {
+            entry:
+                s1 = load [s0 + 0]
+                s2 = add s1, 1
+                s3 = mul s2, s1
+                ret s3
+            }
+            "#,
+        );
+        // Simulate a spill rewrite: a store after inst 0 and a reload
+        // before inst 2 (old positions 0,1,2 → 0,2,4).
+        let new = block(
+            r#"
+            func @f(s0) {
+            entry:
+                s1 = load [s0 + 0]
+                store s1, [@__spill + 0]
+                s2 = add s1, 1
+                s9 = load [@__spill + 0]
+                s3 = mul s2, s9
+                ret s3
+            }
+            "#,
+        );
+        let mut sess = SchedSession::new();
+        sess.build(&old, &NullTelemetry);
+        let remap = BlockRemap::new(vec![0, 2, 4], 5);
+        sess.rebuild_after_spill(&new, &remap, &NullTelemetry);
+        let reference = DepGraph::build(&new, &NullTelemetry).graph().reachability();
+        assert_eq!(sess.closure(), &reference);
+    }
+
+    #[test]
+    fn mismatched_remap_falls_back_to_full_build() {
+        let b = block("func @g() {\nentry:\n    s0 = li 1\n    ret s0\n}");
+        let mut sess = SchedSession::new();
+        // No prior state: rebuild_after_spill must still produce a correct
+        // closure via the full-build fallback.
+        let remap = BlockRemap::identity(0);
+        sess.rebuild_after_spill(&b, &remap, &NullTelemetry);
+        let reference = DepGraph::build(&b, &NullTelemetry).graph().reachability();
+        assert_eq!(sess.closure(), &reference);
+    }
+}

@@ -26,7 +26,7 @@
 use parsched::ir::interp::{Interpreter, Memory};
 use parsched::ir::{parse_module, print_function, print_inst, BlockId, Function};
 use parsched::machine::{parse_machine_spec, presets, MachineDesc};
-use parsched::sched::{list_schedule, DepGraph};
+use parsched::sched::{list_schedule, DepGraph, SchedPriority};
 use parsched::telemetry::{
     escape_json, ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry,
 };
@@ -351,7 +351,7 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         Driver::new(pipeline)
             .with_budget(budget)
             .with_ladder(ladder)
-            .compile_resilient_with(&func, telemetry)
+            .compile_resilient(&func, telemetry)
             .map_err(Failure::from)?
     } else {
         pipeline
@@ -366,7 +366,7 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         Some(
             Verifier::new(&machine)
                 .strategy(opts.strategy)
-                .verify_with(&func, &result, telemetry),
+                .verify(&func, &result, telemetry),
         )
     } else {
         None
@@ -411,8 +411,8 @@ fn real_main(opts: Options) -> Result<(), Failure> {
                     code: 5,
                     msg: e.to_string(),
                 })?;
-            let deps = DepGraph::build(func.block(BlockId(0)));
-            let pig = Pig::build(&problem, &deps, &machine);
+            let deps = DepGraph::build(func.block(BlockId(0)), telemetry);
+            let pig = Pig::build(&problem, &deps, &machine, telemetry);
             let mut dot_opts = DotOptions::titled(format!(
                 "PIG of @{} block 0 on {} (dashed = false-dependence edges)",
                 func.name(),
@@ -431,9 +431,15 @@ fn real_main(opts: Options) -> Result<(), Failure> {
             for b in 0..result.function.block_count() {
                 let block = result.function.block(BlockId(b));
                 println!("{}:", block.label());
-                let deps = DepGraph::build(block);
-                let s = list_schedule(block, &deps, &machine)
-                    .map_err(|e| Failure::from(ParschedError::Sched(e)))?;
+                let deps = DepGraph::build(block, &NullTelemetry);
+                let s = list_schedule(
+                    block,
+                    &deps,
+                    &machine,
+                    SchedPriority::CriticalPath,
+                    &NullTelemetry,
+                )
+                .map_err(|e| Failure::from(ParschedError::Sched(e)))?;
                 for (cycle, group) in s.groups() {
                     let insts: Vec<String> = group
                         .iter()
@@ -550,9 +556,9 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
 
     let chrome = ChromeTraceSink::new();
     let out = if opts.trace.is_some() {
-        batch.compile_module_with(&funcs, &chrome)
+        batch.compile_module(&funcs, &chrome)
     } else {
-        batch.compile_module(&funcs)
+        batch.compile_module(&funcs, &NullTelemetry)
     };
 
     // --verify: check every successfully compiled slot with the
@@ -564,7 +570,7 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
         let verifier = Verifier::new(&machine).strategy(opts.strategy);
         for (func, res) in funcs.iter().zip(&out.results) {
             if let Ok(r) = res {
-                let report = verifier.verify_with(func, r, &out.telemetry);
+                let report = verifier.verify(func, r, &out.telemetry);
                 if !report.ok() {
                     verify_failures.push((func.name().to_string(), report.violations));
                 }
@@ -877,7 +883,7 @@ fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), 
 
     for b in 0..func.block_count() {
         let block = func.block(BlockId(b));
-        let deps = DepGraph::build(block);
+        let deps = DepGraph::build(block, &NullTelemetry);
         let inst_labels: Vec<String> = block
             .insts()
             .iter()
@@ -896,7 +902,7 @@ fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), 
             digraph_to_dot(deps.graph(), &gs_opts),
         )?;
 
-        let et = et_graph(&deps, machine);
+        let et = et_graph(&deps, machine, &NullTelemetry);
         let mut et_opts = DotOptions::titled(format!(
             "Et of @{} block {b}: undirected transitive closure of Gs + machine conflicts",
             func.name()
@@ -904,7 +910,7 @@ fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), 
         et_opts.node_labels.clone_from(&inst_labels);
         write(format!("block{b}_et.dot"), ungraph_to_dot(&et, &et_opts))?;
 
-        let gf = false_dependence_graph(&deps, machine);
+        let gf = false_dependence_graph(&deps, machine, &NullTelemetry);
         let mut gf_opts = DotOptions::titled(format!(
             "Gf of @{} block {b}: complement of Et (pairs free to reorder)",
             func.name()
@@ -929,7 +935,7 @@ fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), 
             ungraph_to_dot(problem.interference(), &gr_opts),
         )?;
 
-        let pig = Pig::build(&problem, &deps, machine);
+        let pig = Pig::build(&problem, &deps, machine, &NullTelemetry);
         let mut pig_opts = DotOptions::titled(format!(
             "PIG of @{} block {b} on {} (dashed = false-dependence edges)",
             func.name(),

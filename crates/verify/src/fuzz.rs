@@ -25,6 +25,7 @@ use parsched::{BatchDriver, Driver, ParschedError, Pipeline, Strategy};
 use parsched_ir::verify::verify_function;
 use parsched_ir::{print_function, Function};
 use parsched_machine::{presets, MachineDesc};
+use parsched_telemetry::NullTelemetry;
 use parsched_workload::{
     expr_tree_function, random_cfg_function, random_dag_function, CfgParams, DagParams, SplitMix64,
 };
@@ -194,11 +195,11 @@ fn run_one(
             runs: 2,
         });
     let driver = Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![strategy]);
-    let violations = match driver.compile_resilient(func) {
+    let violations = match driver.compile_resilient(func, &NullTelemetry) {
         Ok(result) => {
             summary.compiles += 1;
             summary.per_strategy[strategy_index].1 += 1;
-            let report = verifier.verify(func, &result);
+            let report = verifier.verify(func, &result, &NullTelemetry);
             summary.checks_run += report.checks_run;
             report.violations
         }
@@ -233,8 +234,8 @@ fn still_fails(
             runs: 2,
         });
     let driver = Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![strategy]);
-    match driver.compile_resilient(func) {
-        Ok(result) => !verifier.verify(func, &result).ok(),
+    match driver.compile_resilient(func, &NullTelemetry) {
+        Ok(result) => !verifier.verify(func, &result, &NullTelemetry).ok(),
         Err(ParschedError::Panicked { .. }) => true,
         Err(_) => false,
     }
@@ -289,7 +290,7 @@ fn run_batch_case(
         return Ok(());
     }
     let batch = BatchDriver::new(Driver::new(Pipeline::new(machine.clone()))).with_jobs(4);
-    let out = batch.compile_module(&funcs);
+    let out = batch.compile_module(&funcs, &NullTelemetry);
     // The default ladder leads with the combined strategy, so that is the
     // requested rung for Theorem 1 gating.
     let verifier = Verifier::new(&machine)
@@ -302,7 +303,7 @@ fn run_batch_case(
         match slot {
             Ok(result) => {
                 summary.compiles += 1;
-                let report = verifier.verify(func, result);
+                let report = verifier.verify(func, result, &NullTelemetry);
                 summary.checks_run += report.checks_run;
                 if !report.ok() {
                     summary.violations += report.violations.len() as u64;
@@ -362,9 +363,9 @@ pub fn replay_module(funcs: &[Function]) -> (u64, Vec<Violation>) {
                 let driver =
                     Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![strategy]);
                 let verifier = Verifier::new(machine).strategy(strategy);
-                match driver.compile_resilient(func) {
+                match driver.compile_resilient(func, &NullTelemetry) {
                     Ok(result) => {
-                        let report = verifier.verify(func, &result);
+                        let report = verifier.verify(func, &result, &NullTelemetry);
                         checks += report.checks_run;
                         violations.extend(report.violations);
                     }

@@ -43,7 +43,7 @@ pub use oracle::OracleConfig;
 use parsched::{CompileResult, DegradationLevel, Strategy};
 use parsched_ir::Function;
 use parsched_machine::MachineDesc;
-use parsched_telemetry::{NullTelemetry, Telemetry};
+use parsched_telemetry::Telemetry;
 use std::fmt;
 
 /// Which invariant a violation belongs to.
@@ -177,15 +177,10 @@ impl Verifier {
             && result.stats.removed_false_edges == 0
     }
 
-    /// Runs every applicable check on `result`.
-    pub fn verify(&self, original: &Function, result: &CompileResult) -> Report {
-        self.verify_with(original, result, &NullTelemetry)
-    }
-
     /// Runs every applicable check, emitting `verify.checks` and
     /// `verify.violations` counters (and a `verify.violation` event per
-    /// failure) into `telemetry`.
-    pub fn verify_with(
+    /// failure) into `telemetry` — pass [`NullTelemetry`](parsched_telemetry::NullTelemetry) to opt out.
+    pub fn verify(
         &self,
         original: &Function,
         result: &CompileResult,
@@ -213,5 +208,20 @@ impl Verifier {
             }
         }
         report
+    }
+
+    /// Deprecated spelling of [`verify`](Verifier::verify) from when the
+    /// telemetry-free variant owned the short name.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Verifier::verify(original, result, telemetry)`"
+    )]
+    pub fn verify_with(
+        &self,
+        original: &Function,
+        result: &CompileResult,
+        telemetry: &dyn Telemetry,
+    ) -> Report {
+        self.verify(original, result, telemetry)
     }
 }

@@ -132,7 +132,7 @@ mod tests {
             },
         );
         let depth = |f: &parsched_ir::Function| -> usize {
-            let deps = DepGraph::build(&f.blocks()[0]);
+            let deps = DepGraph::build(&f.blocks()[0], &parsched_telemetry::NullTelemetry);
             deps.graph()
                 .longest_path_from_roots()
                 .unwrap()

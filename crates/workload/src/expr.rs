@@ -69,7 +69,7 @@ mod tests {
     fn critical_path_is_logarithmic() {
         use parsched_sched::DepGraph;
         let f = expr_tree_function(2, 5, 0.0);
-        let deps = DepGraph::build(&f.blocks()[0]);
+        let deps = DepGraph::build(&f.blocks()[0], &parsched_telemetry::NullTelemetry);
         let depth = deps
             .graph()
             .longest_path_from_roots()

@@ -5,6 +5,7 @@
 //! Run with `cargo run -p parsched --example custom_machine`.
 
 use parsched::machine::{parse_machine_spec, MachineDesc, OpClass};
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 use parsched_workload::kernel;
 
@@ -50,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let func = kernel("dot8").expect("corpus kernel");
     let single_fetch = parsched::machine::presets::paper_machine(8);
     for machine in [single_fetch, dual_fetch] {
-        let r = Pipeline::new(machine.clone()).compile(&func, &Strategy::combined())?;
+        let r =
+            Pipeline::new(machine.clone()).compile(&func, &Strategy::combined(), &NullTelemetry)?;
         println!(
             "{:<24} {} cycles, {} registers, {} false deps",
             machine.name(),

@@ -7,7 +7,8 @@
 use parsched::ir::interp::{Interpreter, Memory};
 use parsched::ir::{print_inst, BlockId};
 use parsched::machine::presets;
-use parsched::sched::{list_schedule, DepGraph};
+use parsched::sched::{list_schedule, DepGraph, SchedPriority};
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 use parsched_workload::kernel;
 
@@ -30,14 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         presets::rs6000(8),
     ] {
         let pipeline = Pipeline::new(machine.clone());
-        let r = pipeline.compile(&func, &Strategy::combined())?;
+        let r = pipeline.compile(&func, &Strategy::combined(), &NullTelemetry)?;
         let out = interp.run(&r.function, &[1000, 2000], mem.clone())?;
         assert_eq!(out.return_value, reference.return_value);
 
         println!("\n=== {machine} ===  ({} cycles)", r.stats.cycles);
         let block = r.function.block(BlockId(0));
-        let deps = DepGraph::build(block);
-        let schedule = list_schedule(block, &deps, &machine)?;
+        let deps = DepGraph::build(block, &NullTelemetry);
+        let schedule = list_schedule(
+            block,
+            &deps,
+            &machine,
+            SchedPriority::CriticalPath,
+            &NullTelemetry,
+        )?;
         for (cycle, group) in schedule.groups() {
             let insts: Vec<String> = group
                 .iter()

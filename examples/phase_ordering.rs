@@ -5,6 +5,7 @@
 //! Run with `cargo run -p parsched --example phase_ordering`.
 
 use parsched::ir::print_function;
+use parsched::telemetry::NullTelemetry;
 use parsched::{paper, Pipeline, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Strategy::SchedThenAlloc,
         Strategy::combined(),
     ] {
-        let r = pipeline.compile(&func, &strategy)?;
+        let r = pipeline.compile(&func, &strategy, &NullTelemetry)?;
         println!("--- {} ---", strategy.label());
         println!("{}", print_function(&r.function));
         println!(

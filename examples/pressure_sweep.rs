@@ -6,6 +6,7 @@
 
 use parsched::machine::presets;
 use parsched::report::Table;
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 use parsched_workload::{random_dag_function, DagParams};
 
@@ -40,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Strategy::SchedThenAlloc,
             Strategy::combined(),
         ] {
-            let r = pipeline.compile(&func, &s)?;
+            let r = pipeline.compile(&func, &s, &NullTelemetry)?;
             table.row(&[
                 regs.to_string(),
                 s.label().to_string(),

@@ -5,6 +5,7 @@
 
 use parsched::ir::{parse_function, print_function};
 use parsched::machine::presets;
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = presets::paper_machine(6);
     let pipeline = Pipeline::new(machine);
 
-    let result = pipeline.compile(&func, &Strategy::combined())?;
+    let result = pipeline.compile(&func, &Strategy::combined(), &NullTelemetry)?;
     println!(
         "compiled (combined strategy):\n{}",
         print_function(&result.function)

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 
 use parsched::ir::{parse_module, print_function, Function};
 use parsched::machine::presets;
-use parsched::telemetry::Telemetry;
+use parsched::telemetry::{NullTelemetry, Telemetry};
 use parsched::{
     BatchDriver, BatchOutput, Budget, DegradationLevel, Driver, ParschedError, Pipeline,
 };
@@ -63,8 +63,10 @@ fn jobs_one_and_eight_are_byte_identical() {
     let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
     let serial = BatchDriver::new(driver.clone())
         .with_jobs(1)
-        .compile_module(&funcs);
-    let threaded = BatchDriver::new(driver).with_jobs(8).compile_module(&funcs);
+        .compile_module(&funcs, &NullTelemetry);
+    let threaded = BatchDriver::new(driver)
+        .with_jobs(8)
+        .compile_module(&funcs, &NullTelemetry);
     assert_eq!(serial.jobs, 1);
     assert_eq!(threaded.jobs, 8.min(funcs.len()));
     assert_eq!(serial.ok_count(), funcs.len());
@@ -93,12 +95,12 @@ fn example_modules_are_deterministic_across_jobs() {
         let driver = Driver::new(Pipeline::new(presets::paper_machine(8)));
         let baseline = BatchDriver::new(driver.clone())
             .with_jobs(1)
-            .compile_module(&funcs);
+            .compile_module(&funcs, &NullTelemetry);
         let base_asm = assembly(&baseline);
         for jobs in [2, 4, 8] {
             let out = BatchDriver::new(driver.clone())
                 .with_jobs(jobs)
-                .compile_module(&funcs);
+                .compile_module(&funcs, &NullTelemetry);
             assert_eq!(
                 base_asm,
                 assembly(&out),
@@ -138,7 +140,7 @@ fn one_failing_function_stays_in_its_own_slot() {
     for jobs in [1, 3] {
         let out = BatchDriver::new(driver.clone())
             .with_jobs(jobs)
-            .compile_module(&funcs);
+            .compile_module(&funcs, &NullTelemetry);
         assert!(out.results[0].is_ok(), "jobs={jobs}: first function failed");
         match &out.results[1] {
             Err(ParschedError::Verify(_)) => {}
@@ -165,7 +167,9 @@ fn budget_caps_degrade_rather_than_fail_in_batch() {
     );
     let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
         .with_budget(Budget::unlimited().with_max_block_insts(30));
-    let out = BatchDriver::new(driver).with_jobs(2).compile_module(&[big]);
+    let out = BatchDriver::new(driver)
+        .with_jobs(2)
+        .compile_module(&[big], &NullTelemetry);
     let result = out.results[0].as_ref().expect("degrades, not fails");
     assert!(result.degradation > DegradationLevel::None);
 }
@@ -213,7 +217,7 @@ fn panicking_shared_sink_does_not_take_the_batch_down() {
         };
         let out = BatchDriver::new(driver.clone())
             .with_jobs(jobs)
-            .compile_module_with(&funcs, &sink);
+            .compile_module(&funcs, &sink);
         assert_eq!(
             out.ok_count(),
             funcs.len(),
@@ -239,11 +243,11 @@ fn per_worker_telemetry_merges_at_join() {
     let serial = BatchDriver::new(driver.clone())
         .with_jobs(1)
         .with_recording(true)
-        .compile_module(&funcs);
+        .compile_module(&funcs, &NullTelemetry);
     let threaded = BatchDriver::new(driver)
         .with_jobs(8)
         .with_recording(true)
-        .compile_module(&funcs);
+        .compile_module(&funcs, &NullTelemetry);
     let a = serial.telemetry.counters();
     let b = threaded.telemetry.counters();
     assert!(!a.is_empty(), "recording on must capture counters");

@@ -10,13 +10,14 @@ use parsched::sched::falsedep::{
     count_false_deps, et_graph, false_dependence_graph, introduced_false_deps,
 };
 use parsched::sched::{DepGraph, DepKind};
+use parsched::telemetry::NullTelemetry;
 use parsched::{paper, Pipeline, Strategy};
 
 fn example1_problem() -> (parsched::ir::Function, BlockAllocProblem, DepGraph) {
     let f = paper::example1();
     let lv = Liveness::compute(&f, &[]);
     let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     (f, p, d)
 }
 
@@ -24,7 +25,7 @@ fn example1_problem() -> (parsched::ir::Function, BlockAllocProblem, DepGraph) {
 #[test]
 fn figure1_schedule_graph_of_example2() {
     let f = paper::example2();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     // Instructions (0-based): 0:s1 1:s2 2:s3 3:s4 4:s5 5:s6 6:s7 7:s8 8:s9.
     let expect_flow = [
         (0, 2), // s1 -> s3
@@ -63,7 +64,7 @@ fn figure2a_dependences_of_example1() {
 #[test]
 fn figure2b_et_of_example1() {
     let (_f, _p, d) = example1_problem();
-    let et = et_graph(&d, &paper::machine(8));
+    let et = et_graph(&d, &paper::machine(8), &NullTelemetry);
     let expected = [
         (0, 2), // machine: loads
         (3, 4), // machine: fixed ops
@@ -78,7 +79,7 @@ fn figure2b_et_of_example1() {
     }
     assert_eq!(et.edge_count(), expected.len());
     // Consequently Ef = the paper's three pairs.
-    let ef = false_dependence_graph(&d, &paper::machine(8));
+    let ef = false_dependence_graph(&d, &paper::machine(8), &NullTelemetry);
     let mut ef_edges: Vec<_> = ef.edges().collect();
     ef_edges.sort();
     assert_eq!(ef_edges, vec![(0, 1), (1, 3), (2, 3)]);
@@ -105,7 +106,7 @@ fn figure2c_interference_of_example1() {
 fn figure3_pig_of_example1() {
     let (_f, p, d) = example1_problem();
     let m = paper::machine(8);
-    let pig = Pig::build(&p, &d, &m);
+    let pig = Pig::build(&p, &d, &m, &NullTelemetry);
     assert_eq!(
         exact_chromatic_number(pig.graph(), &ExactLimits::default()).unwrap(),
         3,
@@ -122,9 +123,9 @@ fn figure3_pig_of_example1() {
 fn example1c_false_dependence() {
     let (_f, _p, d) = example1_problem();
     let m = paper::machine(8);
-    let ef = false_dependence_graph(&d, &m);
+    let ef = false_dependence_graph(&d, &m, &NullTelemetry);
     let bad = paper::example1_paper_alloc();
-    let bad_deps = DepGraph::build(bad.block(BlockId(0)));
+    let bad_deps = DepGraph::build(bad.block(BlockId(0)), &NullTelemetry);
     let fds = introduced_false_deps(&ef, &bad_deps);
     assert_eq!(fds.len(), 1);
     assert_eq!((fds[0].from, fds[0].to), (1, 3));
@@ -138,7 +139,7 @@ fn figure4_example2_needs_four_registers() {
     let f = paper::example2();
     let lv = Liveness::compute(&f, &[]);
     let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     let m = paper::machine(8);
     let lim = ExactLimits::default();
     assert_eq!(
@@ -146,7 +147,7 @@ fn figure4_example2_needs_four_registers() {
         3,
         "interference graph: 3 registers"
     );
-    let pig = Pig::build(&p, &d, &m);
+    let pig = Pig::build(&p, &d, &m, &NullTelemetry);
     assert_eq!(
         exact_chromatic_number(pig.graph(), &lim).unwrap(),
         4,
@@ -196,7 +197,9 @@ fn figure6_webs_combine() {
     assert_eq!(webs.web_of(defs[0]), webs.web_of(defs[1]));
 
     let p = Pipeline::new(paper::machine(4));
-    let r = p.compile(&f, &Strategy::combined()).unwrap();
+    let r = p
+        .compile(&f, &Strategy::combined(), &NullTelemetry)
+        .unwrap();
     use parsched::ir::interp::{Interpreter, Memory};
     let i = Interpreter::new();
     for arg in [0, 1] {
@@ -217,12 +220,16 @@ fn figure6_webs_combine() {
 fn introduction_tradeoff_reproduced() {
     let f = paper::example1();
     let p = Pipeline::new(paper::machine(3));
-    let combined = p.compile(&f, &Strategy::combined()).unwrap();
+    let combined = p
+        .compile(&f, &Strategy::combined(), &NullTelemetry)
+        .unwrap();
     assert_eq!(combined.stats.introduced_false_deps, 0);
     assert_eq!(combined.stats.spilled_values, 0);
     assert!(combined.stats.registers_used <= 3);
 
-    let naive = p.compile(&f, &Strategy::AllocThenSched).unwrap();
+    let naive = p
+        .compile(&f, &Strategy::AllocThenSched, &NullTelemetry)
+        .unwrap();
     assert!(
         combined.stats.cycles <= naive.stats.cycles,
         "combined {} vs naive {}",

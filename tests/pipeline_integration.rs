@@ -2,6 +2,7 @@
 //! machine presets, checking the paper-level invariants end to end.
 
 use parsched::machine::presets;
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 use parsched_workload::{kernels, random_dag_function, straight_line_kernels, DagParams};
 
@@ -32,7 +33,7 @@ fn all_kernels_compile_under_all_strategies() {
         for (name, f) in kernels() {
             for s in STRATEGIES {
                 let r = p
-                    .compile(&f, &s)
+                    .compile(&f, &s, &NullTelemetry)
                     .unwrap_or_else(|e| panic!("{name} on {machine} via {}: {e}", s.label()));
                 assert!(
                     r.stats.registers_used <= machine.num_regs(),
@@ -57,7 +58,9 @@ fn combined_introduces_no_false_deps_when_registers_suffice() {
     let machine = presets::paper_machine(32);
     let p = Pipeline::new(machine);
     for (name, f) in straight_line_kernels() {
-        let r = p.compile(&f, &Strategy::combined()).unwrap();
+        let r = p
+            .compile(&f, &Strategy::combined(), &NullTelemetry)
+            .unwrap();
         assert_eq!(
             r.stats.spilled_values, 0,
             "{name} should not spill at 32 regs"
@@ -79,9 +82,13 @@ fn combined_at_least_matches_alloc_first_on_cycles() {
     let mut combined_total = 0u32;
     let mut naive_total = 0u32;
     for (_name, f) in straight_line_kernels() {
-        combined_total += p.compile(&f, &Strategy::combined()).unwrap().stats.cycles;
+        combined_total += p
+            .compile(&f, &Strategy::combined(), &NullTelemetry)
+            .unwrap()
+            .stats
+            .cycles;
         naive_total += p
-            .compile(&f, &Strategy::AllocThenSched)
+            .compile(&f, &Strategy::AllocThenSched, &NullTelemetry)
             .unwrap()
             .stats
             .cycles;
@@ -104,8 +111,10 @@ fn single_issue_machines_see_no_combined_penalty_in_registers() {
         ..Default::default()
     });
     for (name, f) in straight_line_kernels() {
-        let c = p.compile(&f, &no_prepass).unwrap();
-        let a = p.compile(&f, &Strategy::AllocThenSched).unwrap();
+        let c = p.compile(&f, &no_prepass, &NullTelemetry).unwrap();
+        let a = p
+            .compile(&f, &Strategy::AllocThenSched, &NullTelemetry)
+            .unwrap();
         assert_eq!(
             c.stats.registers_used, a.stats.registers_used,
             "{name}: combined must not use extra registers without parallelism"
@@ -128,7 +137,7 @@ fn random_dags_compile_across_pressure() {
             let p = Pipeline::new(presets::paper_machine(regs));
             for s in STRATEGIES {
                 let r = p
-                    .compile(&f, &s)
+                    .compile(&f, &s, &NullTelemetry)
                     .unwrap_or_else(|e| panic!("seed {seed}, {regs} regs, {}: {e}", s.label()));
                 assert!(r.stats.registers_used <= regs);
             }
@@ -141,7 +150,7 @@ fn tighter_register_files_never_reduce_spills() {
     let f = random_dag_function(42, &DagParams::default());
     let spills_at = |regs: u32| {
         Pipeline::new(presets::paper_machine(regs))
-            .compile(&f, &Strategy::combined())
+            .compile(&f, &Strategy::combined(), &NullTelemetry)
             .unwrap()
             .stats
             .spilled_values
@@ -161,7 +170,9 @@ fn wide_machine_rewards_parallelism_preservation() {
     let f = expr_tree_function(9, 4, 0.5); // 16 loads + 15 ops, depth 4
     let machine = presets::wide(4, 32);
     let p = Pipeline::new(machine);
-    let r = p.compile(&f, &Strategy::combined()).unwrap();
+    let r = p
+        .compile(&f, &Strategy::combined(), &NullTelemetry)
+        .unwrap();
     // 31 instructions on a 4-wide machine: ≥ ceil(31/4) = 8 issue cycles;
     // the dependence depth adds little. Loose bound: at most 2× lower bound.
     assert!(
@@ -185,7 +196,7 @@ fn extreme_pressure_fails_gracefully_or_converges() {
     );
     for s in STRATEGIES {
         let p = Pipeline::new(presets::paper_machine(1));
-        match p.compile(&f, &s) {
+        match p.compile(&f, &s, &NullTelemetry) {
             Ok(r) => assert!(r.stats.registers_used <= 1, "{}", s.label()),
             Err(e) => {
                 let msg = e.to_string();
@@ -212,7 +223,7 @@ fn stress_large_blocks() {
     for regs in [8, 32] {
         let p = Pipeline::new(presets::paper_machine(regs));
         for s in STRATEGIES {
-            let r = p.compile(&f, &s).unwrap();
+            let r = p.compile(&f, &s, &NullTelemetry).unwrap();
             assert!(r.stats.registers_used <= regs);
         }
     }

@@ -6,6 +6,7 @@
 use parsched::ir::interp::{Interpreter, Memory};
 use parsched::ir::{parse_function, Function};
 use parsched::machine::presets;
+use parsched::telemetry::NullTelemetry;
 use parsched::telemetry::Telemetry;
 use parsched::{Budget, DegradationLevel, Driver, ParschedError, Pipeline, Strategy};
 use std::fmt::Write as _;
@@ -89,7 +90,7 @@ fn thousand_inst_block_compiles_under_budget() {
     assert!(func.inst_count() > 1000);
     let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
         .with_budget(Budget::unlimited().with_max_block_insts(1500));
-    let r = driver.compile_resilient(&func).unwrap();
+    let r = driver.compile_resilient(&func, &NullTelemetry).unwrap();
     assert!(r.stats.cycles > 0);
     run_equal(&func, &r.function, &[3]);
 }
@@ -101,7 +102,7 @@ fn tiny_instruction_budget_degrades_but_succeeds() {
     let func = pathological(120, 6);
     let driver = Driver::new(Pipeline::new(presets::paper_machine(6)))
         .with_budget(Budget::unlimited().with_max_block_insts(16));
-    let r = driver.compile_resilient(&func).unwrap();
+    let r = driver.compile_resilient(&func, &NullTelemetry).unwrap();
     assert_ne!(
         r.degradation,
         DegradationLevel::None,
@@ -119,7 +120,7 @@ fn dense_interference_on_starved_machine_reaches_a_rung() {
     let func = pathological(48, 16);
     let driver = Driver::new(Pipeline::new(presets::paper_machine(2)))
         .with_budget(Budget::unlimited().with_max_spill_rounds(6));
-    let r = driver.compile_resilient(&func).unwrap();
+    let r = driver.compile_resilient(&func, &NullTelemetry).unwrap();
     assert!(r.stats.spilled_values > 0);
     run_equal(&func, &r.function, &[1]);
 }
@@ -148,7 +149,7 @@ fn passed_deadline_is_an_error_not_a_hang() {
     let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
         .with_budget(Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1)));
     let start = Instant::now();
-    let err = driver.compile_resilient(&func).unwrap_err();
+    let err = driver.compile_resilient(&func, &NullTelemetry).unwrap_err();
     assert!(start.elapsed() < Duration::from_secs(10));
     assert_eq!(err.exit_code(), 8, "{err}");
 }
@@ -158,7 +159,7 @@ fn generous_deadline_succeeds() {
     let func = pathological(100, 4);
     let driver = Driver::new(Pipeline::new(presets::paper_machine(8)))
         .with_budget(Budget::unlimited().with_deadline_in(Duration::from_secs(60)));
-    let r = driver.compile_resilient(&func).unwrap();
+    let r = driver.compile_resilient(&func, &NullTelemetry).unwrap();
     run_equal(&func, &r.function, &[2]);
 }
 
@@ -170,7 +171,7 @@ fn panicking_telemetry_fails_a_rung_not_the_process() {
     // different phases; the driver must always contain it.
     for fuse in [0, 1, 5, 25, 100, 400] {
         let faulty = FaultyTelemetry::after(fuse);
-        match driver.compile_resilient_with(&func, &faulty) {
+        match driver.compile_resilient(&func, &faulty) {
             Ok(r) => run_equal(&func, &r.function, &[2]),
             Err(e) => panic!("fuse {fuse}: driver returned error instead of degrading: {e}"),
         }
@@ -193,9 +194,7 @@ fn telemetry_panic_in_every_rung_is_a_typed_error() {
         fn event(&self, _name: &str, _detail: &str) {}
     }
     let driver = Driver::new(Pipeline::new(presets::paper_machine(4)));
-    let err = driver
-        .compile_resilient_with(&func, &AlwaysPanics)
-        .unwrap_err();
+    let err = driver.compile_resilient(&func, &AlwaysPanics).unwrap_err();
     assert_eq!(err.exit_code(), 9, "{err}");
     assert!(matches!(err, ParschedError::Panicked { .. }));
 }
@@ -206,7 +205,7 @@ fn malformed_ir_is_rejected_before_the_ladder() {
     let func =
         parse_function("func @bad(s0) {\nentry:\n    s1 = add s9, 1\n    ret s1\n}").unwrap();
     let driver = Driver::new(Pipeline::new(presets::paper_machine(4)));
-    let err = driver.compile_resilient(&func).unwrap_err();
+    let err = driver.compile_resilient(&func, &NullTelemetry).unwrap_err();
     assert_eq!(err.exit_code(), 4, "{err}");
 }
 
@@ -214,7 +213,9 @@ fn malformed_ir_is_rejected_before_the_ladder() {
 fn spill_everything_floor_works_directly() {
     let func = pathological(50, 10);
     let pipeline = Pipeline::new(presets::paper_machine(4));
-    let r = pipeline.compile(&func, &Strategy::SpillEverything).unwrap();
+    let r = pipeline
+        .compile(&func, &Strategy::SpillEverything, &NullTelemetry)
+        .unwrap();
     assert!(r.stats.spilled_values > 0, "the floor spills by definition");
     run_equal(&func, &r.function, &[5]);
 }
@@ -236,7 +237,7 @@ fn every_ladder_rung_preserves_semantics() {
     let func = pathological(30, 5);
     let pipeline = Pipeline::new(presets::paper_machine(5));
     for strategy in Driver::default_ladder() {
-        let r = pipeline.compile(&func, &strategy).unwrap();
+        let r = pipeline.compile(&func, &strategy, &NullTelemetry).unwrap();
         run_equal(&func, &r.function, &[7]);
     }
 }

@@ -7,6 +7,8 @@ use parsched::ir::interp::{Interpreter, Memory};
 use parsched::ir::Function;
 use parsched::machine::presets;
 use parsched::regalloc::spill::SPILL_REGION;
+use parsched::sched::SchedPriority;
+use parsched::telemetry::NullTelemetry;
 use parsched::{Pipeline, Strategy};
 use parsched_workload::{kernels, random_cfg_function, random_dag_function, CfgParams, DagParams};
 
@@ -79,7 +81,7 @@ fn corpus_semantics_preserved_everywhere() {
                 Strategy::LinearScanThenSched,
                 Strategy::combined(),
             ] {
-                let r = p.compile(&f, &s).unwrap();
+                let r = p.compile(&f, &s, &NullTelemetry).unwrap();
                 assert_equivalent(
                     &f,
                     &r.function,
@@ -101,7 +103,7 @@ fn semantics_survive_heavy_spilling() {
             Strategy::LinearScanThenSched,
             Strategy::combined(),
         ] {
-            let r = p.compile(&f, &s).unwrap();
+            let r = p.compile(&f, &s, &NullTelemetry).unwrap();
             assert_equivalent(&f, &r.function, &format!("{name} tight / {}", s.label()));
         }
     }
@@ -124,7 +126,7 @@ fn random_dag_semantics_preserved() {
                 Strategy::SchedThenAlloc,
                 Strategy::combined(),
             ] {
-                let r = p.compile(&f, &s).unwrap();
+                let r = p.compile(&f, &s, &NullTelemetry).unwrap();
                 assert_equivalent(
                     &f,
                     &r.function,
@@ -152,7 +154,7 @@ fn random_cfg_semantics_preserved() {
                 Strategy::combined(),
             ] {
                 let r = p
-                    .compile(&f, &s)
+                    .compile(&f, &s, &NullTelemetry)
                     .unwrap_or_else(|e| panic!("cfg seed {seed} regs {regs} {}: {e}", s.label()));
                 assert_equivalent(
                     &f,
@@ -173,7 +175,9 @@ fn chain_merging_pipeline_preserves_semantics() {
     for seed in 0..8 {
         let f = random_cfg_function(seed + 100, &params);
         let p = Pipeline::new(presets::paper_machine(10)).with_chain_merging(true);
-        let r = p.compile(&f, &Strategy::combined()).unwrap();
+        let r = p
+            .compile(&f, &Strategy::combined(), &NullTelemetry)
+            .unwrap();
         assert_equivalent(&f, &r.function, &format!("merged cfg seed {seed}"));
     }
 }
@@ -195,10 +199,17 @@ fn cycle_accurate_execution_matches_sequential() {
         let p = Pipeline::new(machine.clone());
         for (name, f) in parsched_workload::straight_line_kernels() {
             for s in [Strategy::AllocThenSched, Strategy::combined()] {
-                let r = p.compile(&f, &s).unwrap();
+                let r = p.compile(&f, &s, &NullTelemetry).unwrap();
                 let block = r.function.block(BlockId(0));
-                let deps = DepGraph::build(block);
-                let schedule = list_schedule(block, &deps, &machine).unwrap();
+                let deps = DepGraph::build(block, &NullTelemetry);
+                let schedule = list_schedule(
+                    block,
+                    &deps,
+                    &machine,
+                    SchedPriority::CriticalPath,
+                    &NullTelemetry,
+                )
+                .unwrap();
 
                 let args = args_for(&r.function);
                 let mut init: HashMap<parsched::ir::Reg, i64> = HashMap::new();
@@ -240,7 +251,7 @@ fn scheduling_alone_preserves_semantics() {
     // code must be equivalent — the dependence graph is doing its job.
     for (name, f) in kernels() {
         let p = Pipeline::new(presets::wide(8, 32));
-        let (scheduled, _) = p.schedule_blocks_measured(&f).unwrap();
+        let (scheduled, _) = p.schedule_blocks_measured(&f, &NullTelemetry).unwrap();
         assert_equivalent(&f, &scheduled, &format!("{name} schedule-only"));
     }
 }

@@ -83,7 +83,7 @@ fn span_nesting_is_well_formed() {
         for strategy in strategies() {
             let pipeline = Pipeline::new(paper::machine(regs));
             let recorder = Recorder::new();
-            let r = pipeline.compile_with(&func, &strategy, &recorder);
+            let r = pipeline.compile(&func, &strategy, &recorder);
             assert!(r.is_ok(), "{} on @{}", strategy.label(), func.name());
             assert!(
                 recorder.nesting_well_formed(),
@@ -120,7 +120,7 @@ fn stats_counters_match_compile_stats() {
         for strategy in strategies() {
             let pipeline = Pipeline::new(paper::machine(regs));
             let recorder = Recorder::new();
-            let r = pipeline.compile_with(&func, &strategy, &recorder).unwrap();
+            let r = pipeline.compile(&func, &strategy, &recorder).unwrap();
             let s = r.stats;
             saw_spill |= s.spilled_values > 0;
             let label = format!("{} on @{}", strategy.label(), func.name());
@@ -184,11 +184,9 @@ fn recording_run_is_byte_identical_to_silent_run() {
         for strategy in strategies() {
             let pipeline = Pipeline::new(paper::machine(regs));
             let recorder = Recorder::new();
-            let recorded = pipeline.compile_with(&func, &strategy, &recorder).unwrap();
-            let silent = pipeline
-                .compile_with(&func, &strategy, &NullTelemetry)
-                .unwrap();
-            let plain = pipeline.compile(&func, &strategy).unwrap();
+            let recorded = pipeline.compile(&func, &strategy, &recorder).unwrap();
+            let silent = pipeline.compile(&func, &strategy, &NullTelemetry).unwrap();
+            let plain = pipeline.compile(&func, &strategy, &NullTelemetry).unwrap();
             let label = format!("{} on @{}", strategy.label(), func.name());
             assert_eq!(
                 print_function(&recorded.function),
@@ -214,7 +212,7 @@ fn root_span_duration_bounds_phases() {
     let pipeline = Pipeline::new(paper::machine(4));
     let recorder = Recorder::new();
     pipeline
-        .compile_with(&paper::example2(), &Strategy::combined(), &recorder)
+        .compile(&paper::example2(), &Strategy::combined(), &recorder)
         .unwrap();
     let total = recorder.total_ns("pipeline.compile");
     for phase in [

@@ -9,6 +9,8 @@ use parsched::regalloc::assignment::{apply_coloring, check_function_allocation};
 use parsched::regalloc::{BlockAllocProblem, Pig};
 use parsched::sched::falsedep::count_false_deps;
 use parsched::sched::DepGraph;
+use parsched::sched::SchedPriority;
+use parsched::telemetry::NullTelemetry;
 use parsched_workload::{random_dag_function, DagParams, SplitMix64};
 
 const CASES: u64 = 64;
@@ -45,9 +47,9 @@ fn setup(
     let f = random_dag_function(seed, params);
     let lv = Liveness::compute(&f, &[]);
     let p = BlockAllocProblem::build(&f, BlockId(0), &lv).unwrap();
-    let d = DepGraph::build(f.block(BlockId(0)));
+    let d = DepGraph::build(f.block(BlockId(0)), &NullTelemetry);
     let machine = parsched::paper::machine(32);
-    let pig = Pig::build(&p, &d, &machine);
+    let pig = Pig::build(&p, &d, &machine, &NullTelemetry);
     (f, p, d, pig)
 }
 
@@ -121,9 +123,16 @@ fn same_cycle_pairs_are_ef_edges() {
         let f = random_dag_function(seed, &params);
         let machine = parsched::paper::machine(32);
         let block = f.block(BlockId(0));
-        let deps = DepGraph::build(block);
-        let ef = false_dependence_graph(&deps, &machine);
-        let s = list_schedule(block, &deps, &machine).unwrap();
+        let deps = DepGraph::build(block, &NullTelemetry);
+        let ef = false_dependence_graph(&deps, &machine, &NullTelemetry);
+        let s = list_schedule(
+            block,
+            &deps,
+            &machine,
+            SchedPriority::CriticalPath,
+            &NullTelemetry,
+        )
+        .unwrap();
         for (_, group) in s.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {
@@ -161,9 +170,16 @@ fn theorem1_allocated_pairs_stay_within_ef() {
         };
         let colors = coloring.into_vec();
         let allocated = apply_coloring(&f, &p, &colors);
-        let ef = false_dependence_graph(&d, &machine);
-        let alloc_deps = DepGraph::build(allocated.block(BlockId(0)));
-        let schedule = list_schedule(allocated.block(BlockId(0)), &alloc_deps, &machine).unwrap();
+        let ef = false_dependence_graph(&d, &machine, &NullTelemetry);
+        let alloc_deps = DepGraph::build(allocated.block(BlockId(0)), &NullTelemetry);
+        let schedule = list_schedule(
+            allocated.block(BlockId(0)),
+            &alloc_deps,
+            &machine,
+            SchedPriority::CriticalPath,
+            &NullTelemetry,
+        )
+        .unwrap();
         for (_, group) in schedule.groups() {
             for (a, &u) in group.iter().enumerate() {
                 for &v in &group[a + 1..] {

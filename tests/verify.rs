@@ -5,6 +5,7 @@
 
 use parsched::ir::{parse_function, Function};
 use parsched::machine::presets;
+use parsched::telemetry::NullTelemetry;
 use parsched::{
     CompileResult, CompileStats, DegradationLevel, Driver, ParschedError, Pipeline, Strategy,
 };
@@ -58,11 +59,13 @@ fn ladder_times_verifier_matrix() {
                 let driver =
                     Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![strategy]);
                 let label = format!("{} @{} regs {regs}", strategy.label(), func.name());
-                match driver.compile_resilient(&func) {
+                match driver.compile_resilient(&func, &NullTelemetry) {
                     Ok(result) => {
-                        let report = Verifier::new(&machine)
-                            .strategy(strategy)
-                            .verify(&func, &result);
+                        let report = Verifier::new(&machine).strategy(strategy).verify(
+                            &func,
+                            &result,
+                            &NullTelemetry,
+                        );
                         assert!(report.ok(), "{label}: {:#?}", report.violations);
                         assert!(report.checks_run >= 4, "{label}: too few checks ran");
                     }
@@ -95,12 +98,12 @@ fn spill_everything_passes_spill_checker() {
     let driver =
         Driver::new(Pipeline::new(machine.clone())).with_ladder(vec![Strategy::SpillEverything]);
     let result = driver
-        .compile_resilient(&func)
+        .compile_resilient(&func, &NullTelemetry)
         .expect("floor rung succeeds");
     assert!(result.stats.spilled_values > 0, "floor must spill");
     let report = Verifier::new(&machine)
         .strategy(Strategy::SpillEverything)
-        .verify(&func, &result);
+        .verify(&func, &result, &NullTelemetry);
     assert!(report.ok(), "{:#?}", report.violations);
 }
 
@@ -145,7 +148,7 @@ fn oracle_catches_interfering_values_sharing_a_register() {
     };
     let report = Verifier::new(&machine)
         .oracle(OracleConfig { seed: 1, runs: 3 })
-        .verify(&original, &result);
+        .verify(&original, &result, &NullTelemetry);
     assert!(!report.ok(), "corruption must be caught");
     assert!(
         report.violations.iter().any(|v| v.check == Check::Oracle),
@@ -179,9 +182,10 @@ fn schedule_checker_rejects_fabricated_cycle_claims() {
         },
         degradation: DegradationLevel::None,
     };
-    let report = Verifier::new(&machine)
-        .without_oracle()
-        .verify(&original, &result);
+    let report =
+        Verifier::new(&machine)
+            .without_oracle()
+            .verify(&original, &result, &NullTelemetry);
     assert!(
         report.violations.iter().any(|v| v.check == Check::Schedule),
         "{:#?}",
@@ -222,9 +226,10 @@ fn alloc_checker_rejects_symbolic_and_out_of_range_registers() {
         },
         degradation: DegradationLevel::None,
     };
-    let report = Verifier::new(&machine)
-        .without_oracle()
-        .verify(&original, &result);
+    let report =
+        Verifier::new(&machine)
+            .without_oracle()
+            .verify(&original, &result, &NullTelemetry);
     let allocs: Vec<_> = report
         .violations
         .iter()
@@ -272,9 +277,10 @@ fn spill_checker_rejects_reload_before_store() {
         },
         degradation: DegradationLevel::None,
     };
-    let report = Verifier::new(&machine)
-        .without_oracle()
-        .verify(&original, &result);
+    let report =
+        Verifier::new(&machine)
+            .without_oracle()
+            .verify(&original, &result, &NullTelemetry);
     assert!(
         report
             .violations
