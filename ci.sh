@@ -18,7 +18,7 @@ echo "==> panic audit (ratchet)"
 baseline=$(cat ci/panic-baseline.txt)
 count=$(grep -rE 'unwrap\(\)|expect\(|panic!' \
     crates/ir/src crates/sched/src crates/regalloc/src crates/core/src \
-    crates/verify/src | wc -l)
+    crates/verify/src crates/telemetry/src | wc -l)
 echo "    panic-pattern sites: $count (baseline $baseline)"
 if [ "$count" -gt "$baseline" ]; then
     echo "panic audit FAILED: $count sites > baseline $baseline" >&2
@@ -62,6 +62,16 @@ timeout 30 cargo run -q --release --offline -p parsched-bench -- \
     --smoke --out "$smoke_out"
 timeout 30 cargo run -q --release --offline -p parsched-bench -- \
     --check "$smoke_out"
+
+echo "==> perf-regression gate (smoke run vs committed baseline)"
+# The smoke corpus differs from the full baseline's, so --compare falls
+# back to throughput (insts/sec), which is corpus-size-invariant. The
+# loose 2.5x threshold absorbs host differences; it exists to catch
+# order-of-magnitude regressions (an accidental O(n^3) reintroduction),
+# not percent-level drift.
+timeout 30 cargo run -q --release --offline -p parsched-bench -- \
+    --compare BENCH_parallel.json "$smoke_out" --threshold 2.5 \
+    > /dev/null
 rm -f "$smoke_out"
 
 echo "CI OK"

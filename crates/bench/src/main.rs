@@ -6,8 +6,8 @@
 
 use std::process::ExitCode;
 
-use parsched_bench::json;
 use parsched_bench::sweep::{self, SweepConfig};
+use parsched_bench::{compare, json};
 
 const USAGE: &str = "\
 parsched-bench: sweep batch compilation over workloads x strategies x threads
@@ -21,6 +21,15 @@ OPTIONS:
                  (pig.full_rebuilds <= 1); runs no sweep
   --out FILE     where to write the report (default: BENCH_parallel.json)
   --check FILE   validate an existing report and exit; runs no sweep
+  --compare BASE NEW
+                 compare two reports point-by-point; prints a
+                 machine-readable verdict (parsched-bench-compare/1) to
+                 stdout and a summary to stderr, exits 1 on regression;
+                 runs no sweep
+  --threshold X  slowdown ratio a --compare point may reach before it
+                 counts as a regression (default: 2.5; per-point noise
+                 slack is added on top)
+  --label TEXT   free-form run tag recorded in the report
   --iters N      measured iterations per point (default: 5, median kept)
   --warmup N     unmeasured warm-up runs per point (default: 1)
   -h, --help     show this help
@@ -31,6 +40,9 @@ struct Options {
     perf_smoke: bool,
     out: String,
     check: Option<String>,
+    compare: Option<(String, String)>,
+    threshold: f64,
+    label: Option<String>,
     iters: Option<usize>,
     warmup: Option<usize>,
 }
@@ -41,6 +53,9 @@ fn parse_args() -> Result<Options, String> {
         perf_smoke: false,
         out: "BENCH_parallel.json".to_string(),
         check: None,
+        compare: None,
+        threshold: 2.5,
+        label: None,
         iters: None,
         warmup: None,
     };
@@ -52,6 +67,23 @@ fn parse_args() -> Result<Options, String> {
             "--out" => opts.out = args.next().ok_or("--out needs a file argument")?,
             "--check" => {
                 opts.check = Some(args.next().ok_or("--check needs a file argument")?);
+            }
+            "--compare" => {
+                let base = args.next().ok_or("--compare needs BASE and NEW files")?;
+                let new = args.next().ok_or("--compare needs BASE and NEW files")?;
+                opts.compare = Some((base, new));
+            }
+            "--threshold" => {
+                let x = args.next().ok_or("--threshold needs a number")?;
+                opts.threshold = x.parse().map_err(|_| format!("bad --threshold `{x}`"))?;
+                if !opts.threshold.is_finite() || opts.threshold < 1.0 {
+                    return Err(format!(
+                        "--threshold must be a finite ratio >= 1.0, got `{x}`"
+                    ));
+                }
+            }
+            "--label" => {
+                opts.label = Some(args.next().ok_or("--label needs a value")?);
             }
             "--iters" => {
                 let n = args.next().ok_or("--iters needs a number")?;
@@ -80,6 +112,23 @@ fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     sweep::validate_report(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_points(path: &str) -> Result<Vec<compare::PointSample>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    compare::extract_points(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `--compare BASE NEW`: the verdict JSON goes to stdout (pipe it into a
+/// dashboard), the human summary to stderr, and the exit code is the gate.
+fn compare_files(base: &str, new: &str, threshold: f64) -> Result<bool, String> {
+    let base_points = load_points(base)?;
+    let new_points = load_points(new)?;
+    let report = compare::compare(&base_points, &new_points, threshold);
+    print!("{}", report.to_json());
+    eprint!("{}", report.render_summary());
+    Ok(report.passed())
 }
 
 /// Compiles one pressure-sweep function with the combined strategy and a
@@ -148,6 +197,17 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some((base, new)) = &opts.compare {
+        return match compare_files(base, new, opts.threshold) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("parsched-bench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if let Some(path) = &opts.check {
         return match check_file(path) {
             Ok(()) => {
@@ -183,7 +243,7 @@ fn main() -> ExitCode {
     );
 
     let points = sweep::run_sweep(&config);
-    let report = sweep::render_report(&points, mode, host_threads);
+    let report = sweep::render_report(&points, mode, host_threads, opts.label.as_deref());
 
     // Self-validate before writing: a report that fails its own schema
     // check must never land on disk looking authoritative.

@@ -18,8 +18,15 @@ use parsched_workload::{random_dag_function, straight_line_kernels, DagParams};
 /// Thread counts every sweep measures.
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Schema tag written to (and required from) the report.
-pub const SCHEMA: &str = "parsched-bench-parallel/1";
+/// Schema tag written to new reports. `/2` added host identification
+/// (`os`, and an optional free-form `label`) so archived baselines say
+/// where they were measured; the point format is unchanged from `/1`.
+pub const SCHEMA: &str = "parsched-bench-parallel/2";
+
+/// The previous schema tag. [`validate_report`] still accepts it so
+/// committed `/1` baselines keep validating and stay usable as the
+/// `--compare` baseline.
+pub const SCHEMA_V1: &str = "parsched-bench-parallel/1";
 
 /// Sweep dimensions and repetition policy.
 #[derive(Debug, Clone)]
@@ -246,13 +253,28 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
     points
 }
 
-/// Renders the report document. `mode` is `"full"` or `"smoke"`.
-pub fn render_report(points: &[SweepPoint], mode: &str, host_threads: usize) -> String {
+/// Renders the report document. `mode` is `"full"` or `"smoke"`;
+/// `label` is a free-form run tag (`--label`), omitted when `None`.
+pub fn render_report(
+    points: &[SweepPoint],
+    mode: &str,
+    host_threads: usize,
+    label: Option<&str>,
+) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        s,
+        "  \"os\": \"{}-{}\",",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    if let Some(label) = label {
+        let _ = writeln!(s, "  \"label\": \"{}\",", label.replace('"', "'"));
+    }
     let threads: Vec<String> = THREAD_COUNTS.iter().map(usize::to_string).collect();
     let _ = writeln!(s, "  \"thread_counts\": [{}],", threads.join(", "));
     s.push_str("  \"points\": [\n");
@@ -295,8 +317,10 @@ pub fn validate_report(doc: &Value) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing schema")?;
-    if schema != SCHEMA {
-        return Err(format!("schema `{schema}`, expected `{SCHEMA}`"));
+    if schema != SCHEMA && schema != SCHEMA_V1 {
+        return Err(format!(
+            "schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V1}`)"
+        ));
     }
     let points = doc
         .get("points")
@@ -430,7 +454,75 @@ mod tests {
                 ..p.clone()
             })
             .collect();
-        let doc = json::parse(&render_report(&points, "smoke", 1)).unwrap();
+        let doc = json::parse(&render_report(&points, "smoke", 1, None)).unwrap();
+        validate_report(&doc).unwrap();
+    }
+
+    #[test]
+    fn report_carries_host_info_and_label() {
+        let p = SweepPoint {
+            workload: "kernels",
+            strategy: "combined",
+            threads: 1,
+            functions: 12,
+            wall_ns: vec![100],
+            median_wall_ns: 100,
+            insts: 50,
+            insts_per_sec: 5e8,
+            spilled_values: 0,
+            errors: 0,
+            worst_degradation: "none",
+        };
+        let points: Vec<SweepPoint> = THREAD_COUNTS
+            .iter()
+            .map(|&t| SweepPoint {
+                threads: t,
+                wall_ns: p.wall_ns.clone(),
+                ..p.clone()
+            })
+            .collect();
+        let doc = json::parse(&render_report(&points, "smoke", 4, Some(r#"pr-6 "rc1""#))).unwrap();
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            doc.get("os").and_then(Value::as_str),
+            Some(format!("{}-{}", std::env::consts::OS, std::env::consts::ARCH).as_str())
+        );
+        assert_eq!(doc.get("host_threads").and_then(Value::as_num), Some(4.0));
+        // Quotes in a label must not corrupt the document.
+        assert_eq!(doc.get("label").and_then(Value::as_str), Some("pr-6 'rc1'"));
+        validate_report(&doc).unwrap();
+        // Labels are optional: omitted entirely when not given.
+        let doc = json::parse(&render_report(&points, "smoke", 4, None)).unwrap();
+        assert!(doc.get("label").is_none());
+    }
+
+    #[test]
+    fn validation_accepts_legacy_v1_schema() {
+        let rendered = {
+            let p = SweepPoint {
+                workload: "kernels",
+                strategy: "combined",
+                threads: 1,
+                functions: 12,
+                wall_ns: vec![100],
+                median_wall_ns: 100,
+                insts: 50,
+                insts_per_sec: 5e8,
+                spilled_values: 0,
+                errors: 0,
+                worst_degradation: "none",
+            };
+            let points: Vec<SweepPoint> = THREAD_COUNTS
+                .iter()
+                .map(|&t| SweepPoint {
+                    threads: t,
+                    wall_ns: p.wall_ns.clone(),
+                    ..p.clone()
+                })
+                .collect();
+            render_report(&points, "smoke", 1, None).replace(SCHEMA, SCHEMA_V1)
+        };
+        let doc = json::parse(&rendered).unwrap();
         validate_report(&doc).unwrap();
     }
 
@@ -471,7 +563,7 @@ mod tests {
                 ..p.clone()
             })
             .collect();
-        let doc = json::parse(&render_report(&points, "smoke", 1)).unwrap();
+        let doc = json::parse(&render_report(&points, "smoke", 1, None)).unwrap();
         let e = validate_report(&doc).unwrap_err();
         assert!(e.contains("differ across thread counts"), "{e}");
     }

@@ -263,20 +263,6 @@ impl BatchDriver {
         }
     }
 
-    /// Deprecated spelling of [`compile_module`](BatchDriver::compile_module)
-    /// from when the no-sink variant owned the short name.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `BatchDriver::compile_module(funcs, sink)`"
-    )]
-    pub fn compile_module_with(
-        &self,
-        funcs: &[Function],
-        sink: &(dyn Telemetry + Sync),
-    ) -> BatchOutput {
-        self.compile_module(funcs, sink)
-    }
-
     /// Compiles one function with the worker's private recorder and the
     /// shared sink fanned in, timing it and containing any panic that
     /// escapes the driver's own per-rung containment. The worker's
@@ -312,7 +298,13 @@ impl BatchDriver {
                 message: panic_message(payload.as_ref()),
             })
         });
-        (res, t0.elapsed().as_nanos())
+        let elapsed = t0.elapsed().as_nanos();
+        if self.record {
+            // Per-function compile-latency distribution (p50/p90/p99 across
+            // the module), merged across workers at join.
+            worker.hist("driver.func_ns", elapsed.min(u64::MAX as u128) as u64);
+        }
+        (res, elapsed)
     }
 }
 

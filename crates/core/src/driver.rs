@@ -166,22 +166,6 @@ impl Driver {
         self.compile_resilient_in(&mut session, func, telemetry)
     }
 
-    /// Deprecated alias for [`Driver::compile_resilient`].
-    ///
-    /// # Errors
-    /// As [`Driver::compile_resilient`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Driver::compile_resilient(func, telemetry)`"
-    )]
-    pub fn compile_resilient_with(
-        &self,
-        func: &Function,
-        telemetry: &dyn Telemetry,
-    ) -> Result<CompileResult, ParschedError> {
-        self.compile_resilient(func, telemetry)
-    }
-
     /// [`Driver::compile_resilient`] running inside a caller-owned
     /// [`AllocSession`] (see [`Pipeline::compile_budgeted_in`]); the batch
     /// driver gives each worker one session reused across its whole stripe
@@ -201,6 +185,13 @@ impl Driver {
         for (rung, strategy) in self.ladder.iter().enumerate() {
             if self.budget.deadline_passed() {
                 // No rung can beat a clock that has already run out.
+                quiet_telemetry(telemetry, |t| {
+                    t.counter("driver.fallback.budget", 1);
+                    t.event(
+                        "driver.budget",
+                        &format!("{}: deadline passed before rung {}", func.name(), rung),
+                    );
+                });
                 return Err(first_err.unwrap_or(ParschedError::BudgetExceeded {
                     phase: "driver.deadline",
                     limit: 0,

@@ -232,23 +232,6 @@ impl Pipeline {
         self.compile_budgeted(func, strategy, &Budget::unlimited(), telemetry)
     }
 
-    /// Deprecated alias for [`Pipeline::compile`].
-    ///
-    /// # Errors
-    /// Same contract as [`Pipeline::compile`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Pipeline::compile(func, strategy, telemetry)`"
-    )]
-    pub fn compile_with(
-        &self,
-        func: &Function,
-        strategy: &Strategy,
-        telemetry: &dyn Telemetry,
-    ) -> Result<CompileResult, PipelineError> {
-        self.compile(func, strategy, telemetry)
-    }
-
     /// [`Pipeline::compile`] under a resource [`Budget`].
     ///
     /// Budget caps are checked at the super-linear choke points (PIG
@@ -416,22 +399,6 @@ impl Pipeline {
             *out.block_mut(BlockId(b)) = schedule.linearize(block);
         }
         Ok((out, cycles))
-    }
-
-    /// Deprecated alias for [`Pipeline::schedule_blocks_measured`].
-    ///
-    /// # Errors
-    /// As [`Pipeline::schedule_blocks_measured`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Pipeline::schedule_blocks_measured(func, telemetry)`"
-    )]
-    pub fn schedule_blocks_measured_with(
-        &self,
-        func: &Function,
-        telemetry: &dyn Telemetry,
-    ) -> Result<(Function, Vec<u32>), SchedError> {
-        self.schedule_blocks_measured(func, telemetry)
     }
 
     fn allocate(

@@ -186,41 +186,6 @@ pub fn allocate_single_block(
     allocate_single_block_in(&mut session, func, machine, strategy, limits, telemetry)
 }
 
-/// Deprecated alias for [`allocate_single_block`] with default limits.
-///
-/// # Errors
-/// Same contract as [`allocate_single_block`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `allocate_single_block(func, machine, strategy, limits, telemetry)`"
-)]
-pub fn allocate_single_block_with(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: BlockStrategy,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<BlockAllocation, AllocError> {
-    allocate_single_block(func, machine, strategy, &AllocLimits::default(), telemetry)
-}
-
-/// Deprecated alias for [`allocate_single_block`].
-///
-/// # Errors
-/// Same contract as [`allocate_single_block`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `allocate_single_block(func, machine, strategy, limits, telemetry)`"
-)]
-pub fn allocate_single_block_limited(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: BlockStrategy,
-    limits: &AllocLimits,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<BlockAllocation, AllocError> {
-    allocate_single_block(func, machine, strategy, limits, telemetry)
-}
-
 /// [`allocate_single_block`] running inside a caller-owned
 /// [`AllocSession`], so the dependence graph and transitive closure persist
 /// across spill rounds (updated incrementally, not rebuilt) and warm
@@ -251,7 +216,10 @@ pub fn allocate_single_block_in(
         if cfg.ep_prepass {
             let _span = parsched_telemetry::span(telemetry, "alloc.ep_prepass");
             let deps = DepGraph::build(current.block(block_id), telemetry);
-            let reordered = ep_reorder(current.block(block_id), &deps, machine)?;
+            let reordered = {
+                let _span = parsched_telemetry::span(telemetry, "ep.reorder");
+                ep_reorder(current.block(block_id), &deps, machine)?
+            };
             *current.block_mut(block_id) = reordered;
         }
     }
@@ -265,6 +233,10 @@ pub fn allocate_single_block_in(
     let mut removed_false_edges = 0usize;
     let mut inserted_mem_ops = 0usize;
     let mut next_slot: i64 = 0;
+    // Per-block profile data for the hotspot report (`psc --profile`);
+    // gathered only when a sink is recording.
+    let block_start = telemetry.enabled().then(std::time::Instant::now);
+    let mut last_pig_edges: u64 = 0;
     // SpillAll must not pick the same value twice: a spilled definition
     // keeps its register name (def + store), so filtering on the id alone
     // would re-spill it every round.
@@ -323,15 +295,19 @@ pub fn allocate_single_block_in(
                         Pig::build(&problem, &deps, machine, telemetry)
                     }
                 };
-                limits.check_pig_edges("pig.edges", pig.graph().edge_count() as u64)?;
-                let priority: Vec<u32> = match session.deps() {
-                    Some(deps) => {
-                        let heights = deps.heights(machine)?;
-                        (0..problem.len())
-                            .map(|n| problem.def_site(n).map_or(0, |i| heights[i]))
-                            .collect()
+                last_pig_edges = pig.graph().edge_count() as u64;
+                limits.check_pig_edges("pig.edges", last_pig_edges)?;
+                let priority: Vec<u32> = {
+                    let _span = parsched_telemetry::span(telemetry, "alloc.heights");
+                    match session.deps() {
+                        Some(deps) => {
+                            let heights = deps.heights(machine)?;
+                            (0..problem.len())
+                                .map(|n| problem.def_site(n).map_or(0, |i| heights[i]))
+                                .collect()
+                        }
+                        None => vec![0; problem.len()],
                     }
-                    None => vec![0; problem.len()],
                 };
                 let out =
                     crate::combined::combined_color(&pig, k, &costs, &priority, cfg, telemetry);
@@ -361,16 +337,32 @@ pub fn allocate_single_block_in(
         removed_false_edges += removed.len();
 
         if spills.is_empty() {
+            let apply_span = parsched_telemetry::span(telemetry, "alloc.apply");
             let allocated = apply_coloring(&current, &problem, &colors);
             check_function_allocation(&current, &allocated, &problem, &colors)
                 .map_err(AllocError::Invalid)?;
             let colors_used = colors.iter().map(|&c| c + 1).max().unwrap_or(0);
+            drop(apply_span);
             drop(round_span);
             if telemetry.enabled() {
                 telemetry.counter("alloc.rounds", round as u64);
                 telemetry.counter("alloc.spilled_values", spilled_values as u64);
                 telemetry.counter("alloc.removed_false_edges", removed_false_edges as u64);
                 telemetry.counter("alloc.inserted_mem_ops", inserted_mem_ops as u64);
+                let wall_ns = block_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                telemetry.hist("alloc.block_ns", wall_ns);
+                telemetry.event(
+                    "profile.block",
+                    &format!(
+                        "func={} insts={} pig_edges={} rounds={} spilled={} wall_ns={}",
+                        func.name(),
+                        func.block(block_id).body().len(),
+                        last_pig_edges,
+                        round,
+                        spilled_values,
+                        wall_ns
+                    ),
+                );
             }
             // The reference (pre-spill, post-prepass) function is what the
             // caller compares schedules against; return the allocated form.

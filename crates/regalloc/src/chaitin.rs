@@ -51,17 +51,6 @@ pub fn chaitin_color(
     color_with_spill_metric(g, k, costs, h, telemetry)
 }
 
-/// Deprecated alias for [`chaitin_color`].
-#[deprecated(since = "0.1.0", note = "use `chaitin_color(g, k, costs, telemetry)`")]
-pub fn chaitin_color_with(
-    g: &UnGraph,
-    k: u32,
-    costs: &[f64],
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> ColorOutcome {
-    chaitin_color(g, k, costs, telemetry)
-}
-
 /// Generalized Chaitin coloring with a custom spill metric: when no node is
 /// simplifiable, the node minimizing `metric(graph, node, current_degree)`
 /// is removed as a spill candidate. Statistics go to `telemetry` (see
@@ -137,24 +126,6 @@ pub fn color_with_spill_metric(
         telemetry.counter("chaitin.spilled", spilled.len() as u64);
     }
     ColorOutcome { colors, spilled }
-}
-
-/// Deprecated alias for [`color_with_spill_metric`].
-///
-/// # Panics
-/// Panics if `costs.len() != g.node_count()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `color_with_spill_metric(g, k, costs, metric, telemetry)`"
-)]
-pub fn color_with_spill_metric_with(
-    g: &UnGraph,
-    k: u32,
-    costs: &[f64],
-    metric: impl Fn(&UnGraph, usize, usize) -> f64,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> ColorOutcome {
-    color_with_spill_metric(g, k, costs, metric, telemetry)
 }
 
 #[cfg(test)]

@@ -326,25 +326,6 @@ pub fn combined_color(
     }
 }
 
-/// Deprecated alias for [`combined_color`].
-///
-/// # Panics
-/// Panics if `costs` or `priority` lengths differ from the node count.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `combined_color(pig, k, costs, priority, config, telemetry)`"
-)]
-pub fn combined_color_with(
-    pig: &Pig,
-    k: u32,
-    costs: &[f64],
-    priority: &[u32],
-    config: &PinterConfig,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> CombinedOutcome {
-    combined_color(pig, k, costs, priority, config, telemetry)
-}
-
 /// Marks `v` dead and repairs its alive neighbors' split degree counters.
 /// Adjacency rows are left intact: the select phase needs the surviving
 /// edge set over *all* nodes.

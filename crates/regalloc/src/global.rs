@@ -708,50 +708,6 @@ pub fn allocate_global(
     Err(GlobalAllocError::TooManyRounds { limit: max_rounds })
 }
 
-/// Deprecated alias for [`allocate_global`] with default limits.
-///
-/// # Errors
-/// Same contract as [`allocate_global`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `allocate_global(func, machine, strategy, coalesce, limits, telemetry)`"
-)]
-pub fn allocate_global_with(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: GlobalStrategy,
-    coalesce: bool,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<GlobalAllocation, GlobalAllocError> {
-    allocate_global(
-        func,
-        machine,
-        strategy,
-        coalesce,
-        &crate::limits::AllocLimits::default(),
-        telemetry,
-    )
-}
-
-/// Deprecated alias for [`allocate_global`].
-///
-/// # Errors
-/// Same contract as [`allocate_global`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `allocate_global(func, machine, strategy, coalesce, limits, telemetry)`"
-)]
-pub fn allocate_global_limited(
-    func: &Function,
-    machine: &MachineDesc,
-    strategy: GlobalStrategy,
-    coalesce: bool,
-    limits: &crate::limits::AllocLimits,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<GlobalAllocation, GlobalAllocError> {
-    allocate_global(func, machine, strategy, coalesce, limits, telemetry)
-}
-
 /// Rewrites every register reference through its web's color: definitions
 /// by their own web, uses by the web of their reaching definition.
 fn rewrite_with_webs(func: &Function, problem: &GlobalAllocProblem, colors: &[u32]) -> Function {

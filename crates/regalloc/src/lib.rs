@@ -40,8 +40,6 @@ pub mod spill;
 pub use allocator::{
     allocate_single_block, allocate_single_block_in, AllocError, BlockAllocation, BlockStrategy,
 };
-#[allow(deprecated)]
-pub use allocator::{allocate_single_block_limited, allocate_single_block_with};
 pub use combined::{EdgeRemovalPolicy, PinterConfig, SpillMetric};
 pub use limits::{AllocLimits, BudgetExceeded, DEFAULT_MAX_ROUNDS};
 pub use pig::{AugmentedPig, Pig};

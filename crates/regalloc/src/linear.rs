@@ -84,22 +84,6 @@ pub fn linear_scan_color(
     out
 }
 
-/// Deprecated alias for [`linear_scan_color`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `linear_scan_color(func, block_id, problem, liveness, k, telemetry)`"
-)]
-pub fn linear_scan_color_with(
-    func: &Function,
-    block_id: BlockId,
-    problem: &BlockAllocProblem,
-    liveness: &Liveness,
-    k: u32,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> ColorOutcome {
-    linear_scan_color(func, block_id, problem, liveness, k, telemetry)
-}
-
 fn linear_scan_color_impl(
     func: &Function,
     block_id: BlockId,

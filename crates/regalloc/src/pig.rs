@@ -79,20 +79,6 @@ impl Pig {
         pig
     }
 
-    /// Deprecated alias for [`Pig::build`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Pig::build(problem, deps, machine, telemetry)`"
-    )]
-    pub fn build_with(
-        problem: &BlockAllocProblem,
-        deps: &DepGraph,
-        machine: &MachineDesc,
-        telemetry: &dyn parsched_telemetry::Telemetry,
-    ) -> Pig {
-        Self::build(problem, deps, machine, telemetry)
-    }
-
     pub(crate) fn report(&self, n: usize, telemetry: &dyn parsched_telemetry::Telemetry) {
         if telemetry.enabled() {
             telemetry.counter("pig.nodes", n as u64);

@@ -147,6 +147,7 @@ impl AllocSession {
         // store forward reachability, so fold in the transpose.
         let tclosure = closure.transposed();
 
+        let _ef_span = parsched_telemetry::span(telemetry, "pig.ef_rows");
         let mut false_edges = UnGraph::new(problem.len());
         for i in def_mask.iter() {
             // ef_row(i) = defs \ reach(i) \ reach⁻¹(i) \ conflicts(i) \ {i}

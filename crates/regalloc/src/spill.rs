@@ -129,25 +129,6 @@ pub fn insert_spill_code(
     )
 }
 
-/// Deprecated alias for [`insert_spill_code`] (drops the [`BlockRemap`]).
-///
-/// # Panics
-/// Panics if a spilled register is not symbolic.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `insert_spill_code(func, block_id, spills, next_slot, telemetry)`"
-)]
-pub fn insert_spill_code_with(
-    func: &Function,
-    block_id: BlockId,
-    spills: &[Reg],
-    next_slot: &mut i64,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> (Function, usize) {
-    let (func, inserted, _) = insert_spill_code(func, block_id, spills, next_slot, telemetry);
-    (func, inserted)
-}
-
 fn spill_addr(slot: i64) -> MemAddr {
     MemAddr::global(SPILL_REGION, slot * 8)
 }

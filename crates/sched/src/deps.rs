@@ -130,12 +130,6 @@ impl DepGraph {
         deps
     }
 
-    /// Deprecated alias for [`DepGraph::build`].
-    #[deprecated(since = "0.1.0", note = "use `DepGraph::build(block, telemetry)`")]
-    pub fn build_with(block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) -> DepGraph {
-        Self::build(block, telemetry)
-    }
-
     fn build_impl(block: &Block) -> DepGraph {
         let body = block.body();
         let n = body.len();

@@ -54,16 +54,6 @@ pub fn et_graph(
     et
 }
 
-/// Deprecated alias for [`et_graph`].
-#[deprecated(since = "0.1.0", note = "use `et_graph(deps, machine, telemetry)`")]
-pub fn et_graph_with(
-    deps: &DepGraph,
-    machine: &MachineDesc,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> UnGraph {
-    et_graph(deps, machine, telemetry)
-}
-
 /// Builds the false-dependence graph `Ef`: the complement of [`et_graph`].
 /// Its edges are exactly the instruction pairs that can issue in the same
 /// cycle given the symbolic code and the machine.
@@ -98,19 +88,6 @@ pub fn false_dependence_graph(
         telemetry.counter("ef.edges", ef.edge_count() as u64);
     }
     ef
-}
-
-/// Deprecated alias for [`false_dependence_graph`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `false_dependence_graph(deps, machine, telemetry)`"
-)]
-pub fn false_dependence_graph_with(
-    deps: &DepGraph,
-    machine: &MachineDesc,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> UnGraph {
-    false_dependence_graph(deps, machine, telemetry)
 }
 
 /// Returns the register output-dependence edges of `alloc_deps` (the

@@ -35,7 +35,5 @@ mod session;
 
 pub use deps::{op_class, DepEdge, DepGraph, DepKind};
 pub use list::{list_schedule, SchedPriority};
-#[allow(deprecated)]
-pub use list::{list_schedule_traced, list_schedule_with};
 pub use schedule::{BlockSchedule, SchedError, ScheduleError};
 pub use session::{BlockRemap, SchedSession};

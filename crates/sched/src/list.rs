@@ -75,49 +75,6 @@ pub fn list_schedule(
     schedule_impl(block, deps, machine, priority, telemetry)
 }
 
-/// Deprecated alias for [`list_schedule`].
-///
-/// # Errors
-/// Returns [`SchedError`] on a cyclic dependence graph or if the produced
-/// schedule fails validation.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `list_schedule(block, deps, machine, priority, telemetry)`"
-)]
-pub fn list_schedule_with(
-    block: &Block,
-    deps: &DepGraph,
-    machine: &MachineDesc,
-    priority: SchedPriority,
-) -> Result<BlockSchedule, SchedError> {
-    schedule_impl(
-        block,
-        deps,
-        machine,
-        priority,
-        &parsched_telemetry::NullTelemetry,
-    )
-}
-
-/// Deprecated alias for [`list_schedule`].
-///
-/// # Errors
-/// Returns [`SchedError`] on a cyclic dependence graph or if the produced
-/// schedule fails validation.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `list_schedule(block, deps, machine, priority, telemetry)`"
-)]
-pub fn list_schedule_traced(
-    block: &Block,
-    deps: &DepGraph,
-    machine: &MachineDesc,
-    priority: SchedPriority,
-    telemetry: &dyn parsched_telemetry::Telemetry,
-) -> Result<BlockSchedule, SchedError> {
-    schedule_impl(block, deps, machine, priority, telemetry)
-}
-
 fn schedule_impl(
     block: &Block,
     deps: &DepGraph,
@@ -125,6 +82,7 @@ fn schedule_impl(
     priority: SchedPriority,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> Result<BlockSchedule, SchedError> {
+    let _span = parsched_telemetry::span(telemetry, "sched.list");
     let n = deps.len();
     let heights: Vec<u32> = match priority {
         SchedPriority::CriticalPath => deps.heights(machine)?,

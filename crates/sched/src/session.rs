@@ -112,7 +112,10 @@ impl SchedSession {
     /// fresh block (and the reset between functions).
     pub fn build(&mut self, block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) {
         let deps = DepGraph::build(block, telemetry);
-        self.closure = deps.graph().reachability();
+        {
+            let _s = parsched_telemetry::span(telemetry, "closure.build");
+            self.closure = deps.graph().reachability();
+        }
         let n = deps.len();
         self.changed = BitSet::new(n);
         self.changed.fill();
@@ -151,7 +154,10 @@ impl SchedSession {
         let order = match deps.graph().topological_sort() {
             Ok(o) => o,
             Err(_) => {
-                self.closure = deps.graph().reachability();
+                {
+                    let _s = parsched_telemetry::span(telemetry, "closure.build");
+                    self.closure = deps.graph().reachability();
+                }
                 self.changed = BitSet::new(n);
                 self.changed.fill();
                 self.deps = Some(deps);
@@ -172,6 +178,7 @@ impl SchedSession {
         let mut changed = BitSet::new(n);
         let mut dirty_rows: u64 = 0;
         self.scratch = BitSet::new(n);
+        let _closure_span = parsched_telemetry::span(telemetry, "closure.build");
 
         for &u in order.iter().rev() {
             let old_u = old_of[u];

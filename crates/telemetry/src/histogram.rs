@@ -1,0 +1,224 @@
+//! Log-bucketed histograms with percentile readout.
+//!
+//! [`Histogram`] is a fixed-size, zero-dependency value recorder in the
+//! HdrHistogram family: values are bucketed by octave (power of two), with
+//! [`SUB_BITS`] sub-buckets per octave, giving a bounded relative error of
+//! `1 / 2^SUB_BITS` (12.5%) at every magnitude while using a constant
+//! `BUCKETS`-slot table regardless of the value range. That makes it cheap
+//! enough to keep one histogram per span name and per worker thread, and —
+//! because buckets are positional — two histograms merge by element-wise
+//! addition, so a merge of per-worker histograms is *exactly* equal to the
+//! histogram a single shared recorder would have produced.
+
+/// Number of sub-bucket bits per octave (8 sub-buckets → ≤12.5% rel. error).
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+const SUB_MASK: u64 = (SUB_COUNT as u64) - 1;
+/// Total bucket count: values `0..SUB_COUNT` get exact unit buckets, then
+/// each of the remaining `64 - SUB_BITS` octaves gets `SUB_COUNT` buckets.
+const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// Fixed-memory log-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    // exp = position of the highest set bit; v >= SUB_COUNT so exp >= SUB_BITS.
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v >> (exp - SUB_BITS)) & SUB_MASK) as usize;
+    let octave = (exp - SUB_BITS + 1) as usize;
+    octave * SUB_COUNT + sub
+}
+
+/// Smallest value that lands in bucket `idx` (inverse of [`bucket_index`]).
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUB_COUNT {
+        return idx as u64;
+    }
+    let octave = (idx / SUB_COUNT) as u32; // >= 1
+    let sub = (idx % SUB_COUNT) as u64;
+    (SUB_COUNT as u64 + sub) << (octave - 1)
+}
+
+/// Largest value that lands in bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(idx + 1) - 1
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, rounded down (`None` when empty).
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| (self.sum / self.count as u128) as u64)
+    }
+
+    /// Value at percentile `p` (0.0–100.0): the midpoint of the bucket
+    /// holding the `ceil(p/100 · count)`-th smallest sample, clamped to the
+    /// exact observed `[min, max]`. `None` when empty. Accurate to the
+    /// bucket's ≤12.5% relative width.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let lo = bucket_lower(idx);
+                let hi = bucket_upper(idx).min(self.max);
+                let mid = lo + (hi.saturating_sub(lo)) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Element-wise merge: after this call `self` holds exactly the samples
+    /// of both histograms, bit-identical to recording them all into one.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(7));
+        // Unit buckets below SUB_COUNT: percentiles are exact.
+        assert_eq!(h.percentile(100.0), Some(7));
+        assert_eq!(h.percentile(12.5), Some(0));
+    }
+
+    #[test]
+    fn bucket_round_trip_contains_value() {
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            for probe in [v, v + 1, v.saturating_mul(2).saturating_sub(1)] {
+                let idx = bucket_index(probe);
+                assert!(bucket_lower(idx) <= probe, "lower({idx}) > {probe}");
+                assert!(probe <= bucket_upper(idx), "upper({idx}) < {probe}");
+            }
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        // Bucket lower bounds are strictly increasing with the index.
+        for idx in 1..BUCKETS {
+            assert!(bucket_lower(idx) > bucket_lower(idx - 1), "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn percentile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (0..1000u64).map(|i| 1000 + i * 997).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [50.0, 90.0, 99.0] {
+            let exact = values[((p / 100.0 * values.len() as f64).ceil() as usize - 1).min(999)];
+            let est = h.percentile(p).unwrap_or(0);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.125, "p{p}: est {est} vs exact {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let samples: Vec<u64> = (0..500u64).map(|i| i * i + 3).collect();
+        let mut ground = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            ground.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a, ground);
+    }
+
+    #[test]
+    fn empty_histogram_yields_none() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+}

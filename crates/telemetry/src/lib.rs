@@ -26,8 +26,23 @@
 //! with `cargo build --offline` on a machine with an empty registry cache.
 
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+mod flight;
+mod histogram;
+mod profile;
+
+pub use flight::{FlightEntry, FlightKind, FlightRecorder};
+pub use histogram::Histogram;
+pub use profile::{fmt_ns, PhaseNode, PhaseTree};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Telemetry is observability plumbing: a sink must never turn one pass
+/// panic (already caught by the resilience ladder) into a second.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Sink for pipeline instrumentation. Object-safe: passes hold a
 /// `&dyn Telemetry` and all methods take `&self` (sinks use interior
@@ -54,6 +69,12 @@ pub trait Telemetry {
 
     /// Record an instant annotation.
     fn event(&self, name: &str, detail: &str);
+
+    /// Record one sample into the log-bucketed histogram `name`
+    /// (see [`Histogram`]). Sinks without distribution tracking ignore it.
+    fn hist(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
 }
 
 /// RAII guard returned by [`span`]: closes the phase on drop, so early
@@ -94,6 +115,11 @@ impl Telemetry for NullTelemetry {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     pub name: String,
+    /// `/`-joined names of the ancestor spans open when this span closed
+    /// (empty for top-level spans). Unlike `depth`, the path survives
+    /// [`Recorder::merge_from`] intact, so hierarchical aggregation
+    /// ([`PhaseTree`]) stays correct across merged per-worker recorders.
+    pub path: String,
     /// Nesting depth at the time the span was open (outermost = 0).
     pub depth: usize,
     /// Start offset from the recorder's epoch, in nanoseconds.
@@ -119,6 +145,7 @@ struct RecorderState {
     counters: std::collections::BTreeMap<String, u64>,
     gauges: std::collections::BTreeMap<String, u64>,
     events: Vec<EventRecord>,
+    histograms: std::collections::BTreeMap<String, Histogram>,
     /// Mismatched `phase_end` calls (name expected, name got).
     errors: Vec<(String, String)>,
 }
@@ -151,65 +178,57 @@ impl Recorder {
 
     /// All closed spans, in the order they *ended*.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.state.lock().unwrap().spans.clone()
+        locked(&self.state).spans.clone()
     }
 
     /// Names of spans still open (empty after a well-formed run).
     pub fn open_spans(&self) -> Vec<String> {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         st.open.iter().map(|(n, _)| n.clone()).collect()
     }
 
     /// Mismatched `phase_end` calls observed: `(expected, got)` pairs.
     /// Empty iff every `phase_end` matched the innermost open span.
     pub fn nesting_errors(&self) -> Vec<(String, String)> {
-        self.state.lock().unwrap().errors.clone()
+        locked(&self.state).errors.clone()
     }
 
     /// `true` iff all spans closed, in LIFO order, with matching names.
     pub fn nesting_well_formed(&self) -> bool {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         st.open.is_empty() && st.errors.is_empty()
     }
 
     /// Value of an additive counter (0 if never incremented).
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.state
-            .lock()
-            .unwrap()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        locked(&self.state).counters.get(name).copied().unwrap_or(0)
     }
 
     /// Maximum value recorded for a gauge (`None` if never set).
     pub fn gauge_value(&self, name: &str) -> Option<u64> {
-        self.state.lock().unwrap().gauges.get(name).copied()
+        locked(&self.state).gauges.get(name).copied()
     }
 
     /// Snapshot of all counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Snapshot of all gauges (max values), sorted by name.
     pub fn gauges(&self) -> Vec<(String, u64)> {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// All instant events in order.
     pub fn events(&self) -> Vec<EventRecord> {
-        self.state.lock().unwrap().events.clone()
+        locked(&self.state).events.clone()
     }
 
     /// Number of closed spans named `name`.
     pub fn span_count(&self, name: &str) -> usize {
-        self.state
-            .lock()
-            .unwrap()
+        locked(&self.state)
             .spans
             .iter()
             .filter(|s| s.name == name)
@@ -221,7 +240,7 @@ impl Recorder {
     /// have larger depth. For the common case of non-recursive phases this is
     /// simply the sum of all spans with that name.
     pub fn total_ns(&self, name: &str) -> u128 {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         let min_depth = st
             .spans
             .iter()
@@ -264,17 +283,18 @@ impl Recorder {
     pub fn merge_from(&self, other: &Recorder) {
         // Snapshot `other` first: taking both locks at once could deadlock
         // if two recorders ever merged into each other concurrently.
-        let (spans, counters, gauges, events, errors) = {
-            let st = other.state.lock().unwrap();
+        let (spans, counters, gauges, events, histograms, errors) = {
+            let st = locked(&other.state);
             (
                 st.spans.clone(),
                 st.counters.clone(),
                 st.gauges.clone(),
                 st.events.clone(),
+                st.histograms.clone(),
                 st.errors.clone(),
             )
         };
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.spans.extend(spans);
         for (name, value) in counters {
             *st.counters.entry(name).or_insert(0) += value;
@@ -284,14 +304,33 @@ impl Recorder {
             *slot = (*slot).max(value);
         }
         st.events.extend(events);
+        for (name, h) in histograms {
+            st.histograms.entry(name).or_default().merge_from(&h);
+        }
         st.errors.extend(errors);
+    }
+
+    /// Snapshot of the histogram named `name` (`None` if nothing recorded).
+    /// Every closed span contributes its duration (ns) to the histogram of
+    /// its own name, in addition to explicit [`Telemetry::hist`] samples.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        locked(&self.state).histograms.get(name).cloned()
+    }
+
+    /// Snapshot of all histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        let st = locked(&self.state);
+        st.histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Per-phase totals `(name, total_ns)` for every distinct span name,
     /// sorted by name.
     pub fn phase_totals(&self) -> Vec<(String, u128)> {
         let names: std::collections::BTreeSet<String> = {
-            let st = self.state.lock().unwrap();
+            let st = locked(&self.state);
             st.spans.iter().map(|s| s.name.clone()).collect()
         };
         names
@@ -307,21 +346,35 @@ impl Recorder {
 impl Telemetry for Recorder {
     fn phase_start(&self, name: &str) {
         let t = self.now_ns();
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.open.push((name.to_string(), t));
     }
 
     fn phase_end(&self, name: &str) {
         let t = self.now_ns();
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         match st.open.pop() {
             Some((open_name, start)) if open_name == name => {
                 let depth = st.open.len();
+                let path = st
+                    .open
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let duration_ns = t.saturating_sub(start);
+                // Every span feeds a same-named duration histogram, so
+                // per-phase p50/p90/p99 come for free with recording on.
+                st.histograms
+                    .entry(open_name.clone())
+                    .or_default()
+                    .record(duration_ns.min(u64::MAX as u128) as u64);
                 st.spans.push(SpanRecord {
                     name: open_name,
+                    path,
                     depth,
                     start_ns: start,
-                    duration_ns: t.saturating_sub(start),
+                    duration_ns,
                 });
             }
             Some((open_name, start)) => {
@@ -336,24 +389,32 @@ impl Telemetry for Recorder {
     }
 
     fn counter(&self, name: &str, value: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         *st.counters.entry(name.to_string()).or_insert(0) += value;
     }
 
     fn gauge(&self, name: &str, value: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         let slot = st.gauges.entry(name.to_string()).or_insert(0);
         *slot = (*slot).max(value);
     }
 
     fn event(&self, name: &str, detail: &str) {
         let t = self.now_ns();
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.events.push(EventRecord {
             name: name.to_string(),
             detail: detail.to_string(),
             at_ns: t,
         });
+    }
+
+    fn hist(&self, name: &str, value: u64) {
+        let mut st = locked(&self.state);
+        st.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     }
 }
 
@@ -393,7 +454,7 @@ impl ChromeTraceSink {
 
     /// Render the complete `{"traceEvents": [...]}` document.
     pub fn render(&self) -> String {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         let mut out = String::from("{\"traceEvents\":[\n");
         for (i, e) in st.entries.iter().enumerate() {
             out.push_str(e);
@@ -412,20 +473,20 @@ impl ChromeTraceSink {
     }
 
     fn push(&self, entry: String) {
-        self.state.lock().unwrap().entries.push(entry);
+        locked(&self.state).entries.push(entry);
     }
 }
 
 impl Telemetry for ChromeTraceSink {
     fn phase_start(&self, name: &str) {
         let t = self.now_us();
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.open.push((name.to_string(), t));
     }
 
     fn phase_end(&self, name: &str) {
         let t = self.now_us();
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         if let Some(pos) = st.open.iter().rposition(|(n, _)| n == name) {
             let (n, start) = st.open.remove(pos);
             let mut e = String::new();
@@ -511,6 +572,60 @@ impl Telemetry for Fanout<'_> {
     fn event(&self, name: &str, detail: &str) {
         for s in &self.sinks {
             s.event(name, detail);
+        }
+    }
+    fn hist(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.hist(name, value);
+        }
+    }
+}
+
+/// [`Fanout`] over `Sync` sinks: usable as the shared sink of a parallel
+/// driver (`&(dyn Telemetry + Sync)`), which the reference-based [`Fanout`]
+/// cannot guarantee.
+pub struct SyncFanout<'a> {
+    sinks: Vec<&'a (dyn Telemetry + Sync)>,
+}
+
+impl<'a> SyncFanout<'a> {
+    pub fn new(sinks: Vec<&'a (dyn Telemetry + Sync)>) -> Self {
+        SyncFanout { sinks }
+    }
+}
+
+impl Telemetry for SyncFanout<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+    fn phase_start(&self, name: &str) {
+        for s in &self.sinks {
+            s.phase_start(name);
+        }
+    }
+    fn phase_end(&self, name: &str) {
+        for s in &self.sinks {
+            s.phase_end(name);
+        }
+    }
+    fn counter(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.counter(name, value);
+        }
+    }
+    fn gauge(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.gauge(name, value);
+        }
+    }
+    fn event(&self, name: &str, detail: &str) {
+        for s in &self.sinks {
+            s.event(name, detail);
+        }
+    }
+    fn hist(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.hist(name, value);
         }
     }
 }
@@ -681,6 +796,56 @@ mod tests {
 
         let only_null = Fanout::new(vec![&null]);
         assert!(!only_null.enabled());
+    }
+
+    #[test]
+    fn spans_record_ancestor_paths() {
+        let r = Recorder::new();
+        {
+            let _a = span(&r, "compile");
+            {
+                let _b = span(&r, "alloc");
+                let _c = span(&r, "color");
+            }
+        }
+        let spans = r.spans();
+        assert_eq!(spans[0].name, "color");
+        assert_eq!(spans[0].path, "compile/alloc");
+        assert_eq!(spans[1].path, "compile");
+        assert_eq!(spans[2].path, "");
+    }
+
+    #[test]
+    fn spans_feed_duration_histograms() {
+        let r = Recorder::new();
+        for _ in 0..3 {
+            drop(span(&r, "phase"));
+        }
+        r.hist("explicit", 42);
+        assert_eq!(r.histogram("phase").map(|h| h.count()), Some(3));
+        let Some(e) = r.histogram("explicit") else {
+            unreachable!("explicit histogram was recorded above")
+        };
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.percentile(50.0), Some(42));
+    }
+
+    #[test]
+    fn merge_from_merges_histograms() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let ground = Recorder::new();
+        for v in [1u64, 5, 9] {
+            a.hist("lat", v);
+            ground.hist("lat", v);
+        }
+        for v in [2u64, 900, 7] {
+            b.hist("lat", v);
+            ground.hist("lat", v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.histogram("lat"), ground.histogram("lat"));
+        assert_eq!(a.histogram("lat").map(|h| h.count()), Some(6));
     }
 
     #[test]

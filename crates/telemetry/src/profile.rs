@@ -1,0 +1,271 @@
+//! Hierarchical phase-time aggregation over recorded spans.
+//!
+//! A [`Recorder`](crate::Recorder) stores each closed span together with the
+//! `/`-joined names of its ancestors ([`SpanRecord::path`]). Grouping spans
+//! by that full path reconstructs the phase *tree* even after per-worker
+//! recorders have been merged — sibling spans from different workers land in
+//! the same node, while identically-named spans under different parents stay
+//! apart. [`PhaseTree`] aggregates total and self time per node and renders
+//! the indented table behind `psc --profile`.
+
+use crate::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One node of the aggregated phase tree.
+#[derive(Debug, Clone)]
+pub struct PhaseNode {
+    /// Full `/`-joined path, e.g. `pipeline.compile/pipeline.allocate`.
+    pub path: String,
+    /// Leaf name (last path segment).
+    pub name: String,
+    /// Number of spans aggregated into this node.
+    pub count: u64,
+    /// Total wall time across all spans at this path, in nanoseconds.
+    pub total_ns: u128,
+    /// Total minus the totals of all direct children (time spent in this
+    /// phase itself rather than in an instrumented sub-phase).
+    pub self_ns: u128,
+    /// Indices (into [`PhaseTree::nodes`]) of direct children.
+    pub children: Vec<usize>,
+}
+
+/// Aggregated phase tree; `roots`/`children` index into `nodes`.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTree {
+    pub nodes: Vec<PhaseNode>,
+    pub roots: Vec<usize>,
+}
+
+impl PhaseTree {
+    /// Builds the tree from closed spans (e.g. [`Recorder::spans`]).
+    ///
+    /// [`Recorder::spans`]: crate::Recorder::spans
+    pub fn build(spans: &[SpanRecord]) -> PhaseTree {
+        // Aggregate by full path.
+        let mut totals: BTreeMap<String, (u64, u128)> = BTreeMap::new();
+        for s in spans {
+            let full = if s.path.is_empty() {
+                s.name.clone()
+            } else {
+                format!("{}/{}", s.path, s.name)
+            };
+            let slot = totals.entry(full).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += s.duration_ns;
+        }
+        // Materialise nodes; BTreeMap order guarantees parents sort before
+        // children ('/' sorts below alphanumerics is irrelevant here — we
+        // look parents up by exact path, inserting placeholders if a parent
+        // path never closed a span of its own).
+        let mut tree = PhaseTree::default();
+        let mut index_of: BTreeMap<String, usize> = BTreeMap::new();
+        for (path, (count, total)) in totals {
+            tree.insert(&path, count, total, &mut index_of);
+        }
+        // Self time: total minus direct children.
+        for i in 0..tree.nodes.len() {
+            let child_total: u128 = tree.nodes[i]
+                .children
+                .iter()
+                .map(|&c| tree.nodes[c].total_ns)
+                .sum();
+            tree.nodes[i].self_ns = tree.nodes[i].total_ns.saturating_sub(child_total);
+        }
+        tree
+    }
+
+    fn insert(
+        &mut self,
+        path: &str,
+        count: u64,
+        total: u128,
+        index_of: &mut BTreeMap<String, usize>,
+    ) -> usize {
+        if let Some(&i) = index_of.get(path) {
+            self.nodes[i].count += count;
+            self.nodes[i].total_ns += total;
+            return i;
+        }
+        let (parent, name) = match path.rfind('/') {
+            Some(pos) => (Some(&path[..pos]), &path[pos + 1..]),
+            None => (None, path),
+        };
+        let node = PhaseNode {
+            path: path.to_string(),
+            name: name.to_string(),
+            count,
+            total_ns: total,
+            self_ns: 0,
+            children: Vec::new(),
+        };
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        index_of.insert(path.to_string(), idx);
+        match parent {
+            // A parent that never closed its own span still gets a node so
+            // the hierarchy stays connected (count 0, total 0).
+            Some(p) => {
+                let pi = self.insert(p, 0, 0, index_of);
+                self.nodes[pi].children.push(idx);
+            }
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    /// Total wall time across root phases (the denominator for
+    /// [`attributed_fraction`](PhaseTree::attributed_fraction)).
+    pub fn root_total_ns(&self) -> u128 {
+        self.roots.iter().map(|&r| self.nodes[r].total_ns).sum()
+    }
+
+    /// Fraction of root wall time attributed to *instrumented sub-phases*:
+    /// 1 minus the self-time of every node that has children, over the root
+    /// total. 1.0 means every nanosecond of the roots is inside a leaf span.
+    pub fn attributed_fraction(&self) -> f64 {
+        let root = self.root_total_ns();
+        if root == 0 {
+            return 1.0;
+        }
+        let unattributed: u128 = self
+            .nodes
+            .iter()
+            .filter(|n| !n.children.is_empty())
+            .map(|n| n.self_ns)
+            .sum();
+        1.0 - (unattributed as f64 / root as f64)
+    }
+
+    /// Renders the indented phase table. Children are sorted by descending
+    /// total time; percentages are relative to the root total.
+    pub fn render(&self) -> String {
+        let root_total = self.root_total_ns().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>8} {:>7}",
+            "phase", "total", "self", "count", "%"
+        );
+        let mut order: Vec<usize> = self.roots.clone();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i].total_ns));
+        for r in order {
+            self.render_node(r, 0, root_total, &mut out);
+        }
+        let _ = writeln!(
+            out,
+            "attributed to sub-phases: {:.1}%",
+            self.attributed_fraction() * 100.0
+        );
+        out
+    }
+
+    fn render_node(&self, idx: usize, depth: usize, root_total: u128, out: &mut String) {
+        let n = &self.nodes[idx];
+        let label = format!("{}{}", "  ".repeat(depth), n.name);
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>8} {:>6.1}%",
+            label,
+            fmt_ns(n.total_ns),
+            fmt_ns(n.self_ns),
+            n.count,
+            n.total_ns as f64 * 100.0 / root_total as f64
+        );
+        let mut kids = n.children.clone();
+        kids.sort_by_key(|&c| std::cmp::Reverse(self.nodes[c].total_ns));
+        for c in kids {
+            self.render_node(c, depth + 1, root_total, out);
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, path: &str, dur: u128) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            path: path.into(),
+            depth: path.split('/').filter(|s| !s.is_empty()).count(),
+            start_ns: 0,
+            duration_ns: dur,
+        }
+    }
+
+    #[test]
+    fn builds_hierarchy_and_self_time() {
+        let spans = vec![
+            rec("alloc", "compile", 60),
+            rec("sched", "compile", 30),
+            rec("compile", "", 100),
+            rec("color", "compile/alloc", 45),
+        ];
+        let t = PhaseTree::build(&spans);
+        assert_eq!(t.roots.len(), 1);
+        let root = &t.nodes[t.roots[0]];
+        assert_eq!(root.name, "compile");
+        assert_eq!(root.total_ns, 100);
+        assert_eq!(root.self_ns, 10); // 100 - (60 + 30)
+        let Some(alloc) = t.nodes.iter().find(|n| n.path == "compile/alloc") else {
+            unreachable!("compile/alloc span was recorded above")
+        };
+        assert_eq!(alloc.self_ns, 15); // 60 - 45
+                                       // Unattributed: 10 (compile) + 15 (alloc) over 100 root.
+        assert!((t.attributed_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_workers_aggregate_by_path() {
+        // Two workers each compiled one function: same paths, summed.
+        let spans = vec![
+            rec("compile", "", 100),
+            rec("alloc", "compile", 80),
+            rec("compile", "", 200),
+            rec("alloc", "compile", 150),
+        ];
+        let t = PhaseTree::build(&spans);
+        let root = &t.nodes[t.roots[0]];
+        assert_eq!(root.total_ns, 300);
+        assert_eq!(root.count, 2);
+        assert_eq!(t.nodes[root.children[0]].total_ns, 230);
+    }
+
+    #[test]
+    fn orphan_child_gets_placeholder_parent() {
+        // A child path whose parent never closed a span of its own.
+        let spans = vec![rec("inner", "outer", 40)];
+        let t = PhaseTree::build(&spans);
+        assert_eq!(t.roots.len(), 1);
+        let root = &t.nodes[t.roots[0]];
+        assert_eq!(root.name, "outer");
+        assert_eq!(root.count, 0);
+        assert_eq!(root.total_ns, 0);
+        assert_eq!(root.children.len(), 1);
+        let rendered = t.render();
+        assert!(rendered.contains("outer"));
+        assert!(rendered.contains("  inner"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -28,7 +28,8 @@ use parsched::ir::{parse_module, print_function, print_inst, BlockId, Function};
 use parsched::machine::{parse_machine_spec, presets, MachineDesc};
 use parsched::sched::{list_schedule, DepGraph, SchedPriority};
 use parsched::telemetry::{
-    escape_json, ChromeTraceSink, Fanout, NullTelemetry, Recorder, Telemetry,
+    escape_json, ChromeTraceSink, Fanout, FlightRecorder, NullTelemetry, PhaseTree, Recorder,
+    SyncFanout, Telemetry,
 };
 use parsched::{BatchDriver, Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy};
 use parsched_verify::Verifier;
@@ -62,8 +63,14 @@ options:
                          exiting; the final level appears in --emit stats
   --trace FILE           write a Chrome trace_event JSON of the compile
                          (open in chrome://tracing or ui.perfetto.dev)
-  --stats-json FILE      write statistics, per-phase wall times, and all
-                         telemetry counters as JSON
+  --profile              print a hierarchical phase-time table and the
+                         top-10 slowest blocks (inst count, PIG edges,
+                         spill rounds, degradation) to stderr
+  --stats-json FILE      write statistics, per-phase wall times, histogram
+                         percentiles, and all telemetry counters as JSON
+  --flight-json FILE     write the flight-recorder ring as JSON when a
+                         dump triggers (degradation, budget trip, failed
+                         --verify); the human-readable dump goes to stderr
   --dump-dir DIR         write per-block DOT dumps of the input function's
                          graphs: Gs (scheduling DAG), Et (transitive
                          schedule closure), Gf (false-dependence graph),
@@ -94,10 +101,31 @@ struct Options {
     deadline_ms: Option<u64>,
     resilient: bool,
     trace: Option<String>,
+    profile: bool,
     stats_json: Option<String>,
+    flight_json: Option<String>,
     dump_dir: Option<String>,
     verify: bool,
     run: Option<Vec<i64>>,
+}
+
+impl Options {
+    /// Whether an in-memory [`Recorder`] must observe the compile.
+    fn recording(&self) -> bool {
+        self.stats_json.is_some() || self.profile
+    }
+
+    /// Whether the flight recorder is armed: any mode where a post-mortem
+    /// dump could trigger (resilient ladder, budgets, output verification)
+    /// or was explicitly requested.
+    fn flight_armed(&self) -> bool {
+        self.resilient
+            || self.verify
+            || self.profile
+            || self.max_insts.is_some()
+            || self.deadline_ms.is_some()
+            || self.flight_json.is_some()
+    }
 }
 
 /// A diagnostic plus the process exit code it maps to. Every failure is
@@ -179,7 +207,9 @@ fn parse_args() -> Result<Cmd, String> {
     let mut deadline_ms: Option<u64> = None;
     let mut resilient = false;
     let mut trace: Option<String> = None;
+    let mut profile = false;
     let mut stats_json: Option<String> = None;
+    let mut flight_json: Option<String> = None;
     let mut dump_dir: Option<String> = None;
     let mut verify = false;
     let mut run: Option<Vec<i64>> = None;
@@ -253,8 +283,12 @@ fn parse_args() -> Result<Cmd, String> {
             "--trace" => {
                 trace = Some(args.next().ok_or("--trace needs a path")?);
             }
+            "--profile" => profile = true,
             "--stats-json" => {
                 stats_json = Some(args.next().ok_or("--stats-json needs a path")?);
+            }
+            "--flight-json" => {
+                flight_json = Some(args.next().ok_or("--flight-json needs a path")?);
             }
             "--dump-dir" => {
                 dump_dir = Some(args.next().ok_or("--dump-dir needs a directory")?);
@@ -283,7 +317,9 @@ fn parse_args() -> Result<Cmd, String> {
         deadline_ms,
         resilient,
         trace,
+        profile,
         stats_json,
+        flight_json,
         dump_dir,
         verify,
         run,
@@ -310,7 +346,7 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         .map_err(|errs| Failure::from(ParschedError::Verify(errs)))?;
     let machine = match opts.regs {
         Some(r) => opts.machine.with_num_regs(r),
-        None => opts.machine,
+        None => opts.machine.clone(),
     };
     let pipeline = Pipeline::new(machine.clone());
     let mut budget = Budget::unlimited();
@@ -321,26 +357,33 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         budget = budget.with_deadline_in(Duration::from_millis(ms));
     }
 
-    // Observability sinks: a Recorder backs --stats-json, a ChromeTraceSink
-    // backs --trace; both can be live at once via Fanout. With neither flag
-    // the pipeline runs against NullTelemetry at zero cost.
+    // Observability sinks: a Recorder backs --stats-json/--profile, a
+    // ChromeTraceSink backs --trace, a FlightRecorder rides along whenever
+    // a post-mortem dump could trigger; any subset can be live at once via
+    // Fanout. With no flags the pipeline runs against NullTelemetry at zero
+    // cost and its output is bit-for-bit the unobserved behavior.
     let recorder = Recorder::new();
     let chrome = ChromeTraceSink::new();
+    let flight = FlightRecorder::default();
     let mut sinks: Vec<&dyn Telemetry> = Vec::new();
-    if opts.stats_json.is_some() {
+    if opts.recording() {
         sinks.push(&recorder);
     }
     if opts.trace.is_some() {
         sinks.push(&chrome);
     }
+    if opts.flight_armed() {
+        sinks.push(&flight);
+    }
     let fanout = Fanout::new(sinks);
-    let telemetry: &dyn Telemetry = if opts.stats_json.is_some() || opts.trace.is_some() {
-        &fanout
-    } else {
-        &NullTelemetry
-    };
+    let telemetry: &dyn Telemetry =
+        if opts.recording() || opts.trace.is_some() || opts.flight_armed() {
+            &fanout
+        } else {
+            &NullTelemetry
+        };
 
-    let result = if opts.resilient {
+    let compiled = if opts.resilient {
         // Under --resilient the requested strategy becomes the first rung
         // and the rest of the default ladder follows it.
         let mut ladder = Driver::default_ladder();
@@ -352,11 +395,20 @@ fn real_main(opts: Options) -> Result<(), Failure> {
             .with_budget(budget)
             .with_ladder(ladder)
             .compile_resilient(&func, telemetry)
-            .map_err(Failure::from)?
+            .map_err(Failure::from)
     } else {
         pipeline
             .compile_budgeted(&func, &opts.strategy, &budget, telemetry)
-            .map_err(|e| Failure::from(ParschedError::from(e)))?
+            .map_err(|e| Failure::from(ParschedError::from(e)))
+    };
+    let result = match compiled {
+        Ok(r) => r,
+        Err(f) => {
+            // The compile itself died (budget trip, unrecoverable error):
+            // flush the flight recorder before surfacing the failure.
+            dump_flight(&opts, &flight, &format!("compile failed: {}", f.msg))?;
+            return Err(f);
+        }
     };
 
     // --verify runs before the artifacts are written, so its verify.*
@@ -384,14 +436,27 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         )
         .map_err(|e| Failure::io(path, &e))?;
     }
+    if opts.profile {
+        let mut rungs = std::collections::BTreeMap::new();
+        rungs.insert(func.name().to_string(), result.degradation.label());
+        eprint!("{}", render_profile(&recorder, &rungs));
+    }
     if let Some(dir) = &opts.dump_dir {
         dump_graphs(&func, &machine, dir)?;
+    }
+    if result.degradation != parsched::DegradationLevel::None {
+        dump_flight(
+            &opts,
+            &flight,
+            &format!("degraded to {}", result.degradation.label()),
+        )?;
     }
     if let Some(report) = &verify_report {
         if let Some(first) = report.violations.first() {
             for v in &report.violations {
                 eprintln!("psc: {v}");
             }
+            dump_flight(&opts, &flight, "output verification failed")?;
             return Err(Failure::from(ParschedError::OutputVerify {
                 function: func.name().to_string(),
                 count: report.violations.len(),
@@ -552,11 +617,20 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
         .with_ladder(ladder);
     let batch = BatchDriver::new(driver)
         .with_jobs(opts.jobs.unwrap_or(1))
-        .with_recording(opts.stats_json.is_some());
+        .with_recording(opts.recording());
 
     let chrome = ChromeTraceSink::new();
-    let out = if opts.trace.is_some() {
-        batch.compile_module(&funcs, &chrome)
+    let flight = FlightRecorder::default();
+    let mut shared: Vec<&(dyn Telemetry + Sync)> = Vec::new();
+    if opts.trace.is_some() {
+        shared.push(&chrome);
+    }
+    if opts.flight_armed() {
+        shared.push(&flight);
+    }
+    let shared_sink = SyncFanout::new(shared);
+    let out = if opts.trace.is_some() || opts.flight_armed() {
+        batch.compile_module(&funcs, &shared_sink)
     } else {
         batch.compile_module(&funcs, &NullTelemetry)
     };
@@ -589,6 +663,35 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
     }
     if let Some(path) = &opts.bench_json {
         std::fs::write(path, bench_json(&opts, &funcs, &out)).map_err(|e| Failure::io(path, &e))?;
+    }
+    if opts.profile {
+        let rungs: std::collections::BTreeMap<String, &str> = funcs
+            .iter()
+            .zip(&out.results)
+            .filter_map(|(f, r)| {
+                r.as_ref()
+                    .ok()
+                    .map(|r| (f.name().to_string(), r.degradation.label()))
+            })
+            .collect();
+        eprint!("{}", render_profile(&out.telemetry, &rungs));
+    }
+
+    // Flight-recorder triggers, checked before the batch's own failure
+    // paths so the dump lands even when psc is about to exit non-zero.
+    let errored = out.results.iter().filter(|r| r.is_err()).count();
+    let degraded = out
+        .results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter(|r| r.degradation != parsched::DegradationLevel::None)
+        .count();
+    if errored > 0 || degraded > 0 || !verify_failures.is_empty() {
+        let reason = format!(
+            "{errored} failed, {degraded} degraded, {} verify failures",
+            verify_failures.len()
+        );
+        dump_flight(&opts, &flight, &reason)?;
     }
 
     // Fail only after the measurement artifacts are on disk — a batch with
@@ -688,6 +791,139 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Writes the flight-recorder dump: human-readable ring to stderr, JSON to
+/// `--flight-json` when given. Called only when a trigger fired.
+fn dump_flight(opts: &Options, flight: &FlightRecorder, reason: &str) -> Result<(), Failure> {
+    if !opts.flight_armed() {
+        return Ok(());
+    }
+    eprint!("{}", flight.dump(reason));
+    if let Some(path) = &opts.flight_json {
+        std::fs::write(path, flight.dump_json(reason)).map_err(|e| Failure::io(path, &e))?;
+    }
+    Ok(())
+}
+
+/// One parsed `profile.block` event (emitted by the block allocator per
+/// successfully allocated block when a recorder is live).
+struct HotBlock {
+    func: String,
+    insts: u64,
+    pig_edges: u64,
+    rounds: u64,
+    spilled: u64,
+    wall_ns: u64,
+}
+
+fn parse_hot_block(detail: &str) -> Option<HotBlock> {
+    let mut func = None;
+    let mut nums = [0u64; 5];
+    for field in detail.split_whitespace() {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "func" => func = Some(value.to_string()),
+            "insts" => nums[0] = value.parse().ok()?,
+            "pig_edges" => nums[1] = value.parse().ok()?,
+            "rounds" => nums[2] = value.parse().ok()?,
+            "spilled" => nums[3] = value.parse().ok()?,
+            "wall_ns" => nums[4] = value.parse().ok()?,
+            _ => {}
+        }
+    }
+    Some(HotBlock {
+        func: func?,
+        insts: nums[0],
+        pig_edges: nums[1],
+        rounds: nums[2],
+        spilled: nums[3],
+        wall_ns: nums[4],
+    })
+}
+
+/// Renders the `--profile` report: the hierarchical phase-time table built
+/// from recorded span paths, per-phase latency percentiles, and the top-10
+/// slowest blocks. `rungs` maps function name to its degradation label.
+fn render_profile(recorder: &Recorder, rungs: &std::collections::BTreeMap<String, &str>) -> String {
+    use parsched::telemetry::fmt_ns;
+    let mut out = String::new();
+    let tree = PhaseTree::build(&recorder.spans());
+    out.push_str("=== phase profile ===\n");
+    out.push_str(&tree.render());
+
+    let hists = recorder.histograms();
+    if !hists.is_empty() {
+        out.push_str("\n=== phase latency percentiles (per span) ===\n");
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &hists {
+            let p = |q: f64| {
+                h.percentile(q)
+                    .map_or_else(|| "-".into(), |v| fmt_ns(v as u128))
+            };
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count(),
+                p(50.0),
+                p(90.0),
+                p(99.0),
+                h.max().map_or_else(|| "-".into(), |v| fmt_ns(v as u128))
+            ));
+        }
+    }
+
+    let mut hot: Vec<HotBlock> = recorder
+        .events()
+        .iter()
+        .filter(|e| e.name == "profile.block")
+        .filter_map(|e| parse_hot_block(&e.detail))
+        .collect();
+    hot.sort_by_key(|b| std::cmp::Reverse(b.wall_ns));
+    if !hot.is_empty() {
+        out.push_str("\n=== hottest blocks (top 10 by wall time) ===\n");
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>7} {:>10} {:>7} {:>8} {:<18}\n",
+            "function", "wall", "insts", "pig_edges", "rounds", "spilled", "degradation"
+        ));
+        for b in hot.iter().take(10) {
+            out.push_str(&format!(
+                "@{:<23} {:>10} {:>7} {:>10} {:>7} {:>8} {:<18}\n",
+                b.func,
+                fmt_ns(b.wall_ns as u128),
+                b.insts,
+                b.pig_edges,
+                b.rounds,
+                b.spilled,
+                rungs.get(&b.func).copied().unwrap_or("-")
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the shared `"histograms"` JSON section: per-name sample count
+/// and latency percentiles. `indent` is the leading whitespace per line.
+fn histograms_json(recorder: &Recorder, indent: &str) -> String {
+    let hists = recorder.histograms();
+    let mut s = String::new();
+    for (i, (name, h)) in hists.iter().enumerate() {
+        let comma = if i + 1 < hists.len() { "," } else { "" };
+        let q = |p: f64| h.percentile(p).unwrap_or(0);
+        s.push_str(&format!(
+            "{indent}\"{}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}{comma}\n",
+            escape_json(name),
+            h.count(),
+            q(50.0),
+            q(90.0),
+            q(99.0),
+            h.max().unwrap_or(0)
+        ));
+    }
+    s
+}
+
 /// Renders the `--bench-json` payload: per-function wall times and batch
 /// throughput, in input order. Schema documented in docs/BENCHMARKING.md.
 fn bench_json(opts: &Options, funcs: &[Function], out: &parsched::BatchOutput) -> String {
@@ -785,6 +1021,9 @@ fn batch_stats_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"histograms\": {\n");
+    s.push_str(&histograms_json(&out.telemetry, "    "));
+    s.push_str("  },\n");
     s.push_str("  \"counters\": {\n");
     let counters = out.telemetry.counters();
     for (i, (name, value)) in counters.iter().enumerate() {
@@ -844,6 +1083,9 @@ fn stats_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"histograms\": {\n");
+    out.push_str(&histograms_json(recorder, "    "));
+    out.push_str("  },\n");
     out.push_str("  \"counters\": {\n");
     let counters = recorder.counters();
     for (i, (name, value)) in counters.iter().enumerate() {

@@ -209,19 +209,4 @@ impl Verifier {
         }
         report
     }
-
-    /// Deprecated spelling of [`verify`](Verifier::verify) from when the
-    /// telemetry-free variant owned the short name.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Verifier::verify(original, result, telemetry)`"
-    )]
-    pub fn verify_with(
-        &self,
-        original: &Function,
-        result: &CompileResult,
-        telemetry: &dyn Telemetry,
-    ) -> Report {
-        self.verify(original, result, telemetry)
-    }
 }

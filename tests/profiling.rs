@@ -1,0 +1,219 @@
+//! Integration contracts for the deep-profiling layer: histogram merging
+//! across batch workers matches a single-recorder ground truth, recording
+//! never changes what gets compiled, per-span durations feed the
+//! same-named histograms, and the flight recorder's bounded ring keeps
+//! only the newest entries while counting what it dropped.
+
+use parsched::ir::{print_function, Function};
+use parsched::machine::presets;
+use parsched::telemetry::{FlightRecorder, NullTelemetry, Recorder, Telemetry};
+use parsched::{BatchDriver, BatchOutput, Driver, Pipeline, Strategy};
+use parsched_workload::{random_dag_function, straight_line_kernels, DagParams};
+
+fn corpus() -> Vec<Function> {
+    let mut funcs: Vec<Function> = straight_line_kernels()
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect();
+    for seed in 0..6u64 {
+        funcs.push(random_dag_function(
+            seed * 5 + 2,
+            &DagParams {
+                size: 32,
+                load_fraction: 0.25,
+                float_fraction: 0.4,
+                window: 8,
+            },
+        ));
+    }
+    funcs
+}
+
+fn assembly(out: &BatchOutput) -> String {
+    out.results
+        .iter()
+        .map(|r| match r {
+            Ok(res) => print_function(&res.function),
+            Err(e) => unreachable!("batch function failed: {e}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Recording (per-worker recorders merged at join, plus the profile
+/// events and histograms they imply) must not change the compiled output
+/// at any thread count: a profiled batch is byte-identical to a silent
+/// one, serial or threaded.
+#[test]
+fn recording_batch_is_byte_identical_at_any_thread_count() {
+    let funcs = corpus();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(6)));
+    let silent = BatchDriver::new(driver.clone())
+        .with_jobs(1)
+        .compile_module(&funcs, &NullTelemetry);
+    let reference = assembly(&silent);
+    for jobs in [1, 4] {
+        let recorded = BatchDriver::new(driver.clone())
+            .with_jobs(jobs)
+            .with_recording(true)
+            .compile_module(&funcs, &NullTelemetry);
+        assert_eq!(
+            assembly(&recorded),
+            reference,
+            "recording at {jobs} jobs changed the output"
+        );
+        assert_eq!(recorded.total_spills(), silent.total_spills());
+        assert_eq!(recorded.total_insts(), silent.total_insts());
+    }
+}
+
+/// The merged master recorder a threaded batch returns agrees with a
+/// serial batch's on everything deterministic: counters, span counts,
+/// and histogram *counts* (durations differ run to run; how many values
+/// each histogram absorbed must not).
+#[test]
+fn merged_worker_histograms_match_serial_ground_truth() {
+    let funcs = corpus();
+    let driver = Driver::new(Pipeline::new(presets::paper_machine(6)));
+    let serial = BatchDriver::new(driver.clone())
+        .with_jobs(1)
+        .with_recording(true)
+        .compile_module(&funcs, &NullTelemetry);
+    let threaded = BatchDriver::new(driver)
+        .with_jobs(4)
+        .with_recording(true)
+        .compile_module(&funcs, &NullTelemetry);
+
+    // Every function contributes exactly one compile-latency sample.
+    for out in [&serial, &threaded] {
+        let Some(h) = out.telemetry.histogram("driver.func_ns") else {
+            unreachable!("recording batch must produce driver.func_ns")
+        };
+        assert_eq!(h.count(), funcs.len() as u64);
+    }
+
+    let serial_hists = serial.telemetry.histograms();
+    let threaded_hists = threaded.telemetry.histograms();
+    let names = |hs: &[(String, parsched::telemetry::Histogram)]| {
+        hs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(names(&serial_hists), names(&threaded_hists));
+    for ((name, s), (_, t)) in serial_hists.iter().zip(&threaded_hists) {
+        assert_eq!(s.count(), t.count(), "histogram {name} count diverged");
+    }
+
+    // Deterministic counters survive the merge bit-for-bit.
+    for counter in ["driver.compiled", "alloc.rounds", "stats.spilled_values"] {
+        assert_eq!(
+            serial.telemetry.counter_value(counter),
+            threaded.telemetry.counter_value(counter),
+            "{counter} diverged across thread counts"
+        );
+    }
+}
+
+/// Merging recorders is exact for histograms: sharded explicit values
+/// merged into a master equal one recorder that saw every value, bucket
+/// for bucket, via the public `Recorder` API.
+#[test]
+fn recorder_merge_equals_single_recorder_for_histograms() {
+    let single = Recorder::new();
+    let master = Recorder::new();
+    let workers: Vec<Recorder> = (0..4).map(|_| Recorder::new()).collect();
+    for v in 0..4000u64 {
+        let value = v * v % 7919 + 1;
+        single.hist("latency", value);
+        workers[(v % 4) as usize].hist("latency", value);
+    }
+    for w in &workers {
+        master.merge_from(w);
+    }
+    let (Some(a), Some(b)) = (single.histogram("latency"), master.histogram("latency")) else {
+        unreachable!("both recorders saw latency values")
+    };
+    assert_eq!(a, b, "merged histogram diverged from ground truth");
+    for p in [50.0, 90.0, 99.0, 100.0] {
+        assert_eq!(a.percentile(p), b.percentile(p));
+    }
+}
+
+/// Every closed span feeds a histogram of the same name: a compile's
+/// span counts and histogram counts agree phase by phase.
+#[test]
+fn span_durations_feed_per_phase_histograms() {
+    let pipeline = Pipeline::new(presets::paper_machine(4));
+    let recorder = Recorder::new();
+    let func = random_dag_function(
+        7,
+        &DagParams {
+            size: 40,
+            load_fraction: 0.2,
+            float_fraction: 0.3,
+            window: 16,
+        },
+    );
+    pipeline
+        .compile(&func, &Strategy::combined(), &recorder)
+        .unwrap_or_else(|e| unreachable!("combined compile failed: {e}"));
+    for phase in [
+        "pipeline.compile",
+        "pipeline.allocate",
+        "alloc.round",
+        "pig.build",
+        "sched.list",
+        "closure.build",
+    ] {
+        let spans = recorder.span_count(phase) as u64;
+        assert!(spans > 0, "{phase} never ran");
+        assert_eq!(
+            recorder.histogram(phase).map(|h| h.count()),
+            Some(spans),
+            "{phase}: histogram count != span count"
+        );
+    }
+}
+
+/// The flight ring under real compile traffic: a tiny capacity keeps the
+/// *newest* entries, reports exactly how many it shed, and its dump
+/// renders both facts.
+#[test]
+fn flight_ring_wraps_under_compile_traffic() {
+    let flight = FlightRecorder::new(8);
+    let pipeline = Pipeline::new(presets::paper_machine(4));
+    let func = random_dag_function(
+        11,
+        &DagParams {
+            size: 40,
+            load_fraction: 0.2,
+            float_fraction: 0.3,
+            window: 16,
+        },
+    );
+    pipeline
+        .compile(&func, &Strategy::combined(), &flight)
+        .unwrap_or_else(|e| unreachable!("combined compile failed: {e}"));
+
+    assert_eq!(flight.len(), 8, "ring must fill to capacity");
+    assert!(
+        flight.dropped() > 0,
+        "a spill-heavy compile must overflow 8 slots"
+    );
+    let entries = flight.entries();
+    // Sequence numbers are monotone and the ring holds the newest window.
+    for pair in entries.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    assert_eq!(entries[0].seq, flight.dropped());
+    // The last thing a successful compile closes is its root span.
+    let Some(last) = entries.last() else {
+        unreachable!("ring was just asserted non-empty")
+    };
+    assert_eq!(last.name, "pipeline.compile");
+
+    let dump = flight.dump("test");
+    assert!(dump.contains("flight recorder: 8 entries"), "{dump}");
+    assert!(
+        dump.contains(&format!("dropped {}", flight.dropped())),
+        "{dump}"
+    );
+}

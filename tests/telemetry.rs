@@ -111,7 +111,7 @@ fn span_nesting_is_well_formed() {
 }
 
 /// The authoritative `stats.*` counters emitted at the end of
-/// `compile_with` agree exactly with the returned stats — including under
+/// `Pipeline::compile` agree exactly with the returned stats — including under
 /// spill pressure, where the interesting fields are nonzero.
 #[test]
 fn stats_counters_match_compile_stats() {
