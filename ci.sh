@@ -18,7 +18,7 @@ echo "==> panic audit (ratchet)"
 baseline=$(cat ci/panic-baseline.txt)
 count=$(grep -rE 'unwrap\(\)|expect\(|panic!' \
     crates/ir/src crates/sched/src crates/regalloc/src crates/core/src \
-    crates/verify/src crates/telemetry/src | wc -l)
+    crates/verify/src crates/telemetry/src crates/pscd/src | wc -l)
 echo "    panic-pattern sites: $count (baseline $baseline)"
 if [ "$count" -gt "$baseline" ]; then
     echo "panic audit FAILED: $count sites > baseline $baseline" >&2
@@ -31,7 +31,7 @@ echo "==> tier-1: cargo build --release"
 cargo build --release --offline
 
 echo "==> resilience suite (must finish within 60s — hang guard)"
-timeout 60 cargo test -q --offline -p parsched --test resilience
+timeout 60 cargo test -q --offline -p parsched-pscd --test resilience
 
 echo "==> tier-1: cargo test -q (10-minute hang guard)"
 timeout 600 cargo test -q --offline
@@ -62,6 +62,32 @@ timeout 30 cargo run -q --release --offline -p parsched-bench -- \
     --smoke --out "$smoke_out"
 timeout 30 cargo run -q --release --offline -p parsched-bench -- \
     --check "$smoke_out"
+
+echo "==> chaos gate (pscd daemon vs parsched-loadgen, must stay under 30s)"
+# Start the daemon on a throwaway socket, hammer it with the seeded chaos
+# workload, and require both to exit cleanly: the loadgen exits nonzero on
+# a daemon crash, an unanswered accepted request, or a cache hit whose
+# bytes differ from the cold response; the daemon exits nonzero if the
+# drain fails. --shutdown makes the loadgen end the run, so the daemon's
+# exit is part of the gate.
+chaos_sock=$(mktemp -u /tmp/parsched-chaos.XXXXXX.sock)
+./target/release/pscd --listen "$chaos_sock" 2> /dev/null &
+chaos_pid=$!
+for _ in $(seq 1 50); do
+    [ -S "$chaos_sock" ] && break
+    sleep 0.1
+done
+if ! timeout 30 ./target/release/parsched-loadgen --socket "$chaos_sock" \
+    --chaos --seed 0 --requests 500 --rps 500 --shutdown > /dev/null; then
+    kill "$chaos_pid" 2> /dev/null || true
+    echo "chaos gate FAILED: loadgen reported contract violations" >&2
+    exit 1
+fi
+if ! wait "$chaos_pid"; then
+    echo "chaos gate FAILED: pscd did not drain cleanly" >&2
+    exit 1
+fi
+rm -f "$chaos_sock"
 
 echo "==> perf-regression gate (smoke run vs committed baseline)"
 # The smoke corpus differs from the full baseline's, so --compare falls

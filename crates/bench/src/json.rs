@@ -1,342 +1,9 @@
-//! A minimal recursive-descent JSON reader, just big enough to validate
-//! the harness's own output (`--check`, the CI smoke step, and tests)
-//! without pulling a registry dependency into the offline workspace.
+//! Re-export of the workspace's minimal JSON reader.
 //!
-//! Not a general-purpose parser: numbers become `f64`, strings support the
-//! standard escapes plus `\uXXXX` (surrogate pairs rejected), and inputs
-//! deeper than [`MAX_DEPTH`] are refused rather than recursed into.
+//! The parser moved to [`parsched::telemetry::json`] (crate
+//! `parsched-telemetry`) so the `pscd` compile service and the
+//! `parsched-loadgen` client can share it without depending on the bench
+//! harness; this alias keeps the harness's historical
+//! `parsched_bench::json` paths working.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// Nesting depth cap: validation inputs are shallow; anything deeper is
-/// hostile or corrupt, and unbounded recursion would be a stack overflow.
-pub const MAX_DEPTH: usize = 64;
-
-/// A parsed JSON document.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number, as `f64`.
-    Num(f64),
-    /// A string, unescaped.
-    Str(String),
-    /// An array.
-    Arr(Vec<Value>),
-    /// An object. Key order is not preserved (sorted).
-    Obj(BTreeMap<String, Value>),
-}
-
-impl Value {
-    /// The value at `key` if this is an object containing it.
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The elements if this is an array.
-    pub fn as_arr(&self) -> Option<&[Value]> {
-        match self {
-            Value::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The number if this is one.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Value::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The string contents if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-/// A parse failure with a byte offset into the input.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset where parsing failed.
-    pub at: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.at, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-/// Parses one complete JSON document; trailing non-whitespace is an error.
-///
-/// # Errors
-/// Returns [`JsonError`] with a byte offset on malformed input.
-pub fn parse(src: &str) -> Result<Value, JsonError> {
-    let bytes = src.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
-    p.skip_ws();
-    let v = p.value(0)?;
-    p.skip_ws();
-    if p.pos != bytes.len() {
-        return Err(p.err("trailing data after document"));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError {
-            at: self.pos,
-            message: message.into(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
-        }
-        match self.peek() {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(self.err(format!("unexpected byte `{}`", c as char))),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(format!("expected `{word}`")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid UTF-8 in number"))?;
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err(format!("invalid number `{text}`")))
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| self.err("surrogate \\u escape unsupported"))?;
-                            out.push(c);
-                            self.pos += 4;
-                        }
-                        other => {
-                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
-                        }
-                    }
-                }
-                Some(_) => {
-                    // Copy one UTF-8 scalar. `pos` is always on a char
-                    // boundary because we only advance by full scalars.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = match rest.chars().next() {
-                        Some(c) => c,
-                        None => return Err(self.err("unterminated string")),
-                    };
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("raw control character in string"));
-                    }
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]` in array")),
-            }
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value(depth + 1)?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(map));
-                }
-                _ => return Err(self.err("expected `,` or `}` in object")),
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_the_harness_shapes() {
-        let v = parse(
-            r#"{"schema": "x/1", "points": [{"threads": 4, "ok": true, "ips": 12.5, "tag": null}]}"#,
-        )
-        .unwrap();
-        assert_eq!(v.get("schema").and_then(Value::as_str), Some("x/1"));
-        let points = v.get("points").and_then(Value::as_arr).unwrap();
-        assert_eq!(points.len(), 1);
-        assert_eq!(points[0].get("threads").and_then(Value::as_num), Some(4.0));
-        assert_eq!(points[0].get("ok"), Some(&Value::Bool(true)));
-        assert_eq!(points[0].get("tag"), Some(&Value::Null));
-    }
-
-    #[test]
-    fn parses_escapes_and_numbers() {
-        let v = parse(r#"["a\n\"bA", -1.5e2, 0]"#).unwrap();
-        let items = v.as_arr().unwrap();
-        assert_eq!(items[0].as_str(), Some("a\n\"bA"));
-        assert_eq!(items[1].as_num(), Some(-150.0));
-        assert_eq!(items[2].as_num(), Some(0.0));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\" 1}",
-            "tru",
-            "\"unterminated",
-            "1 2",
-            "{\"a\": 1} trailing",
-        ] {
-            assert!(parse(bad).is_err(), "accepted {bad:?}");
-        }
-    }
-
-    #[test]
-    fn rejects_pathological_depth() {
-        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
-        let e = parse(&deep).unwrap_err();
-        assert!(e.message.contains("deep"));
-    }
-
-    #[test]
-    fn roundtrips_escape_json() {
-        let original = "line\none \"two\" \\three\\ \ttab";
-        let doc = format!("\"{}\"", parsched::telemetry::escape_json(original));
-        assert_eq!(parse(&doc).unwrap().as_str(), Some(original));
-    }
-}
+pub use parsched::telemetry::json::{parse, JsonError, Value, MAX_DEPTH};

@@ -227,10 +227,11 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
                     threads,
                     functions: workload.funcs.len(),
                     insts: out.total_insts(),
-                    insts_per_sec: if secs > 0.0 {
-                        out.total_insts() as f64 / secs
-                    } else {
-                        0.0
+                    // Finite or zero — never inf/NaN into the JSON report
+                    // (see `BatchOutput::insts_per_sec` for the rationale).
+                    insts_per_sec: match out.total_insts() as f64 / secs {
+                        rate if rate.is_finite() && secs > 0.0 => rate,
+                        _ => 0.0,
                     },
                     spilled_values: out.total_spills(),
                     errors: out.err_count(),

@@ -110,10 +110,19 @@ impl BatchOutput {
 
     /// Instructions compiled per second of batch wall time, 0.0 for an
     /// empty or instantaneous batch.
+    ///
+    /// Always finite: a zero/denormal-duration run with a nonzero
+    /// instruction count would otherwise put `inf` (and an empty run
+    /// `NaN`) into `--bench-json` reports, which the JSON writer cannot
+    /// represent and downstream ratio gates choke on.
     pub fn insts_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.total_insts() as f64 / secs
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let rate = self.total_insts() as f64 / secs;
+        if rate.is_finite() {
+            rate
         } else {
             0.0
         }
@@ -422,6 +431,28 @@ mod tests {
         assert!(out.total_insts() > 0);
         assert_eq!(out.per_func_ns.len(), 5);
         assert!(out.per_func_ns.iter().all(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn insts_per_sec_is_finite_on_degenerate_batches() {
+        let mut out = BatchDriver::new(driver())
+            .with_jobs(1)
+            .compile_module(&module(), &NullTelemetry);
+        assert!(out.total_insts() > 0);
+        // A zero-duration wall clock (possible on coarse timers) must not
+        // leak inf into --bench-json; the rate degrades to 0.0 instead.
+        out.wall = Duration::ZERO;
+        assert_eq!(out.insts_per_sec(), 0.0);
+        // Denormal-small durations likewise stay finite.
+        out.wall = Duration::from_nanos(1);
+        assert!(out.insts_per_sec().is_finite());
+        // An empty batch with zero wall time is 0.0, not NaN.
+        out.results.clear();
+        out.wall = Duration::ZERO;
+        assert_eq!(out.insts_per_sec(), 0.0);
+        // A normal run reports a positive finite rate.
+        out.wall = Duration::from_millis(10);
+        assert!(out.insts_per_sec() == 0.0); // results were cleared
     }
 
     #[test]

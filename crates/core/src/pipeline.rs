@@ -8,7 +8,7 @@ use parsched_machine::MachineDesc;
 use parsched_regalloc::allocator::{allocate_single_block_in, AllocError, BlockStrategy};
 use parsched_regalloc::global::{allocate_global, GlobalAllocError, GlobalStrategy};
 use parsched_regalloc::{AllocSession, BudgetExceeded, PinterConfig};
-use parsched_sched::falsedep::count_false_deps;
+use parsched_sched::falsedep::count_false_deps_until;
 use parsched_sched::{list_schedule, SchedError};
 use parsched_telemetry::Telemetry;
 use std::error::Error;
@@ -313,18 +313,20 @@ impl Pipeline {
         stats.introduced_false_deps = {
             let _span = parsched_telemetry::span(telemetry, "pipeline.false_dep_count");
             let cap = limits.max_block_insts.unwrap_or(usize::MAX);
-            let deadline_ok = limits.check_deadline("pipeline.false_dep_count").is_ok();
             (0..allocated.block_count())
                 .map(|b| {
                     let block = allocated.block(BlockId(b));
-                    if block.insts().len() > cap || !deadline_ok {
+                    let counted = if block.insts().len() > cap {
+                        None
+                    } else {
+                        count_false_deps_until(block, &self.machine, limits.deadline)
+                    };
+                    counted.unwrap_or_else(|| {
                         if telemetry.enabled() {
                             telemetry.event("pipeline.false_dep_count.skipped", block.label());
                         }
                         0
-                    } else {
-                        count_false_deps(block, &self.machine)
-                    }
+                    })
                 })
                 .sum()
         };

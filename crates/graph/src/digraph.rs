@@ -6,6 +6,12 @@ use crate::ungraph::UnGraph;
 use crate::NodeId;
 use std::fmt;
 
+/// How many closure rows are processed between wall-clock polls in
+/// [`DiGraph::reachability_until`]. Chosen so the poll overhead is
+/// invisible (one `Instant::now` per ~1k rows) while a deadline trip is
+/// detected within a tiny slice of the whole build.
+pub const DEADLINE_STRIDE: usize = 1024;
+
 /// A directed graph over nodes `0..n`, stored as adjacency lists plus a
 /// bit-matrix for O(1) edge queries.
 ///
@@ -117,14 +123,40 @@ impl DiGraph {
     /// reverse topological order; for cyclic graphs it iterates to a fixed
     /// point.
     pub fn reachability(&self) -> BitMatrix {
+        match self.reachability_until(None) {
+            Some(m) => m,
+            // Unreachable: without a deadline the computation always runs
+            // to completion.
+            None => BitMatrix::new(self.node_count()),
+        }
+    }
+
+    /// [`DiGraph::reachability`] with a cooperative wall-clock deadline.
+    ///
+    /// The closure build is the most expensive single loop in the
+    /// allocation pipeline; on a huge block it can run for longer than a
+    /// caller's entire compile budget. This variant polls the clock every
+    /// [`DEADLINE_STRIDE`] processed rows and returns `None` as soon as
+    /// `deadline` is in the past, bounding deadline overshoot to one
+    /// stride of row unions instead of the whole matrix.
+    pub fn reachability_until(&self, deadline: Option<std::time::Instant>) -> Option<BitMatrix> {
         let n = self.node_count();
         let mut reach = BitMatrix::new(n);
         for (u, v) in self.edges() {
             reach.set(u, v);
         }
+        let mut processed: usize = 0;
+        let tripped = |processed: &mut usize| {
+            *processed += 1;
+            (*processed).is_multiple_of(DEADLINE_STRIDE)
+                && deadline.is_some_and(|d| std::time::Instant::now() >= d)
+        };
         match self.topological_sort() {
             Ok(order) => {
                 for &u in order.iter().rev() {
+                    if tripped(&mut processed) {
+                        return None;
+                    }
                     // clone needed: rows of `reach` for successors are read
                     // while `u`'s row is written.
                     let succ: Vec<NodeId> = self.succs[u].to_vec();
@@ -140,6 +172,9 @@ impl DiGraph {
                 while changed {
                     changed = false;
                     for u in 0..n {
+                        if tripped(&mut processed) {
+                            return None;
+                        }
                         let targets: Vec<NodeId> = reach.row(u).iter().collect();
                         for v in targets {
                             if u != v {
@@ -150,7 +185,7 @@ impl DiGraph {
                 }
             }
         }
-        reach
+        Some(reach)
     }
 
     /// Computes the reachability (transitive-closure) relation as a new

@@ -47,7 +47,7 @@ mod ungraph;
 pub use bitmatrix::BitMatrix;
 pub use bitset::BitSet;
 pub use coloring::{Coloring, ColoringError};
-pub use digraph::DiGraph;
+pub use digraph::{DiGraph, DEADLINE_STRIDE};
 pub use dominators::{DominatorTree, Dominators};
 pub use scc::strongly_connected_components;
 pub use topo::{topological_sort, CycleError};

@@ -1,0 +1,202 @@
+//! Function-level content-addressed result cache.
+//!
+//! The cache key is a 64-bit digest (FNV-1a mixed through a SplitMix64
+//! finalizer) of the request's `.psc` source × machine × strategy; the
+//! cached unit is the serialized response *body* text, so a hot response
+//! replays the cold response's bytes exactly — the `parsched-loadgen`
+//! chaos gate diffs them. Digests are paired with the full composed key
+//! string, so a (vanishingly unlikely) 64-bit collision degrades to a
+//! miss, never to a wrong result.
+//!
+//! Eviction is least-recently-used over a bounded entry count. The
+//! service only inserts results whose degradation level is `none`: a
+//! result minted under load shedding must not be pinned and replayed
+//! once the daemon is healthy again.
+
+use std::collections::HashMap;
+
+/// 64-bit content digest of one compile request.
+///
+/// FNV-1a over the bytes, then a SplitMix64 finalizer to spread the
+/// low-entropy tail FNV leaves in its upper bits.
+pub fn digest(src: &str, machine: &str, regs: u32, strategy: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for part in [src.as_bytes(), machine.as_bytes(), strategy.as_bytes()] {
+        for &b in part {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        // Field separator so ("ab","c") and ("a","bc") differ.
+        h = (h ^ 0xff).wrapping_mul(FNV_PRIME);
+    }
+    h ^= u64::from(regs);
+    // SplitMix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Composes the exact-match key stored alongside the digest.
+pub fn compose_key(src: &str, machine: &str, regs: u32, strategy: &str) -> String {
+    format!("{machine}/{regs}/{strategy}\n{src}")
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: String,
+    body: String,
+    last_used: u64,
+}
+
+/// A bounded LRU cache from request digests to response body text.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely: every lookup is a miss and inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `digest`, verifying the composed `key` to rule out
+    /// digest collisions. Counts a hit or a miss.
+    pub fn get(&mut self, digest: u64, key: &str) -> Option<String> {
+        self.tick += 1;
+        match self.map.get_mut(&digest) {
+            Some(e) if e.key == key => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(e.body.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a body under `digest`, evicting the least-recently-used
+    /// entry when the cache is full.
+    pub fn insert(&mut self, digest: u64, key: String, body: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&digest) && self.map.len() >= self.capacity {
+            // Linear scan is fine: capacities are small (hundreds) and
+            // insertions are rare relative to hits on a warm cache.
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            digest,
+            Entry {
+                key,
+                body,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_separates_fields_and_contents() {
+        let d = digest("src", "paper", 32, "combined");
+        assert_ne!(d, digest("src", "paper", 32, "linear-scan"));
+        assert_ne!(d, digest("src", "paper", 16, "combined"));
+        assert_ne!(d, digest("src", "mips", 32, "combined"));
+        assert_ne!(d, digest("srcx", "paper", 32, "combined"));
+        // Field-boundary confusion must not collide.
+        assert_ne!(digest("ab", "c", 32, "s"), digest("a", "bc", 32, "s"),);
+        assert_eq!(d, digest("src", "paper", 32, "combined"));
+    }
+
+    #[test]
+    fn hit_returns_identical_bytes_and_counts() {
+        let mut c = ResultCache::new(4);
+        let d = digest("f", "paper", 32, "combined");
+        let k = compose_key("f", "paper", 32, "combined");
+        assert_eq!(c.get(d, &k), None);
+        c.insert(d, k.clone(), "{\"x\":1}".to_string());
+        assert_eq!(c.get(d, &k).as_deref(), Some("{\"x\":1}"));
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (1, 1, 0));
+    }
+
+    #[test]
+    fn colliding_digest_with_different_key_is_a_miss() {
+        let mut c = ResultCache::new(4);
+        c.insert(42, "key-a".to_string(), "body-a".to_string());
+        assert_eq!(c.get(42, "key-b"), None);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".to_string(), "A".to_string());
+        c.insert(2, "b".to_string(), "B".to_string());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1, "a").is_some());
+        c.insert(3, "c".to_string(), "C".to_string());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(2, "b").is_none());
+        assert!(c.get(1, "a").is_some());
+        assert!(c.get(3, "c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, "a".to_string(), "A".to_string());
+        assert!(c.is_empty());
+        assert_eq!(c.get(1, "a"), None);
+    }
+}

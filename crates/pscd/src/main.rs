@@ -1,0 +1,269 @@
+//! `pscd` binary: the compile daemon's transport and lifecycle.
+//!
+//! ```text
+//! pscd [--listen PATH] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Without `--listen`, the daemon speaks the newline-delimited JSON
+//! protocol on stdin/stdout (one connection, exits on EOF). With
+//! `--listen PATH` it serves a Unix socket, one reader/writer thread
+//! pair per connection. SIGTERM/SIGINT (or a `shutdown` request) start a
+//! graceful drain: no new compile work is admitted, queued and in-flight
+//! requests finish and are answered, the flight recorder is flushed to
+//! stderr, and the drain outcome — including honestly-counted dropped
+//! requests — is reported before exit.
+//!
+//! This file is the only unsafe code in the crate (the library forbids
+//! it): registering the POSIX signal handlers requires an `unsafe` call
+//! to `signal(2)`, which std links but does not wrap.
+
+use parsched_pscd::proto::{error_response, CODE_PROTO, MAX_LINE_BYTES};
+use parsched_pscd::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGINT = 2, SIGTERM = 15. The handler only flips an AtomicBool;
+    // the accept/read loops poll it, so no async-signal-unsafe work
+    // happens in signal context.
+    unsafe {
+        signal(2, on_term as *const () as usize);
+        signal(15, on_term as *const () as usize);
+    }
+}
+
+const USAGE: &str = "usage: pscd [--listen PATH] [--workers N] [--queue N] [--cache N]
+  --listen PATH   serve a Unix socket instead of stdin/stdout
+  --workers N     worker threads (default 2)
+  --queue N       admission queue depth (default 64)
+  --cache N       result-cache entries (default 256, 0 disables)";
+
+struct Options {
+    listen: Option<String>,
+    cfg: ServiceConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        listen: None,
+        cfg: ServiceConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => opts.listen = Some(args.next().ok_or("--listen needs a path")?),
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a count")?;
+                opts.cfg.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+            }
+            "--queue" => {
+                let v = args.next().ok_or("--queue needs a depth")?;
+                opts.cfg.queue_depth = v.parse().map_err(|_| format!("bad --queue `{v}`"))?;
+            }
+            "--cache" => {
+                let v = args.next().ok_or("--cache needs a capacity")?;
+                opts.cfg.cache_capacity = v.parse().map_err(|_| format!("bad --cache `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+enum LineStatus {
+    Line,
+    Oversized,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line with a hard byte cap. An over-cap line
+/// is consumed to its end (so the stream stays framed) but reported as
+/// [`LineStatus::Oversized`] with the buffer cleared — the daemon never
+/// holds more than [`MAX_LINE_BYTES`] of one request in memory.
+fn read_bounded_line(r: &mut impl BufRead, out: &mut Vec<u8>) -> std::io::Result<LineStatus> {
+    out.clear();
+    let mut total = 0usize;
+    let mut oversized = false;
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            if total == 0 {
+                return Ok(LineStatus::Eof);
+            }
+            return Ok(if oversized {
+                LineStatus::Oversized
+            } else {
+                LineStatus::Line
+            });
+        }
+        let (chunk, consumed, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (&buf[..i], i + 1, true),
+            None => (buf, buf.len(), false),
+        };
+        total += chunk.len();
+        if total > MAX_LINE_BYTES {
+            oversized = true;
+            out.clear();
+        }
+        if !oversized {
+            out.extend_from_slice(chunk);
+        }
+        r.consume(consumed);
+        if done {
+            return Ok(if oversized {
+                LineStatus::Oversized
+            } else {
+                LineStatus::Line
+            });
+        }
+    }
+}
+
+/// Reads requests from `reader`, replying through a dedicated writer
+/// thread over `write`. Returns when the peer disconnects.
+fn serve_stream<R: BufRead, W: Write + Send + 'static>(svc: &Service, mut reader: R, write: W) {
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(write);
+        for line in rx {
+            if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+                return; // peer gone; drain remaining sends into the void
+            }
+            let _ = w.flush();
+        }
+    });
+    let mut buf = Vec::new();
+    loop {
+        match read_bounded_line(&mut reader, &mut buf) {
+            Ok(LineStatus::Eof) | Err(_) => break,
+            Ok(LineStatus::Oversized) => {
+                let _ = tx.send(error_response(
+                    None,
+                    CODE_PROTO,
+                    "proto",
+                    &format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+            }
+            Ok(LineStatus::Line) => {
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                svc.handle_line(&line, &tx);
+                if svc.shutdown_requested() {
+                    break;
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn serve_socket(svc: &Arc<Service>, path: &str) -> std::io::Result<()> {
+    // A stale socket file from a crashed predecessor would fail bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    eprintln!("pscd: listening on {path}");
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !TERM.load(Ordering::SeqCst) && !svc.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let _ = stream.set_nonblocking(false);
+                let svc = Arc::clone(svc);
+                let handle = std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    serve_stream(&svc, BufReader::new(read_half), stream);
+                });
+                conns.push(handle);
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("pscd: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    // Stop accepting, then give connection readers a moment to submit
+    // their final lines before the drain refuses them.
+    drop(listener);
+    let _ = std::fs::remove_file(path);
+    for h in conns {
+        if h.is_finished() {
+            let _ = h.join();
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("pscd: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    install_signal_handlers();
+    let svc = Service::start(opts.cfg);
+
+    match &opts.listen {
+        Some(path) => {
+            if let Err(e) = serve_socket(&svc, path) {
+                eprintln!("pscd: {e}");
+                let _ = svc.shutdown_and_join();
+                std::process::exit(10);
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve_stream(&svc, stdin.lock(), std::io::stdout());
+        }
+    }
+
+    // Graceful drain: finish queued work, answer everything accepted,
+    // flush the flight recorder, report honestly, exit 0.
+    let report = svc.shutdown_and_join();
+    let s = report.stats;
+    eprintln!(
+        "pscd: drained — accepted {}, completed {}, failed {}, overloaded {}, \
+         shed {}, retries {}, cache {}h/{}m/{}e, dropped-in-drain {}",
+        s.accepted,
+        s.completed,
+        s.failed,
+        s.overloaded,
+        s.shed,
+        s.retries,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.dropped_draining
+    );
+    eprintln!("{}", report.flight_dump);
+    // Let per-connection writer threads flush their last responses.
+    std::thread::sleep(Duration::from_millis(100));
+}

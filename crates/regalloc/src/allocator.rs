@@ -280,13 +280,14 @@ pub fn allocate_single_block_in(
             }
             BlockStrategy::Pinter(cfg) => {
                 limits.check_block_insts("pig.build", current.block(block_id).body().len())?;
+                session.set_deadline(limits.deadline);
                 match pending_remap.take() {
                     Some(remap) => {
-                        session.rebuild_after_spill(current.block(block_id), &remap, telemetry);
+                        session.rebuild_after_spill(current.block(block_id), &remap, telemetry)?;
                     }
-                    None => session.begin(current.block(block_id), telemetry),
+                    None => session.begin(current.block(block_id), telemetry)?,
                 }
-                let pig = match session.build_pig(&problem, machine, telemetry) {
+                let pig = match session.build_pig(&problem, machine, telemetry)? {
                     Some(pig) => pig,
                     None => {
                         // Unreachable after begin/rebuild, but fall back to

@@ -13,12 +13,25 @@
 //! resets it for a new block while keeping allocations warm, which is what
 //! the batch driver's per-worker sessions rely on.
 
+use crate::limits::BudgetExceeded;
 use crate::pig::Pig;
 use crate::problem::BlockAllocProblem;
-use parsched_graph::{BitSet, UnGraph};
+use parsched_graph::{BitSet, UnGraph, DEADLINE_STRIDE};
 use parsched_ir::Block;
 use parsched_machine::{MachineDesc, OpClass};
-use parsched_sched::{BlockRemap, DepGraph, SchedSession};
+use parsched_sched::{BlockRemap, DeadlineExceeded, DepGraph, SchedSession};
+use std::time::Instant;
+
+/// Converts the scheduler's cooperative-deadline trip into the allocator's
+/// typed budget error. Deadlines carry no meaningful count, so
+/// `limit`/`actual` are 0 by the [`BudgetExceeded`] convention.
+fn deadline_budget(e: DeadlineExceeded) -> BudgetExceeded {
+    BudgetExceeded {
+        phase: e.phase,
+        limit: 0,
+        actual: 0,
+    }
+}
 
 /// Long-lived allocation state for one block, reusable across spill rounds
 /// (via [`AllocSession::rebuild_after_spill`]) and across functions (via
@@ -49,22 +62,43 @@ impl AllocSession {
         }
     }
 
+    /// Sets (or clears) the wall-clock deadline polled cooperatively inside
+    /// closure maintenance and [`AllocSession::build_pig`]'s row walk, every
+    /// ~[`DEADLINE_STRIDE`] units of work.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.sched.set_deadline(deadline);
+    }
+
     /// Starts a fresh block: full dependence-graph and closure build. Also
     /// the reset between functions when a session is reused.
-    pub fn begin(&mut self, block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) {
-        self.sched.build(block, telemetry);
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] if the session deadline (see
+    /// [`AllocSession::set_deadline`]) passes mid-build; the session is left
+    /// empty, never half-built.
+    pub fn begin(
+        &mut self,
+        block: &Block,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) -> Result<(), BudgetExceeded> {
+        self.sched.build(block, telemetry).map_err(deadline_budget)
     }
 
     /// Updates the session after a spill round rewrote the block, reusing
     /// closure rows the inserted loads/stores did not dirty. Falls back to
     /// a full build when the remap does not match the stored state.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] if the session deadline passes mid-rebuild.
     pub fn rebuild_after_spill(
         &mut self,
         block: &Block,
         remap: &BlockRemap,
         telemetry: &dyn parsched_telemetry::Telemetry,
-    ) {
-        self.sched.rebuild_after_spill(block, remap, telemetry);
+    ) -> Result<(), BudgetExceeded> {
+        self.sched
+            .rebuild_after_spill(block, remap, telemetry)
+            .map_err(deadline_budget)
     }
 
     /// The current dependence graph, if a block has been built.
@@ -86,18 +120,24 @@ impl AllocSession {
     /// instruction reaches the other in the closure and their op classes
     /// have no pairwise machine conflict.
     ///
-    /// Returns `None` if no block has been built or the stored closure does
-    /// not cover `deps` — callers should fall back to [`Pig::build`].
+    /// Returns `Ok(None)` if no block has been built or the stored closure
+    /// does not cover `deps` — callers should fall back to [`Pig::build`].
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] if the session deadline passes during the
+    /// `Ef` row walk (polled every ~[`DEADLINE_STRIDE`] rows).
     pub fn build_pig(
         &mut self,
         problem: &BlockAllocProblem,
         machine: &MachineDesc,
         telemetry: &dyn parsched_telemetry::Telemetry,
-    ) -> Option<Pig> {
-        let deps = self.sched.deps()?;
+    ) -> Result<Option<Pig>, BudgetExceeded> {
+        let Some(deps) = self.sched.deps() else {
+            return Ok(None);
+        };
         let n = deps.len();
         if self.sched.closure().size() != n {
-            return None;
+            return Ok(None);
         }
         let _span = parsched_telemetry::span(telemetry, "pig.build");
         let closure = self.sched.closure();
@@ -148,8 +188,18 @@ impl AllocSession {
         let tclosure = closure.transposed();
 
         let _ef_span = parsched_telemetry::span(telemetry, "pig.ef_rows");
+        let deadline = self.sched.deadline();
         let mut false_edges = UnGraph::new(problem.len());
-        for i in def_mask.iter() {
+        for (processed, i) in def_mask.iter().enumerate() {
+            if processed % DEADLINE_STRIDE == DEADLINE_STRIDE - 1
+                && deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                return Err(BudgetExceeded {
+                    phase: "pig.ef_rows",
+                    limit: 0,
+                    actual: 0,
+                });
+            }
             // ef_row(i) = defs \ reach(i) \ reach⁻¹(i) \ conflicts(i) \ {i}
             self.scratch.clone_from(&def_mask);
             self.scratch.difference_with(closure.row(i));
@@ -174,7 +224,7 @@ impl AllocSession {
         if telemetry.enabled() {
             telemetry.counter("pig.rounds", 1);
         }
-        Some(pig)
+        Ok(Some(pig))
     }
 }
 
@@ -219,8 +269,8 @@ mod tests {
             let reference = Pig::build(&problem, &deps, &m, &NullTelemetry);
 
             let mut sess = AllocSession::new();
-            sess.begin(&f.blocks()[0], &NullTelemetry);
-            let Some(pig) = sess.build_pig(&problem, &m, &NullTelemetry) else {
+            assert!(sess.begin(&f.blocks()[0], &NullTelemetry).is_ok());
+            let Ok(Some(pig)) = sess.build_pig(&problem, &m, &NullTelemetry) else {
                 unreachable!("session was begun, PIG must build")
             };
 
@@ -238,8 +288,26 @@ mod tests {
         let lv = Liveness::compute(&f, &[]);
         let problem = must(BlockAllocProblem::build(&f, BlockId(0), &lv));
         let mut sess = AllocSession::new();
-        assert!(sess
-            .build_pig(&problem, &presets::paper_machine(4), &NullTelemetry)
-            .is_none());
+        assert!(matches!(
+            sess.build_pig(&problem, &presets::paper_machine(4), &NullTelemetry),
+            Ok(None)
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_trips_begin() {
+        let f = must(parse_function(
+            "func @g() {\nentry:\n    s0 = li 1\n    ret s0\n}",
+        ));
+        let mut sess = AllocSession::new();
+        sess.set_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        // Tiny blocks finish inside one poll stride, so begin may succeed;
+        // what matters is that an error, when reported, is the deadline
+        // form (limit/actual both zero) and the session stays usable.
+        if let Err(e) = sess.begin(&f.blocks()[0], &NullTelemetry) {
+            assert_eq!((e.limit, e.actual), (0, 0));
+        }
+        sess.set_deadline(None);
+        assert!(sess.begin(&f.blocks()[0], &NullTelemetry).is_ok());
     }
 }

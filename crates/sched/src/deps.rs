@@ -4,6 +4,7 @@ use parsched_graph::DiGraph;
 use parsched_ir::{Block, Inst, InstKind};
 use parsched_machine::{MachineDesc, OpClass};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The kind of a dependence edge, in the paper's taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -121,16 +122,32 @@ impl DepGraph {
     /// (same base + different offset proves independence); `call`s are
     /// barriers against all memory operations and each other.
     pub fn build(block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) -> DepGraph {
+        match Self::build_until(block, telemetry, None) {
+            Some(deps) => deps,
+            None => unreachable!("build_until without a deadline cannot trip"),
+        }
+    }
+
+    /// [`DepGraph::build`] with a cooperative wall-clock deadline: the
+    /// quadratic pair scan polls the clock once per row and returns
+    /// `None` as soon as `deadline` is in the past. Meant for
+    /// statistics-only callers that would rather skip the graph than
+    /// blow a compile budget on it.
+    pub fn build_until(
+        block: &Block,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+        deadline: Option<Instant>,
+    ) -> Option<DepGraph> {
         let _span = parsched_telemetry::span(telemetry, "deps.build");
-        let deps = Self::build_impl(block);
+        let deps = Self::build_impl(block, deadline)?;
         if telemetry.enabled() {
             telemetry.counter("deps.insts", deps.len() as u64);
             telemetry.counter("deps.edges", deps.graph.edge_count() as u64);
         }
-        deps
+        Some(deps)
     }
 
-    fn build_impl(block: &Block) -> DepGraph {
+    fn build_impl(block: &Block, deadline: Option<Instant>) -> Option<DepGraph> {
         let body = block.body();
         let n = body.len();
         let mut graph = DiGraph::new(n);
@@ -172,6 +189,11 @@ impl DepGraph {
         }
 
         for j in 0..n {
+            // Each row below is O(j) with several register scans, so one
+            // clock read per row is invisible next to the row itself.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return None;
+            }
             let defs_j = body[j].defs();
             for i in 0..j {
                 let defs_i = body[i].defs();
@@ -213,11 +235,11 @@ impl DepGraph {
             }
         }
 
-        DepGraph {
+        Some(DepGraph {
             graph,
             kinds,
             classes: body.iter().map(op_class).collect(),
-        }
+        })
     }
 
     /// Number of body instructions.

@@ -13,10 +13,11 @@
 //!   scheduling graph is a false dependence iff `{u,v} ∈ Ef`).
 
 use crate::deps::{DepEdge, DepGraph};
-use parsched_graph::UnGraph;
+use parsched_graph::{UnGraph, DEADLINE_STRIDE};
 use parsched_ir::{Block, Inst, Reg};
 use parsched_machine::MachineDesc;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Builds `Et` for a block body: undirected transitive closure of the
 /// dependence graph plus pairwise machine constraints, reporting its edge
@@ -31,10 +32,35 @@ pub fn et_graph(
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> UnGraph {
     let _span = parsched_telemetry::span(telemetry, "ef.et_build");
-    let reach = deps.graph().reachability();
+    let Some(et) = et_graph_until(deps, machine, None) else {
+        unreachable!("et_graph_until without a deadline cannot trip")
+    };
+    if telemetry.enabled() {
+        telemetry.counter("ef.et_edges", et.edge_count() as u64);
+    }
+    et
+}
+
+/// [`et_graph`] with a cooperative deadline: both the transitive closure
+/// and the O(n²) row loops poll `deadline` and return `None` once it
+/// passes, bounding overshoot to a row of work rather than the whole
+/// quadratic build.
+pub fn et_graph_until(
+    deps: &DepGraph,
+    machine: &MachineDesc,
+    deadline: Option<Instant>,
+) -> Option<UnGraph> {
+    let reach = deps.graph().reachability_until(deadline)?;
     let n = deps.len();
     let mut et = UnGraph::new(n);
     for u in 0..n {
+        // Unlike the closure's cheap row unions (polled every
+        // DEADLINE_STRIDE rows), each row here walks the dense closure
+        // row and makes O(n) pairwise_conflict calls, so one clock read
+        // per row is already invisible.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return None;
+        }
         for v in reach.row(u).iter() {
             if u < v {
                 et.add_edge(u, v);
@@ -48,10 +74,7 @@ pub fn et_graph(
             }
         }
     }
-    if telemetry.enabled() {
-        telemetry.counter("ef.et_edges", et.edge_count() as u64);
-    }
-    et
+    Some(et)
 }
 
 /// Builds the false-dependence graph `Ef`: the complement of [`et_graph`].
@@ -208,12 +231,44 @@ fn rewrite_roles(inst: &mut Inst, def_map: &HashMap<Reg, Reg>, use_map: &HashMap
 /// against it. Zero for any code produced by PIG coloring with enough
 /// registers (Theorem 1).
 pub fn count_false_deps(block: &Block, machine: &MachineDesc) -> usize {
+    match count_false_deps_until(block, machine, None) {
+        Some(n) => n,
+        None => unreachable!("count_false_deps_until without a deadline cannot trip"),
+    }
+}
+
+/// [`count_false_deps`] with a cooperative deadline: the quadratic
+/// Et/Ef builds poll `deadline` and the count returns `None` once it
+/// passes, so a caller inside a budgeted pipeline phase overshoots by
+/// at most one row of work rather than the whole O(n²) analysis.
+pub fn count_false_deps_until(
+    block: &Block,
+    machine: &MachineDesc,
+    deadline: Option<Instant>,
+) -> Option<usize> {
+    let tripped = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
     let quiet = parsched_telemetry::NullTelemetry;
     let renamed = rename_apart(block);
-    let sym_deps = DepGraph::build(&renamed, &quiet);
-    let ef = false_dependence_graph(&sym_deps, machine, &quiet);
-    let own_deps = DepGraph::build(block, &quiet);
-    introduced_false_deps(&ef, &own_deps).len()
+    if tripped(deadline) {
+        return None;
+    }
+    let sym_deps = DepGraph::build_until(&renamed, &quiet, deadline)?;
+    let et = et_graph_until(&sym_deps, machine, deadline)?;
+    let ef = et.complement();
+    if tripped(deadline) {
+        return None;
+    }
+    let own_deps = DepGraph::build_until(block, &quiet, deadline)?;
+    let mut count = 0;
+    for (i, e) in own_deps.edges().enumerate() {
+        if i % DEADLINE_STRIDE == DEADLINE_STRIDE - 1 && tripped(deadline) {
+            return None;
+        }
+        if e.kind.is_register_false_candidate() && ef.has_edge(e.from, e.to) {
+            count += 1;
+        }
+    }
+    Some(count)
 }
 
 #[cfg(test)]

@@ -36,4 +36,4 @@ mod session;
 pub use deps::{op_class, DepEdge, DepGraph, DepKind};
 pub use list::{list_schedule, SchedPriority};
 pub use schedule::{BlockSchedule, SchedError, ScheduleError};
-pub use session::{BlockRemap, SchedSession};
+pub use session::{BlockRemap, DeadlineExceeded, SchedSession};

@@ -17,8 +17,32 @@
 //! in `tests/sessions.rs` checks against hundreds of seeded cases.
 
 use crate::deps::DepGraph;
-use parsched_graph::{BitMatrix, BitSet};
+use parsched_graph::{BitMatrix, BitSet, DEADLINE_STRIDE};
 use parsched_ir::Block;
+use std::fmt;
+use std::time::Instant;
+
+/// The session's wall-clock deadline passed mid-build.
+///
+/// Closure maintenance is the longest uninterruptible loop in the
+/// pipeline; the session polls the clock every ~[`DEADLINE_STRIDE`] rows
+/// so a deadline set via [`SchedSession::set_deadline`] trips within a
+/// bounded slice of work instead of after a whole rung. The caller (the
+/// allocator's budget machinery) converts this into its typed budget
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The loop that tripped (`"closure.build"` or `"closure.rebuild"`).
+    pub phase: &'static str,
+}
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline passed during {}", self.phase)
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
 
 /// Maps old body positions to new body positions across a spill rewrite.
 ///
@@ -89,6 +113,8 @@ pub struct SchedSession {
     /// Nodes whose closure row changed in the last (re)build, in new ids.
     changed: BitSet,
     scratch: BitSet,
+    /// Cooperative wall-clock deadline for closure maintenance.
+    deadline: Option<Instant>,
 }
 
 impl Default for SchedSession {
@@ -105,17 +131,54 @@ impl SchedSession {
             closure: BitMatrix::new(0),
             changed: BitSet::new(0),
             scratch: BitSet::new(0),
+            deadline: None,
         }
+    }
+
+    /// Sets (or clears) the wall-clock deadline the closure loops poll
+    /// cooperatively. Checked every ~[`DEADLINE_STRIDE`] rows inside
+    /// [`SchedSession::build`] and [`SchedSession::rebuild_after_spill`].
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The currently configured cooperative deadline.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Empties the session so a failed build cannot leave half-written
+    /// closure state behind: the next use must `build` from scratch.
+    fn reset(&mut self) {
+        self.deps = None;
+        self.closure = BitMatrix::new(0);
+        self.changed = BitSet::new(0);
     }
 
     /// Rebuilds everything from scratch for `block` — the entry point for a
     /// fresh block (and the reset between functions).
-    pub fn build(&mut self, block: &Block, telemetry: &dyn parsched_telemetry::Telemetry) {
+    ///
+    /// # Errors
+    /// Returns [`DeadlineExceeded`] when the session deadline (see
+    /// [`SchedSession::set_deadline`]) passes mid-build; the session is
+    /// left empty, never half-built.
+    pub fn build(
+        &mut self,
+        block: &Block,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+    ) -> Result<(), DeadlineExceeded> {
         let deps = DepGraph::build(block, telemetry);
-        {
+        let closure = {
             let _s = parsched_telemetry::span(telemetry, "closure.build");
-            self.closure = deps.graph().reachability();
-        }
+            deps.graph().reachability_until(self.deadline)
+        };
+        let Some(closure) = closure else {
+            self.reset();
+            return Err(DeadlineExceeded {
+                phase: "closure.build",
+            });
+        };
+        self.closure = closure;
         let n = deps.len();
         self.changed = BitSet::new(n);
         self.changed.fill();
@@ -123,6 +186,7 @@ impl SchedSession {
         if telemetry.enabled() {
             telemetry.counter("pig.full_rebuilds", 1);
         }
+        Ok(())
     }
 
     /// Rebuilds after a spill round rewrote the block, reusing closure rows
@@ -133,18 +197,22 @@ impl SchedSession {
     /// the stored state, or the new graph is cyclic (impossible for graphs
     /// built from blocks, possible for hand-made ones), this falls back to
     /// a full [`SchedSession::build`].
+    ///
+    /// # Errors
+    /// Returns [`DeadlineExceeded`] when the session deadline passes
+    /// mid-rebuild (polled every ~[`DEADLINE_STRIDE`] rows); the session
+    /// is left empty.
     pub fn rebuild_after_spill(
         &mut self,
         block: &Block,
         remap: &BlockRemap,
         telemetry: &dyn parsched_telemetry::Telemetry,
-    ) {
+    ) -> Result<(), DeadlineExceeded> {
         let n = block.body().len();
         let usable =
             self.deps.is_some() && self.closure.size() == remap.old_len() && remap.new_len() == n;
         if !usable {
-            self.build(block, telemetry);
-            return;
+            return self.build(block, telemetry);
         }
         let prev_deps = match self.deps.take() {
             Some(d) => d,
@@ -154,17 +222,24 @@ impl SchedSession {
         let order = match deps.graph().topological_sort() {
             Ok(o) => o,
             Err(_) => {
-                {
+                let closure = {
                     let _s = parsched_telemetry::span(telemetry, "closure.build");
-                    self.closure = deps.graph().reachability();
-                }
+                    deps.graph().reachability_until(self.deadline)
+                };
+                let Some(closure) = closure else {
+                    self.reset();
+                    return Err(DeadlineExceeded {
+                        phase: "closure.build",
+                    });
+                };
+                self.closure = closure;
                 self.changed = BitSet::new(n);
                 self.changed.fill();
                 self.deps = Some(deps);
                 if telemetry.enabled() {
                     telemetry.counter("pig.full_rebuilds", 1);
                 }
-                return;
+                return Ok(());
             }
         };
 
@@ -180,7 +255,15 @@ impl SchedSession {
         self.scratch = BitSet::new(n);
         let _closure_span = parsched_telemetry::span(telemetry, "closure.build");
 
-        for &u in order.iter().rev() {
+        for (processed, &u) in order.iter().rev().enumerate() {
+            if processed % DEADLINE_STRIDE == DEADLINE_STRIDE - 1
+                && self.deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                self.reset();
+                return Err(DeadlineExceeded {
+                    phase: "closure.rebuild",
+                });
+            }
             let old_u = old_of[u];
             // A surviving node is clean when its successor set is unchanged
             // under the remap and no successor's closure row changed.
@@ -218,6 +301,7 @@ impl SchedSession {
         if telemetry.enabled() {
             telemetry.counter("pig.incremental_nodes", dirty_rows);
         }
+        Ok(())
     }
 
     /// The current dependence graph, if a block has been built.
@@ -289,7 +373,7 @@ mod tests {
             "#,
         );
         let mut sess = SchedSession::new();
-        sess.build(&b, &NullTelemetry);
+        assert!(sess.build(&b, &NullTelemetry).is_ok());
         let reference = DepGraph::build(&b, &NullTelemetry).graph().reachability();
         assert_eq!(sess.closure(), &reference);
         assert_eq!(sess.changed().count(), 3);
@@ -324,9 +408,11 @@ mod tests {
             "#,
         );
         let mut sess = SchedSession::new();
-        sess.build(&old, &NullTelemetry);
+        assert!(sess.build(&old, &NullTelemetry).is_ok());
         let remap = BlockRemap::new(vec![0, 2, 4], 5);
-        sess.rebuild_after_spill(&new, &remap, &NullTelemetry);
+        assert!(sess
+            .rebuild_after_spill(&new, &remap, &NullTelemetry)
+            .is_ok());
         let reference = DepGraph::build(&new, &NullTelemetry).graph().reachability();
         assert_eq!(sess.closure(), &reference);
     }
@@ -338,8 +424,35 @@ mod tests {
         // No prior state: rebuild_after_spill must still produce a correct
         // closure via the full-build fallback.
         let remap = BlockRemap::identity(0);
-        sess.rebuild_after_spill(&b, &remap, &NullTelemetry);
+        assert!(sess.rebuild_after_spill(&b, &remap, &NullTelemetry).is_ok());
         let reference = DepGraph::build(&b, &NullTelemetry).graph().reachability();
         assert_eq!(sess.closure(), &reference);
+    }
+
+    #[test]
+    fn expired_deadline_trips_the_build_cooperatively() {
+        // A block big enough that the closure loop polls the clock at
+        // least once (the stride is 1024 rows).
+        let mut src = String::from("func @big(s0) {\nentry:\n");
+        for i in 0..1500 {
+            src.push_str(&format!("    s{} = add s{}, 1\n", i + 1, i));
+        }
+        src.push_str("    ret s1500\n}");
+        let b = block(&src);
+        let mut sess = SchedSession::new();
+        sess.set_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        let err = sess.build(&b, &NullTelemetry);
+        assert_eq!(
+            err,
+            Err(DeadlineExceeded {
+                phase: "closure.build"
+            })
+        );
+        // The failed build leaves no half-built state behind.
+        assert!(sess.deps().is_none());
+        // Clearing the deadline makes the same block build fine.
+        sess.set_deadline(None);
+        assert!(sess.build(&b, &NullTelemetry).is_ok());
+        assert!(sess.deps().is_some());
     }
 }

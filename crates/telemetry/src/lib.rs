@@ -31,6 +31,7 @@ use std::time::Instant;
 
 mod flight;
 mod histogram;
+pub mod json;
 mod profile;
 
 pub use flight::{FlightEntry, FlightKind, FlightRecorder};

@@ -241,3 +241,199 @@ fn every_ladder_rung_preserves_semantics() {
         run_equal(&func, &r.function, &[7]);
     }
 }
+
+/// The cooperative mid-rung deadline checks bound overshoot: on the
+/// dag-large shape (size-100 random DAGs, 32-register paper machine) a
+/// deadline that trips mid-batch must stop compilation within 50ms of
+/// the deadline, not after finishing whatever quadratic loop was
+/// running. Self-calibrating: the deadline is a quarter of the measured
+/// uncapped batch time, so the trip always lands mid-work.
+#[test]
+fn deadline_overshoot_is_bounded_on_dag_large() {
+    use parsched_workload::{random_dag_function, DagParams};
+    let params = DagParams {
+        size: 100,
+        load_fraction: 0.25,
+        float_fraction: 0.4,
+        window: 8,
+    };
+    let funcs: Vec<Function> = (0..12)
+        .map(|seed| random_dag_function(seed * 11 + 5, &params))
+        .collect();
+    let machine = presets::paper_machine(32);
+
+    let uncapped = Driver::new(Pipeline::new(machine.clone()));
+    let t0 = Instant::now();
+    let baseline = uncapped.compile_batch(&funcs);
+    let uncapped_wall = t0.elapsed();
+    assert!(baseline.iter().all(Result::is_ok));
+
+    // A missing cooperative check is systematic — every attempt blows
+    // through the deadline by a whole quadratic loop — while scheduler
+    // noise from concurrently running tests is transient, so the gate is
+    // the *best* of three attempts.
+    let allowance = uncapped_wall / 4;
+    let mut best_overshoot = Duration::MAX;
+    for _ in 0..3 {
+        let deadline = Instant::now() + allowance;
+        let driver = Driver::new(Pipeline::new(machine.clone()))
+            .with_budget(Budget::unlimited().with_deadline(deadline));
+        let t1 = Instant::now();
+        let results = driver.compile_batch(&funcs);
+        let elapsed = t1.elapsed();
+
+        // Every function is answered: compiled before the trip, or a
+        // typed budget error after it — never a hang or a panic.
+        assert_eq!(results.len(), funcs.len());
+        for r in &results {
+            if let Err(e) = r {
+                assert_eq!(e.exit_code(), 8, "only budget errors expected: {e}");
+            }
+        }
+        best_overshoot = best_overshoot.min(elapsed.saturating_sub(allowance));
+        if best_overshoot <= Duration::from_millis(50) {
+            break;
+        }
+    }
+    assert!(
+        best_overshoot <= Duration::from_millis(50),
+        "deadline overshoot {best_overshoot:?} exceeds 50ms on every attempt \
+         (allowance {allowance:?}, uncapped {uncapped_wall:?})"
+    );
+}
+
+/// In-process soak of the pscd service at roughly twice the sustainable
+/// request rate for a few seconds: zero panics, shed/overload accounting
+/// stays monotone under concurrent polling, and every submitted request
+/// — accepted or refused — is answered exactly once.
+#[test]
+fn soak_service_at_twice_sustainable_rate() {
+    use parsched::ir::print_function;
+    use parsched_pscd::{Service, ServiceConfig};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 8,
+        cache_capacity: 16,
+        ..ServiceConfig::default()
+    });
+
+    // A small corpus with repeats so the cache path is exercised too.
+    let corpus: Vec<String> = (0..6)
+        .map(|i| {
+            print_function(&pathological(30 + i * 7, 4))
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        })
+        .collect();
+    let line = |id: u64, src: &str, deadline_ms: u64| {
+        format!(
+            "{{\"id\":{id},\"op\":\"compile\",\"src\":\"{src}\",\"regs\":8,\
+             \"deadline_ms\":{deadline_ms}}}"
+        )
+    };
+
+    // Calibrate: mean service time over a few sequential requests.
+    let (tx, rx) = channel::<String>();
+    let t0 = Instant::now();
+    let warmup = 4u64;
+    for id in 0..warmup {
+        svc.handle_line(&line(id, &corpus[id as usize % corpus.len()], 10_000), &tx);
+        let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(r.contains("\"code\":0"), "warmup must compile: {r}");
+    }
+    let per_req = t0.elapsed() / warmup as u32;
+
+    // Monitor thread: shed/overload/cache accounting must be monotone
+    // while the soak hammers the service.
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut prev = svc.stats();
+            while !stop.load(Ordering::SeqCst) {
+                let now = svc.stats();
+                assert!(
+                    now.monotone_since(&prev),
+                    "counters regressed: {prev:?} -> {now:?}"
+                );
+                prev = now;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // Two workers served the warmup sequentially, so sustainable is
+    // about 2/per_req; each of 2 client threads sends at 2/per_req for a
+    // ~2x aggregate rate. The interval floor bounds the test on slow
+    // machines.
+    let interval = (per_req / 2).max(Duration::from_micros(200));
+    let total: u64 = 400;
+    let clients = 2u64;
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let svc = Arc::clone(&svc);
+        let corpus = corpus.clone();
+        handles.push(std::thread::spawn(move || {
+            let (tx, rx) = channel::<String>();
+            let n = total / clients;
+            for i in 0..n {
+                let id = c * 1_000_000 + i;
+                // Mixed deadlines: mostly generous, a storm of tight ones
+                // to force overload fast-fails.
+                let deadline_ms = if i % 7 == 0 { 1 } else { 5_000 };
+                svc.handle_line(
+                    &line(id, &corpus[(i as usize) % corpus.len()], deadline_ms),
+                    &tx,
+                );
+                std::thread::sleep(interval);
+            }
+            drop(tx);
+            // Every submitted request must be answered exactly once.
+            let mut seen = std::collections::HashSet::new();
+            let mut codes_ok = true;
+            for r in rx {
+                let id_field = r
+                    .split_once("\"id\":")
+                    .and_then(|(_, rest)| rest.split([',', '}']).next())
+                    .map(str::to_string);
+                if let Some(id) = id_field {
+                    assert!(
+                        seen.insert(id.clone()),
+                        "duplicate response for id {id}: {r}"
+                    );
+                }
+                // Zero panics: code 9 would mean a worker-contained panic
+                // on healthy input.
+                if r.contains("\"code\":9") {
+                    codes_ok = false;
+                }
+            }
+            (seen.len() as u64, n, codes_ok)
+        }));
+    }
+    for h in handles {
+        let (answered, sent, codes_ok) = h.join().unwrap();
+        assert_eq!(answered, sent, "every request answered exactly once");
+        assert!(codes_ok, "no panic responses under soak");
+    }
+    stop.store(true, Ordering::SeqCst);
+    monitor.join().unwrap();
+
+    let report = svc.shutdown_and_join();
+    let s = report.stats;
+    // Honest books: everything accepted was completed or failed; nothing
+    // vanished in the drain.
+    assert_eq!(
+        s.accepted,
+        s.completed + s.failed,
+        "accepted split exactly into completed+failed: {s:?}"
+    );
+    assert!(s.completed >= warmup);
+    assert!(s.cache_hits > 0, "corpus repeats must hit the cache: {s:?}");
+}

@@ -62,13 +62,18 @@ fn check_spill_loop(func: &parsched::ir::Function, machine: &MachineDesc, case: 
         };
         match pending_remap.take() {
             Some(remap) => {
-                session.rebuild_after_spill(current.block(block_id), &remap, &NullTelemetry);
+                session
+                    .rebuild_after_spill(current.block(block_id), &remap, &NullTelemetry)
+                    .expect("no deadline set, rebuild cannot trip");
                 incremental_rounds += 1;
             }
-            None => session.begin(current.block(block_id), &NullTelemetry),
+            None => session
+                .begin(current.block(block_id), &NullTelemetry)
+                .expect("no deadline set, build cannot trip"),
         }
         let pig = session
             .build_pig(&problem, machine, &NullTelemetry)
+            .expect("no deadline set, PIG walk cannot trip")
             .expect("session was begun, PIG must build");
 
         let deps = DepGraph::build(current.block(block_id), &NullTelemetry);
