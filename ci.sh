@@ -47,6 +47,10 @@ timeout 30 cargo run -q --release --offline -p parsched-verify -- \
 fuzz_dir=$(mktemp -d /tmp/parsched-fuzz-smoke.XXXXXX)
 timeout 30 cargo run -q --release --offline -p parsched-verify -- \
     fuzz --seed 0 --count 60 --out "$fuzz_dir"
+# Branchy/loopy sweep: --cfg makes every case a multi-block function, so
+# the global (web-based) allocation path is fuzzed on each run.
+timeout 30 cargo run -q --release --offline -p parsched-verify -- \
+    fuzz --cfg --seed 0 --count 60 --out "$fuzz_dir"
 rm -rf "$fuzz_dir"
 
 echo "==> perf smoke (combined compile must stay incremental)"
@@ -78,7 +82,8 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 if ! timeout 30 ./target/release/parsched-loadgen --socket "$chaos_sock" \
-    --chaos --seed 0 --requests 500 --rps 500 --shutdown > /dev/null; then
+    --chaos --branchy --seed 0 --requests 500 --rps 500 --shutdown \
+    > /dev/null; then
     kill "$chaos_pid" 2> /dev/null || true
     echo "chaos gate FAILED: loadgen reported contract violations" >&2
     exit 1

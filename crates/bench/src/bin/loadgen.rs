@@ -17,7 +17,7 @@ use parsched::ir::print_function;
 use parsched::telemetry::escape_json;
 use parsched::telemetry::json::{parse, Value};
 use parsched_pscd::proto::{CODE_OK, CODE_OVERLOADED, CODE_PROTO, MAX_LINE_BYTES};
-use parsched_workload::{random_dag_function, DagParams};
+use parsched_workload::{random_cfg_function, random_dag_function, CfgParams, DagParams};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -31,6 +31,8 @@ const USAGE: &str = "usage: parsched-loadgen --socket PATH [options]
   --seed S        workload seed (default 0)
   --chaos         inject malformed/oversized lines, deadline storms,
                   and a mid-stream disconnect
+  --branchy       mix branchy/loopy CFG functions into the corpus so the
+                  daemon's global (web-based) allocation path is exercised
   --shutdown      send a shutdown op after the run and expect a drain";
 
 struct Options {
@@ -39,6 +41,7 @@ struct Options {
     rps: f64,
     seed: u64,
     chaos: bool,
+    branchy: bool,
     shutdown: bool,
 }
 
@@ -49,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
         rps: 200.0,
         seed: 0,
         chaos: false,
+        branchy: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -71,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
             }
             "--chaos" => opts.chaos = true,
+            "--branchy" => opts.branchy = true,
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -90,19 +95,30 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The seeded corpus: a handful of random-DAG functions, pre-escaped for
+/// The seeded corpus: a handful of random functions, pre-escaped for
 /// embedding in request lines. Small enough that the run revisits each
-/// one many times, so the cache byte-identity audit gets real hits.
-fn corpus(seed: u64) -> Vec<String> {
+/// one many times, so the cache byte-identity audit gets real hits. With
+/// `branchy`, half the corpus is branchy/loopy CFG functions, driving the
+/// daemon through the global (web-based) allocation path.
+fn corpus(seed: u64, branchy: bool) -> Vec<String> {
     let params = DagParams {
         size: 36,
         load_fraction: 0.25,
         float_fraction: 0.4,
         window: 6,
     };
-    (0..6)
+    let cfg_params = CfgParams {
+        segments: 4,
+        ops_per_block: 4,
+    };
+    (0..6u64)
         .map(|i| {
-            let f = random_dag_function(seed.wrapping_mul(31).wrapping_add(i * 7 + 13), &params);
+            let case_seed = seed.wrapping_mul(31).wrapping_add(i * 7 + 13);
+            let f = if branchy && i % 2 == 1 {
+                random_cfg_function(case_seed, &cfg_params)
+            } else {
+                random_dag_function(case_seed, &params)
+            };
             escape_json(&print_function(&f))
         })
         .collect()
@@ -257,7 +273,7 @@ fn run(opts: &Options) -> Result<Audit, String> {
     });
 
     let mut writer = stream;
-    let sources = corpus(opts.seed);
+    let sources = corpus(opts.seed, opts.branchy);
     let mut rng = opts.seed.wrapping_add(0x5eed);
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut audit = Audit::default();

@@ -73,7 +73,9 @@ pub mod prelude {
     pub use crate::budget::Budget;
     pub use crate::driver::{DegradationLevel, Driver};
     pub use crate::error::ParschedError;
-    pub use crate::pipeline::{CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
+    pub use crate::pipeline::{
+        AllocScope, CompileResult, CompileStats, Pipeline, PipelineError, Strategy,
+    };
     pub use parsched_regalloc::AllocSession;
     pub use parsched_sched::{BlockRemap, SchedSession};
     pub use parsched_telemetry::{NullTelemetry, Recorder, Telemetry};
@@ -83,7 +85,7 @@ pub use batch::{BatchDriver, BatchOutput};
 pub use budget::Budget;
 pub use driver::{DegradationLevel, Driver};
 pub use error::ParschedError;
-pub use pipeline::{CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
+pub use pipeline::{AllocScope, CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
 
 pub use parsched_graph as graph;
 pub use parsched_ir as ir;

@@ -6,7 +6,9 @@ use crate::driver::DegradationLevel;
 use parsched_ir::{BlockId, Function};
 use parsched_machine::MachineDesc;
 use parsched_regalloc::allocator::{allocate_single_block_in, AllocError, BlockStrategy};
-use parsched_regalloc::global::{allocate_global, GlobalAllocError, GlobalStrategy};
+use parsched_regalloc::global::{
+    allocate_global_scoped, GlobalAllocError, GlobalScope, GlobalStrategy,
+};
 use parsched_regalloc::{AllocSession, BudgetExceeded, PinterConfig};
 use parsched_sched::falsedep::count_false_deps_until;
 use parsched_sched::{list_schedule, SchedError};
@@ -54,6 +56,38 @@ impl Strategy {
             Strategy::LinearScanThenSched => "linear-scan",
             Strategy::Combined(_) => "combined",
             Strategy::SpillEverything => "spill-everything",
+        }
+    }
+}
+
+/// At what scope the allocator makes register-sharing decisions.
+///
+/// Orthogonal to [`Strategy`]: the strategy picks the coloring backend
+/// (Chaitin, the paper's combined PIG coloring, ...), the scope picks the
+/// unit over which values may share registers. See `docs/GLOBAL.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocScope {
+    /// Single-block functions use the block-level allocators; multi-block
+    /// functions use the global (web-based) allocator. The default.
+    #[default]
+    Auto,
+    /// Always allocate over webs, function-wide — one color per web even
+    /// for single-block functions (`psc --global`).
+    Global,
+    /// Per-block baseline: block-local webs share registers but every web
+    /// crossing a block boundary gets a *dedicated* register — the
+    /// classical pre-web global discipline the paper's webs improve on
+    /// (`psc --per-block`). Single-block functions are unaffected.
+    PerBlock,
+}
+
+impl AllocScope {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocScope::Auto => "auto",
+            AllocScope::Global => "global",
+            AllocScope::PerBlock => "per-block",
         }
     }
 }
@@ -168,6 +202,7 @@ pub struct Pipeline {
     machine: MachineDesc,
     merge_chains: bool,
     optimize: bool,
+    scope: AllocScope,
 }
 
 impl Pipeline {
@@ -177,7 +212,22 @@ impl Pipeline {
             machine,
             merge_chains: false,
             optimize: false,
+            scope: AllocScope::Auto,
         }
+    }
+
+    /// Sets the allocation [`AllocScope`]: [`AllocScope::Auto`] (default),
+    /// [`AllocScope::Global`] (webs function-wide, even for single-block
+    /// functions), or [`AllocScope::PerBlock`] (dedicated registers for
+    /// cross-block webs — the measurement baseline).
+    pub fn with_scope(mut self, scope: AllocScope) -> Pipeline {
+        self.scope = scope;
+        self
+    }
+
+    /// The configured allocation scope.
+    pub fn scope(&self) -> AllocScope {
+        self.scope
     }
 
     /// Enables the pre-allocation clean-up passes (copy propagation,
@@ -412,7 +462,14 @@ impl Pipeline {
         telemetry: &dyn Telemetry,
     ) -> Result<(Function, CompileStats), PipelineError> {
         let mut stats = CompileStats::default();
-        let allocated = if func.block_count() == 1 {
+        // Auto keeps single-block functions on the block-level allocators;
+        // --global forces the web path everywhere, --per-block only changes
+        // multi-block behavior (a single block has no cross-block webs).
+        let use_webs = match self.scope {
+            AllocScope::Global => true,
+            AllocScope::Auto | AllocScope::PerBlock => func.block_count() > 1,
+        };
+        let allocated = if !use_webs {
             let s = match strategy {
                 Strategy::AllocThenSched | Strategy::SchedThenAlloc => BlockStrategy::Chaitin,
                 Strategy::LinearScanThenSched => BlockStrategy::LinearScan,
@@ -433,7 +490,12 @@ impl Pipeline {
                 Strategy::Combined(cfg) => GlobalStrategy::Pinter(*cfg),
                 Strategy::SpillEverything => GlobalStrategy::SpillAll,
             };
-            let out = allocate_global(func, &self.machine, s, true, limits, telemetry)?;
+            let gscope = match self.scope {
+                AllocScope::PerBlock => GlobalScope::PerBlockBaseline,
+                AllocScope::Auto | AllocScope::Global => GlobalScope::Function,
+            };
+            let out =
+                allocate_global_scoped(func, &self.machine, s, gscope, true, limits, telemetry)?;
             stats.registers_used = out.colors_used;
             stats.spilled_values = out.spilled_webs;
             stats.inserted_mem_ops = out.inserted_mem_ops;

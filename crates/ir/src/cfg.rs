@@ -1,4 +1,6 @@
 //! Control-flow graph construction and dominance queries over functions.
+//! The role of dominance and plausible pairs in the global allocation
+//! model is documented in `docs/GLOBAL.md`.
 
 use crate::block::BlockId;
 use crate::func::Function;

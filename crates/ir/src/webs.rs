@@ -6,7 +6,8 @@
 //! Figure 6 — those definitions must land in one register, so they form a
 //! single allocation unit. Webs are the vertices of the *global*
 //! interference graph; within a straight-line block with single-def
-//! symbolic registers every web is a single definition.
+//! symbolic registers every web is a single definition. How webs fit the
+//! rest of the global pipeline is documented in `docs/GLOBAL.md`.
 
 use crate::defuse::{DefId, DefUse};
 use crate::func::Function;

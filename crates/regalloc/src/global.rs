@@ -224,6 +224,57 @@ impl GlobalAllocProblem {
         &self.webs
     }
 
+    /// The def-use information the webs were computed from.
+    pub fn defuse(&self) -> &DefUse {
+        &self.defuse
+    }
+
+    /// For each web, whether it spans more than one basic block: some
+    /// member definition or reached use lies in a different block than the
+    /// rest. Parameters count as defined in the entry block, so a web that
+    /// carries a parameter into a later block is cross-block.
+    pub fn cross_block_webs(&self, func: &Function) -> Vec<bool> {
+        let nw = self.webs.len();
+        let mut home: Vec<Option<BlockId>> = vec![None; nw];
+        let mut cross = vec![false; nw];
+        let mut touch = |w: WebId, b: BlockId| match home[w.0] {
+            None => home[w.0] = Some(b),
+            Some(h) if h != b => cross[w.0] = true,
+            Some(_) => {}
+        };
+        for (i, &(site, _)) in self.defuse.defs().iter().enumerate() {
+            let b = match site {
+                DefSite::Param(_) => func.entry(),
+                DefSite::Inst(id, _) => id.block,
+            };
+            touch(self.webs.web_of(DefId(i)), b);
+        }
+        for (site, reaching) in self.defuse.uses() {
+            if let Some(&d) = reaching.first() {
+                touch(self.webs.web_of(d), site.inst.block);
+            }
+        }
+        cross
+    }
+
+    /// Installs the per-block baseline model: every cross-block web
+    /// receives a *dedicated* register, realized as an interference clique
+    /// among the cross-block webs. Block-local webs still share freely.
+    /// This is the classical pre-web global discipline (one register per
+    /// value that lives across blocks) the paper's web construction
+    /// improves on, kept as the comparison baseline for EXPERIMENTS.md.
+    /// Returns how many webs were dedicated.
+    pub fn dedicate_cross_block_webs(&mut self, func: &Function) -> usize {
+        let cross = self.cross_block_webs(func);
+        let ids: Vec<usize> = (0..self.webs.len()).filter(|&w| cross[w]).collect();
+        for (i, &u) in ids.iter().enumerate() {
+            for &v in &ids[i + 1..] {
+                self.er.add_edge(u, v);
+            }
+        }
+        ids.len()
+    }
+
     /// Global interference graph over webs.
     pub fn interference(&self) -> &UnGraph {
         &self.er
@@ -521,6 +572,19 @@ pub enum GlobalStrategy {
     SpillAll,
 }
 
+/// Scope of the allocator's register-sharing decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlobalScope {
+    /// One color per web, function-wide — the paper's global model.
+    #[default]
+    Function,
+    /// Per-block baseline: webs that cross a block boundary get dedicated
+    /// registers (an interference clique, see
+    /// [`GlobalAllocProblem::dedicate_cross_block_webs`]); only block-local
+    /// webs share. The comparison point for the global model.
+    PerBlockBaseline,
+}
+
 /// Allocates registers for a whole function (any CFG shape) on `machine`.
 ///
 /// # Examples
@@ -569,6 +633,36 @@ pub fn allocate_global(
     limits: &crate::limits::AllocLimits,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> Result<GlobalAllocation, GlobalAllocError> {
+    allocate_global_scoped(
+        func,
+        machine,
+        strategy,
+        GlobalScope::Function,
+        coalesce,
+        limits,
+        telemetry,
+    )
+}
+
+/// [`allocate_global`] with an explicit [`GlobalScope`].
+///
+/// [`GlobalScope::Function`] is the paper's model: one color per web over
+/// the whole function. [`GlobalScope::PerBlockBaseline`] dedicates a
+/// register to every cross-block web before coloring (reported per round
+/// as a `global.dedicated_webs` counter) — the measurement baseline that
+/// global allocation is compared against.
+///
+/// # Errors
+/// Same contract as [`allocate_global`].
+pub fn allocate_global_scoped(
+    func: &Function,
+    machine: &MachineDesc,
+    strategy: GlobalStrategy,
+    scope: GlobalScope,
+    coalesce: bool,
+    limits: &crate::limits::AllocLimits,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> Result<GlobalAllocation, GlobalAllocError> {
     let k = machine.num_regs();
     let mut current = func.clone();
     // Reload temporaries created by spill rewriting must never re-spill.
@@ -585,10 +679,19 @@ pub fn allocate_global(
     for round in 1..=max_rounds {
         limits.check_deadline("global.deadline")?;
         let round_span = parsched_telemetry::span(telemetry, "global.round");
-        let problem = {
+        let mut problem = {
             let _span = parsched_telemetry::span(telemetry, "global.problem");
             GlobalAllocProblem::build_limited(&current, machine, limits)?
         };
+        if scope == GlobalScope::PerBlockBaseline {
+            // Reload temporaries stay block-local, so the dedicated set
+            // shrinks as spilling proceeds and convergence is preserved.
+            let dedicated = problem.dedicate_cross_block_webs(&current);
+            if telemetry.enabled() {
+                telemetry.counter("global.dedicated_webs", dedicated as u64);
+            }
+        }
+        let problem = problem;
         let nw = problem.webs.len();
         if telemetry.enabled() {
             telemetry.counter("global.webs", nw as u64);

@@ -14,6 +14,7 @@
 //!          [--emit text|schedule|stats|json|dot]
 //!          [--jobs N] [--bench-json FILE]
 //!          [--trace FILE] [--stats-json FILE] [--dump-dir DIR]
+//!          [--global | --per-block]
 //!          [--verify]
 //!          [--run ARG...]
 //! ```
@@ -31,7 +32,9 @@ use parsched::telemetry::{
     escape_json, ChromeTraceSink, Fanout, FlightRecorder, NullTelemetry, PhaseTree, Recorder,
     SyncFanout, Telemetry,
 };
-use parsched::{BatchDriver, Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy};
+use parsched::{
+    AllocScope, BatchDriver, Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy,
+};
 use parsched_verify::Verifier;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -42,6 +45,11 @@ FILE is a textual-IR module: one or more `func @name(...) { ... }` bodies.
 options:
   --strategy combined|alloc-first|sched-first|linear-scan|spill-everything
                          (default combined)
+  --global               allocate over webs function-wide even for
+                         single-block functions (one color per web; see
+                         docs/GLOBAL.md)
+  --per-block            baseline: block-local webs share registers but
+                         every cross-block web gets a dedicated one
   --machine single|paper|mips|rs6000|wide4      (default paper)
   --machine-spec FILE    load a textual machine description instead
   --regs N               override the register-file size
@@ -71,10 +79,13 @@ options:
   --flight-json FILE     write the flight-recorder ring as JSON when a
                          dump triggers (degradation, budget trip, failed
                          --verify); the human-readable dump goes to stderr
-  --dump-dir DIR         write per-block DOT dumps of the input function's
-                         graphs: Gs (scheduling DAG), Et (transitive
+  --dump-dir DIR         write DOT dumps of the input function's graphs:
+                         per block Gs (scheduling DAG), Et (transitive
                          schedule closure), Gf (false-dependence graph),
-                         Gr (interference), and the PIG
+                         Gr (interference), and the PIG; plus function-wide
+                         cfg.dot (CFG, plausible pairs as dashed edges),
+                         webs.txt (the web table), and global_pig.dot
+                         (cross-block PIG over webs)
   --verify               validate the output with the independent
                          parsched-verify checkers (schedule legality,
                          allocation soundness, Theorem 1, spill code,
@@ -105,6 +116,7 @@ struct Options {
     stats_json: Option<String>,
     flight_json: Option<String>,
     dump_dir: Option<String>,
+    scope: AllocScope,
     verify: bool,
     run: Option<Vec<i64>>,
 }
@@ -211,6 +223,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut stats_json: Option<String> = None;
     let mut flight_json: Option<String> = None;
     let mut dump_dir: Option<String> = None;
+    let mut scope = AllocScope::Auto;
     let mut verify = false;
     let mut run: Option<Vec<i64>> = None;
 
@@ -293,6 +306,18 @@ fn parse_args() -> Result<Cmd, String> {
             "--dump-dir" => {
                 dump_dir = Some(args.next().ok_or("--dump-dir needs a directory")?);
             }
+            "--global" => {
+                if scope == AllocScope::PerBlock {
+                    return Err("--global and --per-block are mutually exclusive".to_string());
+                }
+                scope = AllocScope::Global;
+            }
+            "--per-block" => {
+                if scope == AllocScope::Global {
+                    return Err("--global and --per-block are mutually exclusive".to_string());
+                }
+                scope = AllocScope::PerBlock;
+            }
             "--verify" => verify = true,
             "--run" => {
                 let rest: Result<Vec<i64>, _> = args.by_ref().map(|a| a.parse()).collect();
@@ -321,6 +346,7 @@ fn parse_args() -> Result<Cmd, String> {
         stats_json,
         flight_json,
         dump_dir,
+        scope,
         verify,
         run,
     })))
@@ -348,7 +374,7 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         Some(r) => opts.machine.with_num_regs(r),
         None => opts.machine.clone(),
     };
-    let pipeline = Pipeline::new(machine.clone());
+    let pipeline = Pipeline::new(machine.clone()).with_scope(opts.scope);
     let mut budget = Budget::unlimited();
     if let Some(n) = opts.max_insts {
         budget = budget.with_max_block_insts(n);
@@ -612,7 +638,7 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
     } else {
         vec![opts.strategy]
     };
-    let driver = Driver::new(Pipeline::new(machine.clone()))
+    let driver = Driver::new(Pipeline::new(machine.clone()).with_scope(opts.scope))
         .with_budget(budget)
         .with_ladder(ladder);
     let batch = BatchDriver::new(driver)
@@ -1109,6 +1135,131 @@ fn stats_json(
 /// dashed). Blocks whose allocation problem cannot be built (e.g. multiple
 /// definitions of one register) get only the schedule-side graphs, with a
 /// note on stderr.
+/// Writes the function-level dumps: `cfg.dot` (the control-flow graph,
+/// with *plausible* region pairs — a dominates b, b post-dominates a — as
+/// dashed constraint-free edges), `webs.txt` (the web table: register,
+/// defining blocks, def/use counts, cross-block flag), and `global_pig.dot`
+/// (the cross-block parallelizable interference graph over webs, false
+/// edges dashed). See docs/GLOBAL.md for how to read them.
+fn dump_function_graphs(
+    func: &Function,
+    machine: &MachineDesc,
+    write: &dyn Fn(String, String) -> Result<(), Failure>,
+) -> Result<(), Failure> {
+    use parsched::graph::dot::{ungraph_to_dot, DotOptions};
+    use parsched::ir::cfg::Cfg;
+    use parsched::ir::defuse::DefSite;
+    use parsched::ir::webs::WebId;
+    use parsched::regalloc::global::GlobalAllocProblem;
+    use std::fmt::Write as _;
+
+    let cfg = Cfg::new(func);
+    let n = func.block_count();
+    let mut dot = String::new();
+    let _ = writeln!(dot, "digraph cfg {{");
+    let _ = writeln!(
+        dot,
+        "  label=\"CFG of @{} (dashed = plausible region pairs)\";",
+        func.name()
+    );
+    let _ = writeln!(dot, "  node [shape=box];");
+    for b in 0..n {
+        let _ = writeln!(
+            dot,
+            "  n{b} [label=\"{}\"];",
+            func.block(BlockId(b)).label()
+        );
+    }
+    let _ = writeln!(dot, "  nexit [label=\"exit\", style=dotted];");
+    for b in 0..n {
+        let succs = func.successors(BlockId(b));
+        if succs.is_empty() {
+            let _ = writeln!(dot, "  n{b} -> nexit;");
+        }
+        for s in succs {
+            let _ = writeln!(dot, "  n{b} -> n{};", s.0);
+        }
+    }
+    for a in 0..n {
+        for b in 0..n {
+            if cfg.is_plausible_pair(BlockId(a), BlockId(b)) {
+                let _ = writeln!(
+                    dot,
+                    "  n{a} -> n{b} [style=dashed, constraint=false, color=gray];"
+                );
+            }
+        }
+    }
+    let _ = writeln!(dot, "}}");
+    write("cfg.dot".to_string(), dot)?;
+
+    let problem = GlobalAllocProblem::build(func, machine);
+    let webs = problem.webs();
+    let defuse = problem.defuse();
+    let cross = problem.cross_block_webs(func);
+    let mut use_counts = vec![0usize; webs.len()];
+    for (_, reaching) in defuse.uses() {
+        if let Some(&d) = reaching.first() {
+            use_counts[webs.web_of(d).0] += 1;
+        }
+    }
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "webs of @{} ({} webs, {} cross-block)",
+        func.name(),
+        webs.len(),
+        cross.iter().filter(|&&c| c).count()
+    );
+    let _ = writeln!(
+        table,
+        "{:<6} {:<6} {:>4} {:>4} {:<6} blocks",
+        "web", "reg", "defs", "uses", "cross"
+    );
+    for (w, members) in webs.iter() {
+        let mut blocks: Vec<String> = Vec::new();
+        for &d in members {
+            let label = match defuse.site_of(d) {
+                DefSite::Param(_) => func.block(func.entry()).label().to_string(),
+                DefSite::Inst(id, _) => func.block(id.block).label().to_string(),
+            };
+            if !blocks.contains(&label) {
+                blocks.push(label);
+            }
+        }
+        let _ = writeln!(
+            table,
+            "{:<6} {:<6} {:>4} {:>4} {:<6} {}",
+            format!("w{}", w.0),
+            webs.reg_of(w).to_string(),
+            members.len(),
+            use_counts[w.0],
+            if cross[w.0] { "yes" } else { "no" },
+            blocks.join(",")
+        );
+    }
+    write("webs.txt".to_string(), table)?;
+
+    let pig = problem.pig();
+    let mut pig_opts = DotOptions::titled(format!(
+        "Global PIG of @{} on {} over webs (dashed = false-dependence edges)",
+        func.name(),
+        machine.name()
+    ));
+    pig_opts.node_labels = (0..webs.len())
+        .map(|w| format!("w{w} ({})", webs.reg_of(WebId(w))))
+        .collect();
+    pig_opts.edge_styles = pig
+        .false_only()
+        .edges()
+        .map(|(u, v)| (u, v, "dashed".to_string()))
+        .collect();
+    write(
+        "global_pig.dot".to_string(),
+        ungraph_to_dot(pig.graph(), &pig_opts),
+    )
+}
+
 fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), Failure> {
     use parsched::graph::dot::{digraph_to_dot, ungraph_to_dot, DotOptions};
     use parsched::ir::liveness::Liveness;
@@ -1121,6 +1272,7 @@ fn dump_graphs(func: &Function, machine: &MachineDesc, dir: &str) -> Result<(), 
         let path = dir.join(name);
         std::fs::write(&path, contents).map_err(|e| Failure::io(&path.display().to_string(), &e))
     };
+    dump_function_graphs(func, machine, &write)?;
     let lv = Liveness::compute(func, &[]);
 
     for b in 0..func.block_count() {

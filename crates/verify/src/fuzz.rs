@@ -53,6 +53,9 @@ pub struct FuzzConfig {
     pub out_dir: PathBuf,
     /// Per-case progress lines on stdout.
     pub verbose: bool,
+    /// Restrict generation to branchy/loopy CFG functions (the `--cfg`
+    /// flag): every case exercises the global, web-based allocation path.
+    pub cfg_only: bool,
 }
 
 impl Default for FuzzConfig {
@@ -62,6 +65,7 @@ impl Default for FuzzConfig {
             count: 100,
             out_dir: PathBuf::from("fuzz-failures"),
             verbose: false,
+            cfg_only: false,
         }
     }
 }
@@ -99,7 +103,7 @@ pub fn run(config: &FuzzConfig) -> Result<FuzzSummary, std::io::Error> {
     let mut rng = SplitMix64::seed_from_u64(config.seed);
     for case in 0..config.count {
         let case_seed = rng.next_u64();
-        let func = generate(case_seed);
+        let func = generate(case_seed, config.cfg_only);
         if verify_function(&func, false).is_err() {
             // Generator bug, not a pipeline bug; skip rather than report.
             continue;
@@ -137,10 +141,16 @@ pub fn run(config: &FuzzConfig) -> Result<FuzzSummary, std::io::Error> {
 }
 
 /// Generates one random function from the case seed: the low bits pick the
-/// shape family, the rest parameterize it.
-fn generate(case_seed: u64) -> Function {
+/// shape family, the rest parameterize it. With `cfg_only`, every case is
+/// a branchy/loopy CFG function (the global-allocation path).
+fn generate(case_seed: u64, cfg_only: bool) -> Function {
     let mut rng = SplitMix64::seed_from_u64(case_seed);
-    match rng.gen_range_usize(0, 3) {
+    let family = if cfg_only {
+        1
+    } else {
+        rng.gen_range_usize(0, 3)
+    };
+    match family {
         0 => random_dag_function(
             rng.next_u64(),
             &DagParams {
@@ -285,7 +295,9 @@ fn run_batch_case(
     summary: &mut FuzzSummary,
 ) -> Result<(), std::io::Error> {
     let machine = presets::paper_machine(8);
-    let funcs: Vec<Function> = (0..3).map(|_| generate(rng.next_u64())).collect();
+    let funcs: Vec<Function> = (0..3)
+        .map(|_| generate(rng.next_u64(), config.cfg_only))
+        .collect();
     if funcs.iter().any(|f| verify_function(f, false).is_err()) {
         return Ok(());
     }

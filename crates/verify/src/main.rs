@@ -21,7 +21,8 @@ const USAGE: &str = "\
 parsched-verify — translation validation fuzzer for the parsched pipeline
 
 USAGE:
-    parsched-verify fuzz [--seed N] [--count N] [--out DIR] [--verbose]
+    parsched-verify fuzz [--seed N] [--count N] [--out DIR] [--cfg]
+                         [--verbose]
     parsched-verify replay FILE...
     parsched-verify help
 
@@ -36,6 +37,8 @@ OPTIONS (fuzz):
     --seed N     master seed (default 0); same seed, same cases
     --count N    number of cases (default 100)
     --out DIR    directory for reproducer files
+    --cfg        generate only branchy/loopy CFG functions, so every case
+                 takes the global (web-based) allocation path
     --verbose    one line per case
 
 EXIT CODES:
@@ -83,6 +86,7 @@ fn run_fuzz(args: &[String]) -> i32 {
                 Some(v) => config.out_dir = PathBuf::from(v),
                 None => return usage_error("--out needs a directory"),
             },
+            "--cfg" => config.cfg_only = true,
             "--verbose" => config.verbose = true,
             other => return usage_error(&format!("unknown option `{other}`")),
         }

@@ -1,0 +1,35 @@
+# A branchy cascade of diamonds — the worked example of docs/GLOBAL.md and
+# docs/TUTORIAL.md §10.
+#
+# Each stage computes a value in one of two arms and hands it to the next
+# join block, so every stage value (s1..s4) is a *cross-block web*. The
+# webs are born and die in sequence: s1 dies where s2 is defined, s2 where
+# s3 is, and so on. Global (web-scoped) allocation therefore packs the
+# whole cascade into two registers, while the per-block baseline must
+# dedicate one register to each of the four cross-block webs:
+#
+#   psc examples/branchy.psc --global    --emit stats   -> 2 registers
+#   psc examples/branchy.psc --per-block --emit stats   -> 4 registers
+#
+# (see EXPERIMENTS.md, "Global vs per-block allocation")
+func @cascade(s0) {
+entry:
+    s1 = add s0, 1
+    beq s0, 0, b1b
+b1a:
+    s2 = mul s1, 2
+    jmp b2
+b1b:
+    s2 = mul s1, 3
+b2:
+    s3 = add s2, 1
+    beq s2, 0, b3b
+b3a:
+    s4 = mul s3, 2
+    jmp b4
+b3b:
+    s4 = mul s3, 3
+b4:
+    s5 = add s4, 1
+    ret s5
+}

@@ -72,3 +72,43 @@ fn module_round_trip_survives_comments_and_blank_lines() {
     let reparsed = parse_module(&decorated).expect("decorated module parses");
     assert_eq!(reparsed, module);
 }
+
+/// Branchy modules specifically: parse∘print == id on purely-CFG modules
+/// (diamonds and counted loops at varied segment counts), with every
+/// function staying multi-block through the trip — the textual form the
+/// global pipeline's reproducers and examples rely on.
+#[test]
+fn branchy_module_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(2024);
+    for case in 0..25usize {
+        let funcs: Vec<Function> = (0..3usize)
+            .map(|i| {
+                let f = random_cfg_function(
+                    rng.next_u64(),
+                    &CfgParams {
+                        segments: 2 + (case + i) % 4,
+                        ops_per_block: 3,
+                    },
+                );
+                Function::new(
+                    format!("{}_{case}_{i}", f.name()),
+                    f.params().to_vec(),
+                    f.blocks().to_vec(),
+                )
+            })
+            .collect();
+        assert!(
+            funcs.iter().all(|f| f.block_count() > 1),
+            "case {case}: generator produced a single-block function"
+        );
+        let text = print_module(&funcs);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("case {case}: branchy module did not parse: {e}\n{text}"));
+        assert_eq!(reparsed, funcs, "case {case}: round trip diverged\n{text}");
+        assert_eq!(
+            print_module(&reparsed),
+            text,
+            "case {case}: print not idempotent"
+        );
+    }
+}

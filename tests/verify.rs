@@ -7,7 +7,8 @@ use parsched::ir::{parse_function, Function};
 use parsched::machine::presets;
 use parsched::telemetry::NullTelemetry;
 use parsched::{
-    CompileResult, CompileStats, DegradationLevel, Driver, ParschedError, Pipeline, Strategy,
+    AllocScope, CompileResult, CompileStats, DegradationLevel, Driver, ParschedError, Pipeline,
+    Strategy,
 };
 use parsched_verify::{Check, OracleConfig, Verifier};
 use parsched_workload::{
@@ -387,4 +388,63 @@ fn psc_verify_batch_end_to_end() {
     let json = std::fs::read_to_string(&stats).expect("stats written");
     assert!(json.contains("\"verify.checks\""), "{json}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The differential oracle walks control flow: on seeded *loopy* functions
+/// (CFGs with a back edge), every ladder rung under every allocation scope
+/// produces output the full checker suite — oracle included — accepts.
+#[test]
+fn oracle_validates_loopy_functions_across_rungs_and_scopes() {
+    // Keep only generated CFGs that actually contain a loop.
+    let mut loopy: Vec<Function> = Vec::new();
+    let mut seed = 0u64;
+    while loopy.len() < 3 && seed < 500 {
+        let f = random_cfg_function(
+            seed,
+            &CfgParams {
+                segments: 4,
+                ops_per_block: 3,
+            },
+        );
+        let has_back_edge = (0..f.block_count()).any(|b| {
+            f.successors(parsched::ir::BlockId(b))
+                .iter()
+                .any(|s| s.0 <= b)
+        });
+        if has_back_edge {
+            loopy.push(f);
+        }
+        seed += 1;
+    }
+    assert_eq!(loopy.len(), 3, "no loopy seeds below 500");
+    let machine = presets::paper_machine(12);
+    for func in &loopy {
+        for strategy in all_strategies() {
+            for scope in [AllocScope::Auto, AllocScope::Global, AllocScope::PerBlock] {
+                let result = Pipeline::new(machine.clone())
+                    .with_scope(scope)
+                    .compile(func, &strategy, &parsched::telemetry::NullTelemetry)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "@{} {} {}: {e}",
+                            func.name(),
+                            strategy.label(),
+                            scope.label()
+                        )
+                    });
+                let report = Verifier::new(&machine)
+                    .strategy(strategy)
+                    .oracle(OracleConfig { seed: 5, runs: 4 })
+                    .verify(func, &result, &parsched::telemetry::NullTelemetry);
+                assert!(
+                    report.ok(),
+                    "@{} {} {}: {:#?}",
+                    func.name(),
+                    strategy.label(),
+                    scope.label(),
+                    report.violations
+                );
+            }
+        }
+    }
 }
