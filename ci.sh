@@ -18,7 +18,8 @@ echo "==> panic audit (ratchet)"
 baseline=$(cat ci/panic-baseline.txt)
 count=$(grep -rE 'unwrap\(\)|expect\(|panic!' \
     crates/ir/src crates/sched/src crates/regalloc/src crates/core/src \
-    crates/verify/src crates/telemetry/src crates/pscd/src | wc -l)
+    crates/exact/src crates/verify/src crates/telemetry/src \
+    crates/pscd/src | wc -l)
 echo "    panic-pattern sites: $count (baseline $baseline)"
 if [ "$count" -gt "$baseline" ]; then
     echo "panic audit FAILED: $count sites > baseline $baseline" >&2
@@ -52,6 +53,15 @@ timeout 30 cargo run -q --release --offline -p parsched-verify -- \
 timeout 30 cargo run -q --release --offline -p parsched-verify -- \
     fuzz --cfg --seed 0 --count 60 --out "$fuzz_dir"
 rm -rf "$fuzz_dir"
+
+echo "==> optimality-gap smoke (exact solver vs every heuristic rung)"
+# Every case's exact output must pass all checkers + the oracle, and no
+# heuristic may beat a proven optimum (exit 1 on either). 60 cases keep
+# this deterministic sweep well under the 30-second bound.
+gap_out=$(mktemp /tmp/parsched-gap-smoke.XXXXXX.json)
+timeout 30 cargo run -q --release --offline -p parsched-verify -- \
+    fuzz --gap --seed 0 --count 60 --gap-out "$gap_out" > /dev/null
+rm -f "$gap_out"
 
 echo "==> perf smoke (combined compile must stay incremental)"
 # One spill-heavy combined compile under a recorder; fails if the

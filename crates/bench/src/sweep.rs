@@ -68,12 +68,19 @@ pub struct Workload {
     pub machine: MachineDesc,
     /// The functions, in a fixed order at fixed seeds.
     pub funcs: Vec<Function>,
+    /// Strategies to measure on this workload. Most workloads run the
+    /// standard [`sweep_strategies`]; `exact-small` runs only the exact
+    /// solver (the heuristics would be noise at that size, and the exact
+    /// solver would refuse the large workloads).
+    pub strategies: Vec<Strategy>,
 }
 
 /// The standard workloads: the kernel corpus (replicated so a batch has
 /// enough grains to shard), large random DAGs (the heavy per-function
-/// work), and a register-pressure sweep on a starved machine (exercises
-/// spilling and the degradation ladder).
+/// work), a register-pressure sweep on a starved machine (exercises
+/// spilling and the degradation ladder), and `exact-small` — small DAG
+/// blocks sized for the exact joint solver, so its throughput is tracked
+/// and `--compare` guards it against regression.
 pub fn workloads(smoke: bool) -> Vec<Workload> {
     let kernel_reps = if smoke { 1 } else { 8 };
     let mut kernels = Vec::new();
@@ -105,21 +112,41 @@ pub fn workloads(smoke: bool) -> Vec<Workload> {
         .map(|seed| random_dag_function(seed * 17 + 3, &pressure_params))
         .collect();
 
+    let exact_count = if smoke { 4 } else { 24 };
+    let exact_params = DagParams {
+        size: 8,
+        load_fraction: 0.2,
+        float_fraction: 0.3,
+        window: 4,
+    };
+    let exact_small: Vec<Function> = (0..exact_count)
+        .map(|seed| random_dag_function(seed * 13 + 7, &exact_params))
+        .collect();
+
     vec![
         Workload {
             name: "kernels",
             machine: presets::paper_machine(16),
             funcs: kernels,
+            strategies: sweep_strategies(),
         },
         Workload {
             name: "dag-large",
             machine: presets::paper_machine(32),
             funcs: dags,
+            strategies: sweep_strategies(),
         },
         Workload {
             name: "pressure",
             machine: presets::paper_machine(6),
             funcs: pressure,
+            strategies: sweep_strategies(),
+        },
+        Workload {
+            name: "exact-small",
+            machine: presets::paper_machine(8),
+            funcs: exact_small,
+            strategies: vec![Strategy::exact()],
         },
     ]
 }
@@ -176,7 +203,7 @@ fn median(samples: &mut [u128]) -> u128 {
 pub fn run_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for workload in workloads(config.smoke) {
-        for strategy in sweep_strategies() {
+        for strategy in workload.strategies.clone() {
             // The requested strategy leads; the resilience ladder backs it
             // so a pressure-starved function degrades instead of erroring.
             let mut ladder = Driver::default_ladder();
@@ -417,11 +444,22 @@ mod tests {
     fn smoke_corpus_is_small_and_stable() {
         let a = workloads(true);
         let b = workloads(true);
-        assert_eq!(a.len(), 3);
+        assert_eq!(a.len(), 4);
         for (wa, wb) in a.iter().zip(&b) {
             assert_eq!(wa.name, wb.name);
             assert_eq!(wa.funcs, wb.funcs);
             assert!(wa.funcs.len() <= 12, "{}: smoke corpus too big", wa.name);
+            assert!(!wa.strategies.is_empty(), "{}: no strategies", wa.name);
+        }
+        let exact = a.last().unwrap();
+        assert_eq!(exact.name, "exact-small");
+        assert_eq!(exact.strategies, vec![Strategy::exact()]);
+        for f in &exact.funcs {
+            assert!(
+                f.inst_count() <= 20,
+                "{}: too large for the exact solver",
+                f.name()
+            );
         }
     }
 

@@ -57,7 +57,7 @@ impl DegradationLevel {
     /// The level a successful fallback to `strategy` represents.
     fn for_strategy(strategy: &Strategy) -> DegradationLevel {
         match strategy {
-            Strategy::Combined(_) => DegradationLevel::None,
+            Strategy::Combined(_) | Strategy::Exact(_) => DegradationLevel::None,
             Strategy::SchedThenAlloc => DegradationLevel::SchedThenAlloc,
             Strategy::AllocThenSched => DegradationLevel::AllocThenSched,
             Strategy::LinearScanThenSched => DegradationLevel::LinearScan,

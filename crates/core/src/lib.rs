@@ -43,6 +43,7 @@
 //! | machine models | [`machine`] (`parsched-machine`) |
 //! | dependence graphs & scheduling | [`sched`] (`parsched-sched`) |
 //! | allocators (Chaitin & combined) | [`regalloc`] (`parsched-regalloc`) |
+//! | exact joint solver (optimality yardstick) | [`exact`] (`parsched-exact`) |
 //! | graph algorithms | [`graph`] (`parsched-graph`) |
 //! | telemetry sinks | [`telemetry`] (`parsched-telemetry`) |
 
@@ -75,7 +76,9 @@ pub mod prelude {
     pub use crate::error::ParschedError;
     pub use crate::pipeline::{
         AllocScope, CompileResult, CompileStats, Pipeline, PipelineError, Strategy,
+        StrategyParseError,
     };
+    pub use parsched_exact::ExactConfig;
     pub use parsched_regalloc::AllocSession;
     pub use parsched_sched::{BlockRemap, SchedSession};
     pub use parsched_telemetry::{NullTelemetry, Recorder, Telemetry};
@@ -85,8 +88,11 @@ pub use batch::{BatchDriver, BatchOutput};
 pub use budget::Budget;
 pub use driver::{DegradationLevel, Driver};
 pub use error::ParschedError;
-pub use pipeline::{AllocScope, CompileResult, CompileStats, Pipeline, PipelineError, Strategy};
+pub use pipeline::{
+    AllocScope, CompileResult, CompileStats, Pipeline, PipelineError, Strategy, StrategyParseError,
+};
 
+pub use parsched_exact as exact;
 pub use parsched_graph as graph;
 pub use parsched_ir as ir;
 pub use parsched_machine as machine;

@@ -3,6 +3,7 @@
 
 use crate::budget::Budget;
 use crate::driver::DegradationLevel;
+use parsched_exact::{ExactConfig, ExactError};
 use parsched_ir::{BlockId, Function};
 use parsched_machine::MachineDesc;
 use parsched_regalloc::allocator::{allocate_single_block_in, AllocError, BlockStrategy};
@@ -40,12 +41,23 @@ pub enum Strategy {
     /// but succeeds on any verified input under any register count — the
     /// last rung of the resilience ladder.
     SpillEverything,
+    /// Exact branch-and-bound over the joint (schedule order × register
+    /// assignment) space: lexicographically minimal (spills, registers,
+    /// cycles) for single blocks up to the configured size cap, with a
+    /// typed refusal beyond it. The optimality yardstick every heuristic
+    /// rung is measured against (`fuzz --gap`); see `docs/EXACT.md`.
+    Exact(ExactConfig),
 }
 
 impl Strategy {
     /// The combined strategy with the paper's default configuration.
     pub fn combined() -> Strategy {
         Strategy::Combined(PinterConfig::default())
+    }
+
+    /// The exact strategy with the default size and node caps.
+    pub fn exact() -> Strategy {
+        Strategy::Exact(ExactConfig::default())
     }
 
     /// Short label for tables.
@@ -56,9 +68,59 @@ impl Strategy {
             Strategy::LinearScanThenSched => "linear-scan",
             Strategy::Combined(_) => "combined",
             Strategy::SpillEverything => "spill-everything",
+            Strategy::Exact(_) => "exact",
+        }
+    }
+
+    /// Parses a command-line strategy name (`combined`, `alloc-first`,
+    /// `sched-first`, `linear-scan`, `spill-everything`, `exact`) into the
+    /// strategy with its default configuration.
+    ///
+    /// # Errors
+    /// Returns [`StrategyParseError`] (whose message enumerates every
+    /// valid name) for anything else.
+    pub fn parse(name: &str) -> Result<Strategy, StrategyParseError> {
+        match name {
+            "combined" => Ok(Strategy::combined()),
+            "alloc-first" => Ok(Strategy::AllocThenSched),
+            "sched-first" => Ok(Strategy::SchedThenAlloc),
+            "linear-scan" => Ok(Strategy::LinearScanThenSched),
+            "spill-everything" => Ok(Strategy::SpillEverything),
+            "exact" => Ok(Strategy::exact()),
+            other => Err(StrategyParseError {
+                name: other.to_string(),
+            }),
         }
     }
 }
+
+impl std::str::FromStr for Strategy {
+    type Err = StrategyParseError;
+
+    fn from_str(s: &str) -> Result<Strategy, StrategyParseError> {
+        Strategy::parse(s)
+    }
+}
+
+/// An unrecognized command-line strategy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyParseError {
+    /// The rejected name.
+    pub name: String,
+}
+
+impl fmt::Display for StrategyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy `{}`: expected combined, alloc-first, sched-first, \
+             linear-scan, spill-everything, or exact",
+            self.name
+        )
+    }
+}
+
+impl Error for StrategyParseError {}
 
 /// At what scope the allocator makes register-sharing decisions.
 ///
@@ -336,6 +398,11 @@ impl Pipeline {
             opt::eliminate_dead_code(&mut func);
         }
         let func = &func;
+        // The exact strategy replaces the whole allocate/schedule phase
+        // pair with one joint search; its emitted order *is* the schedule.
+        if let Strategy::Exact(cfg) = strategy {
+            return self.compile_exact(func, cfg, &limits, telemetry);
+        }
         // Phase order.
         let pre_scheduled = match strategy {
             Strategy::SchedThenAlloc => {
@@ -360,26 +427,7 @@ impl Pipeline {
         // The count is statistics-only, so budget pressure skips it (per
         // block) instead of failing the compilation: it builds a transitive
         // closure, the most expensive phase on pathological blocks.
-        stats.introduced_false_deps = {
-            let _span = parsched_telemetry::span(telemetry, "pipeline.false_dep_count");
-            let cap = limits.max_block_insts.unwrap_or(usize::MAX);
-            (0..allocated.block_count())
-                .map(|b| {
-                    let block = allocated.block(BlockId(b));
-                    let counted = if block.insts().len() > cap {
-                        None
-                    } else {
-                        count_false_deps_until(block, &self.machine, limits.deadline)
-                    };
-                    counted.unwrap_or_else(|| {
-                        if telemetry.enabled() {
-                            telemetry.event("pipeline.false_dep_count.skipped", block.label());
-                        }
-                        0
-                    })
-                })
-                .sum()
-        };
+        stats.introduced_false_deps = self.count_false_deps(&allocated, &limits, telemetry);
 
         // Final scheduling of the allocated code.
         limits.check_deadline("pipeline.final_schedule")?;
@@ -389,27 +437,94 @@ impl Pipeline {
         };
         stats.cycles = block_cycles.iter().sum();
         stats.inst_count = final_fn.inst_count();
-        if telemetry.enabled() {
-            telemetry.counter("stats.registers_used", u64::from(stats.registers_used));
-            telemetry.counter("stats.spilled_values", stats.spilled_values as u64);
-            telemetry.counter("stats.inserted_mem_ops", stats.inserted_mem_ops as u64);
-            telemetry.counter(
-                "stats.removed_false_edges",
-                stats.removed_false_edges as u64,
-            );
-            telemetry.counter(
-                "stats.introduced_false_deps",
-                stats.introduced_false_deps as u64,
-            );
-            telemetry.counter("stats.cycles", u64::from(stats.cycles));
-            telemetry.counter("stats.inst_count", stats.inst_count as u64);
-        }
+        emit_stats(&stats, telemetry);
         Ok(CompileResult {
             function: final_fn,
             block_cycles,
             stats,
             degradation: DegradationLevel::None,
         })
+    }
+
+    /// The [`Strategy::Exact`] path: one joint branch-and-bound search
+    /// replaces the allocate → schedule phase pair. The solver's typed
+    /// refusals map onto the same [`PipelineError`] variants the heuristic
+    /// rungs produce, so the driver ladder degrades through them
+    /// identically.
+    fn compile_exact(
+        &self,
+        func: &Function,
+        cfg: &ExactConfig,
+        limits: &parsched_regalloc::AllocLimits,
+        telemetry: &dyn Telemetry,
+    ) -> Result<CompileResult, PipelineError> {
+        let sol = parsched_exact::solve(func, &self.machine, cfg, limits.deadline, telemetry)
+            .map_err(|e| match e {
+                ExactError::NotSingleBlock { blocks } => {
+                    PipelineError::Alloc(AllocError::NotSingleBlock { blocks })
+                }
+                ExactError::TooLarge { insts, cap } => PipelineError::Budget(BudgetExceeded {
+                    phase: "exact.max_insts",
+                    limit: cap as u64,
+                    actual: insts as u64,
+                }),
+                ExactError::Problem(p) => PipelineError::Alloc(AllocError::Problem(p)),
+                // Spilling cannot shrink the entry live set, so no round
+                // limit would ever converge; report what the allocators
+                // would after discovering the same thing the hard way.
+                ExactError::Infeasible { .. } => {
+                    PipelineError::Alloc(AllocError::TooManyRounds { limit: 0 })
+                }
+            })?;
+        let mut stats = CompileStats {
+            registers_used: sol.registers_used,
+            spilled_values: sol.spilled_values,
+            inserted_mem_ops: sol.inserted_mem_ops,
+            removed_false_edges: 0,
+            introduced_false_deps: 0,
+            cycles: sol.cycles(),
+            inst_count: sol.function.inst_count(),
+        };
+        stats.introduced_false_deps = self.count_false_deps(&sol.function, limits, telemetry);
+        emit_stats(&stats, telemetry);
+        Ok(CompileResult {
+            function: sol.function,
+            block_cycles: sol.block_cycles,
+            stats,
+            degradation: DegradationLevel::None,
+        })
+    }
+
+    /// Counts false dependences intrinsically: each allocated block is
+    /// renamed apart to recover its symbolic form, and the block's own
+    /// register output dependences are tested against the resulting Ef.
+    /// The count is statistics-only, so budget pressure skips it (per
+    /// block) instead of failing the compilation: it builds a transitive
+    /// closure, the most expensive phase on pathological blocks.
+    fn count_false_deps(
+        &self,
+        allocated: &Function,
+        limits: &parsched_regalloc::AllocLimits,
+        telemetry: &dyn Telemetry,
+    ) -> usize {
+        let _span = parsched_telemetry::span(telemetry, "pipeline.false_dep_count");
+        let cap = limits.max_block_insts.unwrap_or(usize::MAX);
+        (0..allocated.block_count())
+            .map(|b| {
+                let block = allocated.block(BlockId(b));
+                let counted = if block.insts().len() > cap {
+                    None
+                } else {
+                    count_false_deps_until(block, &self.machine, limits.deadline)
+                };
+                counted.unwrap_or_else(|| {
+                    if telemetry.enabled() {
+                        telemetry.event("pipeline.false_dep_count.skipped", block.label());
+                    }
+                    0
+                })
+            })
+            .sum()
     }
 
     /// Schedules every block of the final code and reports per-block
@@ -475,6 +590,7 @@ impl Pipeline {
                 Strategy::LinearScanThenSched => BlockStrategy::LinearScan,
                 Strategy::Combined(cfg) => BlockStrategy::Pinter(*cfg),
                 Strategy::SpillEverything => BlockStrategy::SpillAll,
+                Strategy::Exact(_) => unreachable!("exact strategy bypasses allocate()"),
             };
             let out = allocate_single_block_in(session, func, &self.machine, s, limits, telemetry)?;
             stats.registers_used = out.colors_used;
@@ -489,6 +605,7 @@ impl Pipeline {
                 | Strategy::LinearScanThenSched => GlobalStrategy::Chaitin,
                 Strategy::Combined(cfg) => GlobalStrategy::Pinter(*cfg),
                 Strategy::SpillEverything => GlobalStrategy::SpillAll,
+                Strategy::Exact(_) => unreachable!("exact strategy bypasses allocate()"),
             };
             let gscope = match self.scope {
                 AllocScope::PerBlock => GlobalScope::PerBlockBaseline,
@@ -503,6 +620,26 @@ impl Pipeline {
             out.function
         };
         Ok((allocated, stats))
+    }
+}
+
+/// Emits the final [`CompileStats`] once, authoritatively, as `stats.*`
+/// counters — shared by the heuristic and exact compile paths.
+fn emit_stats(stats: &CompileStats, telemetry: &dyn Telemetry) {
+    if telemetry.enabled() {
+        telemetry.counter("stats.registers_used", u64::from(stats.registers_used));
+        telemetry.counter("stats.spilled_values", stats.spilled_values as u64);
+        telemetry.counter("stats.inserted_mem_ops", stats.inserted_mem_ops as u64);
+        telemetry.counter(
+            "stats.removed_false_edges",
+            stats.removed_false_edges as u64,
+        );
+        telemetry.counter(
+            "stats.introduced_false_deps",
+            stats.introduced_false_deps as u64,
+        );
+        telemetry.counter("stats.cycles", u64::from(stats.cycles));
+        telemetry.counter("stats.inst_count", stats.inst_count as u64);
     }
 }
 

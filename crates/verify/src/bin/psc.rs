@@ -7,7 +7,7 @@
 //! byte-identical output for every `N`.
 //!
 //! ```text
-//! psc FILE [--strategy combined|alloc-first|sched-first]
+//! psc FILE [--strategy combined|alloc-first|sched-first|linear-scan|spill-everything|exact]
 //!          [--machine single|paper|mips|rs6000|wide4]
 //!          [--machine-spec FILE]
 //!          [--regs N]
@@ -43,8 +43,12 @@ const USAGE: &str = "\
 usage: psc FILE [options]
 FILE is a textual-IR module: one or more `func @name(...) { ... }` bodies.
 options:
-  --strategy combined|alloc-first|sched-first|linear-scan|spill-everything
-                         (default combined)
+  --strategy combined|alloc-first|sched-first|linear-scan|spill-everything|exact
+                         (default combined); exact runs the joint
+                         branch-and-bound solver on small single blocks
+                         (see docs/EXACT.md)
+  --exact-max-insts N    with --strategy exact: largest block (in
+                         instructions) the solver accepts (default 20)
   --global               allocate over webs function-wide even for
                          single-block functions (one color per web; see
                          docs/GLOBAL.md)
@@ -226,6 +230,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut scope = AllocScope::Auto;
     let mut verify = false;
     let mut run: Option<Vec<i64>> = None;
+    let mut exact_max_insts: Option<usize> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -233,14 +238,14 @@ fn parse_args() -> Result<Cmd, String> {
             "--version" => return Ok(Cmd::Version),
             "--strategy" => {
                 let v = args.next().ok_or("--strategy needs a value")?;
-                strategy = match v.as_str() {
-                    "combined" => Strategy::combined(),
-                    "alloc-first" => Strategy::AllocThenSched,
-                    "sched-first" => Strategy::SchedThenAlloc,
-                    "linear-scan" => Strategy::LinearScanThenSched,
-                    "spill-everything" => Strategy::SpillEverything,
-                    other => return Err(format!("unknown strategy `{other}`")),
-                };
+                strategy = Strategy::parse(&v).map_err(|e| e.to_string())?;
+            }
+            "--exact-max-insts" => {
+                let v = args.next().ok_or("--exact-max-insts needs a value")?;
+                let cap = v
+                    .parse()
+                    .map_err(|_| format!("bad exact instruction cap `{v}`"))?;
+                exact_max_insts = Some(cap);
             }
             "--machine" => {
                 let v = args.next().ok_or("--machine needs a value")?;
@@ -330,6 +335,12 @@ fn parse_args() -> Result<Cmd, String> {
         }
     }
     let file = file.ok_or(USAGE)?;
+    if let Some(cap) = exact_max_insts {
+        match &mut strategy {
+            Strategy::Exact(cfg) => cfg.max_insts = cap,
+            _ => return Err("--exact-max-insts needs --strategy exact".to_string()),
+        }
+    }
     Ok(Cmd::Compile(Box::new(Options {
         file,
         strategy,

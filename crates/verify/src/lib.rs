@@ -33,6 +33,7 @@ pub mod alloc;
 pub mod analyze;
 pub mod falsedep;
 pub mod fuzz;
+pub mod gap;
 pub mod minimize;
 pub mod oracle;
 pub mod schedule;

@@ -15,6 +15,7 @@
 
 use parsched_ir::parse_module;
 use parsched_verify::fuzz::{self, FuzzConfig};
+use parsched_verify::gap::{self, GapConfig};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -23,6 +24,8 @@ parsched-verify — translation validation fuzzer for the parsched pipeline
 USAGE:
     parsched-verify fuzz [--seed N] [--count N] [--out DIR] [--cfg]
                          [--verbose]
+    parsched-verify fuzz --gap [--seed N] [--count N] [--gap-out FILE]
+                         [--gap-max-nodes N] [--verbose]
     parsched-verify replay FILE...
     parsched-verify help
 
@@ -30,15 +33,28 @@ COMMANDS:
     fuzz      compile seeded random functions through every ladder rung and
               run all invariant checkers on each result; minimized
               reproducers are written to --out (default: fuzz-failures/)
+    fuzz --gap
+              optimality-gap mode: compile small random single blocks with
+              the exact branch-and-bound solver AND every heuristic rung,
+              verify the exact output with all checkers plus the oracle,
+              flag any heuristic that beats a proven optimum, and write the
+              per-rung gap distributions as a parsched-gap/1 JSON report
+              (see docs/EXACT.md)
     replay    re-verify .psc modules across all rungs and a fixed machine
               matrix (used by CI on ci/fuzz-corpus/)
 
 OPTIONS (fuzz):
     --seed N     master seed (default 0); same seed, same cases
-    --count N    number of cases (default 100)
+    --count N    number of cases (default 100; 200 in --gap mode)
     --out DIR    directory for reproducer files
     --cfg        generate only branchy/loopy CFG functions, so every case
                  takes the global (web-based) allocation path
+    --gap-out FILE
+                 where --gap writes the JSON report
+                 (default: gap-report.json)
+    --gap-max-nodes N
+                 exact search-node budget per case in --gap mode; cases
+                 that exhaust it are counted unproven, not failed
     --verbose    one line per case
 
 EXIT CODES:
@@ -71,25 +87,48 @@ fn real_main() -> i32 {
 
 fn run_fuzz(args: &[String]) -> i32 {
     let mut config = FuzzConfig::default();
+    let mut gap = false;
+    let mut gap_config = GapConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => config.seed = v,
+                Some(v) => {
+                    config.seed = v;
+                    gap_config.seed = v;
+                }
                 None => return usage_error("--seed needs an integer"),
             },
             "--count" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => config.count = v,
+                Some(v) => {
+                    config.count = v;
+                    gap_config.count = v;
+                }
                 None => return usage_error("--count needs an integer"),
             },
             "--out" => match it.next() {
                 Some(v) => config.out_dir = PathBuf::from(v),
                 None => return usage_error("--out needs a directory"),
             },
+            "--gap" => gap = true,
+            "--gap-out" => match it.next() {
+                Some(v) => gap_config.out = PathBuf::from(v),
+                None => return usage_error("--gap-out needs a path"),
+            },
+            "--gap-max-nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => gap_config.max_nodes = v,
+                None => return usage_error("--gap-max-nodes needs an integer"),
+            },
             "--cfg" => config.cfg_only = true,
-            "--verbose" => config.verbose = true,
+            "--verbose" => {
+                config.verbose = true;
+                gap_config.verbose = true;
+            }
             other => return usage_error(&format!("unknown option `{other}`")),
         }
+    }
+    if gap {
+        return run_gap(&gap_config);
     }
     let summary = match fuzz::run(&config) {
         Ok(s) => s,
@@ -115,6 +154,40 @@ fn run_fuzz(args: &[String]) -> i32 {
         println!("  reproducer: {}", path.display());
     }
     if summary.violations == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn run_gap(config: &GapConfig) -> i32 {
+    let summary = match gap::run(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parsched-verify: i/o error: {e}");
+            return 10;
+        }
+    };
+    println!(
+        "gap: seed {} / {} cases — {} proven optima measured, {} unproven, \
+         {} refused, {} checks, {} violations, {} anomalies",
+        config.seed,
+        summary.cases,
+        summary.measured,
+        summary.unproven,
+        summary.refused,
+        summary.checks_run,
+        summary.violations,
+        summary.anomalies
+    );
+    for t in &summary.per_strategy {
+        println!(
+            "  {:<18} {:>5} compiles  {:>4} optimal  cycle gap total {:>4} (max {})",
+            t.label, t.compiles, t.optimal, t.cycle_gap_total, t.cycle_gap_max
+        );
+    }
+    println!("  report: {}", config.out.display());
+    if summary.ok() {
         0
     } else {
         1

@@ -114,3 +114,30 @@ fn panic_and_io_messages_are_stable() {
     };
     assert_eq!(io.to_string(), "missing.psc: No such file or directory");
 }
+
+/// `--strategy` parsing: every CLI name resolves, and the unknown-name
+/// message is stable and enumerates all six strategies (psc prints it
+/// verbatim).
+#[test]
+fn strategy_parse_names_and_error_are_stable() {
+    use parsched::Strategy;
+    for (name, label) in [
+        ("combined", "combined"),
+        ("alloc-first", "alloc-then-sched"),
+        ("sched-first", "sched-then-alloc"),
+        ("linear-scan", "linear-scan"),
+        ("spill-everything", "spill-everything"),
+        ("exact", "exact"),
+    ] {
+        let s = Strategy::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(s.label(), label);
+    }
+    let err = Strategy::parse("graph-coloring").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "unknown strategy `graph-coloring`: expected combined, alloc-first, \
+         sched-first, linear-scan, spill-everything, or exact"
+    );
+    let from_str: Result<Strategy, _> = "exact".parse();
+    assert!(from_str.is_ok(), "FromStr mirrors Strategy::parse");
+}
