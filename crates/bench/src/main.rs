@@ -16,9 +16,10 @@ USAGE: parsched-bench [OPTIONS]
 
 OPTIONS:
   --smoke        tiny corpus, single iteration, no warm-up (CI smoke)
-  --perf-smoke   compile one pressure function with the combined strategy
-                 and fail unless the PIG stayed incremental
-                 (pig.full_rebuilds <= 1); runs no sweep
+  --perf-smoke   pressure-workload gates, no sweep: the PIG must stay
+                 incremental (pig.full_rebuilds <= 1), dense and sparse
+                 closures must emit identical code, and combined must
+                 stay within 2x of the fastest phase-ordered baseline
   --out FILE     where to write the report (default: BENCH_parallel.json)
   --check FILE   validate an existing report and exit; runs no sweep
   --compare BASE NEW
@@ -131,15 +132,30 @@ fn compare_files(base: &str, new: &str, threshold: f64) -> Result<bool, String> 
     Ok(report.passed())
 }
 
+/// Largest combined-vs-fastest-phase-ordered slowdown `--perf-smoke`
+/// tolerates on the pressure workload. The tentpole claim is "combined
+/// within 2x of the cheaper phase-ordered baselines"; anything past it is
+/// a closure-maintenance regression, not noise (the medians below are
+/// taken over a whole 32-function batch).
+const PERF_SMOKE_MAX_RATIO: f64 = 2.0;
+
 /// Compiles one pressure-sweep function with the combined strategy and a
 /// recorder, then asserts the incremental-PIG machinery actually engaged:
 /// multiple spill rounds ran, but at most one full closure rebuild
 /// happened (the initial one). A regression that silently falls back to
 /// from-scratch PIG construction every round fails here, not in a
 /// benchmark nobody reruns.
+///
+/// Two more gates ride along, both on the pressure workload:
+/// - the dense and sparse reachability backends must produce
+///   byte-identical code (instruction and spill totals compared per
+///   function after full compiles under each forced backend);
+/// - the combined strategy's batch wall time (1 worker, median of 3
+///   after a warm-up) must stay within [`PERF_SMOKE_MAX_RATIO`] of the
+///   fastest phase-ordered baseline.
 fn perf_smoke() -> Result<(), String> {
-    use parsched::telemetry::Recorder;
-    use parsched::{Pipeline, Strategy};
+    use parsched::telemetry::{NullTelemetry, Recorder};
+    use parsched::{BatchDriver, ClosureMode, Driver, Pipeline, Strategy};
     use parsched_workload::{random_dag_function, DagParams};
 
     let params = DagParams {
@@ -169,6 +185,103 @@ fn perf_smoke() -> Result<(), String> {
         return Err(format!(
             "pig.full_rebuilds = {full} (> 1): spill rounds are rebuilding \
              the closure from scratch instead of incrementally"
+        ));
+    }
+
+    // The full (non-smoke) pressure workload: 32 spill-heavy functions on
+    // a starved 6-register machine — the workload the BENCH baselines
+    // quote.
+    let pressure = sweep::workloads(false)
+        .into_iter()
+        .find(|w| w.name == "pressure")
+        .ok_or("pressure workload missing from the sweep corpus")?;
+
+    // Backend identity: forcing dense and sparse closures must not change
+    // a single instruction or spill anywhere in the batch.
+    let mut per_backend: Vec<Vec<(usize, usize)>> = Vec::new();
+    for mode in [ClosureMode::Dense, ClosureMode::Sparse] {
+        let driver = Driver::new(Pipeline::new(pressure.machine.clone()).with_closure(mode));
+        let batch = BatchDriver::new(driver).with_jobs(1);
+        let out = batch.compile_module(&pressure.funcs, &NullTelemetry);
+        let fingerprints: Vec<(usize, usize)> = out
+            .results
+            .iter()
+            .map(|r| match r {
+                Ok(res) => (res.stats.inst_count, res.stats.spilled_values),
+                Err(_) => (0, 0),
+            })
+            .collect();
+        per_backend.push(fingerprints);
+    }
+    if per_backend[0] != per_backend[1] {
+        let i = per_backend[0]
+            .iter()
+            .zip(&per_backend[1])
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(format!(
+            "dense and sparse closures disagree on pressure function {i}: \
+             dense {:?} vs sparse {:?} (insts, spilled_values)",
+            per_backend[0][i], per_backend[1][i]
+        ));
+    }
+    eprintln!(
+        "perf-smoke: dense/sparse outputs identical across {} pressure functions",
+        pressure.funcs.len()
+    );
+
+    // Wall-time gate: combined vs the fastest phase-ordered baseline,
+    // 1 worker, median of 3. The three strategies are timed in
+    // *interleaved* rounds (combined, sched-first, alloc-first, repeat)
+    // after one warm-up run each, so a background load spike lands on all
+    // strategies instead of skewing a single one's median.
+    let make_batch = |strategy: Strategy| {
+        let mut ladder = Driver::default_ladder();
+        ladder.retain(|s| *s != strategy);
+        ladder.insert(0, strategy);
+        let driver = Driver::new(Pipeline::new(pressure.machine.clone())).with_ladder(ladder);
+        BatchDriver::new(driver).with_jobs(1)
+    };
+    let batches = [
+        make_batch(Strategy::combined()),
+        make_batch(Strategy::SchedThenAlloc),
+        make_batch(Strategy::AllocThenSched),
+    ];
+    let mut walls: [Vec<u128>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for batch in &batches {
+        let _ = batch.compile_module(&pressure.funcs, &NullTelemetry);
+    }
+    for _ in 0..3 {
+        for (batch, wall) in batches.iter().zip(walls.iter_mut()) {
+            wall.push(
+                batch
+                    .compile_module(&pressure.funcs, &NullTelemetry)
+                    .wall
+                    .as_nanos(),
+            );
+        }
+    }
+    let median = |w: &mut Vec<u128>| {
+        w.sort_unstable();
+        w[w.len() / 2]
+    };
+    let [mut w0, mut w1, mut w2] = walls;
+    let combined = median(&mut w0);
+    let sched_first = median(&mut w1);
+    let alloc_first = median(&mut w2);
+    let fastest = sched_first.min(alloc_first).max(1);
+    let ratio = combined as f64 / fastest as f64;
+    eprintln!(
+        "perf-smoke: pressure medians — combined {:.1} ms, sched-first {:.1} ms, \
+         alloc-first {:.1} ms (ratio {ratio:.2}, limit {PERF_SMOKE_MAX_RATIO})",
+        combined as f64 / 1e6,
+        sched_first as f64 / 1e6,
+        alloc_first as f64 / 1e6,
+    );
+    if ratio > PERF_SMOKE_MAX_RATIO {
+        return Err(format!(
+            "combined is {ratio:.2}x the fastest phase-ordered baseline \
+             (limit {PERF_SMOKE_MAX_RATIO}): closure maintenance has regressed"
         ));
     }
     Ok(())

@@ -78,9 +78,11 @@ pub struct Workload {
 /// The standard workloads: the kernel corpus (replicated so a batch has
 /// enough grains to shard), large random DAGs (the heavy per-function
 /// work), a register-pressure sweep on a starved machine (exercises
-/// spilling and the degradation ladder), and `exact-small` — small DAG
-/// blocks sized for the exact joint solver, so its throughput is tracked
-/// and `--compare` guards it against regression.
+/// spilling and the degradation ladder), `closure-width` — a narrow/wide
+/// DAG pair stressing both reachability backends and the density
+/// heuristic between them — and `exact-small` — small DAG blocks sized
+/// for the exact joint solver, so its throughput is tracked and
+/// `--compare` guards it against regression.
 pub fn workloads(smoke: bool) -> Vec<Workload> {
     let kernel_reps = if smoke { 1 } else { 8 };
     let mut kernels = Vec::new();
@@ -112,6 +114,30 @@ pub fn workloads(smoke: bool) -> Vec<Workload> {
         .map(|seed| random_dag_function(seed * 17 + 3, &pressure_params))
         .collect();
 
+    // A deliberately skewed pair for the reachability engine: `narrow`
+    // DAGs are long chains (tiny path cover, the sparse backend's best
+    // case), `wide` DAGs are near-antichains (cover width ~ n, where the
+    // density heuristic must keep choosing the dense bitmatrix). Tracking
+    // both in one workload pins the auto heuristic's crossover.
+    let (width_count, width_size) = if smoke { (2, 20) } else { (6, 120) };
+    let narrow_params = DagParams {
+        size: width_size,
+        load_fraction: 0.2,
+        float_fraction: 0.3,
+        window: 2,
+    };
+    let wide_params = DagParams {
+        size: width_size,
+        load_fraction: 0.2,
+        float_fraction: 0.3,
+        window: 48,
+    };
+    let mut closure_width: Vec<Function> = Vec::new();
+    for seed in 0..width_count {
+        closure_width.push(random_dag_function(seed * 19 + 11, &narrow_params));
+        closure_width.push(random_dag_function(seed * 23 + 29, &wide_params));
+    }
+
     let exact_count = if smoke { 4 } else { 24 };
     let exact_params = DagParams {
         size: 8,
@@ -140,6 +166,12 @@ pub fn workloads(smoke: bool) -> Vec<Workload> {
             name: "pressure",
             machine: presets::paper_machine(6),
             funcs: pressure,
+            strategies: sweep_strategies(),
+        },
+        Workload {
+            name: "closure-width",
+            machine: presets::paper_machine(32),
+            funcs: closure_width,
             strategies: sweep_strategies(),
         },
         Workload {
@@ -444,7 +476,7 @@ mod tests {
     fn smoke_corpus_is_small_and_stable() {
         let a = workloads(true);
         let b = workloads(true);
-        assert_eq!(a.len(), 4);
+        assert_eq!(a.len(), 5);
         for (wa, wb) in a.iter().zip(&b) {
             assert_eq!(wa.name, wb.name);
             assert_eq!(wa.funcs, wb.funcs);

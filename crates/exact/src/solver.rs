@@ -644,26 +644,36 @@ impl BlockCtx {
         }
         let live_ins: Vec<usize> = (0..vals.len()).filter(|&v| vals[v].def.is_none()).collect();
 
-        // Reachability closure over the (index-increasing) dependence DAG.
-        let mut reach: Vec<u64> = vec![0; n];
-        for i in (0..n).rev() {
-            let mut row: u64 = 1 << i;
-            for &(s, _) in &succs[i] {
-                row |= reach[s];
+        // Reachability of the (index-increasing) dependence DAG, via the
+        // same query engine the heuristic pipeline uses.
+        let mut dep_dag = parsched_graph::DiGraph::new(n);
+        for (i, ss) in succs.iter().enumerate() {
+            for &(s, _) in ss {
+                dep_dag.add_edge(i, s);
             }
-            reach[i] = row;
         }
+        let reach = match parsched_graph::Reachability::build(
+            &dep_dag,
+            parsched_graph::ClosureMode::Auto,
+            None,
+        ) {
+            Some(r) => r,
+            None => unreachable!("no deadline is set"),
+        };
         // Must-overlap bound: value v is live at i in *every* order when
-        // its def precedes i and some use (or the terminator) follows i.
+        // its def precedes i (or is i) and some use at/after i (or the
+        // terminator) follows.
         let mut regs_lb = live_ins.len() as u32;
         for i in 0..n {
             let mut live_here = 0u32;
             for v in &vals {
                 let def_before = match v.def {
                     None => true,
-                    Some(d) => reach[d] & (1 << i) != 0,
+                    Some(d) => d == i || reach.reaches(d, i),
                 };
-                let use_after = v.term_uses > 0 || reach[i] & v.use_mask != 0;
+                let use_after = v.term_uses > 0
+                    || v.use_mask & (1u64 << i) != 0
+                    || reach.row_iter(i).any(|j| v.use_mask & (1u64 << j) != 0);
                 if def_before && use_after && v.uses > 0 {
                     live_here += 1;
                 }

@@ -9,10 +9,26 @@ use std::fmt;
 /// word at a time. This is the representation used for transitive closures
 /// and graph complements, both of which Pinter's construction performs on
 /// every basic block.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct BitMatrix {
     rows: Vec<BitSet>,
     n: usize,
+}
+
+impl Clone for BitMatrix {
+    fn clone(&self) -> Self {
+        BitMatrix {
+            rows: self.rows.clone(),
+            n: self.n,
+        }
+    }
+
+    /// Reuses the row buffers of `self` (allocation-free when shapes match),
+    /// which matters for callers that rebuild a matrix every round.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows.clone_from(&source.rows);
+        self.n = source.n;
+    }
 }
 
 impl BitMatrix {
@@ -27,6 +43,21 @@ impl BitMatrix {
     /// Side length of the matrix.
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// Clears every entry and changes the side length to `n`, reusing row
+    /// buffers where capacities allow.
+    pub fn reset(&mut self, n: usize) {
+        let keep = self.rows.len().min(n);
+        for row in self.rows.iter_mut().take(keep) {
+            row.reset(n);
+        }
+        if self.rows.len() > n {
+            self.rows.truncate(n);
+        } else {
+            self.rows.resize_with(n, || BitSet::new(n));
+        }
+        self.n = n;
     }
 
     /// Sets entry `(i, j)` to true. Returns `true` if it was newly set.
@@ -78,6 +109,18 @@ impl BitMatrix {
     /// Number of true entries.
     pub fn count(&self) -> usize {
         self.rows.iter().map(BitSet::count).sum()
+    }
+
+    /// Iterates the strictly-upper-triangle true entries as `(i, j)` pairs
+    /// with `i < j`, in ascending order — the edge list of a symmetric
+    /// matrix viewed as an undirected graph.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            self.rows[i]
+                .iter()
+                .filter(move |&j| j > i)
+                .map(move |j| (i, j))
+        })
     }
 
     /// Returns the transpose.

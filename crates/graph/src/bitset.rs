@@ -7,10 +7,33 @@ use std::fmt;
 /// Used throughout the crate for liveness-style dataflow sets, adjacency
 /// rows, and reachability vectors. Capacity is fixed at construction; all
 /// operations panic if an index is out of range (callers always know `n`).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,
+}
+
+impl Default for BitSet {
+    /// An empty set of capacity 0 (grow it with [`BitSet::reset`]).
+    fn default() -> Self {
+        BitSet::new(0)
+    }
+}
+
+impl Clone for BitSet {
+    fn clone(&self) -> Self {
+        BitSet {
+            words: self.words.clone(),
+            len: self.len,
+        }
+    }
+
+    /// Reuses the existing word buffer, so cloning into a set of the same
+    /// (or larger) capacity performs no allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.len = source.len;
+    }
 }
 
 impl BitSet {
@@ -25,6 +48,14 @@ impl BitSet {
     /// Number of indices this set can hold (`0..capacity()`).
     pub fn capacity(&self) -> usize {
         self.len
+    }
+
+    /// Empties the set and changes its capacity to `len`, reusing the word
+    /// buffer when it is large enough.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
     }
 
     /// Inserts `i`, returning `true` if it was newly inserted.
@@ -128,6 +159,20 @@ impl BitSet {
             *a = next;
         }
         changed
+    }
+
+    /// Number of elements in `self ∩ other`, without materializing the
+    /// intersection.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Whether `self` and `other` share no element.

@@ -1,0 +1,113 @@
+//! A fast, deterministic hasher for hot compiler-internal maps.
+//!
+//! `std`'s default `SipHash` is DoS-resistant but costs real time in the
+//! dependence-graph pair scan, which hashes one key per discovered edge.
+//! Compiler-internal keys (dense indices, register ids) are not
+//! attacker-controlled, so a multiply–xor hash is safe here and several
+//! times cheaper. The hasher is also *seed-free*: identical runs hash
+//! identically, which keeps any accidental order dependence reproducible.
+//!
+//! Callers must not rely on map iteration order (true for any `HashMap`);
+//! use these aliases only where every access is a point lookup.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Multiply–xor hasher (FxHash-style folding).
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.fold(u64::from_le_bytes(w));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// `HashMap` keyed by the seed-free [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed by the seed-free [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(usize, usize), u32> = FastMap::default();
+        for i in 0..1000usize {
+            m.insert((i, i + 1), i as u32);
+        }
+        for i in 0..1000usize {
+            assert_eq!(m.get(&(i, i + 1)), Some(&(i as u32)));
+            assert_eq!(m.get(&(i + 1, i)), None);
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b1: BuildHasherDefault<FastHasher> = Default::default();
+        let b2: BuildHasherDefault<FastHasher> = Default::default();
+        for key in [(0usize, 0usize), (17, 4), (usize::MAX, 3)] {
+            assert_eq!(b1.hash_one(key), b2.hash_one(key));
+        }
+    }
+
+    #[test]
+    fn byte_writes_match_padding_behavior() {
+        // Unequal-length prefixes must not collide trivially.
+        let mut a = FastHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FastHasher::default();
+        b.write(b"abcdefg");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

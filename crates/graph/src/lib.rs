@@ -40,6 +40,8 @@ pub mod coloring;
 mod digraph;
 mod dominators;
 pub mod dot;
+pub mod hash;
+mod reachability;
 mod scc;
 mod topo;
 mod ungraph;
@@ -49,6 +51,8 @@ pub use bitset::BitSet;
 pub use coloring::{Coloring, ColoringError};
 pub use digraph::{DiGraph, DEADLINE_STRIDE};
 pub use dominators::{DominatorTree, Dominators};
+pub use hash::{FastMap, FastSet};
+pub use reachability::{ClosureMode, ClosureModeParseError, Reachability, Rebuilt};
 pub use scc::strongly_connected_components;
 pub use topo::{topological_sort, CycleError};
 pub use ungraph::UnGraph;

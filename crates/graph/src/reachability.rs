@@ -1,0 +1,1097 @@
+//! Query-oriented reachability over dependence DAGs.
+//!
+//! Pinter's construction needs the transitive closure of the schedule graph
+//! `Gs` three ways: point queries (`does i reach j?`), row enumeration (all
+//! `j` reachable from `i`, in either direction), and the *unordered* set
+//! (all `j` with no path either way — the candidates for a false-dependence
+//! edge). [`Reachability`] answers all three behind one interface, backed by
+//! either of two representations:
+//!
+//! * **Dense** — a pair of [`BitMatrix`] closures (forward rows and reverse
+//!   rows), the representation the reproduction has always used. Row
+//!   operations run a word at a time; memory is `2·n²` bits.
+//! * **Sparse** — a greedy chain decomposition (path cover) of the DAG.
+//!   Every node gets a `(chain, index)` label; per node we keep one `u32`
+//!   per chain holding the *minimum* index reachable forward (and, in count
+//!   form, the *maximum* index reaching it). Because consecutive chain
+//!   members are joined by real edges, reachability into a chain is a
+//!   threshold: `reaches(i, j) ⇔ fwd[i][chain(j)] ≤ idx(j)`, an O(1) lookup
+//!   after O(width) per-node storage. Row enumeration walks each chain's
+//!   suffix (or prefix), so it is O(width + |row|).
+//!
+//! The backend is chosen by [`ClosureMode`]: `Dense`/`Sparse` force one,
+//! `Auto` builds the chain cover first (O(V+E)) and keeps it only when the
+//! cover is narrow relative to the node count. Cyclic graphs (possible for
+//! hand-made graphs, never for block dependence DAGs) always fall back to
+//! the dense fixpoint.
+//!
+//! Both backends support the cooperative wall-clock deadline protocol of
+//! [`DiGraph::reachability_until`]: work is charged per label update (sparse)
+//! or per row (dense) and the clock is polled every [`DEADLINE_STRIDE`]
+//! units, so a deadline trips within a bounded slice of work.
+
+use crate::bitmatrix::BitMatrix;
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, DEADLINE_STRIDE};
+use crate::NodeId;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// Sentinel for "no index in this chain is reachable".
+const NO_LABEL: u32 = u32::MAX;
+
+/// Minimum node count before the sparse backend is considered under
+/// [`ClosureMode::Auto`]; below this the dense word-parallel rows win.
+const SPARSE_MIN_NODES: usize = 64;
+
+/// Under [`ClosureMode::Auto`] the sparse backend is kept only when the
+/// chain cover is at least this many times narrower than the node count.
+const SPARSE_WIDTH_RATIO: usize = 4;
+
+/// Which reachability backend a session should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClosureMode {
+    /// Decide per block: chain cover if it is narrow, dense otherwise.
+    #[default]
+    Auto,
+    /// Always materialize the dense bit-matrix closure.
+    Dense,
+    /// Always use the chain-decomposition backend (DAGs only; cyclic
+    /// graphs still fall back to dense).
+    Sparse,
+}
+
+impl ClosureMode {
+    /// Stable lowercase name, as accepted by [`ClosureMode::from_str`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClosureMode::Auto => "auto",
+            ClosureMode::Dense => "dense",
+            ClosureMode::Sparse => "sparse",
+        }
+    }
+}
+
+impl fmt::Display for ClosureMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing a [`ClosureMode`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureModeParseError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ClosureModeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown closure mode `{}` (expected auto, dense, or sparse)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ClosureModeParseError {}
+
+impl FromStr for ClosureMode {
+    type Err = ClosureModeParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ClosureMode::Auto),
+            "dense" => Ok(ClosureMode::Dense),
+            "sparse" => Ok(ClosureMode::Sparse),
+            _ => Err(ClosureModeParseError { input: s.into() }),
+        }
+    }
+}
+
+/// How [`Reachability::rebuild`] serviced an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rebuilt {
+    /// State from the previous graph was reused; `recomputed` closure rows
+    /// (dense) or label rows (sparse) were re-derived.
+    Incremental {
+        /// Number of per-node rows recomputed rather than reused.
+        recomputed: u64,
+    },
+    /// Nothing could be reused; the engine rebuilt from scratch.
+    Full,
+}
+
+/// Charges units of closure work and polls the wall clock every
+/// [`DEADLINE_STRIDE`] units, mirroring [`DiGraph::reachability_until`].
+struct DeadlinePoll {
+    deadline: Option<Instant>,
+    pending: usize,
+}
+
+impl DeadlinePoll {
+    fn new(deadline: Option<Instant>) -> DeadlinePoll {
+        DeadlinePoll {
+            deadline,
+            pending: 0,
+        }
+    }
+
+    /// Charges `units` of work; returns `true` when the deadline has passed.
+    fn charge(&mut self, units: usize) -> bool {
+        let Some(d) = self.deadline else {
+            return false;
+        };
+        self.pending += units;
+        if self.pending >= DEADLINE_STRIDE {
+            self.pending = 0;
+            return Instant::now() >= d;
+        }
+        false
+    }
+}
+
+/// Dense backend: forward and reverse closure bit-matrices, both maintained
+/// incrementally across spill rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DenseClosure {
+    /// `fwd[i]` = nodes reachable from `i` by a non-empty path.
+    fwd: BitMatrix,
+    /// `bwd[i]` = nodes that reach `i` by a non-empty path.
+    bwd: BitMatrix,
+}
+
+/// Sparse backend: greedy chain cover plus per-node per-chain threshold
+/// labels. All vectors are retained (arena-style) across
+/// [`ChainClosure::rebuild`] calls so spill rounds allocate nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChainClosure {
+    n: usize,
+    /// Number of chains in use; `chains[width..]` are retained spares.
+    width: usize,
+    /// Chain membership, each a directed path of *real* edges.
+    chains: Vec<Vec<NodeId>>,
+    /// Chain id of each node.
+    chain_of: Vec<u32>,
+    /// Index of each node within its chain.
+    idx_in: Vec<u32>,
+    /// `fwd[i·width + c]` = minimum index in chain `c` reachable from `i`,
+    /// or [`NO_LABEL`].
+    fwd: Vec<u32>,
+    /// `bwd[i·width + c]` = one past the maximum index in chain `c` that
+    /// reaches `i` (0 = none). Count form keeps 0 a natural identity.
+    bwd: Vec<u32>,
+}
+
+impl ChainClosure {
+    fn empty() -> ChainClosure {
+        ChainClosure {
+            n: 0,
+            width: 0,
+            chains: Vec::new(),
+            chain_of: Vec::new(),
+            idx_in: Vec::new(),
+            fwd: Vec::new(),
+            bwd: Vec::new(),
+        }
+    }
+
+    /// Greedy path cover in topological order: append a node to a
+    /// predecessor's chain when that predecessor is currently a chain tail,
+    /// else start a new chain. Consecutive chain members are therefore
+    /// always joined by a real edge, which is what makes the labels
+    /// thresholds.
+    fn cover_into(&mut self, g: &DiGraph, order: &[NodeId]) {
+        let n = g.node_count();
+        self.n = n;
+        self.width = 0;
+        self.chain_of.clear();
+        self.chain_of.resize(n, 0);
+        self.idx_in.clear();
+        self.idx_in.resize(n, 0);
+        for &u in order {
+            let mut placed = false;
+            for &p in g.preds(u) {
+                if p == u {
+                    continue;
+                }
+                let c = self.chain_of[p] as usize;
+                if self.idx_in[p] as usize + 1 == self.chains[c].len() {
+                    self.chain_of[u] = c as u32;
+                    self.idx_in[u] = self.chains[c].len() as u32;
+                    self.chains[c].push(u);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                let c = self.width;
+                if c == self.chains.len() {
+                    self.chains.push(Vec::new());
+                }
+                self.chains[c].clear();
+                self.chains[c].push(u);
+                self.chain_of[u] = c as u32;
+                self.idx_in[u] = 0;
+                self.width += 1;
+            }
+        }
+    }
+
+    /// Recomputes the threshold labels for the current cover. Forward labels
+    /// propagate in reverse topological order (min over successors), reverse
+    /// labels in forward order (max over predecessors); each per-chain
+    /// vector merge charges `width` units to the deadline poll.
+    fn labels_into(&mut self, g: &DiGraph, order: &[NodeId], poll: &mut DeadlinePoll) -> bool {
+        let n = self.n;
+        let w = self.width;
+        self.fwd.clear();
+        self.fwd.resize(n * w, NO_LABEL);
+        self.bwd.clear();
+        self.bwd.resize(n * w, 0);
+        for &u in order.iter().rev() {
+            for &s in g.succs(u) {
+                if s == u {
+                    continue;
+                }
+                let cell = u * w + self.chain_of[s] as usize;
+                self.fwd[cell] = self.fwd[cell].min(self.idx_in[s]);
+                merge_labels(&mut self.fwd, u, s, w, true);
+                if poll.charge(w + 1) {
+                    return false;
+                }
+            }
+        }
+        for &u in order {
+            for &p in g.preds(u) {
+                if p == u {
+                    continue;
+                }
+                let cell = u * w + self.chain_of[p] as usize;
+                self.bwd[cell] = self.bwd[cell].max(self.idx_in[p] + 1);
+                merge_labels(&mut self.bwd, u, p, w, false);
+                if poll.charge(w + 1) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Rebuilds cover and labels for `g`, reusing every allocation. Returns
+    /// `false` if the deadline tripped (state is then unspecified).
+    fn rebuild(&mut self, g: &DiGraph, order: &[NodeId], poll: &mut DeadlinePoll) -> bool {
+        self.cover_into(g, order);
+        self.labels_into(g, order, poll)
+    }
+
+    fn reaches(&self, i: NodeId, j: NodeId) -> bool {
+        self.fwd[i * self.width + self.chain_of[j] as usize] <= self.idx_in[j]
+    }
+
+    /// Calls `f` for every node with no path to or from `i` (skipping `i`):
+    /// per chain, the indices in the gap between the reverse count and the
+    /// forward threshold.
+    fn for_each_unordered(&self, i: NodeId, mut f: impl FnMut(NodeId)) {
+        let base = i * self.width;
+        for c in 0..self.width {
+            let lo = self.bwd[base + c] as usize;
+            let hi = (self.fwd[base + c] as usize).min(self.chains[c].len());
+            for &v in &self.chains[c][lo..hi] {
+                if v != i {
+                    f(v);
+                }
+            }
+        }
+    }
+}
+
+/// Elementwise min (forward labels) or max (reverse counts) of row `src`
+/// into row `dst` of a packed `n × w` label table.
+fn merge_labels(labels: &mut [u32], dst: usize, src: usize, w: usize, take_min: bool) {
+    if w == 0 || dst == src {
+        return;
+    }
+    let (d, s) = (dst * w, src * w);
+    let (dst_row, src_row) = if d < s {
+        let (lo, hi) = labels.split_at_mut(s);
+        (&mut lo[d..d + w], &hi[..w])
+    } else {
+        let (lo, hi) = labels.split_at_mut(d);
+        (&mut hi[..w], &lo[s..s + w])
+    };
+    if take_min {
+        for (a, &b) in dst_row.iter_mut().zip(src_row) {
+            if b < *a {
+                *a = b;
+            }
+        }
+    } else {
+        for (a, &b) in dst_row.iter_mut().zip(src_row) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Backend {
+    Dense(DenseClosure),
+    Sparse(ChainClosure),
+}
+
+/// Reachability relation of a directed graph behind a query interface.
+///
+/// Built by [`Reachability::build`] and updated across spill rewrites by
+/// [`Reachability::rebuild`]; see the [module docs](self) for the two
+/// backends. All queries treat reachability as *non-empty* paths: for a DAG
+/// `reaches(i, i)` is always `false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    n: usize,
+    backend: Backend,
+}
+
+impl Default for Reachability {
+    fn default() -> Self {
+        Reachability::new()
+    }
+}
+
+impl Reachability {
+    /// An empty relation over zero nodes (the state of a fresh session).
+    pub fn new() -> Reachability {
+        Reachability {
+            n: 0,
+            backend: Backend::Dense(DenseClosure {
+                fwd: BitMatrix::new(0),
+                bwd: BitMatrix::new(0),
+            }),
+        }
+    }
+
+    /// Computes the reachability relation of `g` using the backend selected
+    /// by `mode` (see [`ClosureMode`]). Returns `None` when `deadline`
+    /// passes mid-build.
+    pub fn build(
+        g: &DiGraph,
+        mode: ClosureMode,
+        deadline: Option<Instant>,
+    ) -> Option<Reachability> {
+        let n = g.node_count();
+        let mut poll = DeadlinePoll::new(deadline);
+        let order = match g.topological_sort() {
+            Ok(o) => o,
+            Err(_) => return Self::build_cyclic(g, deadline),
+        };
+        let backend = match mode {
+            ClosureMode::Dense => Backend::Dense(dense_from_order(g, &order, &mut poll)?),
+            ClosureMode::Sparse => {
+                let mut cc = ChainClosure::empty();
+                if !cc.rebuild(g, &order, &mut poll) {
+                    return None;
+                }
+                Backend::Sparse(cc)
+            }
+            ClosureMode::Auto => {
+                let mut cc = ChainClosure::empty();
+                cc.cover_into(g, &order);
+                if sparse_worthwhile(n, cc.width) {
+                    if !cc.labels_into(g, &order, &mut poll) {
+                        return None;
+                    }
+                    Backend::Sparse(cc)
+                } else {
+                    Backend::Dense(dense_from_order(g, &order, &mut poll)?)
+                }
+            }
+        };
+        Some(Reachability { n, backend })
+    }
+
+    /// Cyclic graphs get the dense fixpoint (chains require a DAG).
+    fn build_cyclic(g: &DiGraph, deadline: Option<Instant>) -> Option<Reachability> {
+        let fwd = g.reachability_until(deadline)?;
+        let bwd = fwd.transposed();
+        Some(Reachability {
+            n: g.node_count(),
+            backend: Backend::Dense(DenseClosure { fwd, bwd }),
+        })
+    }
+
+    /// Updates the relation after a spill rewrite mapped the nodes of
+    /// `prev_g` into `g` via `old_to_new` (old position → new position).
+    ///
+    /// The backend is sticky: a dense relation is maintained incrementally
+    /// (rows whose neighbor sets survived the remap unchanged are reused
+    /// verbatim, in both directions), a sparse relation recomputes its
+    /// labels into retained arenas. If the stored state does not match
+    /// `prev_g`, or `g` is cyclic, the engine rebuilds from scratch and
+    /// reports [`Rebuilt::Full`].
+    ///
+    /// Returns `None` when `deadline` passes mid-rebuild; the relation is
+    /// then unspecified and must be discarded.
+    pub fn rebuild(
+        &mut self,
+        prev_g: &DiGraph,
+        g: &DiGraph,
+        old_to_new: &[usize],
+        deadline: Option<Instant>,
+    ) -> Option<Rebuilt> {
+        let n = g.node_count();
+        let usable = self.n == prev_g.node_count() && old_to_new.len() == prev_g.node_count();
+        let order = match g.topological_sort() {
+            Ok(o) if usable => o,
+            _ => {
+                let mode = match &self.backend {
+                    Backend::Dense(_) => ClosureMode::Dense,
+                    Backend::Sparse(_) => ClosureMode::Sparse,
+                };
+                *self = Self::build(g, mode, deadline)?;
+                return Some(Rebuilt::Full);
+            }
+        };
+        let mut poll = DeadlinePoll::new(deadline);
+        match &mut self.backend {
+            Backend::Dense(d) => {
+                let recomputed = d.rebuild(prev_g, g, old_to_new, &order, &mut poll)?;
+                self.n = n;
+                Some(Rebuilt::Incremental { recomputed })
+            }
+            Backend::Sparse(cc) => {
+                if !cc.rebuild(g, &order, &mut poll) {
+                    return None;
+                }
+                self.n = n;
+                Some(Rebuilt::Incremental {
+                    recomputed: n as u64,
+                })
+            }
+        }
+    }
+
+    /// Number of nodes in the relation.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the relation is over zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Which backend is active: `"dense"` or `"sparse"`.
+    pub fn backend_label(&self) -> &'static str {
+        match &self.backend {
+            Backend::Dense(_) => "dense",
+            Backend::Sparse(_) => "sparse",
+        }
+    }
+
+    /// Number of chains in the sparse cover (0 for the dense backend).
+    pub fn chain_count(&self) -> usize {
+        match &self.backend {
+            Backend::Dense(_) => 0,
+            Backend::Sparse(cc) => cc.width,
+        }
+    }
+
+    /// Whether there is a non-empty directed path from `i` to `j`.
+    pub fn reaches(&self, i: NodeId, j: NodeId) -> bool {
+        match &self.backend {
+            Backend::Dense(d) => d.fwd.get(i, j),
+            Backend::Sparse(cc) => cc.reaches(i, j),
+        }
+    }
+
+    /// Iterates over every node reachable from `i` (excluding `i` on DAGs).
+    ///
+    /// Dense rows yield ascending node ids; sparse rows yield chain by
+    /// chain. Callers needing a canonical order must not rely on it.
+    pub fn row_iter(&self, i: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        match &self.backend {
+            Backend::Dense(d) => Either::Left(d.fwd.row(i).iter()),
+            Backend::Sparse(cc) => Either::Right(SparseRowIter::new(cc, i, true)),
+        }
+    }
+
+    /// Iterates over every node that reaches `i` (the reverse row).
+    ///
+    /// Same ordering caveat as [`Reachability::row_iter`].
+    pub fn rrow_iter(&self, i: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        match &self.backend {
+            Backend::Dense(d) => Either::Left(d.bwd.row(i).iter()),
+            Backend::Sparse(cc) => Either::Right(SparseRowIter::new(cc, i, false)),
+        }
+    }
+
+    /// Calls `f` for every node `j ≠ i` with no path between `i` and `j` in
+    /// either direction — the pairs Pinter's Ef graph connects.
+    pub fn for_each_unreachable(&self, i: NodeId, mut f: impl FnMut(NodeId)) {
+        match &self.backend {
+            Backend::Dense(d) => {
+                for j in 0..self.n {
+                    if j != i && !d.fwd.get(i, j) && !d.bwd.get(i, j) {
+                        f(j);
+                    }
+                }
+            }
+            Backend::Sparse(cc) => cc.for_each_unordered(i, f),
+        }
+    }
+
+    /// Word-level variant of [`Reachability::for_each_unreachable`]: sets
+    /// `out` to `universe ∩ {j : unordered with i, j ≠ i}`.
+    ///
+    /// # Panics
+    /// Panics if `universe` or `out` does not have capacity `len()`.
+    pub fn unordered_into(&self, i: NodeId, universe: &BitSet, out: &mut BitSet) {
+        match &self.backend {
+            Backend::Dense(d) => {
+                out.clone_from(universe);
+                out.difference_with(d.fwd.row(i));
+                out.difference_with(d.bwd.row(i));
+                out.remove(i);
+            }
+            Backend::Sparse(cc) => {
+                assert_eq!(universe.capacity(), self.n, "bitset capacity mismatch");
+                assert_eq!(out.capacity(), self.n, "bitset capacity mismatch");
+                out.clear();
+                cc.for_each_unordered(i, |j| {
+                    if universe.contains(j) {
+                        out.insert(j);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Materializes the forward relation as a [`BitMatrix`] — a debugging
+    /// and testing aid, not a fast path (O(n²) for the sparse backend).
+    pub fn to_dense(&self) -> BitMatrix {
+        match &self.backend {
+            Backend::Dense(d) => d.fwd.clone(),
+            Backend::Sparse(cc) => {
+                let mut m = BitMatrix::new(self.n);
+                for i in 0..self.n {
+                    for j in SparseRowIter::new(cc, i, true) {
+                        m.set(i, j);
+                    }
+                }
+                m
+            }
+        }
+    }
+}
+
+/// Auto heuristic: keep the chain cover only when it is narrow enough that
+/// O(width) labels beat word-parallel dense rows.
+fn sparse_worthwhile(n: usize, width: usize) -> bool {
+    n >= SPARSE_MIN_NODES && width.saturating_mul(SPARSE_WIDTH_RATIO) <= n
+}
+
+/// Builds the dense forward/reverse closure pair along a topological order.
+fn dense_from_order(
+    g: &DiGraph,
+    order: &[NodeId],
+    poll: &mut DeadlinePoll,
+) -> Option<DenseClosure> {
+    let n = g.node_count();
+    let mut fwd = BitMatrix::new(n);
+    let mut bwd = BitMatrix::new(n);
+    for (u, v) in g.edges() {
+        fwd.set(u, v);
+        bwd.set(v, u);
+    }
+    for &u in order.iter().rev() {
+        if poll.charge(1) {
+            return None;
+        }
+        for &s in g.succs(u) {
+            if s != u {
+                fwd.union_rows(u, s);
+            }
+        }
+    }
+    for &u in order {
+        if poll.charge(1) {
+            return None;
+        }
+        for &p in g.preds(u) {
+            if p != u {
+                bwd.union_rows(u, p);
+            }
+        }
+    }
+    Some(DenseClosure { fwd, bwd })
+}
+
+impl DenseClosure {
+    /// Incremental dense rebuild, run symmetrically in both directions:
+    /// forward rows over successors in reverse topological order, reverse
+    /// rows over predecessors in forward order. Returns the total number of
+    /// recomputed rows, or `None` on a deadline trip.
+    fn rebuild(
+        &mut self,
+        prev_g: &DiGraph,
+        g: &DiGraph,
+        old_to_new: &[usize],
+        order: &[NodeId],
+        poll: &mut DeadlinePoll,
+    ) -> Option<u64> {
+        let n = g.node_count();
+        let mut old_of = vec![usize::MAX; n];
+        for (old, &newp) in old_to_new.iter().enumerate() {
+            old_of[newp] = old;
+        }
+        let prev_fwd = std::mem::replace(&mut self.fwd, BitMatrix::new(n));
+        let fwd_dirty = rebuild_dir(
+            &prev_fwd,
+            &mut self.fwd,
+            prev_g,
+            g,
+            old_to_new,
+            &old_of,
+            order,
+            true,
+            poll,
+        )?;
+        let prev_bwd = std::mem::replace(&mut self.bwd, BitMatrix::new(n));
+        let bwd_dirty = rebuild_dir(
+            &prev_bwd,
+            &mut self.bwd,
+            prev_g,
+            g,
+            old_to_new,
+            &old_of,
+            order,
+            false,
+            poll,
+        )?;
+        Some(fwd_dirty + bwd_dirty)
+    }
+}
+
+/// One direction of the incremental dense rebuild. A surviving node's row is
+/// reused verbatim (remapped) when its neighbor set is unchanged under the
+/// remap and no neighbor's row changed; every other row is recomputed from
+/// its (already-processed) neighbors.
+#[allow(clippy::too_many_arguments)]
+fn rebuild_dir(
+    prev: &BitMatrix,
+    next: &mut BitMatrix,
+    prev_g: &DiGraph,
+    g: &DiGraph,
+    old_to_new: &[usize],
+    old_of: &[usize],
+    order: &[NodeId],
+    forward: bool,
+    poll: &mut DeadlinePoll,
+) -> Option<u64> {
+    let n = g.node_count();
+    fn neigh(graph: &DiGraph, u: usize, forward: bool) -> &[usize] {
+        if forward {
+            graph.succs(u)
+        } else {
+            graph.preds(u)
+        }
+    }
+    let mut changed = BitSet::new(n);
+    let mut scratch = BitSet::new(n);
+    let mut dirty: u64 = 0;
+    let process = |u: usize,
+                   next: &mut BitMatrix,
+                   changed: &mut BitSet,
+                   scratch: &mut BitSet,
+                   dirty: &mut u64| {
+        let old_u = old_of[u];
+        let clean = old_u != usize::MAX
+            && !neigh(g, u, forward).iter().any(|&s| changed.contains(s))
+            && neighbors_equal(
+                neigh(prev_g, old_u, forward),
+                old_to_new,
+                neigh(g, u, forward),
+            );
+        if clean {
+            remap_row_into(prev.row(old_u), old_to_new, scratch);
+            next.row_mut(u).clone_from(scratch);
+            return;
+        }
+        *dirty += 1;
+        scratch.clear();
+        for &s in neigh(g, u, forward) {
+            if s != u {
+                scratch.insert(s);
+                scratch.union_with(next.row(s));
+            }
+        }
+        let row_changed = old_u == usize::MAX || !row_matches(prev.row(old_u), old_to_new, scratch);
+        if row_changed {
+            changed.insert(u);
+        }
+        next.row_mut(u).clone_from(scratch);
+    };
+    if forward {
+        for &u in order.iter().rev() {
+            if poll.charge(1) {
+                return None;
+            }
+            process(u, next, &mut changed, &mut scratch, &mut dirty);
+        }
+    } else {
+        for &u in order {
+            if poll.charge(1) {
+                return None;
+            }
+            process(u, next, &mut changed, &mut scratch, &mut dirty);
+        }
+    }
+    Some(dirty)
+}
+
+fn neighbors_equal(old_neigh: &[usize], old_to_new: &[usize], new_neigh: &[usize]) -> bool {
+    if old_neigh.len() != new_neigh.len() {
+        return false;
+    }
+    let mut a: Vec<usize> = old_neigh.iter().map(|&s| old_to_new[s]).collect();
+    let mut b: Vec<usize> = new_neigh.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+fn remap_row_into(old_row: &BitSet, old_to_new: &[usize], out: &mut BitSet) {
+    out.clear();
+    for v in old_row.iter() {
+        out.insert(old_to_new[v]);
+    }
+}
+
+fn row_matches(old_row: &BitSet, old_to_new: &[usize], new_row: &BitSet) -> bool {
+    if old_row.count() != new_row.count() {
+        return false;
+    }
+    old_row.iter().all(|v| new_row.contains(old_to_new[v]))
+}
+
+/// Iterator over one sparse row: per chain, the suffix at or past the
+/// forward threshold (forward) or the prefix below the reverse count
+/// (reverse).
+struct SparseRowIter<'a> {
+    cc: &'a ChainClosure,
+    base: usize,
+    chain: usize,
+    pos: usize,
+    end: usize,
+    forward: bool,
+}
+
+impl<'a> SparseRowIter<'a> {
+    fn new(cc: &'a ChainClosure, i: NodeId, forward: bool) -> SparseRowIter<'a> {
+        let mut it = SparseRowIter {
+            cc,
+            base: i * cc.width,
+            chain: 0,
+            pos: 0,
+            end: 0,
+            forward,
+        };
+        it.seek();
+        it
+    }
+
+    /// Positions on the next chain with a non-empty range.
+    fn seek(&mut self) {
+        while self.chain < self.cc.width {
+            let (lo, hi) = if self.forward {
+                let lab = self.cc.fwd[self.base + self.chain];
+                if lab == NO_LABEL {
+                    (1, 0)
+                } else {
+                    (lab as usize, self.cc.chains[self.chain].len())
+                }
+            } else {
+                (0, self.cc.bwd[self.base + self.chain] as usize)
+            };
+            if lo < hi {
+                self.pos = lo;
+                self.end = hi;
+                return;
+            }
+            self.chain += 1;
+        }
+    }
+}
+
+impl Iterator for SparseRowIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.chain >= self.cc.width {
+            return None;
+        }
+        let v = self.cc.chains[self.chain][self.pos];
+        self.pos += 1;
+        if self.pos >= self.end {
+            self.chain += 1;
+            self.seek();
+        }
+        Some(v)
+    }
+}
+
+/// Two-armed iterator so `row_iter` can return `impl Iterator` over either
+/// backend without boxing.
+enum Either<L, R> {
+    Left(L),
+    Right(R),
+}
+
+impl<L, R> Iterator for Either<L, R>
+where
+    L: Iterator<Item = NodeId>,
+    R: Iterator<Item = NodeId>,
+{
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            Either::Left(it) => it.next(),
+            Either::Right(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> {1, 2} -> 3
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    fn both(g: &DiGraph) -> (Reachability, Reachability) {
+        let d = match Reachability::build(g, ClosureMode::Dense, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        let s = match Reachability::build(g, ClosureMode::Sparse, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        (d, s)
+    }
+
+    fn assert_equivalent(g: &DiGraph) {
+        let (d, s) = both(g);
+        let n = g.node_count();
+        let reference = g.reachability();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(d.reaches(i, j), reference.get(i, j), "dense ({i},{j})");
+                assert_eq!(s.reaches(i, j), reference.get(i, j), "sparse ({i},{j})");
+            }
+            let mut dr: Vec<usize> = d.row_iter(i).collect();
+            let mut sr: Vec<usize> = s.row_iter(i).collect();
+            dr.sort_unstable();
+            sr.sort_unstable();
+            assert_eq!(dr, sr, "row {i}");
+            let mut drr: Vec<usize> = d.rrow_iter(i).collect();
+            let mut srr: Vec<usize> = s.rrow_iter(i).collect();
+            drr.sort_unstable();
+            srr.sort_unstable();
+            assert_eq!(drr, srr, "rrow {i}");
+            let mut du = Vec::new();
+            let mut su = Vec::new();
+            d.for_each_unreachable(i, |j| du.push(j));
+            s.for_each_unreachable(i, |j| su.push(j));
+            du.sort_unstable();
+            su.sort_unstable();
+            assert_eq!(du, su, "unordered {i}");
+        }
+        assert_eq!(d.to_dense(), reference);
+        assert_eq!(s.to_dense(), reference);
+    }
+
+    #[test]
+    fn diamond_backends_agree() {
+        assert_equivalent(&diamond());
+    }
+
+    #[test]
+    fn width_one_chain() {
+        // A pure chain covers with exactly one chain; everything is ordered.
+        let mut g = DiGraph::new(6);
+        for i in 1..6 {
+            g.add_edge(i - 1, i);
+        }
+        let s = match Reachability::build(&g, ClosureMode::Sparse, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        assert_eq!(s.chain_count(), 1);
+        assert_eq!(s.backend_label(), "sparse");
+        for i in 0..6 {
+            let mut unordered = Vec::new();
+            s.for_each_unreachable(i, |j| unordered.push(j));
+            assert!(unordered.is_empty(), "node {i} is totally ordered");
+        }
+        assert_equivalent(&g);
+    }
+
+    #[test]
+    fn width_n_antichain() {
+        // No edges: n singleton chains; every pair is unordered.
+        let g = DiGraph::new(5);
+        let s = match Reachability::build(&g, ClosureMode::Sparse, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        assert_eq!(s.chain_count(), 5);
+        for i in 0..5 {
+            assert_eq!(s.row_iter(i).count(), 0);
+            assert_eq!(s.rrow_iter(i).count(), 0);
+            let mut unordered = Vec::new();
+            s.for_each_unreachable(i, |j| unordered.push(j));
+            assert_eq!(unordered.len(), 4);
+        }
+        assert_equivalent(&g);
+    }
+
+    #[test]
+    fn unordered_into_matches_for_each() {
+        let g = diamond();
+        let (d, s) = both(&g);
+        let mut universe = BitSet::new(4);
+        universe.fill();
+        for r in [&d, &s] {
+            let mut out = BitSet::new(4);
+            r.unordered_into(1, &universe, &mut out);
+            let got: Vec<usize> = out.iter().collect();
+            assert_eq!(got, vec![2], "{}", r.backend_label());
+        }
+        // A restricted universe filters the result.
+        let mut small = BitSet::new(4);
+        small.insert(3);
+        let mut out = BitSet::new(4);
+        s.unordered_into(1, &small, &mut out);
+        assert_eq!(out.count(), 0);
+    }
+
+    #[test]
+    fn cyclic_falls_back_to_dense() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let r = match Reachability::build(&g, ClosureMode::Sparse, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        assert_eq!(r.backend_label(), "dense");
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(r.reaches(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_dense_for_small_graphs() {
+        let r = match Reachability::build(&diamond(), ClosureMode::Auto, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        assert_eq!(r.backend_label(), "dense");
+    }
+
+    #[test]
+    fn auto_picks_sparse_for_long_chains() {
+        let mut g = DiGraph::new(128);
+        for i in 1..128 {
+            g.add_edge(i - 1, i);
+        }
+        let r = match Reachability::build(&g, ClosureMode::Auto, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        assert_eq!(r.backend_label(), "sparse");
+        assert_eq!(r.chain_count(), 1);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        // Simulate a spill rewrite of the diamond: insert nodes at new
+        // positions 1 and 4 (old 0,1,2,3 → 0,2,3,5).
+        let old = diamond();
+        let mut new = DiGraph::new(6);
+        new.add_edge(0, 1); // inserted store after 0
+        new.add_edge(0, 2);
+        new.add_edge(0, 3);
+        new.add_edge(2, 5);
+        new.add_edge(3, 4); // inserted reload
+        new.add_edge(4, 5);
+        let old_to_new = vec![0, 2, 3, 5];
+        for mode in [ClosureMode::Dense, ClosureMode::Sparse] {
+            let mut r = match Reachability::build(&old, mode, None) {
+                Some(r) => r,
+                None => unreachable!("no deadline"),
+            };
+            let outcome = r.rebuild(&old, &new, &old_to_new, None);
+            assert!(matches!(outcome, Some(Rebuilt::Incremental { .. })));
+            let fresh = match Reachability::build(&new, mode, None) {
+                Some(f) => f,
+                None => unreachable!("no deadline"),
+            };
+            assert_eq!(r.to_dense(), fresh.to_dense(), "{mode}");
+            assert_eq!(r.to_dense(), new.reachability(), "{mode} vs oracle");
+        }
+    }
+
+    #[test]
+    fn rebuild_with_mismatched_state_is_full() {
+        let old = diamond();
+        let new = diamond();
+        let mut r = match Reachability::build(&old, ClosureMode::Dense, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline"),
+        };
+        // Wrong old_to_new length → full rebuild.
+        let outcome = r.rebuild(&old, &new, &[0, 1], None);
+        assert_eq!(outcome, Some(Rebuilt::Full));
+        assert_eq!(r.to_dense(), new.reachability());
+    }
+
+    #[test]
+    fn expired_deadline_trips_both_backends() {
+        let mut g = DiGraph::new(1500);
+        for i in 1..1500 {
+            g.add_edge(i - 1, i);
+        }
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        for mode in [ClosureMode::Dense, ClosureMode::Sparse] {
+            assert!(
+                Reachability::build(&g, mode, Some(past)).is_none(),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn closure_mode_parses() {
+        assert_eq!("auto".parse(), Ok(ClosureMode::Auto));
+        assert_eq!("dense".parse(), Ok(ClosureMode::Dense));
+        assert_eq!("sparse".parse(), Ok(ClosureMode::Sparse));
+        assert!("eager".parse::<ClosureMode>().is_err());
+        assert_eq!(ClosureMode::Sparse.to_string(), "sparse");
+    }
+}

@@ -10,11 +10,28 @@ use std::fmt;
 /// This is the representation for interference graphs `Gr`, false-dependence
 /// graphs `Gf`, and the parallelizable interference graph `G = Gr ∪ Gf`.
 /// Self-loops are rejected; parallel edges collapse.
-#[derive(Clone)]
 pub struct UnGraph {
     adj: BitMatrix,
     neighbors: Vec<Vec<NodeId>>,
     edge_count: usize,
+}
+
+impl Clone for UnGraph {
+    fn clone(&self) -> Self {
+        UnGraph {
+            adj: self.adj.clone(),
+            neighbors: self.neighbors.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Reuses adjacency rows and neighbor lists (allocation-free once the
+    /// buffers have grown to size), preserving `source`'s neighbor order.
+    fn clone_from(&mut self, source: &Self) {
+        self.adj.clone_from(&source.adj);
+        self.neighbors.clone_from(&source.neighbors);
+        self.edge_count = source.edge_count;
+    }
 }
 
 impl UnGraph {
@@ -30,6 +47,22 @@ impl UnGraph {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.neighbors.len()
+    }
+
+    /// Removes every edge and changes the node count to `n`, reusing the
+    /// adjacency and neighbor-list buffers — the cheap way to rebuild a
+    /// graph of similar size every round.
+    pub fn reset(&mut self, n: usize) {
+        self.adj.reset(n);
+        for vs in self.neighbors.iter_mut().take(n) {
+            vs.clear();
+        }
+        if self.neighbors.len() > n {
+            self.neighbors.truncate(n);
+        } else {
+            self.neighbors.resize_with(n, Vec::new);
+        }
+        self.edge_count = 0;
     }
 
     /// Number of edges.

@@ -5,7 +5,9 @@ use parsched_graph::coloring::{
     chaitin_order, dsatur_coloring, exact_coloring, greedy_coloring, max_clique_lower_bound,
     ExactLimits,
 };
-use parsched_graph::{strongly_connected_components, DiGraph, UnGraph};
+use parsched_graph::{
+    strongly_connected_components, BitSet, ClosureMode, DiGraph, Reachability, Rebuilt, UnGraph,
+};
 
 /// SplitMix64 — enough randomness for structural graph tests.
 struct Rng(u64);
@@ -200,5 +202,115 @@ fn clique_is_actually_a_clique() {
                 assert!(g.has_edge(a, b));
             }
         }
+    }
+}
+
+/// Builds both closure backends over `g`, panicking on deadline (none set).
+fn both_backends(g: &DiGraph) -> (Reachability, Reachability) {
+    let dense = Reachability::build(g, ClosureMode::Dense, None).unwrap();
+    let sparse = Reachability::build(g, ClosureMode::Sparse, None).unwrap();
+    (dense, sparse)
+}
+
+/// Asserts the two relations answer every query surface identically:
+/// `reaches`, `row_iter`, `rrow_iter`, `unordered_into`, and `to_dense`.
+fn assert_backends_agree(dense: &Reachability, sparse: &Reachability) {
+    let n = dense.len();
+    assert_eq!(n, sparse.len());
+    assert_eq!(dense.to_dense(), sparse.to_dense());
+    let mut universe = BitSet::new(n);
+    universe.fill();
+    let mut out_d = BitSet::new(n);
+    let mut out_s = BitSet::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                dense.reaches(i, j),
+                sparse.reaches(i, j),
+                "reaches({i}, {j}) diverges"
+            );
+        }
+        let rd: Vec<usize> = dense.row_iter(i).collect();
+        let mut rs: Vec<usize> = sparse.row_iter(i).collect();
+        rs.sort_unstable();
+        assert_eq!(rd, rs, "row_iter({i}) diverges");
+        let rd: Vec<usize> = dense.rrow_iter(i).collect();
+        let mut rs: Vec<usize> = sparse.rrow_iter(i).collect();
+        rs.sort_unstable();
+        assert_eq!(rd, rs, "rrow_iter({i}) diverges");
+        dense.unordered_into(i, &universe, &mut out_d);
+        sparse.unordered_into(i, &universe, &mut out_s);
+        assert_eq!(out_d, out_s, "unordered_into({i}) diverges");
+    }
+}
+
+#[test]
+fn sparse_closure_equals_dense_on_random_dags() {
+    let mut rng = Rng::new(11);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 24);
+        let (dense, sparse) = both_backends(&g);
+        assert_eq!(dense.backend_label(), "dense");
+        assert_eq!(sparse.backend_label(), "sparse");
+        assert_backends_agree(&dense, &sparse);
+    }
+}
+
+#[test]
+fn incremental_rebuild_equals_from_scratch_for_both_backends() {
+    // Simulates a spill round: grow the DAG by splicing new nodes into the
+    // index space (the identity-with-gaps remap spill insertion produces),
+    // then check the incrementally rebuilt relation matches a fresh build.
+    let mut rng = Rng::new(12);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 20);
+        let n = g.node_count();
+        let inserted = 1 + rng.below(3);
+        let insert_at = rng.below(n + 1);
+        let grown_n = n + inserted;
+        let old_to_new: Vec<usize> = (0..n)
+            .map(|v| if v < insert_at { v } else { v + inserted })
+            .collect();
+        let mut grown = DiGraph::new(grown_n);
+        for u in 0..n {
+            for &v in g.succs(u) {
+                grown.add_edge(old_to_new[u], old_to_new[v]);
+            }
+        }
+        // Wire the spliced nodes to a random neighbor each, keeping the
+        // graph a DAG (edges only from lower to higher index).
+        for i in 0..inserted {
+            let s = insert_at + i;
+            let t = rng.below(grown_n);
+            if s != t {
+                grown.add_edge(s.min(t), s.max(t));
+            }
+        }
+        for mode in [ClosureMode::Dense, ClosureMode::Sparse] {
+            let mut reach = Reachability::build(&g, mode, None).unwrap();
+            let rebuilt = reach.rebuild(&g, &grown, &old_to_new, None).unwrap();
+            assert!(
+                matches!(rebuilt, Rebuilt::Incremental { .. }),
+                "usable previous state must take the incremental path"
+            );
+            let fresh = Reachability::build(&grown, mode, None).unwrap();
+            assert_eq!(
+                reach.to_dense(),
+                fresh.to_dense(),
+                "incremental {} rebuild diverges from scratch",
+                reach.backend_label()
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_mode_matches_forced_backends() {
+    let mut rng = Rng::new(13);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 24);
+        let auto = Reachability::build(&g, ClosureMode::Auto, None).unwrap();
+        let (dense, _) = both_backends(&g);
+        assert_eq!(auto.to_dense(), dense.to_dense());
     }
 }

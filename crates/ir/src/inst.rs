@@ -451,24 +451,39 @@ impl Inst {
 
     /// Registers defined (written) by this instruction.
     pub fn defs(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.defs_into(&mut out);
+        out
+    }
+
+    /// Appends the registers defined by this instruction to `out` —
+    /// [`Inst::defs`] without the per-call allocation, for dense scans.
+    pub fn defs_into(&self, out: &mut Vec<Reg>) {
         match &self.kind {
             InstKind::LoadImm { dst, .. }
             | InstKind::Binary { dst, .. }
             | InstKind::Unary { dst, .. }
             | InstKind::Load { dst, .. }
-            | InstKind::Copy { dst, .. } => vec![*dst],
-            InstKind::Call { dsts, .. } => dsts.clone(),
+            | InstKind::Copy { dst, .. } => out.push(*dst),
+            InstKind::Call { dsts, .. } => out.extend(dsts.iter().copied()),
             InstKind::Store { .. }
             | InstKind::Branch { .. }
             | InstKind::Jump { .. }
             | InstKind::Ret { .. }
-            | InstKind::Nop => Vec::new(),
+            | InstKind::Nop => {}
         }
     }
 
     /// Registers used (read) by this instruction.
     pub fn uses(&self) -> Vec<Reg> {
         let mut out = Vec::new();
+        self.uses_into(&mut out);
+        out
+    }
+
+    /// Appends the registers read by this instruction to `out` —
+    /// [`Inst::uses`] without the per-call allocation, for dense scans.
+    pub fn uses_into(&self, out: &mut Vec<Reg>) {
         fn push_op(out: &mut Vec<Reg>, op: &Operand) {
             if let Operand::Reg(r) = op {
                 out.push(*r);
@@ -477,8 +492,8 @@ impl Inst {
         match &self.kind {
             InstKind::LoadImm { .. } | InstKind::Jump { .. } | InstKind::Nop => {}
             InstKind::Binary { lhs, rhs, .. } => {
-                push_op(&mut out, lhs);
-                push_op(&mut out, rhs);
+                push_op(out, lhs);
+                push_op(out, rhs);
             }
             InstKind::Unary { src, .. } | InstKind::Copy { src, .. } => out.push(*src),
             InstKind::Load { addr, .. } => {
@@ -494,12 +509,11 @@ impl Inst {
             }
             InstKind::Branch { lhs, rhs, .. } => {
                 out.push(*lhs);
-                push_op(&mut out, rhs);
+                push_op(out, rhs);
             }
             InstKind::Call { args, .. } => out.extend(args.iter().copied()),
             InstKind::Ret { value } => out.extend(value.iter().copied()),
         }
-        out
     }
 
     /// The memory address read, if this is a load.

@@ -244,6 +244,10 @@ pub fn allocate_single_block_in(
     // The remap produced by the previous round's spill rewrite, consumed by
     // the session's incremental closure update at the top of the next round.
     let mut pending_remap: Option<parsched_sched::BlockRemap> = None;
+    // Round-to-round PIG buffer: `build_pig_into` rebuilds in place, so the
+    // spill loop stops paying a four-graph reallocation per round.
+    let mut pig_slot: Option<Pig> = None;
+    let mut combined_ws = crate::combined::CombinedWorkspace::default();
 
     let max_rounds = limits.rounds();
     for round in 1..=max_rounds {
@@ -287,14 +291,16 @@ pub fn allocate_single_block_in(
                     }
                     None => session.begin(current.block(block_id), telemetry)?,
                 }
-                let pig = match session.build_pig(&problem, machine, telemetry)? {
+                session.build_pig_into(&problem, machine, telemetry, &mut pig_slot)?;
+                if pig_slot.is_none() {
+                    // Unreachable after begin/rebuild, but fall back to
+                    // the from-scratch construction rather than panic.
+                    let deps = DepGraph::build(current.block(block_id), telemetry);
+                    pig_slot = Some(Pig::build(&problem, &deps, machine, telemetry));
+                }
+                let pig = match pig_slot.as_ref() {
                     Some(pig) => pig,
-                    None => {
-                        // Unreachable after begin/rebuild, but fall back to
-                        // the from-scratch construction rather than panic.
-                        let deps = DepGraph::build(current.block(block_id), telemetry);
-                        Pig::build(&problem, &deps, machine, telemetry)
-                    }
+                    None => unreachable!("slot filled above"),
                 };
                 last_pig_edges = pig.graph().edge_count() as u64;
                 limits.check_pig_edges("pig.edges", last_pig_edges)?;
@@ -310,8 +316,15 @@ pub fn allocate_single_block_in(
                         None => vec![0; problem.len()],
                     }
                 };
-                let out =
-                    crate::combined::combined_color(&pig, k, &costs, &priority, cfg, telemetry);
+                let out = crate::combined::combined_color_in(
+                    &mut combined_ws,
+                    pig,
+                    k,
+                    &costs,
+                    &priority,
+                    cfg,
+                    telemetry,
+                );
                 (out.colors, out.spilled, out.removed_false_edges)
             }
             BlockStrategy::SpillAll => {

@@ -11,6 +11,8 @@
 
 use crate::pig::Pig;
 use parsched_graph::BitSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// How the allocator picks which false-dependence edge to sacrifice when
 /// register pressure blocks simplification.
@@ -127,7 +129,71 @@ pub fn combined_color(
     config: &PinterConfig,
     telemetry: &dyn parsched_telemetry::Telemetry,
 ) -> CombinedOutcome {
+    combined_color_in(
+        &mut CombinedWorkspace::default(),
+        pig,
+        k,
+        costs,
+        priority,
+        config,
+        telemetry,
+    )
+}
+
+/// Reusable buffers for [`combined_color_in`]. The spill loop colors a PIG
+/// per round; threading one workspace through makes each round's setup
+/// allocation-free once sizes stabilize. A `Default` workspace is valid
+/// input, and results never depend on what a previous run left behind.
+#[derive(Default)]
+pub struct CombinedWorkspace {
+    work_rows: Vec<BitSet>,
+    false_rows: Vec<BitSet>,
+    alive: BitSet,
+    inter_deg: Vec<usize>,
+    falive_deg: Vec<usize>,
+    shared_cnt: Vec<usize>,
+    queued: Vec<bool>,
+    heap: BinaryHeap<Reverse<u128>>,
+    scratch: BitSet,
+}
+
+/// Copies `n` rows of `src` into `dst`, reusing `dst`'s buffers.
+fn clone_rows_into(dst: &mut Vec<BitSet>, n: usize, src: &parsched_graph::UnGraph) {
+    dst.truncate(n);
+    for (v, row) in dst.iter_mut().enumerate() {
+        row.clone_from(src.row(v));
+    }
+    for v in dst.len()..n {
+        dst.push(src.row(v).clone());
+    }
+}
+
+/// [`clone_rows_into`] over a [`parsched_graph::BitMatrix`] source.
+fn clone_matrix_rows_into(dst: &mut Vec<BitSet>, n: usize, src: &parsched_graph::BitMatrix) {
+    dst.truncate(n);
+    for (v, row) in dst.iter_mut().enumerate() {
+        row.clone_from(src.row(v));
+    }
+    for v in dst.len()..n {
+        dst.push(src.row(v).clone());
+    }
+}
+
+/// [`combined_color`] with caller-owned scratch buffers.
+///
+/// # Panics
+/// Panics if `costs` or `priority` lengths differ from the node count.
+pub fn combined_color_in(
+    ws: &mut CombinedWorkspace,
+    pig: &Pig,
+    k: u32,
+    costs: &[f64],
+    priority: &[u32],
+    config: &PinterConfig,
+    telemetry: &dyn parsched_telemetry::Telemetry,
+) -> CombinedOutcome {
     let _span = parsched_telemetry::span(telemetry, "combined.color");
+    let setup_span = parsched_telemetry::span(telemetry, "combined.setup");
     let n = pig.graph().node_count();
     assert_eq!(costs.len(), n, "one cost per node");
     assert_eq!(priority.len(), n, "one priority per node");
@@ -137,17 +203,38 @@ pub fn combined_color(
     // adjusts neighbor counters; the rows themselves lose bits only on
     // false-edge removal, so the select phase sees exactly the surviving
     // edge set.
-    let mut work_rows: Vec<BitSet> = (0..n).map(|v| pig.graph().row(v).clone()).collect();
-    let mut false_rows: Vec<BitSet> = (0..n).map(|v| pig.false_only().row(v).clone()).collect();
-    let mut alive = BitSet::new(n);
+    let work_rows = &mut ws.work_rows;
+    let false_rows = &mut ws.false_rows;
+    clone_rows_into(work_rows, n, pig.graph());
+    clone_matrix_rows_into(false_rows, n, pig.false_only());
+    let alive = &mut ws.alive;
+    alive.reset(n);
     alive.fill();
     // inter_deg[v]: alive neighbors over non-removable (interference or
     // shared) edges; falive_deg[v]: alive neighbors over removable false
     // edges. Current degree is their sum.
-    let mut inter_deg: Vec<usize> = (0..n)
-        .map(|v| pig.graph().degree(v) - pig.false_only().degree(v))
-        .collect();
-    let mut falive_deg: Vec<usize> = (0..n).map(|v| pig.false_only().degree(v)).collect();
+    let inter_deg = &mut ws.inter_deg;
+    inter_deg.clear();
+    inter_deg.extend((0..n).map(|v| pig.graph().degree(v) - false_rows[v].count()));
+    let falive_deg = &mut ws.falive_deg;
+    falive_deg.clear();
+    falive_deg.extend((0..n).map(|v| false_rows[v].count()));
+    // shared_cnt[v]: alive neighbors over shared (Er ∩ Ef) edges. Shared
+    // edges are never removable, so node death is the only event that
+    // changes this; together with the two degree counters it makes the
+    // spill metric O(1) per candidate.
+    let shared_cnt = &mut ws.shared_cnt;
+    shared_cnt.clear();
+    shared_cnt.extend((0..n).map(|v| pig.shared().row(v).count()));
+
+    // Count of alive nodes with degree < k. Degrees only decrease, so each
+    // node crosses the threshold at most once; the counter makes the
+    // simplify scan free during edge-removal storms (when nothing is
+    // simplifiable for long stretches) while the scan itself keeps the
+    // reference pick order: minimal (degree, id).
+    let mut below_k: usize = (0..n)
+        .filter(|&v| inter_deg[v] + falive_deg[v] < k as usize)
+        .count();
 
     let mut stack: Vec<usize> = Vec::with_capacity(n);
     let mut spilled: Vec<usize> = Vec::new();
@@ -156,26 +243,82 @@ pub fn combined_color(
         EdgeRemovalPolicy::Pseudorandom { seed } => seed | 1,
         _ => 1,
     };
-    let mut scratch = BitSet::new(n);
+    let scratch = &mut ws.scratch;
+    scratch.reset(n);
 
+    // Least-benefit removal picks the minimum of a *static* key (the
+    // priority sums never change), so instead of rescanning every eligible
+    // edge after each removal, a lazy heap holds candidate edges and
+    // entries are validated when popped. A node's false edges enter the
+    // heap when it becomes savable — at the start, or when `remove_node`
+    // drops its interference degree below k (degrees only decrease, so
+    // that transition happens at most once per node). Stale entries
+    // (removed edge, dead endpoint, savability lost) are discarded on pop,
+    // which keeps the choice identical to the full scan.
+    let lazy = config.edge_policy == EdgeRemovalPolicy::LeastBenefit;
+    let heap = &mut ws.heap;
+    heap.clear();
+    let queued = &mut ws.queued;
+    queued.clear();
+    queued.resize(if lazy { n } else { 0 }, false);
+    let savable = |v: usize, inter_deg: &[usize], falive_deg: &[usize]| {
+        inter_deg[v] < k as usize && falive_deg[v] > 0
+    };
+    if lazy {
+        for v in alive.iter() {
+            if savable(v, inter_deg, falive_deg) {
+                queued[v] = true;
+                for u in false_rows[v].iter() {
+                    let (a, b) = (v.min(u), v.max(u));
+                    heap.push(Reverse(pack_edge(
+                        priority[a].saturating_add(priority[b]),
+                        a,
+                        b,
+                    )));
+                }
+            }
+        }
+    }
+
+    drop(setup_span);
+    let loop_span = parsched_telemetry::span(telemetry, "combined.mainloop");
     let mut remaining = n;
     while remaining > 0 {
         // Simplify: remove nodes of degree < k (smallest degree first,
-        // ties by node id).
-        let pick = alive
-            .iter()
-            .filter(|&v| inter_deg[v] + falive_deg[v] < k as usize)
-            .min_by_key(|&v| (inter_deg[v] + falive_deg[v], v));
+        // ties by node id). The scan only runs when the counter proves it
+        // can succeed.
+        let pick = if below_k == 0 {
+            None
+        } else {
+            let mut best: Option<(usize, usize)> = None;
+            for v in alive.iter() {
+                let d = inter_deg[v] + falive_deg[v];
+                if d < k as usize && best.is_none_or(|cur| (d, v) < cur) {
+                    best = Some((d, v));
+                }
+            }
+            best.map(|(_, v)| v)
+        };
         if let Some(v) = pick {
             remove_node(
                 v,
-                &mut alive,
-                &work_rows,
-                &false_rows,
-                &mut inter_deg,
-                &mut falive_deg,
-                &mut scratch,
+                alive,
+                work_rows,
+                false_rows,
+                pig.shared(),
+                inter_deg,
+                falive_deg,
+                shared_cnt,
+                k,
+                &mut below_k,
+                scratch,
             );
+            if lazy {
+                queue_new_savable(
+                    v, alive, work_rows, false_rows, inter_deg, falive_deg, k, priority, queued,
+                    heap, scratch,
+                );
+            }
             stack.push(v);
             remaining -= 1;
             continue;
@@ -187,18 +330,26 @@ pub fn combined_color(
         let mut chosen: Option<(usize, usize)> = None;
         match config.edge_policy {
             EdgeRemovalPolicy::LeastBenefit => {
-                let mut best: Option<(u32, usize, usize)> = None;
-                for_each_eligible(&alive, &false_rows, &inter_deg, &falive_deg, k, |a, b| {
-                    let key = (priority[a].saturating_add(priority[b]), a, b);
-                    if best.is_none_or(|cur| key < cur) {
-                        best = Some(key);
+                // Discard stale heap entries until the top one still names
+                // a live, savable-endpoint false edge; the minimum valid
+                // key is exactly what the full scan would have picked.
+                while let Some(&Reverse(entry)) = heap.peek() {
+                    let (a, b) = unpack_edge(entry);
+                    if alive.contains(a)
+                        && alive.contains(b)
+                        && false_rows[a].contains(b)
+                        && (savable(a, inter_deg, falive_deg) || savable(b, inter_deg, falive_deg))
+                    {
+                        chosen = Some((a, b));
+                        heap.pop();
+                        break;
                     }
-                });
-                chosen = best.map(|(_, a, b)| (a, b));
+                    heap.pop();
+                }
             }
             EdgeRemovalPolicy::Pseudorandom { .. } => {
                 let mut eligible: Vec<(usize, usize)> = Vec::new();
-                for_each_eligible(&alive, &false_rows, &inter_deg, &falive_deg, k, |a, b| {
+                for_each_eligible(alive, false_rows, inter_deg, falive_deg, k, |a, b| {
                     eligible.push((a, b));
                 });
                 if !eligible.is_empty() {
@@ -211,7 +362,7 @@ pub fn combined_color(
             }
             EdgeRemovalPolicy::DegreeRelief => {
                 let mut best: Option<(usize, usize, usize)> = None;
-                for_each_eligible(&alive, &false_rows, &inter_deg, &falive_deg, k, |a, b| {
+                for_each_eligible(alive, false_rows, inter_deg, falive_deg, k, |a, b| {
                     let da = inter_deg[a] + falive_deg[a];
                     let db = inter_deg[b] + falive_deg[b];
                     let key = (da.min(db), a, b);
@@ -229,42 +380,49 @@ pub fn combined_color(
             false_rows[b].remove(a);
             falive_deg[a] -= 1;
             falive_deg[b] -= 1;
+            for x in [a, b] {
+                if inter_deg[x] + falive_deg[x] + 1 == k as usize {
+                    below_k += 1;
+                }
+            }
             removed_edges.push((a, b));
             continue;
         }
 
-        // No savable node: spill by the configured metric. Edge classes are
-        // read from the *original* PIG (a removed false edge is gone from
-        // the working rows, so it no longer contributes weight).
-        let weight_sum = |v: usize, scratch: &mut BitSet| -> f64 {
-            scratch.clone_from(&work_rows[v]);
-            scratch.intersect_with(&alive);
-            match config.spill_metric {
-                SpillMetric::CostOverDegree => scratch.count() as f64,
-                SpillMetric::HStar {
-                    interference_weight,
-                    shared_weight,
-                    parallel_weight,
-                } => scratch
-                    .iter()
-                    .map(|u| {
-                        if pig.shared().has_edge(v, u) {
-                            shared_weight
-                        } else if pig.false_only().has_edge(v, u) {
-                            parallel_weight
-                        } else {
-                            interference_weight
-                        }
-                    })
-                    .sum(),
-            }
-        };
+        // No savable node: spill by the configured metric. The class
+        // breakdown of each candidate's surviving neighborhood is carried
+        // by the maintained counters: the two degree counters sum to
+        // |work ∩ alive|, removable false edges are exactly `falive_deg`,
+        // and `shared_cnt` tracks the (never-removable) shared edges — so
+        // no row is scanned here. Grouped-by-class multiplication is
+        // bit-identical to the per-neighbor sum under the dyadic weights
+        // used everywhere (0, 1, 1.5, 2).
+        let weight_sum =
+            |v: usize, inter_deg: &[usize], falive_deg: &[usize], shared_cnt: &[usize]| -> f64 {
+                let total = inter_deg[v] + falive_deg[v];
+                match config.spill_metric {
+                    SpillMetric::CostOverDegree => total as f64,
+                    SpillMetric::HStar {
+                        interference_weight,
+                        shared_weight,
+                        parallel_weight,
+                    } => {
+                        let shared = shared_cnt[v];
+                        let parallel = falive_deg[v];
+                        let inter = total - shared - parallel;
+                        shared_weight * shared as f64
+                            + parallel_weight * parallel as f64
+                            + interference_weight * inter as f64
+                    }
+                }
+            };
         // `remaining > 0` guarantees an unremoved node; `else break` states
         // that invariant without a panic path, and `total_cmp` orders NaN
         // metrics deterministically.
         let mut victim: Option<(usize, f64)> = None;
         for v in alive.iter() {
-            let h = costs[v] / weight_sum(v, &mut scratch).max(f64::MIN_POSITIVE);
+            let h =
+                costs[v] / weight_sum(v, inter_deg, falive_deg, shared_cnt).max(f64::MIN_POSITIVE);
             let better = match victim {
                 None => true,
                 Some((_, hb)) => h.total_cmp(&hb).is_lt(),
@@ -278,13 +436,23 @@ pub fn combined_color(
         };
         remove_node(
             victim,
-            &mut alive,
-            &work_rows,
-            &false_rows,
-            &mut inter_deg,
-            &mut falive_deg,
-            &mut scratch,
+            alive,
+            work_rows,
+            false_rows,
+            pig.shared(),
+            inter_deg,
+            falive_deg,
+            shared_cnt,
+            k,
+            &mut below_k,
+            scratch,
         );
+        if lazy {
+            queue_new_savable(
+                victim, alive, work_rows, false_rows, inter_deg, falive_deg, k, priority, queued,
+                heap, scratch,
+            );
+        }
         if telemetry.enabled() {
             telemetry.event("combined.spill", &format!("node {victim}"));
         }
@@ -295,6 +463,8 @@ pub fn combined_color(
         // code, so optimistic coloring of the victim is not attempted.
     }
 
+    drop(loop_span);
+    let _select_span = parsched_telemetry::span(telemetry, "combined.select");
     // Select (only meaningful when nothing spilled, matching the paper;
     // still performed so callers can inspect partial colorings).
     let mut colors = vec![u32::MAX; n];
@@ -326,18 +496,75 @@ pub fn combined_color(
     }
 }
 
-/// Marks `v` dead and repairs its alive neighbors' split degree counters.
-/// Adjacency rows are left intact: the select phase needs the surviving
-/// edge set over *all* nodes.
+/// Packs a least-benefit candidate edge as `(key, a, b)` in one `u128`:
+/// numeric order equals the lexicographic order of the tuple, so the heap
+/// compares a single word pair instead of three fields. Node ids fit u32
+/// (blocks are bounded far below that).
+fn pack_edge(key: u32, a: usize, b: usize) -> u128 {
+    debug_assert!(a <= u32::MAX as usize && b <= u32::MAX as usize);
+    ((key as u128) << 64) | ((a as u128) << 32) | b as u128
+}
+
+fn unpack_edge(x: u128) -> (usize, usize) {
+    (((x >> 32) as u32) as usize, (x as u32) as usize)
+}
+
+/// After `v`'s removal dropped its neighbors' degree counters, pushes the
+/// false edges of any neighbor that just became savable (interference
+/// degree below `k` for the first time) into the least-benefit candidate
+/// heap. Degrees only decrease, so each node passes this threshold at most
+/// once and `queued` guarantees a single push per node.
+#[allow(clippy::too_many_arguments)]
+fn queue_new_savable(
+    v: usize,
+    alive: &BitSet,
+    work_rows: &[BitSet],
+    false_rows: &[BitSet],
+    inter_deg: &[usize],
+    falive_deg: &[usize],
+    k: u32,
+    priority: &[u32],
+    queued: &mut [bool],
+    heap: &mut BinaryHeap<Reverse<u128>>,
+    scratch: &mut BitSet,
+) {
+    scratch.clone_from(&work_rows[v]);
+    scratch.intersect_with(alive);
+    for u in scratch.iter() {
+        if !queued[u] && inter_deg[u] < k as usize && falive_deg[u] > 0 {
+            queued[u] = true;
+            for w in false_rows[u].iter() {
+                let (a, b) = (u.min(w), u.max(w));
+                heap.push(Reverse(pack_edge(
+                    priority[a].saturating_add(priority[b]),
+                    a,
+                    b,
+                )));
+            }
+        }
+    }
+}
+
+/// Marks `v` dead and repairs its alive neighbors' split degree counters,
+/// keeping the below-`k` population count exact. Adjacency rows are left
+/// intact: the select phase needs the surviving edge set over *all* nodes.
+#[allow(clippy::too_many_arguments)]
 fn remove_node(
     v: usize,
     alive: &mut BitSet,
     work_rows: &[BitSet],
     false_rows: &[BitSet],
+    shared: &parsched_graph::BitMatrix,
     inter_deg: &mut [usize],
     falive_deg: &mut [usize],
+    shared_cnt: &mut [usize],
+    k: u32,
+    below_k: &mut usize,
     scratch: &mut BitSet,
 ) {
+    if inter_deg[v] + falive_deg[v] < k as usize {
+        *below_k -= 1;
+    }
     alive.remove(v);
     scratch.clone_from(&work_rows[v]);
     scratch.intersect_with(alive);
@@ -346,6 +573,12 @@ fn remove_node(
             falive_deg[u] -= 1;
         } else {
             inter_deg[u] -= 1;
+            if shared.row(v).contains(u) {
+                shared_cnt[u] -= 1;
+            }
+        }
+        if inter_deg[u] + falive_deg[u] + 1 == k as usize {
+            *below_k += 1;
         }
     }
 }

@@ -8,7 +8,7 @@
 //! Theorem 2: `G` is minimal with that property.
 
 use crate::problem::BlockAllocProblem;
-use parsched_graph::UnGraph;
+use parsched_graph::{BitMatrix, UnGraph};
 use parsched_machine::MachineDesc;
 use parsched_sched::falsedep::false_dependence_graph;
 use parsched_sched::DepGraph;
@@ -18,9 +18,9 @@ use parsched_sched::DepGraph;
 #[derive(Debug, Clone)]
 pub struct Pig {
     graph: UnGraph,
-    interference_only: UnGraph,
-    false_only: UnGraph,
-    shared: UnGraph,
+    interference_only: BitMatrix,
+    false_only: BitMatrix,
+    shared: BitMatrix,
 }
 
 impl Pig {
@@ -85,10 +85,10 @@ impl Pig {
             telemetry.counter("pig.edges", self.graph.edge_count() as u64);
             telemetry.counter(
                 "pig.interference_only_edges",
-                self.interference_only.edge_count() as u64,
+                (self.interference_only.count() / 2) as u64,
             );
-            telemetry.counter("pig.false_only_edges", self.false_only.edge_count() as u64);
-            telemetry.counter("pig.shared_edges", self.shared.edge_count() as u64);
+            telemetry.counter("pig.false_only_edges", (self.false_only.count() / 2) as u64);
+            telemetry.counter("pig.shared_edges", (self.shared.count() / 2) as u64);
             let max_degree = (0..n).map(|v| self.graph.degree(v)).max().unwrap_or(0);
             telemetry.gauge("pig.max_degree", max_degree as u64);
         }
@@ -101,40 +101,54 @@ impl Pig {
     /// # Panics
     /// Panics if node counts differ.
     pub fn from_parts(er: UnGraph, false_edges: UnGraph) -> Pig {
+        let mut pig = Pig {
+            graph: UnGraph::new(0),
+            interference_only: BitMatrix::new(0),
+            false_only: BitMatrix::new(0),
+            shared: BitMatrix::new(0),
+        };
+        pig.assemble_from(&er, &false_edges);
+        pig
+    }
+
+    /// Rebuilds `self` as the PIG of `er` ∪ `false_edges` in place, reusing
+    /// the previous round's buffers. Produces exactly the same graphs (same
+    /// neighbor orders) as [`Pig::from_parts`] on the same inputs; the spill
+    /// loop calls this once per round, so avoiding the four-graph
+    /// reallocation is worth the in-place contract.
+    ///
+    /// # Panics
+    /// Panics if node counts differ.
+    pub fn assemble_from(&mut self, er: &UnGraph, false_edges: &UnGraph) {
         assert_eq!(
             er.node_count(),
             false_edges.node_count(),
             "Er and Ef must share a vertex set"
         );
         let n = er.node_count();
-        let mut graph = er.clone();
+        self.graph.clone_from(er);
         for (u, v) in false_edges.edges() {
-            graph.add_edge(u, v);
+            self.graph.add_edge(u, v);
         }
 
-        let mut interference_only = UnGraph::new(n);
-        let mut false_only = UnGraph::new(n);
-        let mut shared = UnGraph::new(n);
-        for (u, v) in graph.edges() {
-            match (er.has_edge(u, v), false_edges.has_edge(u, v)) {
-                (true, true) => {
-                    shared.add_edge(u, v);
-                }
-                (true, false) => {
-                    interference_only.add_edge(u, v);
-                }
-                (false, true) => {
-                    false_only.add_edge(u, v);
-                }
-                (false, false) => unreachable!("edge came from one of the sources"),
-            }
-        }
-
-        Pig {
-            graph,
-            interference_only,
-            false_only,
-            shared,
+        self.interference_only.reset(n);
+        self.false_only.reset(n);
+        self.shared.reset(n);
+        // The three classes are row-wise boolean combinations of the two
+        // adjacency relations, so classification runs a word at a time with
+        // no per-edge probes.
+        for v in 0..n {
+            let er_row = er.row(v);
+            let ef_row = false_edges.row(v);
+            let row = self.shared.row_mut(v);
+            row.clone_from(er_row);
+            row.intersect_with(ef_row);
+            let row = self.interference_only.row_mut(v);
+            row.clone_from(er_row);
+            row.difference_with(ef_row);
+            let row = self.false_only.row_mut(v);
+            row.clone_from(ef_row);
+            row.difference_with(er_row);
         }
     }
 
@@ -143,28 +157,29 @@ impl Pig {
         &self.graph
     }
 
-    /// Edges in `Er` only (pure interference; removing one may cause a
-    /// spill but cannot lose parallelism — the dual of Lemma 2).
-    pub fn interference_only(&self) -> &UnGraph {
+    /// Adjacency of edges in `Er` only (pure interference; removing one may
+    /// cause a spill but cannot lose parallelism — the dual of Lemma 2).
+    pub fn interference_only(&self) -> &BitMatrix {
         &self.interference_only
     }
 
-    /// Edges in `Ef` only (pure parallelism; Lemma 2 — merging the two
-    /// definitions cannot spill but restricts the scheduler).
-    pub fn false_only(&self) -> &UnGraph {
+    /// Adjacency of edges in `Ef` only (pure parallelism; Lemma 2 — merging
+    /// the two definitions cannot spill but restricts the scheduler).
+    pub fn false_only(&self) -> &BitMatrix {
         &self.false_only
     }
 
-    /// Edges in both `Er` and `Ef` (Lemma 3 — keeping them separate both
-    /// prevents a spill *and* preserves parallelism; never remove these).
-    pub fn shared(&self) -> &UnGraph {
+    /// Adjacency of edges in both `Er` and `Ef` (Lemma 3 — keeping them
+    /// separate both prevents a spill *and* preserves parallelism; never
+    /// remove these).
+    pub fn shared(&self) -> &BitMatrix {
         &self.shared
     }
 
     /// Degree of `v` counting only interference edges (`Er`), the quantity
     /// the combined algorithm's second simplify loop tests.
     pub fn interference_degree(&self, v: usize) -> usize {
-        self.interference_only.degree(v) + self.shared.degree(v)
+        self.interference_only.row(v).count() + self.shared.row(v).count()
     }
 }
 
@@ -283,13 +298,13 @@ mod tests {
         assert!(pig.graph().has_edge(n(2), n(4)));
         assert!(pig.graph().has_edge(n(3), n(4)));
         // {s1,s2} is also an interference edge → shared (Lemma 3).
-        assert!(pig.shared().has_edge(n(1), n(2)));
+        assert!(pig.shared().get(n(1), n(2)));
         // {s2,s4}: s2 dead by s4's def → false-only (Lemma 2).
-        assert!(pig.false_only().has_edge(n(2), n(4)));
+        assert!(pig.false_only().get(n(2), n(4)));
         // Interference degree excludes false-only edges.
         assert_eq!(
             pig.interference_degree(n(2)),
-            pig.graph().degree(n(2)) - pig.false_only().degree(n(2))
+            pig.graph().degree(n(2)) - pig.false_only().row(n(2)).count()
         );
     }
 
@@ -300,7 +315,7 @@ mod tests {
         let m = presets::single_issue(8);
         let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         assert_eq!(pig.graph().edge_count(), p.interference().edge_count());
-        assert_eq!(pig.false_only().edge_count(), 0);
+        assert_eq!(pig.false_only().count(), 0);
     }
 
     #[test]
@@ -320,10 +335,10 @@ mod tests {
         let pig = Pig::build(&p, &d, &m, &parsched_telemetry::NullTelemetry);
         let s0 = p.node_of(Reg::sym(0)).unwrap();
         let s1 = p.node_of(Reg::sym(1)).unwrap();
-        assert_eq!(pig.false_only().degree(s0), 0);
-        assert_eq!(pig.false_only().degree(s1), 0);
+        assert_eq!(pig.false_only().row(s0).count(), 0);
+        assert_eq!(pig.false_only().row(s1).count(), 0);
         // But they do interfere with each other (both live-in).
-        assert!(pig.interference_only().has_edge(s0, s1));
+        assert!(pig.interference_only().get(s0, s1));
     }
 
     #[test]

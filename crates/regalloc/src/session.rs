@@ -16,7 +16,7 @@
 use crate::limits::BudgetExceeded;
 use crate::pig::Pig;
 use crate::problem::BlockAllocProblem;
-use parsched_graph::{BitSet, UnGraph, DEADLINE_STRIDE};
+use parsched_graph::{BitSet, ClosureMode, UnGraph, DEADLINE_STRIDE};
 use parsched_ir::Block;
 use parsched_machine::{MachineDesc, OpClass};
 use parsched_sched::{BlockRemap, DeadlineExceeded, DepGraph, SchedSession};
@@ -45,6 +45,9 @@ fn deadline_budget(e: DeadlineExceeded) -> BudgetExceeded {
 pub struct AllocSession {
     sched: SchedSession,
     scratch: BitSet,
+    // Pooled Ef accumulator for `build_pig_into`, reset each round so the
+    // spill loop does not reallocate a graph per round.
+    false_edges: UnGraph,
 }
 
 impl Default for AllocSession {
@@ -59,6 +62,7 @@ impl AllocSession {
         AllocSession {
             sched: SchedSession::new(),
             scratch: BitSet::new(0),
+            false_edges: UnGraph::new(0),
         }
     }
 
@@ -67,6 +71,18 @@ impl AllocSession {
     /// ~[`DEADLINE_STRIDE`] units of work.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.sched.set_deadline(deadline);
+    }
+
+    /// Sets the reachability backend policy (see
+    /// [`parsched_sched::SchedSession::set_closure_mode`]); takes effect at
+    /// the next [`AllocSession::begin`].
+    pub fn set_closure_mode(&mut self, mode: ClosureMode) {
+        self.sched.set_closure_mode(mode);
+    }
+
+    /// The configured reachability backend policy.
+    pub fn closure_mode(&self) -> ClosureMode {
+        self.sched.closure_mode()
     }
 
     /// Starts a fresh block: full dependence-graph and closure build. Also
@@ -132,15 +148,41 @@ impl AllocSession {
         machine: &MachineDesc,
         telemetry: &dyn parsched_telemetry::Telemetry,
     ) -> Result<Option<Pig>, BudgetExceeded> {
+        let mut slot = None;
+        self.build_pig_into(problem, machine, telemetry, &mut slot)?;
+        Ok(slot)
+    }
+
+    /// [`AllocSession::build_pig`], but rebuilding into `slot` in place.
+    ///
+    /// On success `slot` holds the PIG; a previous round's PIG left in the
+    /// slot donates its buffers, making the per-round rebuild allocation-
+    /// free once sizes stabilize. Sets `slot` to `None` (the
+    /// fall-back-to-[`Pig::build`] signal) in the same cases `build_pig`
+    /// returns `Ok(None)`.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] under the same conditions as
+    /// [`AllocSession::build_pig`]; `slot` is cleared.
+    pub fn build_pig_into(
+        &mut self,
+        problem: &BlockAllocProblem,
+        machine: &MachineDesc,
+        telemetry: &dyn parsched_telemetry::Telemetry,
+        slot: &mut Option<Pig>,
+    ) -> Result<(), BudgetExceeded> {
+        // Take the previous PIG up front: every early exit then leaves the
+        // slot empty, and the success path reuses its buffers.
+        let donor = slot.take();
         let Some(deps) = self.sched.deps() else {
-            return Ok(None);
+            return Ok(());
         };
         let n = deps.len();
-        if self.sched.closure().size() != n {
-            return Ok(None);
+        if self.sched.reachability().len() != n {
+            return Ok(());
         }
         let _span = parsched_telemetry::span(telemetry, "pig.build");
-        let closure = self.sched.closure();
+        let reach = self.sched.reachability();
 
         // def_node[i] = allocation vertex defined at body position i.
         let mut def_node: Vec<Option<usize>> = vec![None; n];
@@ -170,7 +212,7 @@ impl AllocSession {
                 }
             }
         }
-        let conflict_rows: Vec<(OpClass, BitSet)> = class_positions
+        let conflict_rows: Vec<BitSet> = class_positions
             .iter()
             .map(|(c, _)| {
                 let mut row = BitSet::new(n);
@@ -179,17 +221,27 @@ impl AllocSession {
                         row.union_with(set);
                     }
                 }
-                (*c, row)
+                row
+            })
+            .collect();
+        // conflict_idx[i] = index of position i's class in conflict_rows,
+        // hoisting the per-row class lookup out of the walk below.
+        let conflict_idx: Vec<usize> = classes
+            .iter()
+            .map(|c| {
+                class_positions
+                    .iter()
+                    .position(|(d, _)| d == c)
+                    .unwrap_or(0)
             })
             .collect();
 
-        // Ef needs closure reachability in *either* direction; rows only
-        // store forward reachability, so fold in the transpose.
-        let tclosure = closure.transposed();
-
         let _ef_span = parsched_telemetry::span(telemetry, "pig.ef_rows");
         let deadline = self.sched.deadline();
-        let mut false_edges = UnGraph::new(problem.len());
+        if self.scratch.capacity() != n {
+            self.scratch = BitSet::new(n);
+        }
+        self.false_edges.reset(problem.len());
         for (processed, i) in def_mask.iter().enumerate() {
             if processed % DEADLINE_STRIDE == DEADLINE_STRIDE - 1
                 && deadline.is_some_and(|d| Instant::now() >= d)
@@ -200,31 +252,33 @@ impl AllocSession {
                     actual: 0,
                 });
             }
-            // ef_row(i) = defs \ reach(i) \ reach⁻¹(i) \ conflicts(i) \ {i}
-            self.scratch.clone_from(&def_mask);
-            self.scratch.difference_with(closure.row(i));
-            self.scratch.difference_with(tclosure.row(i));
-            if let Some((_, row)) = conflict_rows.iter().find(|(c, _)| *c == classes[i]) {
-                self.scratch.difference_with(row);
-            }
-            self.scratch.remove(i);
+            // ef_row(i) = defs \ reach(i) \ reach⁻¹(i) \ conflicts(i) \ {i};
+            // the engine answers the first three in one query, whichever
+            // backend it holds.
+            reach.unordered_into(i, &def_mask, &mut self.scratch);
+            self.scratch
+                .difference_with(&conflict_rows[conflict_idx[i]]);
             for j in self.scratch.iter() {
                 // Each unordered pair once: Ef is symmetric.
                 if j <= i {
                     continue;
                 }
                 if let (Some(u), Some(v)) = (def_node[i], def_node[j]) {
-                    false_edges.add_edge(u, v);
+                    self.false_edges.add_edge(u, v);
                 }
             }
         }
 
-        let pig = Pig::from_parts(problem.interference().clone(), false_edges);
+        drop(_ef_span);
+        let _asm_span = parsched_telemetry::span(telemetry, "pig.assemble");
+        let mut pig = donor.unwrap_or_else(|| Pig::from_parts(UnGraph::new(0), UnGraph::new(0)));
+        pig.assemble_from(problem.interference(), &self.false_edges);
         pig.report(problem.len(), telemetry);
         if telemetry.enabled() {
             telemetry.counter("pig.rounds", 1);
         }
-        Ok(Some(pig))
+        *slot = Some(pig);
+        Ok(())
     }
 }
 
@@ -238,6 +292,10 @@ mod tests {
 
     fn edge_set(g: &UnGraph) -> Vec<(usize, usize)> {
         g.edges().collect()
+    }
+
+    fn matrix_edge_set(m: &parsched_graph::BitMatrix) -> Vec<(usize, usize)> {
+        m.edges().collect()
     }
 
     fn must<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
@@ -275,8 +333,14 @@ mod tests {
             };
 
             assert_eq!(edge_set(pig.graph()), edge_set(reference.graph()));
-            assert_eq!(edge_set(pig.false_only()), edge_set(reference.false_only()));
-            assert_eq!(edge_set(pig.shared()), edge_set(reference.shared()));
+            assert_eq!(
+                matrix_edge_set(pig.false_only()),
+                matrix_edge_set(reference.false_only())
+            );
+            assert_eq!(
+                matrix_edge_set(pig.shared()),
+                matrix_edge_set(reference.shared())
+            );
         }
     }
 

@@ -1,9 +1,9 @@
 //! Dependence-graph construction for one basic block.
 
 use parsched_graph::DiGraph;
+use parsched_graph::FastMap;
 use parsched_ir::{Block, Inst, InstKind};
 use parsched_machine::{MachineDesc, OpClass};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// The kind of a dependence edge, in the paper's taxonomy.
@@ -107,7 +107,7 @@ pub fn op_class(inst: &Inst) -> OpClass {
 #[derive(Debug, Clone)]
 pub struct DepGraph {
     graph: DiGraph,
-    kinds: HashMap<(usize, usize), DepKind>,
+    kinds: FastMap<(usize, usize), DepKind>,
     classes: Vec<OpClass>,
 }
 
@@ -151,7 +151,7 @@ impl DepGraph {
         let body = block.body();
         let n = body.len();
         let mut graph = DiGraph::new(n);
-        let mut kinds: HashMap<(usize, usize), DepKind> = HashMap::new();
+        let mut kinds: FastMap<(usize, usize), DepKind> = FastMap::default();
 
         let mut add = |graph: &mut DiGraph, from: usize, to: usize, kind: DepKind| {
             debug_assert!(from < to, "dependences point forward");
@@ -176,14 +176,39 @@ impl DepGraph {
         // dependences follow the paper's literal any-later-redefinition
         // wording; they are conservative but only add ordering already
         // implied transitively.
-        let mut last_def: HashMap<parsched_ir::Reg, usize> = HashMap::new();
-        for (j, inst) in body.iter().enumerate() {
-            for u in inst.uses() {
-                if let Some(&i) = last_def.get(&u) {
+        // Hoisted per-instruction facts: the pair scan below would
+        // otherwise recompute them (and the memory/call pattern matches)
+        // O(n²) times. Register lists live in two flat arenas indexed by
+        // instruction, so hoisting costs two allocations, not 2n.
+        let mut defs_arena: Vec<parsched_ir::Reg> = Vec::new();
+        let mut uses_arena: Vec<parsched_ir::Reg> = Vec::new();
+        let mut defs_idx: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut uses_idx: Vec<usize> = Vec::with_capacity(n + 1);
+        defs_idx.push(0);
+        uses_idx.push(0);
+        for inst in body {
+            inst.defs_into(&mut defs_arena);
+            inst.uses_into(&mut uses_arena);
+            defs_idx.push(defs_arena.len());
+            uses_idx.push(uses_arena.len());
+        }
+        let defs = |i: usize| &defs_arena[defs_idx[i]..defs_idx[i + 1]];
+        let uses = |i: usize| &uses_arena[uses_idx[i]..uses_idx[i + 1]];
+        let mem_r: Vec<Option<&parsched_ir::MemAddr>> = body.iter().map(Inst::mem_read).collect();
+        let mem_w: Vec<Option<&parsched_ir::MemAddr>> = body.iter().map(Inst::mem_write).collect();
+        let is_call: Vec<bool> = body
+            .iter()
+            .map(|b| matches!(b.kind(), InstKind::Call { .. }))
+            .collect();
+
+        let mut last_def: FastMap<parsched_ir::Reg, usize> = FastMap::default();
+        for j in 0..n {
+            for u in uses(j) {
+                if let Some(&i) = last_def.get(u) {
                     add(&mut graph, i, j, DepKind::Flow);
                 }
             }
-            for d in inst.defs() {
+            for &d in defs(j) {
                 last_def.insert(d, j);
             }
         }
@@ -194,21 +219,19 @@ impl DepGraph {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return None;
             }
-            let defs_j = body[j].defs();
+            let defs_j = defs(j);
+            let (rj, wj) = (mem_r[j], mem_w[j]);
             for i in 0..j {
-                let defs_i = body[i].defs();
-                let uses_i = body[i].uses();
                 // Output: i and j define the same register.
-                if defs_i.iter().any(|d| defs_j.contains(d)) {
+                if defs(i).iter().any(|d| defs_j.contains(d)) {
                     add(&mut graph, i, j, DepKind::Output);
                 }
                 // Anti: i uses a register j redefines.
-                if uses_i.iter().any(|u| defs_j.contains(u)) {
+                if uses(i).iter().any(|u| defs_j.contains(u)) {
                     add(&mut graph, i, j, DepKind::Anti);
                 }
                 // Memory dependences.
-                let (ri, wi) = (body[i].mem_read(), body[i].mem_write());
-                let (rj, wj) = (body[j].mem_read(), body[j].mem_write());
+                let (ri, wi) = (mem_r[i], mem_w[i]);
                 if let (Some(w), Some(r)) = (wi, rj) {
                     if w.may_alias(r) {
                         add(&mut graph, i, j, DepKind::MemFlow);
@@ -225,10 +248,8 @@ impl DepGraph {
                     }
                 }
                 // Calls are barriers for memory and other calls.
-                let call_i = matches!(body[i].kind(), InstKind::Call { .. });
-                let call_j = matches!(body[j].kind(), InstKind::Call { .. });
-                if (call_i && (call_j || rj.is_some() || wj.is_some()))
-                    || (call_j && (ri.is_some() || wi.is_some()))
+                if (is_call[i] && (is_call[j] || rj.is_some() || wj.is_some()))
+                    || (is_call[j] && (ri.is_some() || wi.is_some()))
                 {
                     add(&mut graph, i, j, DepKind::Control);
                 }

@@ -47,7 +47,33 @@ pub fn ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Result<Vec<u32>, Cy
 /// # Errors
 /// Returns [`CycleError`] if the dependence graph is not a DAG.
 pub fn refined_ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Result<Vec<u32>, CycleError> {
-    let mut ep = ep_numbers(deps, machine)?;
+    // The dependence graph never changes during refinement, so the
+    // topological order, the edge list, and each edge's latency are loop
+    // invariants; propagation below replays exactly the sequence of `max`
+    // updates the per-round recomputation would.
+    let order = deps.graph().topological_sort()?;
+    let edges: Vec<(usize, usize, u32)> = order
+        .iter()
+        .flat_map(|&u| {
+            deps.graph().succs(u).iter().filter_map(move |&v| {
+                deps.kind(u, v).map(|kind| {
+                    let edge = crate::deps::DepEdge {
+                        from: u,
+                        to: v,
+                        kind,
+                    };
+                    (u, v, deps.edge_latency(machine, &edge))
+                })
+            })
+        })
+        .collect();
+    let propagate = |ep: &mut [u32]| {
+        for &(u, v, lat) in &edges {
+            ep[v] = ep[v].max(ep[u] + lat);
+        }
+    };
+    let mut ep = vec![0u32; deps.len()];
+    propagate(&mut ep);
     let heights = deps.heights(machine)?;
     let n = deps.len();
     if n == 0 {
@@ -82,19 +108,7 @@ pub fn refined_ep_numbers(deps: &DepGraph, machine: &MachineDesc) -> Result<Vec<
             ep[i] += 1;
         }
         // Re-propagate the partial order: EP(v) ≥ EP(u) + latency(u→v).
-        let order = deps.graph().topological_sort()?;
-        for &u in &order {
-            for &v in deps.graph().succs(u) {
-                if let Some(kind) = deps.kind(u, v) {
-                    let edge = crate::deps::DepEdge {
-                        from: u,
-                        to: v,
-                        kind,
-                    };
-                    ep[v] = ep[v].max(ep[u] + deps.edge_latency(machine, &edge));
-                }
-            }
-        }
+        propagate(&mut ep);
         // Stay on the same level: other ops may still exceed capacity.
     }
     Ok(ep)

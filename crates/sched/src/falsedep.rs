@@ -13,7 +13,7 @@
 //!   scheduling graph is a false dependence iff `{u,v} ∈ Ef`).
 
 use crate::deps::{DepEdge, DepGraph};
-use parsched_graph::{UnGraph, DEADLINE_STRIDE};
+use parsched_graph::{ClosureMode, Reachability, UnGraph, DEADLINE_STRIDE};
 use parsched_ir::{Block, Inst, Reg};
 use parsched_machine::MachineDesc;
 use std::collections::HashMap;
@@ -50,22 +50,20 @@ pub fn et_graph_until(
     machine: &MachineDesc,
     deadline: Option<Instant>,
 ) -> Option<UnGraph> {
-    let reach = deps.graph().reachability_until(deadline)?;
+    let reach = Reachability::build(deps.graph(), ClosureMode::Auto, deadline)?;
     let n = deps.len();
     let mut et = UnGraph::new(n);
     for u in 0..n {
-        // Unlike the closure's cheap row unions (polled every
-        // DEADLINE_STRIDE rows), each row here walks the dense closure
-        // row and makes O(n) pairwise_conflict calls, so one clock read
-        // per row is already invisible.
+        // Unlike the closure's cheap label/row propagation (polled every
+        // DEADLINE_STRIDE units of work), each row here enumerates the
+        // closure row and makes O(n) pairwise_conflict calls, so one
+        // clock read per row is already invisible.
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return None;
         }
-        for v in reach.row(u).iter() {
-            if u < v {
-                et.add_edge(u, v);
-            } else if u > v && !et.has_edge(u, v) {
-                et.add_edge(v, u);
+        for v in reach.row_iter(u) {
+            if v != u && !et.has_edge(u, v) {
+                et.add_edge(u.min(v), u.max(v));
             }
         }
         for v in (u + 1)..n {
@@ -237,10 +235,16 @@ pub fn count_false_deps(block: &Block, machine: &MachineDesc) -> usize {
     }
 }
 
-/// [`count_false_deps`] with a cooperative deadline: the quadratic
-/// Et/Ef builds poll `deadline` and the count returns `None` once it
-/// passes, so a caller inside a budgeted pipeline phase overshoots by
-/// at most one row of work rather than the whole O(n²) analysis.
+/// [`count_false_deps`] with a cooperative deadline: the closure build
+/// polls `deadline` and the count returns `None` once it passes, so a
+/// caller inside a budgeted pipeline phase overshoots by at most one
+/// stride of work rather than the whole analysis.
+///
+/// Unlike [`et_graph`], this never materializes `Et`/`Ef`: each candidate
+/// dependence edge is tested directly against the reachability relation
+/// and the machine's pairwise constraints (`{u,v} ∈ Ef ⇔ u ≁ v in the
+/// closure and `u`,`v` have no issue conflict`), turning the former two
+/// O(n²) graph builds into O(deps) point queries.
 pub fn count_false_deps_until(
     block: &Block,
     machine: &MachineDesc,
@@ -253,18 +257,20 @@ pub fn count_false_deps_until(
         return None;
     }
     let sym_deps = DepGraph::build_until(&renamed, &quiet, deadline)?;
-    let et = et_graph_until(&sym_deps, machine, deadline)?;
-    let ef = et.complement();
-    if tripped(deadline) {
-        return None;
-    }
+    let reach = Reachability::build(sym_deps.graph(), ClosureMode::Auto, deadline)?;
     let own_deps = DepGraph::build_until(block, &quiet, deadline)?;
     let mut count = 0;
     for (i, e) in own_deps.edges().enumerate() {
         if i % DEADLINE_STRIDE == DEADLINE_STRIDE - 1 && tripped(deadline) {
             return None;
         }
-        if e.kind.is_register_false_candidate() && ef.has_edge(e.from, e.to) {
+        let (u, v) = (e.from, e.to);
+        if e.kind.is_register_false_candidate()
+            && u != v
+            && !reach.reaches(u, v)
+            && !reach.reaches(v, u)
+            && !machine.pairwise_conflict(sym_deps.class(u), sym_deps.class(v))
+        {
             count += 1;
         }
     }

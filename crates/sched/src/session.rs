@@ -1,23 +1,25 @@
 //! Reusable scheduling sessions.
 //!
 //! A [`SchedSession`] owns the long-lived per-block state of Pinter's
-//! construction — the dependence graph `Gs` and its reachability (closure)
-//! bit-matrix — across spill rounds and across functions. A fresh block
-//! enters via [`SchedSession::build`] (full closure propagation); after a
-//! spill round rewrites the block, [`SchedSession::rebuild_after_spill`]
-//! re-derives only the closure rows that the inserted loads/stores actually
-//! dirtied, guided by a [`BlockRemap`] from old to new body positions.
+//! construction — the dependence graph `Gs` and its reachability relation —
+//! across spill rounds and across functions. A fresh block enters via
+//! [`SchedSession::build`] (full closure construction); after a spill round
+//! rewrites the block, [`SchedSession::rebuild_after_spill`] reuses whatever
+//! the inserted loads/stores did not dirty, guided by a [`BlockRemap`] from
+//! old to new body positions.
 //!
-//! The incremental update is exact, not approximate: a node's closure row
-//! is reused verbatim only when its successor set is unchanged (under the
-//! remap) *and* no successor's own row changed; every other row is
-//! recomputed from its successors in reverse topological order. The result
-//! is therefore bit-identical to a from-scratch
-//! [`parsched_graph::DiGraph::reachability`] run, which the property suite
-//! in `tests/sessions.rs` checks against hundreds of seeded cases.
+//! The reachability relation itself lives behind
+//! [`parsched_graph::Reachability`], which answers point queries, row
+//! enumeration, and unordered-pair enumeration without committing callers to
+//! a dense bit-matrix: the backend (dense rows or a sparse chain cover) is
+//! chosen per block by the session's [`ClosureMode`]. Either backend is
+//! maintained exactly, not approximately: the result of a rebuild is always
+//! equal to a from-scratch construction over the new block, which the
+//! property suite in `tests/sessions.rs` checks against hundreds of seeded
+//! cases under both backends.
 
 use crate::deps::DepGraph;
-use parsched_graph::{BitMatrix, BitSet, DEADLINE_STRIDE};
+use parsched_graph::{ClosureMode, Reachability, Rebuilt};
 use parsched_ir::Block;
 use std::fmt;
 use std::time::Instant;
@@ -25,11 +27,11 @@ use std::time::Instant;
 /// The session's wall-clock deadline passed mid-build.
 ///
 /// Closure maintenance is the longest uninterruptible loop in the
-/// pipeline; the session polls the clock every ~[`DEADLINE_STRIDE`] rows
-/// so a deadline set via [`SchedSession::set_deadline`] trips within a
-/// bounded slice of work instead of after a whole rung. The caller (the
-/// allocator's budget machinery) converts this into its typed budget
-/// error.
+/// pipeline; both reachability backends poll the clock every
+/// ~[`parsched_graph::DEADLINE_STRIDE`] units of work so a deadline set via
+/// [`SchedSession::set_deadline`] trips within a bounded slice of work
+/// instead of after a whole rung. The caller (the allocator's budget
+/// machinery) converts this into its typed budget error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeadlineExceeded {
     /// The loop that tripped (`"closure.build"` or `"closure.rebuild"`).
@@ -103,16 +105,15 @@ impl BlockRemap {
 /// Long-lived scheduling state for one block, reusable across spill rounds
 /// and (after [`SchedSession::build`] on a new block) across functions.
 ///
-/// Telemetry: every full closure construction bumps `pig.full_rebuilds`;
-/// every incremental rebuild bumps `pig.incremental_nodes` by the number of
-/// closure rows actually recomputed.
+/// Telemetry: every full closure construction bumps `pig.full_rebuilds` and
+/// emits a `closure.backend` event (plus a `closure.chains` counter when the
+/// sparse backend is chosen); every incremental rebuild bumps
+/// `pig.incremental_nodes` by the number of rows actually recomputed.
 #[derive(Debug)]
 pub struct SchedSession {
     deps: Option<DepGraph>,
-    closure: BitMatrix,
-    /// Nodes whose closure row changed in the last (re)build, in new ids.
-    changed: BitSet,
-    scratch: BitSet,
+    reach: Reachability,
+    mode: ClosureMode,
     /// Cooperative wall-clock deadline for closure maintenance.
     deadline: Option<Instant>,
 }
@@ -124,20 +125,32 @@ impl Default for SchedSession {
 }
 
 impl SchedSession {
-    /// Creates an empty session.
+    /// Creates an empty session with the [`ClosureMode::Auto`] backend.
     pub fn new() -> SchedSession {
         SchedSession {
             deps: None,
-            closure: BitMatrix::new(0),
-            changed: BitSet::new(0),
-            scratch: BitSet::new(0),
+            reach: Reachability::new(),
+            mode: ClosureMode::Auto,
             deadline: None,
         }
     }
 
+    /// Sets the backend selection policy for subsequent builds. The backend
+    /// is sticky per block: changing the mode takes effect at the next
+    /// [`SchedSession::build`], not mid-spill-loop.
+    pub fn set_closure_mode(&mut self, mode: ClosureMode) {
+        self.mode = mode;
+    }
+
+    /// The configured backend selection policy.
+    pub fn closure_mode(&self) -> ClosureMode {
+        self.mode
+    }
+
     /// Sets (or clears) the wall-clock deadline the closure loops poll
-    /// cooperatively. Checked every ~[`DEADLINE_STRIDE`] rows inside
-    /// [`SchedSession::build`] and [`SchedSession::rebuild_after_spill`].
+    /// cooperatively. Checked every ~[`parsched_graph::DEADLINE_STRIDE`]
+    /// units of work inside [`SchedSession::build`] and
+    /// [`SchedSession::rebuild_after_spill`].
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
     }
@@ -151,8 +164,19 @@ impl SchedSession {
     /// closure state behind: the next use must `build` from scratch.
     fn reset(&mut self) {
         self.deps = None;
-        self.closure = BitMatrix::new(0);
-        self.changed = BitSet::new(0);
+        self.reach = Reachability::new();
+    }
+
+    fn report_build(&self, telemetry: &dyn parsched_telemetry::Telemetry) {
+        if !telemetry.enabled() {
+            return;
+        }
+        telemetry.counter("pig.full_rebuilds", 1);
+        telemetry.event("closure.backend", self.reach.backend_label());
+        let chains = self.reach.chain_count();
+        if chains > 0 {
+            telemetry.counter("closure.chains", chains as u64);
+        }
     }
 
     /// Rebuilds everything from scratch for `block` — the entry point for a
@@ -168,40 +192,36 @@ impl SchedSession {
         telemetry: &dyn parsched_telemetry::Telemetry,
     ) -> Result<(), DeadlineExceeded> {
         let deps = DepGraph::build(block, telemetry);
-        let closure = {
+        let reach = {
             let _s = parsched_telemetry::span(telemetry, "closure.build");
-            deps.graph().reachability_until(self.deadline)
+            Reachability::build(deps.graph(), self.mode, self.deadline)
         };
-        let Some(closure) = closure else {
+        let Some(reach) = reach else {
             self.reset();
             return Err(DeadlineExceeded {
                 phase: "closure.build",
             });
         };
-        self.closure = closure;
-        let n = deps.len();
-        self.changed = BitSet::new(n);
-        self.changed.fill();
+        self.reach = reach;
         self.deps = Some(deps);
-        if telemetry.enabled() {
-            telemetry.counter("pig.full_rebuilds", 1);
-        }
+        self.report_build(telemetry);
         Ok(())
     }
 
-    /// Rebuilds after a spill round rewrote the block, reusing closure rows
-    /// that the inserted instructions did not dirty.
+    /// Rebuilds after a spill round rewrote the block, reusing whatever
+    /// reachability state the inserted instructions did not dirty.
     ///
     /// `remap` must map the previous block's body positions to `block`'s.
-    /// If the session has no previous state, the remap lengths do not match
-    /// the stored state, or the new graph is cyclic (impossible for graphs
-    /// built from blocks, possible for hand-made ones), this falls back to
-    /// a full [`SchedSession::build`].
+    /// If the session has no previous state or the remap lengths do not
+    /// match the stored state, this falls back to a full
+    /// [`SchedSession::build`]; if the new graph is cyclic (impossible for
+    /// graphs built from blocks, possible for hand-made ones) the engine
+    /// itself rebuilds from scratch.
     ///
     /// # Errors
     /// Returns [`DeadlineExceeded`] when the session deadline passes
-    /// mid-rebuild (polled every ~[`DEADLINE_STRIDE`] rows); the session
-    /// is left empty.
+    /// mid-rebuild (polled every ~[`parsched_graph::DEADLINE_STRIDE`] units
+    /// of work); the session is left empty.
     pub fn rebuild_after_spill(
         &mut self,
         block: &Block,
@@ -210,7 +230,7 @@ impl SchedSession {
     ) -> Result<(), DeadlineExceeded> {
         let n = block.body().len();
         let usable =
-            self.deps.is_some() && self.closure.size() == remap.old_len() && remap.new_len() == n;
+            self.deps.is_some() && self.reach.len() == remap.old_len() && remap.new_len() == n;
         if !usable {
             return self.build(block, telemetry);
         }
@@ -219,87 +239,30 @@ impl SchedSession {
             None => unreachable!("checked above"),
         };
         let deps = DepGraph::build(block, telemetry);
-        let order = match deps.graph().topological_sort() {
-            Ok(o) => o,
-            Err(_) => {
-                let closure = {
-                    let _s = parsched_telemetry::span(telemetry, "closure.build");
-                    deps.graph().reachability_until(self.deadline)
-                };
-                let Some(closure) = closure else {
-                    self.reset();
-                    return Err(DeadlineExceeded {
-                        phase: "closure.build",
-                    });
-                };
-                self.closure = closure;
-                self.changed = BitSet::new(n);
-                self.changed.fill();
-                self.deps = Some(deps);
-                if telemetry.enabled() {
-                    telemetry.counter("pig.full_rebuilds", 1);
-                }
-                return Ok(());
-            }
+        let outcome = {
+            let _s = parsched_telemetry::span(telemetry, "closure.build");
+            self.reach.rebuild(
+                prev_deps.graph(),
+                deps.graph(),
+                remap.table(),
+                self.deadline,
+            )
         };
-
-        // old_of[new] = old position, or usize::MAX for inserted nodes.
-        let mut old_of = vec![usize::MAX; n];
-        for (old, &newp) in remap.table().iter().enumerate() {
-            old_of[newp] = old;
-        }
-
-        let prev_closure = std::mem::replace(&mut self.closure, BitMatrix::new(n));
-        let mut changed = BitSet::new(n);
-        let mut dirty_rows: u64 = 0;
-        self.scratch = BitSet::new(n);
-        let _closure_span = parsched_telemetry::span(telemetry, "closure.build");
-
-        for (processed, &u) in order.iter().rev().enumerate() {
-            if processed % DEADLINE_STRIDE == DEADLINE_STRIDE - 1
-                && self.deadline.is_some_and(|d| Instant::now() >= d)
-            {
-                self.reset();
-                return Err(DeadlineExceeded {
-                    phase: "closure.rebuild",
-                });
-            }
-            let old_u = old_of[u];
-            // A surviving node is clean when its successor set is unchanged
-            // under the remap and no successor's closure row changed.
-            let clean = old_u != usize::MAX
-                && !deps.graph().succs(u).iter().any(|&s| changed.contains(s))
-                && Self::succs_equal(prev_deps.graph().succs(old_u), remap, deps.graph().succs(u));
-            if clean {
-                Self::remap_row_into(prev_closure.row(old_u), remap, &mut self.scratch);
-                self.closure.row_mut(u).clone_from(&self.scratch);
-                continue;
-            }
-            dirty_rows += 1;
-            // Recompute: row(u) = ⋃_{s ∈ succs(u)} ({s} ∪ row(s)).
-            self.scratch.clear();
-            let succs: Vec<usize> = deps.graph().succs(u).to_vec();
-            for s in succs {
-                if s != u {
-                    self.scratch.insert(s);
-                    self.scratch.union_with(self.closure.row(s));
+        let Some(outcome) = outcome else {
+            self.reset();
+            return Err(DeadlineExceeded {
+                phase: "closure.rebuild",
+            });
+        };
+        drop(prev_deps);
+        self.deps = Some(deps);
+        match outcome {
+            Rebuilt::Incremental { recomputed } => {
+                if telemetry.enabled() {
+                    telemetry.counter("pig.incremental_nodes", recomputed);
                 }
             }
-            let row_changed = if old_u == usize::MAX {
-                true
-            } else {
-                !Self::row_matches(prev_closure.row(old_u), remap, &self.scratch)
-            };
-            if row_changed {
-                changed.insert(u);
-            }
-            self.closure.row_mut(u).clone_from(&self.scratch);
-        }
-
-        self.changed = changed;
-        self.deps = Some(deps);
-        if telemetry.enabled() {
-            telemetry.counter("pig.incremental_nodes", dirty_rows);
+            Rebuilt::Full => self.report_build(telemetry),
         }
         Ok(())
     }
@@ -309,40 +272,9 @@ impl SchedSession {
         self.deps.as_ref()
     }
 
-    /// The current reachability (closure) matrix.
-    pub fn closure(&self) -> &BitMatrix {
-        &self.closure
-    }
-
-    /// Nodes (new ids) whose closure row changed in the last (re)build.
-    /// After a full build this is every node.
-    pub fn changed(&self) -> &BitSet {
-        &self.changed
-    }
-
-    fn succs_equal(old_succs: &[usize], remap: &BlockRemap, new_succs: &[usize]) -> bool {
-        if old_succs.len() != new_succs.len() {
-            return false;
-        }
-        let mut a: Vec<usize> = old_succs.iter().map(|&s| remap.new_pos(s)).collect();
-        let mut b: Vec<usize> = new_succs.to_vec();
-        a.sort_unstable();
-        b.sort_unstable();
-        a == b
-    }
-
-    fn remap_row_into(old_row: &BitSet, remap: &BlockRemap, out: &mut BitSet) {
-        out.clear();
-        for v in old_row.iter() {
-            out.insert(remap.new_pos(v));
-        }
-    }
-
-    fn row_matches(old_row: &BitSet, remap: &BlockRemap, new_row: &BitSet) -> bool {
-        if old_row.count() != new_row.count() {
-            return false;
-        }
-        old_row.iter().all(|v| new_row.contains(remap.new_pos(v)))
+    /// The current reachability relation (empty until a block is built).
+    pub fn reachability(&self) -> &Reachability {
+        &self.reach
     }
 }
 
@@ -375,8 +307,7 @@ mod tests {
         let mut sess = SchedSession::new();
         assert!(sess.build(&b, &NullTelemetry).is_ok());
         let reference = DepGraph::build(&b, &NullTelemetry).graph().reachability();
-        assert_eq!(sess.closure(), &reference);
-        assert_eq!(sess.changed().count(), 3);
+        assert_eq!(sess.reachability().to_dense(), reference);
     }
 
     #[test]
@@ -407,14 +338,17 @@ mod tests {
             }
             "#,
         );
-        let mut sess = SchedSession::new();
-        assert!(sess.build(&old, &NullTelemetry).is_ok());
-        let remap = BlockRemap::new(vec![0, 2, 4], 5);
-        assert!(sess
-            .rebuild_after_spill(&new, &remap, &NullTelemetry)
-            .is_ok());
-        let reference = DepGraph::build(&new, &NullTelemetry).graph().reachability();
-        assert_eq!(sess.closure(), &reference);
+        for mode in [ClosureMode::Auto, ClosureMode::Dense, ClosureMode::Sparse] {
+            let mut sess = SchedSession::new();
+            sess.set_closure_mode(mode);
+            assert!(sess.build(&old, &NullTelemetry).is_ok());
+            let remap = BlockRemap::new(vec![0, 2, 4], 5);
+            assert!(sess
+                .rebuild_after_spill(&new, &remap, &NullTelemetry)
+                .is_ok());
+            let reference = DepGraph::build(&new, &NullTelemetry).graph().reachability();
+            assert_eq!(sess.reachability().to_dense(), reference, "{mode}");
+        }
     }
 
     #[test]
@@ -426,33 +360,37 @@ mod tests {
         let remap = BlockRemap::identity(0);
         assert!(sess.rebuild_after_spill(&b, &remap, &NullTelemetry).is_ok());
         let reference = DepGraph::build(&b, &NullTelemetry).graph().reachability();
-        assert_eq!(sess.closure(), &reference);
+        assert_eq!(sess.reachability().to_dense(), reference);
     }
 
     #[test]
     fn expired_deadline_trips_the_build_cooperatively() {
         // A block big enough that the closure loop polls the clock at
-        // least once (the stride is 1024 rows).
+        // least once (the stride is 1024 units of work).
         let mut src = String::from("func @big(s0) {\nentry:\n");
         for i in 0..1500 {
             src.push_str(&format!("    s{} = add s{}, 1\n", i + 1, i));
         }
         src.push_str("    ret s1500\n}");
         let b = block(&src);
-        let mut sess = SchedSession::new();
-        sess.set_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
-        let err = sess.build(&b, &NullTelemetry);
-        assert_eq!(
-            err,
-            Err(DeadlineExceeded {
-                phase: "closure.build"
-            })
-        );
-        // The failed build leaves no half-built state behind.
-        assert!(sess.deps().is_none());
-        // Clearing the deadline makes the same block build fine.
-        sess.set_deadline(None);
-        assert!(sess.build(&b, &NullTelemetry).is_ok());
-        assert!(sess.deps().is_some());
+        for mode in [ClosureMode::Dense, ClosureMode::Sparse] {
+            let mut sess = SchedSession::new();
+            sess.set_closure_mode(mode);
+            sess.set_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+            let err = sess.build(&b, &NullTelemetry);
+            assert_eq!(
+                err,
+                Err(DeadlineExceeded {
+                    phase: "closure.build"
+                }),
+                "{mode}"
+            );
+            // The failed build leaves no half-built state behind.
+            assert!(sess.deps().is_none());
+            // Clearing the deadline makes the same block build fine.
+            sess.set_deadline(None);
+            assert!(sess.build(&b, &NullTelemetry).is_ok());
+            assert!(sess.deps().is_some());
+        }
     }
 }

@@ -344,21 +344,28 @@ pub fn value_deps(view: &ValueView) -> Vec<Vec<usize>> {
 /// *true*-dependence or structural reasons.
 pub fn et_pairs(succ: &[Vec<usize>], classes: &[OpClass], machine: &MachineDesc) -> Vec<Vec<bool>> {
     let n = succ.len();
-    let mut reach = vec![vec![false; n]; n];
-    // Edges point forward, so a reverse-order sweep computes closure.
-    for i in (0..n).rev() {
-        for &j in &succ[i] {
-            reach[i][j] = true;
-            let row_j = reach[j].clone();
-            for (cell, &r) in reach[i].iter_mut().zip(&row_j) {
-                *cell = *cell || r;
-            }
+    let mut g = parsched_graph::DiGraph::new(n);
+    for (i, js) in succ.iter().enumerate() {
+        for &j in js {
+            g.add_edge(i, j);
         }
     }
+    // The checker deliberately goes through the same Reachability engine as
+    // the pipeline (Auto backend) — the engine's own property suite pins
+    // sparse ≡ dense, and the checker only consumes the query interface.
+    let reach =
+        match parsched_graph::Reachability::build(&g, parsched_graph::ClosureMode::Auto, None) {
+            Some(r) => r,
+            None => unreachable!("no deadline is set"),
+        };
     let mut et = vec![vec![false; n]; n];
     for i in 0..n {
+        for j in reach.row_iter(i) {
+            et[i][j] = true;
+            et[j][i] = true;
+        }
         for j in (i + 1)..n {
-            if reach[i][j] || reach[j][i] || machine.pairwise_conflict(classes[i], classes[j]) {
+            if machine.pairwise_conflict(classes[i], classes[j]) {
                 et[i][j] = true;
                 et[j][i] = true;
             }

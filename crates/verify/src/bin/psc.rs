@@ -33,7 +33,8 @@ use parsched::telemetry::{
     SyncFanout, Telemetry,
 };
 use parsched::{
-    AllocScope, BatchDriver, Budget, CompileResult, Driver, ParschedError, Pipeline, Strategy,
+    AllocScope, BatchDriver, Budget, ClosureMode, CompileResult, Driver, ParschedError, Pipeline,
+    Strategy,
 };
 use parsched_verify::Verifier;
 use std::process::ExitCode;
@@ -54,6 +55,10 @@ options:
                          docs/GLOBAL.md)
   --per-block            baseline: block-local webs share registers but
                          every cross-block web gets a dedicated one
+  --closure auto|dense|sparse   reachability backend for the scheduling
+                         closure (default auto: density heuristic per
+                         block); output is byte-identical either way —
+                         see docs/REACHABILITY.md
   --machine single|paper|mips|rs6000|wide4      (default paper)
   --machine-spec FILE    load a textual machine description instead
   --regs N               override the register-file size
@@ -121,6 +126,7 @@ struct Options {
     flight_json: Option<String>,
     dump_dir: Option<String>,
     scope: AllocScope,
+    closure: ClosureMode,
     verify: bool,
     run: Option<Vec<i64>>,
 }
@@ -228,6 +234,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut flight_json: Option<String> = None;
     let mut dump_dir: Option<String> = None;
     let mut scope = AllocScope::Auto;
+    let mut closure = ClosureMode::Auto;
     let mut verify = false;
     let mut run: Option<Vec<i64>> = None;
     let mut exact_max_insts: Option<usize> = None;
@@ -323,6 +330,10 @@ fn parse_args() -> Result<Cmd, String> {
                 }
                 scope = AllocScope::PerBlock;
             }
+            "--closure" => {
+                let v = args.next().ok_or("--closure needs a value")?;
+                closure = v.parse().map_err(|e| format!("{e}"))?;
+            }
             "--verify" => verify = true,
             "--run" => {
                 let rest: Result<Vec<i64>, _> = args.by_ref().map(|a| a.parse()).collect();
@@ -358,6 +369,7 @@ fn parse_args() -> Result<Cmd, String> {
         flight_json,
         dump_dir,
         scope,
+        closure,
         verify,
         run,
     })))
@@ -385,7 +397,9 @@ fn real_main(opts: Options) -> Result<(), Failure> {
         Some(r) => opts.machine.with_num_regs(r),
         None => opts.machine.clone(),
     };
-    let pipeline = Pipeline::new(machine.clone()).with_scope(opts.scope);
+    let pipeline = Pipeline::new(machine.clone())
+        .with_scope(opts.scope)
+        .with_closure(opts.closure);
     let mut budget = Budget::unlimited();
     if let Some(n) = opts.max_insts {
         budget = budget.with_max_block_insts(n);
@@ -649,9 +663,13 @@ fn batch_main(opts: Options, funcs: Vec<Function>) -> Result<(), Failure> {
     } else {
         vec![opts.strategy]
     };
-    let driver = Driver::new(Pipeline::new(machine.clone()).with_scope(opts.scope))
-        .with_budget(budget)
-        .with_ladder(ladder);
+    let driver = Driver::new(
+        Pipeline::new(machine.clone())
+            .with_scope(opts.scope)
+            .with_closure(opts.closure),
+    )
+    .with_budget(budget)
+    .with_ladder(ladder);
     let batch = BatchDriver::new(driver)
         .with_jobs(opts.jobs.unwrap_or(1))
         .with_recording(opts.recording());
